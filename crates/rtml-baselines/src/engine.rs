@@ -1,0 +1,43 @@
+//! The bulk-synchronous engine abstraction shared by the baselines.
+
+/// One task inside a stage: a closure producing a value.
+pub type StageTask<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// A bulk-synchronous execution engine: runs a vector of independent
+/// tasks to completion (a *stage*) and returns their results in input
+/// order. The barrier at the end of each stage is the defining BSP
+/// property the paper contrasts with fine-grained dataflow (R5).
+pub trait Engine: Sync {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes one stage, blocking until every task finishes.
+    fn run_stage<T: Send + 'static>(&self, tasks: Vec<StageTask<T>>) -> Vec<T>;
+}
+
+/// Convenience: build a stage out of a per-index closure.
+pub fn stage_of<T, F>(n: usize, f: F) -> Vec<StageTask<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + Clone + 'static,
+{
+    (0..n)
+        .map(|i| {
+            let f = f.clone();
+            Box::new(move || f(i)) as StageTask<T>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_of_builds_n_tasks() {
+        let tasks = stage_of(4, |i| i * 2);
+        assert_eq!(tasks.len(), 4);
+        let results: Vec<usize> = tasks.into_iter().map(|t| t()).collect();
+        assert_eq!(results, vec![0, 2, 4, 6]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion bench for the control-plane KV store: the §3.2.1 substrate
+//! (sub-millisecond scheduling depends on these being microsecond-class).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtml_kv::KvStore;
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    group.sample_size(60);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for shards in [1usize, 8] {
+        let kv = KvStore::new(shards);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("set", shards), &shards, |b, _| {
+            b.iter(|| {
+                i += 1;
+                kv.set(
+                    Bytes::from(i.to_le_bytes().to_vec()),
+                    Bytes::from_static(b"value"),
+                );
+            })
+        });
+
+        let kv = KvStore::new(shards);
+        kv.set(Bytes::from_static(b"hot"), Bytes::from_static(b"v"));
+        group.bench_with_input(BenchmarkId::new("get", shards), &shards, |b, _| {
+            b.iter(|| kv.get(b"hot").unwrap())
+        });
+
+        let kv = KvStore::new(shards);
+        kv.set(Bytes::from_static(b"ctr"), Bytes::from(vec![0u8; 8]));
+        group.bench_with_input(BenchmarkId::new("update", shards), &shards, |b, _| {
+            b.iter(|| {
+                kv.update(Bytes::from_static(b"ctr"), |cur| {
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(cur.unwrap());
+                    let n = u64::from_le_bytes(a).wrapping_add(1);
+                    Some(Bytes::from(n.to_le_bytes().to_vec()))
+                })
+            })
+        });
+
+        let kv = KvStore::new(shards);
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("append", shards), &shards, |b, _| {
+            b.iter(|| {
+                j += 1;
+                // Rotate keys so logs stay short.
+                kv.append(
+                    Bytes::from(format!("log{}", j % 64)),
+                    Bytes::from_static(b"record"),
+                );
+            })
+        });
+    }
+
+    // Pub-sub notification latency: set -> subscriber receives.
+    let kv = KvStore::new(4);
+    let (cur, rx) = kv.subscribe(Bytes::from_static(b"watched"));
+    assert!(cur.is_none());
+    group.bench_function("set_and_notify", |b| {
+        b.iter(|| {
+            kv.set(Bytes::from_static(b"watched"), Bytes::from_static(b"v"));
+            rx.recv().unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

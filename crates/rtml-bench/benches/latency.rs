@@ -1,0 +1,90 @@
+//! Criterion bench for E1: the §4.1 latency microbenchmarks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtml_common::resources::Resources;
+use rtml_runtime::{Cluster, ClusterConfig, NodeConfig, TaskOptions};
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+
+    // Task creation: non-blocking submit.
+    {
+        let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
+        let nop = cluster.register_fn0("nop_create", || Ok(0u64));
+        let driver = cluster.driver();
+        let mut pending = Vec::new();
+        group.bench_function("task_creation", |b| {
+            b.iter(|| {
+                pending.push(driver.submit0(&nop).unwrap());
+                if pending.len() >= 64 {
+                    for fut in pending.drain(..) {
+                        let _ = driver.get(&fut);
+                    }
+                }
+            })
+        });
+        for fut in pending.drain(..) {
+            let _ = driver.get(&fut);
+        }
+        cluster.shutdown();
+    }
+
+    // Result retrieval of a local, sealed object.
+    {
+        let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
+        let nop = cluster.register_fn0("nop_get", || Ok(0u64));
+        let driver = cluster.driver();
+        let fut = driver.submit0(&nop).unwrap();
+        let _ = driver.get(&fut).unwrap();
+        group.bench_function("get_local_sealed", |b| b.iter(|| driver.get(&fut).unwrap()));
+        cluster.shutdown();
+    }
+
+    // End-to-end empty task, locally scheduled.
+    {
+        let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
+        let nop = cluster.register_fn0("nop_e2e", || Ok(0u64));
+        let driver = cluster.driver();
+        group.bench_function("end_to_end_local", |b| {
+            b.iter(|| {
+                let fut = driver.submit0(&nop).unwrap();
+                driver.get(&fut).unwrap()
+            })
+        });
+        cluster.shutdown();
+    }
+
+    // End-to-end empty task forced onto a remote node.
+    {
+        let config = ClusterConfig {
+            nodes: vec![
+                NodeConfig::cpu_only(2),
+                NodeConfig::cpu_only(2).with_custom("pin", 1.0),
+            ],
+            ..ClusterConfig::default()
+        }
+        .without_event_log();
+        let cluster = Cluster::start(config).unwrap();
+        let nop = cluster.register_fn0("nop_remote", || Ok(0u64));
+        let driver = cluster.driver();
+        let opts = TaskOptions::resources(Resources::cpu(1.0).with_custom("pin", 1.0));
+        group.bench_function("end_to_end_remote", |b| {
+            b.iter(|| {
+                let fut = driver.submit0_opts(&nop, opts.clone()).unwrap();
+                driver.get(&fut).unwrap()
+            })
+        });
+        cluster.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for E7: task throughput against control-plane shard
+//! counts (R2).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rtml_runtime::{Cluster, ClusterConfig};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    const BATCH: usize = 200;
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    for shards in [1usize, 8] {
+        let cluster = Cluster::start(
+            ClusterConfig::local(2, 4)
+                .with_kv_shards(shards)
+                .without_event_log(),
+        )
+        .unwrap();
+        let nop = cluster.register_fn1("nop_tp", |x: u64| Ok(x));
+        let driver = cluster.driver();
+        group.bench_with_input(BenchmarkId::new("noop_batch", shards), &shards, |b, _| {
+            b.iter(|| {
+                let futs: Vec<_> = (0..BATCH as u64)
+                    .map(|i| driver.submit1(&nop, i).unwrap())
+                    .collect();
+                let (ready, _) = driver.wait(&futs, futs.len(), Duration::from_secs(60));
+                assert_eq!(ready.len(), BATCH);
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench for workload kernels and codec hot paths — the
+//! per-task costs every experiment builds on.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::ids::{DriverId, FunctionId, TaskId};
+use rtml_common::resources::Resources;
+use rtml_common::task::{ArgSpec, TaskSpec};
+use rtml_workloads::atari::{AtariConfig, AtariSim};
+use rtml_workloads::policy::{Device, LinearPolicy};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(60);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // Simulator step with no synthetic cost: pure state-machine work.
+    let mut sim = AtariSim::new(
+        AtariConfig {
+            frame_cost: Duration::ZERO,
+            obs_dim: 16,
+            max_steps: u32::MAX,
+        },
+        7,
+    );
+    group.bench_function("atari_step", |b| b.iter(|| sim.step(1)));
+
+    // Policy action: a real 16x4 mat-vec.
+    let policy = LinearPolicy::new(16, 4, 9);
+    let obs = vec![0.25f64; 16];
+    group.bench_function("policy_act", |b| b.iter(|| policy.act(&obs)));
+
+    // Batched actions on CPU (no kernel cost: pure math).
+    let batch: Vec<Vec<f64>> = (0..32).map(|_| vec![0.1f64; 16]).collect();
+    group.bench_function("policy_act_batch32", |b| {
+        b.iter(|| policy.act_batch(&batch, Duration::ZERO, Device::Cpu))
+    });
+
+    // Codec hot path: task specs cross the control plane constantly.
+    let root = TaskId::driver_root(DriverId::from_index(0));
+    let spec = TaskSpec {
+        task_id: root.child(1),
+        function: FunctionId::from_name("bench"),
+        args: vec![
+            ArgSpec::Value(bytes::Bytes::from(vec![0u8; 64])),
+            ArgSpec::ObjectRef(root.child(0).return_object(0)),
+        ],
+        num_returns: 1,
+        resources: Resources::new(1.0, 0.5),
+        submitter_node: rtml_common::ids::NodeId(0),
+        attempt: 0,
+        actor: None,
+    };
+    group.bench_function("taskspec_encode", |b| b.iter(|| encode_to_bytes(&spec)));
+    let bytes = encode_to_bytes(&spec);
+    group.bench_function("taskspec_decode", |b| {
+        b.iter(|| decode_from_slice::<TaskSpec>(&bytes).unwrap())
+    });
+
+    // Policy serialization (the object the RL loop broadcasts).
+    let big_policy = LinearPolicy::new(64, 16, 3);
+    group.bench_function("policy_encode", |b| b.iter(|| encode_to_bytes(&big_policy)));
+    let policy_bytes = encode_to_bytes(&big_policy);
+    group.bench_function("policy_decode", |b| {
+        b.iter(|| decode_from_slice::<LinearPolicy>(&policy_bytes).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! A2 — placement-policy ablation for the global scheduler.
+//!
+//! Workload: tasks whose argument is a large object resident on one
+//! node. Locality-aware placement (the paper's design) sends tasks to
+//! the data; the alternatives move the data to the tasks.
+//!
+//! Run: `cargo run -p rtml-bench --bin exp_placement --release`
+
+use std::time::{Duration, Instant};
+
+use rtml_bench::{fmt_duration, print_table};
+use rtml_runtime::{Cluster, ClusterConfig, TaskOptions};
+use rtml_sched::{PlacementPolicy, SpillMode};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("locality-aware (paper)", PlacementPolicy::LocalityAware),
+        ("least-loaded", PlacementPolicy::LeastLoaded),
+        ("round-robin", PlacementPolicy::RoundRobin),
+        ("power-of-two", PlacementPolicy::PowerOfTwo),
+    ] {
+        // Every task is forced through the global scheduler
+        // (AlwaysSpill) so the placement policy decides everything.
+        // 1 MB/ms bandwidth makes data movement visible.
+        let mut config = ClusterConfig::local(4, 2).with_spill(SpillMode::AlwaysSpill);
+        config.placement = policy;
+        config.bandwidth_bytes_per_sec = Some(1_000_000_000); // 1 GB/s
+        let cluster = Cluster::start(config).unwrap();
+        let consume = cluster.register_fn1("consume", |data: Vec<u8>| {
+            rtml_common::time::occupy(Duration::from_millis(1));
+            Ok(data.len() as u64)
+        });
+        let driver = cluster.driver();
+
+        // A 4 MB object born on the driver's node.
+        let big = driver.put(&vec![7u8; 4 << 20]).unwrap();
+
+        const TASKS: usize = 40;
+        let start = Instant::now();
+        let futs: Vec<_> = (0..TASKS)
+            .map(|_| {
+                driver
+                    .submit1_opts(&consume, &big, TaskOptions::cpu(1.0))
+                    .unwrap()
+            })
+            .collect();
+        for fut in &futs {
+            assert_eq!(driver.get(fut).unwrap(), 4 << 20);
+        }
+        let makespan = start.elapsed();
+        let report = cluster.profile();
+        rows.push(vec![
+            label.to_string(),
+            fmt_duration(makespan),
+            report.transfers.to_string(),
+        ]);
+        cluster.shutdown();
+    }
+    print_table(
+        "A2: placement policies — 40 tasks consuming one 4 MB object (1 GB/s links)",
+        &["policy", "makespan", "cross-node transfers"],
+        &rows,
+    );
+    println!(
+        "\n(locality-aware keeps tasks where the object lives: zero or one\n transfer. the alternatives scatter tasks and pay a 4 MB transfer\n per remote placement — §3.2.2's 'object locality' in action.)"
+    );
+}

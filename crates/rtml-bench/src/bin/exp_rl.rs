@@ -1,0 +1,115 @@
+//! E2 — the §4.2 RL application: serial vs BSP(Spark-model) vs rtml,
+//! the paper's 63x headline. `--sweep` adds the A1 ablation over the
+//! BSP per-task overhead.
+//!
+//! Run: `cargo run -p rtml-bench --bin exp_rl --release [-- --sweep]`
+
+use std::time::Duration;
+
+use rtml_baselines::{BspConfig, BspEngine};
+use rtml_bench::{fmt_duration, print_table};
+use rtml_runtime::{Cluster, ClusterConfig, NodeConfig};
+use rtml_workloads::rl::{self, RlConfig, RlFuncs};
+
+fn headline_config() -> RlConfig {
+    RlConfig {
+        rollouts: 16,
+        frames_per_task: 10,
+        frame_cost: Duration::from_micros(700), // ≈ 7 ms tasks (paper)
+        iterations: 5,
+        ..RlConfig::default()
+    }
+}
+
+fn rtml_cluster() -> Cluster {
+    Cluster::start(ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(8).with_gpus(1.0),
+            NodeConfig::cpu_only(8),
+        ],
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let config = headline_config();
+
+    let serial = rl::run_serial(&config);
+
+    let bsp_engine = BspEngine::new(BspConfig::spark_calibrated(8));
+    let bsp = rl::run_engine(&config, &bsp_engine);
+
+    let cluster = rtml_cluster();
+    let funcs = RlFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let rtml = rl::run_rtml(&config, &driver, &funcs, true).unwrap();
+    cluster.shutdown();
+
+    assert_eq!(serial.checksum, bsp.checksum, "BSP result diverged");
+    assert_eq!(serial.checksum, rtml.checksum, "rtml result diverged");
+
+    let speedup = |wall: Duration| serial.wall.as_secs_f64() / wall.as_secs_f64();
+    let rows = vec![
+        vec![
+            "single-threaded".into(),
+            fmt_duration(serial.wall),
+            "1.0x".into(),
+            "1x (baseline)".into(),
+        ],
+        vec![
+            "BSP (Spark model)".into(),
+            fmt_duration(bsp.wall),
+            format!("{:.2}x", speedup(bsp.wall)),
+            "0.11x (9x slower)".into(),
+        ],
+        vec![
+            "rtml".into(),
+            fmt_duration(rtml.wall),
+            format!("{:.2}x", speedup(rtml.wall)),
+            "7x".into(),
+        ],
+    ];
+    print_table(
+        "E2: RL application, 5 iterations x 16 rollouts x ~7 ms tasks (paper §4.2)",
+        &["implementation", "wall", "speedup vs serial", "paper"],
+        &rows,
+    );
+    println!(
+        "\nrtml vs BSP end-to-end: {:.0}x   (paper: 63x vs Spark)",
+        bsp.wall.as_secs_f64() / rtml.wall.as_secs_f64()
+    );
+    println!(
+        "checksums: all three implementations bit-identical ({:016x})",
+        serial.checksum
+    );
+
+    if sweep {
+        // A1: how the conclusion depends on the BSP overhead calibration.
+        let mut rows = Vec::new();
+        for overhead_ms in [0u64, 1, 5, 10, 20, 60] {
+            let engine = BspEngine::new(BspConfig {
+                workers: 8,
+                per_task_overhead: Duration::from_millis(overhead_ms),
+                per_stage_overhead: Duration::from_millis(100),
+            });
+            let result = rl::run_engine(&config, &engine);
+            assert_eq!(result.checksum, serial.checksum);
+            rows.push(vec![
+                format!("{overhead_ms} ms"),
+                fmt_duration(result.wall),
+                format!(
+                    "{:.2}x",
+                    serial.wall.as_secs_f64() / result.wall.as_secs_f64()
+                ),
+            ]);
+        }
+        print_table(
+            "A1: BSP per-task overhead sweep (stage overhead fixed at 100 ms)",
+            &["per-task overhead", "wall", "speedup vs serial"],
+            &rows,
+        );
+        println!("\n(the paper's 'Spark 9x slower' observation corresponds to the ~60 ms row;\n even 5 ms of per-task overhead already forfeits all parallel gains on 7 ms tasks)");
+    }
+}

@@ -1,0 +1,55 @@
+//! `inspect` — a demo of the R7 tooling: runs a small mixed workload
+//! (successes, failures, a killed worker), then prints the cluster-state
+//! dump and a per-task profile assembled purely from the control plane,
+//! and writes a Chrome-trace JSON.
+//!
+//! Run: `cargo run -p rtml-bench --bin inspect --release`
+
+use std::time::Duration;
+
+use rtml_common::error::Result;
+use rtml_common::ids::{NodeId, WorkerId};
+use rtml_runtime::{tools, Cluster, ClusterConfig};
+
+fn main() -> Result<()> {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let work = cluster.register_fn1("inspect_work", |ms: u64| {
+        rtml_common::time::occupy(Duration::from_millis(ms));
+        Ok(ms)
+    });
+    let fail = cluster.register_fn0("inspect_fail", || -> Result<u64> {
+        Err(rtml_common::error::Error::InvalidArgument(
+            "synthetic failure for diagnosis demo".into(),
+        ))
+    });
+    let driver = cluster.driver();
+
+    // Mixed workload.
+    let futs: Vec<_> = (0..12u64)
+        .map(|i| driver.submit1(&work, 5 + i % 3).unwrap())
+        .collect();
+    let bad = driver.submit0(&fail).unwrap();
+    std::thread::sleep(Duration::from_millis(8));
+    let _ = cluster.kill_worker(WorkerId::new(NodeId(1), 0));
+    for fut in &futs {
+        let _ = driver.get(fut)?;
+    }
+    let _ = driver.get(&bad); // surfaces the synthetic failure
+
+    // --- R7 output ----------------------------------------------------
+    println!("{}", tools::cluster_state(driver.services()));
+
+    let report = cluster.profile();
+    println!("=== profile ===\n{}", report.summary());
+
+    let trace = report.chrome_trace();
+    let path = std::env::temp_dir().join("rtml_trace.json");
+    std::fs::write(&path, &trace).expect("write trace");
+    println!(
+        "\nChrome trace with {} task spans written to {} (load in chrome://tracing)",
+        report.tasks.len(),
+        path.display()
+    );
+    cluster.shutdown();
+    Ok(())
+}

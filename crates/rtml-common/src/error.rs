@@ -1,0 +1,122 @@
+//! The error type shared by every crate in the workspace.
+
+use std::fmt;
+
+use crate::ids::{FunctionId, NodeId, ObjectId, TaskId};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the rtml runtime and its substrates.
+///
+/// The variants are deliberately coarse: they distinguish the cases a caller
+/// can act on (retry, reconstruct, give up) rather than every internal
+/// failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested object is not present in any object store and could
+    /// not be reconstructed from lineage.
+    ObjectNotFound(ObjectId),
+    /// A blocking operation exceeded its deadline.
+    Timeout,
+    /// The task's function raised an application-level error.
+    TaskFailed {
+        /// Task that failed.
+        task: TaskId,
+        /// Application-provided description.
+        message: String,
+    },
+    /// A value could not be encoded or decoded.
+    Codec(String),
+    /// The object store is at capacity and nothing further can be evicted.
+    StoreFull {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes currently usable.
+        available: u64,
+    },
+    /// An object was inserted twice. Object IDs are unique, so this
+    /// indicates either an application bug or a lineage replay divergence.
+    DuplicateObject(ObjectId),
+    /// The function is not present in the function registry.
+    FunctionNotFound(FunctionId),
+    /// The referenced node is not part of the cluster or has been killed.
+    NodeDown(NodeId),
+    /// A component's channel closed, typically during shutdown.
+    Disconnected(&'static str),
+    /// The cluster is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// Reconstruction was attempted but the lineage is incomplete (for
+    /// example, the object was created by `put` whose value was lost).
+    LineageBroken(ObjectId),
+    /// An argument failed validation before any work was attempted.
+    InvalidArgument(String),
+    /// Resource demand can never be satisfied by any node in the cluster.
+    Unschedulable {
+        /// Task whose demand is infeasible.
+        task: TaskId,
+        /// Human-readable description of the deficit.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ObjectNotFound(id) => write!(f, "object {id} not found"),
+            Error::Timeout => write!(f, "operation timed out"),
+            Error::TaskFailed { task, message } => {
+                write!(f, "task {task} failed: {message}")
+            }
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::StoreFull {
+                requested,
+                available,
+            } => write!(
+                f,
+                "object store full: requested {requested} bytes, {available} available"
+            ),
+            Error::DuplicateObject(id) => write!(f, "object {id} already exists"),
+            Error::FunctionNotFound(id) => write!(f, "function {id} not registered"),
+            Error::NodeDown(id) => write!(f, "node {id} is down"),
+            Error::Disconnected(what) => write!(f, "{what} disconnected"),
+            Error::ShuttingDown => write!(f, "cluster is shutting down"),
+            Error::LineageBroken(id) => {
+                write!(f, "object {id} cannot be reconstructed: lineage broken")
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Unschedulable { task, detail } => {
+                write!(f, "task {task} is unschedulable: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UniqueId;
+
+    #[test]
+    fn display_is_human_readable() {
+        let id = ObjectId::from_unique(UniqueId::from_u128(7));
+        let msg = Error::ObjectNotFound(id).to_string();
+        assert!(msg.contains("not found"), "{msg}");
+
+        let msg = Error::StoreFull {
+            requested: 100,
+            available: 10,
+        }
+        .to_string();
+        assert!(msg.contains("100"), "{msg}");
+        assert!(msg.contains("10"), "{msg}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Timeout, Error::Timeout);
+        assert_ne!(Error::Timeout, Error::ShuttingDown);
+    }
+}

@@ -1,0 +1,415 @@
+//! Structured events for debugging and profiling (paper requirement R7).
+//!
+//! Every component appends [`Event`]s to the control plane's event log.
+//! The profiling tooling in `rtml-runtime` turns the log into per-task
+//! latency breakdowns and Chrome-trace timelines — the paper's "profiling
+//! tools / error diagnosis" box in Figure 3.
+
+use crate::codec::{Codec, Reader, Writer};
+use crate::error::{Error, Result};
+use crate::ids::{NodeId, ObjectId, TaskId, WorkerId};
+
+/// Which subsystem emitted an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// A driver program.
+    Driver,
+    /// A worker thread.
+    Worker,
+    /// A per-node local scheduler.
+    LocalScheduler,
+    /// A global scheduler.
+    GlobalScheduler,
+    /// A per-node object store.
+    ObjectStore,
+    /// The cluster supervisor (failure detection, recovery).
+    Supervisor,
+}
+
+impl Codec for Component {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Component::Driver => 0,
+            Component::Worker => 1,
+            Component::LocalScheduler => 2,
+            Component::GlobalScheduler => 3,
+            Component::ObjectStore => 4,
+            Component::Supervisor => 5,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => Component::Driver,
+            1 => Component::Worker,
+            2 => Component::LocalScheduler,
+            3 => Component::GlobalScheduler,
+            4 => Component::ObjectStore,
+            5 => Component::Supervisor,
+            other => return Err(Error::Codec(format!("invalid Component tag {other}"))),
+        })
+    }
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task was submitted (driver or nested worker submission).
+    TaskSubmitted { task: TaskId },
+    /// The local scheduler queued the task for local execution.
+    TaskQueuedLocal { task: TaskId, node: NodeId },
+    /// The local scheduler spilled the task to the global scheduler.
+    TaskSpilled { task: TaskId, from: NodeId },
+    /// The global scheduler placed the task on a node.
+    TaskPlaced { task: TaskId, node: NodeId },
+    /// A worker began executing the task.
+    TaskStarted { task: TaskId, worker: WorkerId },
+    /// The task finished and sealed its return objects.
+    TaskFinished {
+        task: TaskId,
+        worker: WorkerId,
+        micros: u64,
+    },
+    /// The task raised an application error.
+    TaskFailed { task: TaskId, message: String },
+    /// A task was resubmitted by lineage reconstruction.
+    TaskReconstructed { task: TaskId, attempt: u32 },
+    /// An object was sealed into a node's store.
+    ObjectSealed {
+        object: ObjectId,
+        node: NodeId,
+        size: u64,
+    },
+    /// An object was evicted from a node's store.
+    ObjectEvicted { object: ObjectId, node: NodeId },
+    /// A cross-node object transfer began.
+    TransferStarted {
+        object: ObjectId,
+        from: NodeId,
+        to: NodeId,
+    },
+    /// A cross-node object transfer completed.
+    TransferFinished {
+        object: ObjectId,
+        to: NodeId,
+        micros: u64,
+    },
+    /// A worker was killed (failure injection or crash).
+    WorkerLost { worker: WorkerId },
+    /// A node was killed.
+    NodeLost { node: NodeId },
+    /// A node's components were restarted after failure.
+    NodeRestarted { node: NodeId },
+}
+
+impl EventKind {
+    /// The task this event concerns, if any — used by the profiler to
+    /// group events into per-task timelines.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            EventKind::TaskSubmitted { task }
+            | EventKind::TaskQueuedLocal { task, .. }
+            | EventKind::TaskSpilled { task, .. }
+            | EventKind::TaskPlaced { task, .. }
+            | EventKind::TaskStarted { task, .. }
+            | EventKind::TaskFinished { task, .. }
+            | EventKind::TaskFailed { task, .. }
+            | EventKind::TaskReconstructed { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+
+    /// Short stable label for trace output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TaskSubmitted { .. } => "task_submitted",
+            EventKind::TaskQueuedLocal { .. } => "task_queued_local",
+            EventKind::TaskSpilled { .. } => "task_spilled",
+            EventKind::TaskPlaced { .. } => "task_placed",
+            EventKind::TaskStarted { .. } => "task_started",
+            EventKind::TaskFinished { .. } => "task_finished",
+            EventKind::TaskFailed { .. } => "task_failed",
+            EventKind::TaskReconstructed { .. } => "task_reconstructed",
+            EventKind::ObjectSealed { .. } => "object_sealed",
+            EventKind::ObjectEvicted { .. } => "object_evicted",
+            EventKind::TransferStarted { .. } => "transfer_started",
+            EventKind::TransferFinished { .. } => "transfer_finished",
+            EventKind::WorkerLost { .. } => "worker_lost",
+            EventKind::NodeLost { .. } => "node_lost",
+            EventKind::NodeRestarted { .. } => "node_restarted",
+        }
+    }
+}
+
+impl Codec for EventKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EventKind::TaskSubmitted { task } => {
+                w.put_u8(0);
+                task.encode(w);
+            }
+            EventKind::TaskQueuedLocal { task, node } => {
+                w.put_u8(1);
+                task.encode(w);
+                node.encode(w);
+            }
+            EventKind::TaskSpilled { task, from } => {
+                w.put_u8(2);
+                task.encode(w);
+                from.encode(w);
+            }
+            EventKind::TaskPlaced { task, node } => {
+                w.put_u8(3);
+                task.encode(w);
+                node.encode(w);
+            }
+            EventKind::TaskStarted { task, worker } => {
+                w.put_u8(4);
+                task.encode(w);
+                worker.encode(w);
+            }
+            EventKind::TaskFinished {
+                task,
+                worker,
+                micros,
+            } => {
+                w.put_u8(5);
+                task.encode(w);
+                worker.encode(w);
+                w.put_varint(*micros);
+            }
+            EventKind::TaskFailed { task, message } => {
+                w.put_u8(6);
+                task.encode(w);
+                message.encode(w);
+            }
+            EventKind::TaskReconstructed { task, attempt } => {
+                w.put_u8(7);
+                task.encode(w);
+                w.put_u32(*attempt);
+            }
+            EventKind::ObjectSealed { object, node, size } => {
+                w.put_u8(8);
+                object.encode(w);
+                node.encode(w);
+                w.put_varint(*size);
+            }
+            EventKind::ObjectEvicted { object, node } => {
+                w.put_u8(9);
+                object.encode(w);
+                node.encode(w);
+            }
+            EventKind::TransferStarted { object, from, to } => {
+                w.put_u8(10);
+                object.encode(w);
+                from.encode(w);
+                to.encode(w);
+            }
+            EventKind::TransferFinished { object, to, micros } => {
+                w.put_u8(11);
+                object.encode(w);
+                to.encode(w);
+                w.put_varint(*micros);
+            }
+            EventKind::WorkerLost { worker } => {
+                w.put_u8(12);
+                worker.encode(w);
+            }
+            EventKind::NodeLost { node } => {
+                w.put_u8(13);
+                node.encode(w);
+            }
+            EventKind::NodeRestarted { node } => {
+                w.put_u8(14);
+                node.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => EventKind::TaskSubmitted {
+                task: TaskId::decode(r)?,
+            },
+            1 => EventKind::TaskQueuedLocal {
+                task: TaskId::decode(r)?,
+                node: NodeId::decode(r)?,
+            },
+            2 => EventKind::TaskSpilled {
+                task: TaskId::decode(r)?,
+                from: NodeId::decode(r)?,
+            },
+            3 => EventKind::TaskPlaced {
+                task: TaskId::decode(r)?,
+                node: NodeId::decode(r)?,
+            },
+            4 => EventKind::TaskStarted {
+                task: TaskId::decode(r)?,
+                worker: WorkerId::decode(r)?,
+            },
+            5 => EventKind::TaskFinished {
+                task: TaskId::decode(r)?,
+                worker: WorkerId::decode(r)?,
+                micros: r.take_varint()?,
+            },
+            6 => EventKind::TaskFailed {
+                task: TaskId::decode(r)?,
+                message: String::decode(r)?,
+            },
+            7 => EventKind::TaskReconstructed {
+                task: TaskId::decode(r)?,
+                attempt: r.take_u32()?,
+            },
+            8 => EventKind::ObjectSealed {
+                object: ObjectId::decode(r)?,
+                node: NodeId::decode(r)?,
+                size: r.take_varint()?,
+            },
+            9 => EventKind::ObjectEvicted {
+                object: ObjectId::decode(r)?,
+                node: NodeId::decode(r)?,
+            },
+            10 => EventKind::TransferStarted {
+                object: ObjectId::decode(r)?,
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
+            },
+            11 => EventKind::TransferFinished {
+                object: ObjectId::decode(r)?,
+                to: NodeId::decode(r)?,
+                micros: r.take_varint()?,
+            },
+            12 => EventKind::WorkerLost {
+                worker: WorkerId::decode(r)?,
+            },
+            13 => EventKind::NodeLost {
+                node: NodeId::decode(r)?,
+            },
+            14 => EventKind::NodeRestarted {
+                node: NodeId::decode(r)?,
+            },
+            other => return Err(Error::Codec(format!("invalid EventKind tag {other}"))),
+        })
+    }
+}
+
+/// One timestamped event-log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process epoch (see [`crate::time`]).
+    pub at_nanos: u64,
+    /// Emitting subsystem.
+    pub component: Component,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event stamped with the current time.
+    pub fn now(component: Component, kind: EventKind) -> Self {
+        Event {
+            at_nanos: crate::time::now_nanos(),
+            component,
+            kind,
+        }
+    }
+}
+
+impl Codec for Event {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.at_nanos);
+        self.component.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Event {
+            at_nanos: r.take_varint()?,
+            component: Component::decode(r)?,
+            kind: EventKind::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_bytes};
+    use crate::ids::DriverId;
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let t = root.child(0);
+        let o = t.return_object(0);
+        let n = NodeId(1);
+        let wk = WorkerId::new(n, 2);
+        let kinds = vec![
+            EventKind::TaskSubmitted { task: t },
+            EventKind::TaskQueuedLocal { task: t, node: n },
+            EventKind::TaskSpilled { task: t, from: n },
+            EventKind::TaskPlaced { task: t, node: n },
+            EventKind::TaskStarted {
+                task: t,
+                worker: wk,
+            },
+            EventKind::TaskFinished {
+                task: t,
+                worker: wk,
+                micros: 123,
+            },
+            EventKind::TaskFailed {
+                task: t,
+                message: "m".into(),
+            },
+            EventKind::TaskReconstructed {
+                task: t,
+                attempt: 2,
+            },
+            EventKind::ObjectSealed {
+                object: o,
+                node: n,
+                size: 64,
+            },
+            EventKind::ObjectEvicted { object: o, node: n },
+            EventKind::TransferStarted {
+                object: o,
+                from: n,
+                to: NodeId(2),
+            },
+            EventKind::TransferFinished {
+                object: o,
+                to: NodeId(2),
+                micros: 5,
+            },
+            EventKind::WorkerLost { worker: wk },
+            EventKind::NodeLost { node: n },
+            EventKind::NodeRestarted { node: n },
+        ];
+        for kind in kinds {
+            let ev = Event {
+                at_nanos: 42,
+                component: Component::Worker,
+                kind: kind.clone(),
+            };
+            let bytes = encode_to_bytes(&ev);
+            let back: Event = decode_from_slice(&bytes).unwrap();
+            assert_eq!(ev, back, "kind {}", kind.label());
+        }
+    }
+
+    #[test]
+    fn task_extraction() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let t = root.child(0);
+        assert_eq!(EventKind::TaskSubmitted { task: t }.task(), Some(t));
+        assert_eq!(EventKind::NodeLost { node: NodeId(0) }.task(), None);
+    }
+
+    #[test]
+    fn now_uses_monotonic_epoch() {
+        let a = Event::now(Component::Driver, EventKind::NodeLost { node: NodeId(0) });
+        let b = Event::now(Component::Driver, EventKind::NodeLost { node: NodeId(0) });
+        assert!(b.at_nanos >= a.at_nanos);
+    }
+}

@@ -1,0 +1,397 @@
+//! Deterministic 128-bit identifiers.
+//!
+//! The paper's control plane shards by key hash and reconstructs lost data
+//! by replaying lineage. Both properties hinge on identifier discipline:
+//!
+//! - **Task IDs** are derived from the parent task's ID plus a per-parent
+//!   submission counter, so replaying a deterministic task regenerates the
+//!   same child task IDs.
+//! - **Object IDs** are derived from the producing task's ID plus the
+//!   return-value index, so a replayed task writes its results to the same
+//!   object IDs that consumers are already waiting on.
+//!
+//! All identifiers hash through a 128-bit FNV-1a construction; no external
+//! hashing crates are needed and the values are stable across runs,
+//! platforms, and processes.
+
+use std::fmt;
+
+use crate::codec::{Codec, Reader, Writer};
+use crate::error::Result;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit identifier with a stable, platform-independent representation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UniqueId(u128);
+
+impl UniqueId {
+    /// The all-zero identifier, used as the root of ID derivation chains.
+    pub const NIL: UniqueId = UniqueId(0);
+
+    /// Builds an identifier directly from a `u128`.
+    pub const fn from_u128(value: u128) -> Self {
+        UniqueId(value)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Hashes arbitrary bytes into an identifier (FNV-1a, 128-bit).
+    pub fn hash_bytes(bytes: &[u8]) -> Self {
+        let mut state = FNV_OFFSET;
+        for &b in bytes {
+            state ^= b as u128;
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        UniqueId(state)
+    }
+
+    /// Derives a child identifier from `self` and a domain-separation tag
+    /// plus counter. Used for task / object ID chains.
+    pub fn derive(self, tag: u8, counter: u64) -> Self {
+        let mut buf = [0u8; 16 + 1 + 8];
+        buf[..16].copy_from_slice(&self.0.to_le_bytes());
+        buf[16] = tag;
+        buf[17..].copy_from_slice(&counter.to_le_bytes());
+        UniqueId::hash_bytes(&buf)
+    }
+
+    /// Returns the bucket index in `[0, buckets)` this ID hashes to.
+    ///
+    /// Used for control-plane sharding: the paper notes that because keys
+    /// are hashes, sharding is straightforward.
+    pub fn bucket(self, buckets: usize) -> usize {
+        debug_assert!(buckets > 0, "bucket count must be positive");
+        // Fold the halves so that both low and high bits contribute.
+        let folded = (self.0 as u64) ^ ((self.0 >> 64) as u64);
+        (folded % buckets as u64) as usize
+    }
+}
+
+impl fmt::Debug for UniqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for UniqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short form: high 8 hex digits are enough for human consumption.
+        write!(f, "{:08x}", (self.0 >> 96) as u32)
+    }
+}
+
+impl Codec for UniqueId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u128(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(UniqueId(r.take_u128()?))
+    }
+}
+
+/// Declares a strongly-typed wrapper around [`UniqueId`].
+macro_rules! typed_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(UniqueId);
+
+        impl $name {
+            /// The all-zero identifier.
+            pub const NIL: $name = $name(UniqueId::NIL);
+
+            /// Wraps a raw [`UniqueId`].
+            pub const fn from_unique(id: UniqueId) -> Self {
+                $name(id)
+            }
+
+            /// Returns the underlying [`UniqueId`].
+            pub const fn unique(self) -> UniqueId {
+                self.0
+            }
+
+            /// Returns the shard bucket for this identifier.
+            pub fn bucket(self, buckets: usize) -> usize {
+                self.0.bucket(buckets)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl Codec for $name {
+            fn encode(&self, w: &mut Writer) {
+                self.0.encode(w);
+            }
+
+            fn decode(r: &mut Reader<'_>) -> Result<Self> {
+                Ok($name(UniqueId::decode(r)?))
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Identifies a single task submission (one function invocation).
+    TaskId,
+    "T"
+);
+typed_id!(
+    /// Identifies an immutable object in the distributed object store.
+    ObjectId,
+    "O"
+);
+typed_id!(
+    /// Identifies a registered remote function (the function table key).
+    FunctionId,
+    "F"
+);
+typed_id!(
+    /// Identifies a driver program connected to the cluster.
+    DriverId,
+    "D"
+);
+typed_id!(
+    /// Identifies an actor (stateful worker extension).
+    ActorId,
+    "A"
+);
+
+// Domain-separation tags for ID derivation. Each derivation context uses a
+// distinct tag so that, e.g., the 3rd child task and the 3rd put object of
+// the same parent can never collide.
+const TAG_CHILD_TASK: u8 = 1;
+const TAG_RETURN_OBJECT: u8 = 2;
+const TAG_PUT_OBJECT: u8 = 3;
+const TAG_DRIVER_ROOT: u8 = 4;
+const TAG_ACTOR: u8 = 5;
+const TAG_ACTOR_METHOD: u8 = 6;
+
+impl TaskId {
+    /// Root task ID for a driver: all IDs in a driver's computation descend
+    /// from this.
+    pub fn driver_root(driver: DriverId) -> TaskId {
+        TaskId(driver.unique().derive(TAG_DRIVER_ROOT, 0))
+    }
+
+    /// Deterministically derives the ID for the `counter`-th task submitted
+    /// by `self`.
+    pub fn child(self, counter: u64) -> TaskId {
+        TaskId(self.0.derive(TAG_CHILD_TASK, counter))
+    }
+
+    /// Deterministically derives the ID of this task's `index`-th return
+    /// object.
+    pub fn return_object(self, index: u32) -> ObjectId {
+        ObjectId(self.0.derive(TAG_RETURN_OBJECT, index as u64))
+    }
+
+    /// Deterministically derives the ID for the `counter`-th `put`
+    /// performed by this task.
+    pub fn put_object(self, counter: u64) -> ObjectId {
+        ObjectId(self.0.derive(TAG_PUT_OBJECT, counter))
+    }
+
+    /// Deterministically derives an actor ID for the `counter`-th actor
+    /// created by this task.
+    pub fn actor(self, counter: u64) -> ActorId {
+        ActorId(self.0.derive(TAG_ACTOR, counter))
+    }
+}
+
+impl ActorId {
+    /// Derives the task ID for the `seq`-th method call on this actor.
+    pub fn method_task(self, seq: u64) -> TaskId {
+        TaskId(self.0.derive(TAG_ACTOR_METHOD, seq))
+    }
+}
+
+impl FunctionId {
+    /// Derives a function ID from its registered name.
+    ///
+    /// Names are the unit of identity: re-registering the same name yields
+    /// the same ID, which is what lets a restarted worker process rebuild
+    /// its registry and still satisfy lineage replay.
+    pub fn from_name(name: &str) -> FunctionId {
+        FunctionId(UniqueId::hash_bytes(name.as_bytes()))
+    }
+}
+
+impl DriverId {
+    /// Builds a driver ID from a small integer handle.
+    pub fn from_index(index: u64) -> DriverId {
+        let mut buf = [0u8; 9];
+        buf[0] = b'd';
+        buf[1..].copy_from_slice(&index.to_le_bytes());
+        DriverId(UniqueId::hash_bytes(&buf))
+    }
+}
+
+/// Identifies a node (machine) in the cluster. Dense small integers so that
+/// they double as vector indices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the index form of this node ID.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl Codec for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(NodeId(r.take_u32()?))
+    }
+}
+
+/// Identifies a worker thread: the node it lives on plus a per-node index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WorkerId {
+    /// Node hosting the worker.
+    pub node: NodeId,
+    /// Index of the worker within its node.
+    pub index: u32,
+}
+
+impl WorkerId {
+    /// Builds a worker ID.
+    pub const fn new(node: NodeId, index: u32) -> Self {
+        WorkerId { node, index }
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}W{}", self.node, self.index)
+    }
+}
+
+impl Codec for WorkerId {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        w.put_u32(self.index);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(WorkerId {
+            node: NodeId::decode(r)?,
+            index: r.take_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_bytes_is_stable() {
+        // Pinned value: must never change across releases, or lineage replay
+        // of persisted state would break.
+        let a = UniqueId::hash_bytes(b"hello");
+        let b = UniqueId::hash_bytes(b"hello");
+        assert_eq!(a, b);
+        assert_ne!(a, UniqueId::hash_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        assert_eq!(root.child(0), root.child(0));
+        assert_eq!(root.return_object(1), root.return_object(1));
+        assert_ne!(root.child(0), root.child(1));
+    }
+
+    #[test]
+    fn derivation_domains_do_not_collide() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        // Same counter, different domains.
+        let child = root.child(3).unique();
+        let ret = root.return_object(3).unique();
+        let put = root.put_object(3).unique();
+        assert_ne!(child, ret);
+        assert_ne!(child, put);
+        assert_ne!(ret, put);
+    }
+
+    #[test]
+    fn sibling_tasks_have_distinct_objects() {
+        let root = TaskId::driver_root(DriverId::from_index(7));
+        let mut seen = HashSet::new();
+        for c in 0..100 {
+            let t = root.child(c);
+            for i in 0..3 {
+                assert!(seen.insert(t.return_object(i)), "collision at {c}/{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        let mut hit = vec![false; 8];
+        for i in 0..1024u64 {
+            let id = UniqueId::hash_bytes(&i.to_le_bytes());
+            let b = id.bucket(8);
+            assert!(b < 8);
+            hit[b] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all 8 buckets should be hit");
+    }
+
+    #[test]
+    fn function_id_is_name_stable() {
+        assert_eq!(
+            FunctionId::from_name("simulate"),
+            FunctionId::from_name("simulate")
+        );
+        assert_ne!(
+            FunctionId::from_name("simulate"),
+            FunctionId::from_name("train")
+        );
+    }
+
+    #[test]
+    fn display_forms_are_short() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let shown = format!("{root}");
+        assert!(shown.starts_with('T'));
+        assert!(shown.len() <= 12);
+    }
+
+    #[test]
+    fn actor_method_chain_is_deterministic() {
+        let root = TaskId::driver_root(DriverId::from_index(1));
+        let actor = root.actor(0);
+        assert_eq!(actor.method_task(5), actor.method_task(5));
+        assert_ne!(actor.method_task(5), actor.method_task(6));
+    }
+}

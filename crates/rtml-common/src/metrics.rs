@@ -1,0 +1,304 @@
+//! Lightweight concurrent metrics: counters and log-bucketed histograms.
+//!
+//! The benchmark harness and the schedulers use these to report latency
+//! distributions (p50/p90/p99) without external dependencies. Histograms
+//! use power-of-two buckets from 1 ns to ~2.3 hours, giving ≤ 2x relative
+//! error on percentile estimates — plenty for systems benchmarking.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two histogram buckets (covers 1ns..2^43ns ≈ 2.4h).
+const BUCKETS: usize = 44;
+
+/// A monotonically increasing counter, safe to share across threads.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (typically
+/// nanoseconds).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // Bucket b holds values in [2^b, 2^(b+1)); value 0 goes to bucket 0.
+        (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> Snapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        Snapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.snapshot())
+    }
+}
+
+/// An immutable view of a [`Histogram`] at one point in time.
+#[derive(Clone)]
+pub struct Snapshot {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimates the `q`-quantile (0.0..=1.0). Returns the geometric
+    /// midpoint of the bucket containing the quantile; 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = 1u64 << i;
+                let hi = lo << 1;
+                let mid = lo + (hi - lo) / 2;
+                return mid.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Snapshot{{n={}, mean={:.0}, p50={}, p99={}, max={}}}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// Formats a nanosecond quantity as a human-readable duration.
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        // p50 of uniform 1k..1M should be within 2x of 500k.
+        let p50 = s.p50();
+        assert!(p50 >= 250_000 && p50 <= 1_000_000, "p50={p50}");
+        assert!(s.p99() >= s.p50());
+        assert_eq!(s.max(), 1_000_000);
+        let mean = s.mean();
+        assert!((mean - 500_500.0 * 1.0).abs() < 1_000.0, "mean={mean}");
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut prev = 0;
+        for shift in 0..63 {
+            let idx = Histogram::bucket_index(1u64 << shift);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for v in 0..10_000u64 {
+                    h.record(v);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(500), "500 ns");
+        assert_eq!(fmt_nanos(1_500), "1.5 µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.50 ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00 s");
+    }
+}

@@ -1,0 +1,42 @@
+//! The logically-centralized control plane for rtml (paper §3.2.1).
+//!
+//! The paper stores **all** system control state — the object table, task
+//! table, function table, and event logs — in a sharded key-value store
+//! with publish-subscribe, so that every other component is stateless and
+//! recoverable by restart. The paper's prototype used Redis; this crate is
+//! a from-scratch replacement providing exactly the operations the paper
+//! requires:
+//!
+//! - exact-match get/set/delete on hashed keys,
+//! - atomic read-modify-write (for location sets and state transitions),
+//! - append-only logs (for lineage-ordered event streams),
+//! - per-key publish-subscribe with *current value + subsequent updates*
+//!   semantics (no lost-update window), and
+//! - hash sharding for horizontal throughput scaling (requirement R2;
+//!   experiment E7 measures ops/s against the shard count).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtml_kv::KvStore;
+//! use bytes::Bytes;
+//!
+//! let kv = KvStore::new(4);
+//! kv.set(Bytes::from_static(b"k"), Bytes::from_static(b"v1"));
+//! let (current, updates) = kv.subscribe(Bytes::from_static(b"k"));
+//! assert_eq!(current.as_deref(), Some(&b"v1"[..]));
+//! kv.set(Bytes::from_static(b"k"), Bytes::from_static(b"v2"));
+//! assert_eq!(&updates.recv().unwrap()[..], b"v2");
+//! ```
+
+pub mod replica;
+pub mod shard;
+pub mod store;
+pub mod tables;
+
+pub use replica::ReplicatedKv;
+pub use store::{KvStats, KvStore};
+pub use tables::event_log::EventLog;
+pub use tables::function_table::{FunctionInfo, FunctionTable};
+pub use tables::object_table::{ObjectInfo, ObjectTable};
+pub use tables::task_table::TaskTable;

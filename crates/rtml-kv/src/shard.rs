@@ -1,0 +1,322 @@
+//! A single control-plane shard: a mutex-protected map plus subscriber
+//! registry and append-only logs.
+//!
+//! Shards are independent; the [`crate::store::KvStore`] façade routes
+//! each key to one shard by hash. All operations on one shard are
+//! linearizable (they execute under the shard lock); operations on
+//! different shards are concurrent — this is precisely the scaling story
+//! of the paper's §3.2.1.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use rtml_common::metrics::Counter;
+
+/// Interior state of one shard.
+#[derive(Default)]
+struct ShardState {
+    /// Point values.
+    map: HashMap<Bytes, Bytes>,
+    /// Append-only logs, kept separate from point values so that appends
+    /// do not rewrite history.
+    logs: HashMap<Bytes, Vec<Bytes>>,
+    /// Per-key subscriber channels. Senders that fail (receiver dropped)
+    /// are pruned on the next notification.
+    subs: HashMap<Bytes, Vec<Sender<Bytes>>>,
+}
+
+/// One independent shard of the control plane.
+#[derive(Default)]
+pub struct Shard {
+    state: Mutex<ShardState>,
+    /// Operations served (reads + writes), for throughput experiments.
+    pub ops: Counter,
+}
+
+impl Shard {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        Shard::default()
+    }
+
+    /// Point read.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.ops.inc();
+        self.state.lock().map.get(key).cloned()
+    }
+
+    /// Point write; notifies subscribers with the new value.
+    pub fn set(&self, key: Bytes, value: Bytes) {
+        self.ops.inc();
+        let mut st = self.state.lock();
+        st.map.insert(key.clone(), value.clone());
+        Self::notify(&mut st, &key, &value);
+    }
+
+    /// Writes only if the key is vacant. Returns whether the write
+    /// happened.
+    pub fn set_if_absent(&self, key: Bytes, value: Bytes) -> bool {
+        self.ops.inc();
+        let mut st = self.state.lock();
+        if st.map.contains_key(&key) {
+            return false;
+        }
+        st.map.insert(key.clone(), value.clone());
+        Self::notify(&mut st, &key, &value);
+        true
+    }
+
+    /// Atomic read-modify-write. `f` maps the current value (if any) to
+    /// the new value; returning `None` deletes the key. Returns the value
+    /// after the update. Subscribers are notified when the value changes
+    /// or is first created (deletes do not notify).
+    pub fn update<F>(&self, key: Bytes, f: F) -> Option<Bytes>
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        self.ops.inc();
+        let mut st = self.state.lock();
+        let current = st.map.get(&key);
+        match f(current) {
+            Some(new) => {
+                st.map.insert(key.clone(), new.clone());
+                Self::notify(&mut st, &key, &new);
+                Some(new)
+            }
+            None => {
+                st.map.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Deletes a key. Returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.ops.inc();
+        self.state.lock().map.remove(key).is_some()
+    }
+
+    /// Appends a record to the log at `key`; notifies subscribers with the
+    /// record.
+    pub fn append(&self, key: Bytes, record: Bytes) {
+        self.ops.inc();
+        let mut st = self.state.lock();
+        st.logs.entry(key.clone()).or_default().push(record.clone());
+        Self::notify(&mut st, &key, &record);
+    }
+
+    /// Reads the full log at `key`.
+    pub fn read_log(&self, key: &[u8]) -> Vec<Bytes> {
+        self.ops.inc();
+        self.state.lock().logs.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Length of the log at `key`.
+    pub fn log_len(&self, key: &[u8]) -> usize {
+        self.state.lock().logs.get(key).map_or(0, Vec::len)
+    }
+
+    /// Subscribes to a key: returns the current point value and a channel
+    /// of subsequent notifications, atomically with respect to writers —
+    /// a writer cannot slip between the read and the registration.
+    pub fn subscribe(&self, key: Bytes) -> (Option<Bytes>, Receiver<Bytes>) {
+        self.ops.inc();
+        let (tx, rx) = unbounded();
+        let mut st = self.state.lock();
+        let current = st.map.get(&key).cloned();
+        st.subs.entry(key).or_default().push(tx);
+        (current, rx)
+    }
+
+    /// Point values whose keys start with `prefix`. Linear scan — intended
+    /// for offline tooling (profilers, debuggers), not the data path.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.ops.inc();
+        self.state
+            .lock()
+            .map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Logs whose keys start with `prefix`, concatenated per key.
+    pub fn scan_logs_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Vec<Bytes>)> {
+        self.ops.inc();
+        self.state
+            .lock()
+            .logs
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of point keys stored.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the shard holds no point keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the entire shard contents (for replication / snapshots).
+    pub fn snapshot(&self) -> (Vec<(Bytes, Bytes)>, Vec<(Bytes, Vec<Bytes>)>) {
+        let st = self.state.lock();
+        (
+            st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            st.logs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Restores shard contents from a snapshot, dropping existing state.
+    pub fn restore(&self, map: Vec<(Bytes, Bytes)>, logs: Vec<(Bytes, Vec<Bytes>)>) {
+        let mut st = self.state.lock();
+        st.map = map.into_iter().collect();
+        st.logs = logs.into_iter().collect();
+    }
+
+    fn notify(st: &mut ShardState, key: &Bytes, value: &Bytes) {
+        if let Some(senders) = st.subs.get_mut(key) {
+            senders.retain(|tx| tx.send(value.clone()).is_ok());
+            if senders.is_empty() {
+                st.subs.remove(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn get_set_delete() {
+        let s = Shard::new();
+        assert_eq!(s.get(b"k".as_ref()), None);
+        s.set(b("k"), b("v"));
+        assert_eq!(s.get(b"k".as_ref()), Some(b("v")));
+        assert!(s.delete(b"k".as_ref()));
+        assert!(!s.delete(b"k".as_ref()));
+        assert_eq!(s.get(b"k".as_ref()), None);
+    }
+
+    #[test]
+    fn set_if_absent_only_once() {
+        let s = Shard::new();
+        assert!(s.set_if_absent(b("k"), b("a")));
+        assert!(!s.set_if_absent(b("k"), b("b")));
+        assert_eq!(s.get(b"k".as_ref()), Some(b("a")));
+    }
+
+    #[test]
+    fn update_read_modify_write() {
+        let s = Shard::new();
+        s.set(b("n"), Bytes::from(vec![1]));
+        let new = s.update(b("n"), |cur| {
+            let mut v = cur.unwrap().to_vec();
+            v[0] += 1;
+            Some(Bytes::from(v))
+        });
+        assert_eq!(new, Some(Bytes::from(vec![2])));
+        // Returning None deletes.
+        assert_eq!(s.update(b("n"), |_| None), None);
+        assert_eq!(s.get(b"n".as_ref()), None);
+    }
+
+    #[test]
+    fn subscribe_sees_current_then_updates() {
+        let s = Shard::new();
+        s.set(b("k"), b("v0"));
+        let (cur, rx) = s.subscribe(b("k"));
+        assert_eq!(cur, Some(b("v0")));
+        s.set(b("k"), b("v1"));
+        s.set(b("k"), b("v2"));
+        assert_eq!(rx.recv().unwrap(), b("v1"));
+        assert_eq!(rx.recv().unwrap(), b("v2"));
+    }
+
+    #[test]
+    fn subscribe_before_create() {
+        let s = Shard::new();
+        let (cur, rx) = s.subscribe(b("later"));
+        assert_eq!(cur, None);
+        s.set(b("later"), b("v"));
+        assert_eq!(rx.recv().unwrap(), b("v"));
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let s = Shard::new();
+        let (_cur, rx) = s.subscribe(b("k"));
+        drop(rx);
+        s.set(b("k"), b("v"));
+        // A second write must not panic or leak; sender list is cleaned.
+        s.set(b("k"), b("v2"));
+        assert_eq!(s.state.lock().subs.len(), 0);
+    }
+
+    #[test]
+    fn logs_append_and_read() {
+        let s = Shard::new();
+        s.append(b("log"), b("r1"));
+        s.append(b("log"), b("r2"));
+        assert_eq!(s.read_log(b"log".as_ref()), vec![b("r1"), b("r2")]);
+        assert_eq!(s.log_len(b"log".as_ref()), 2);
+        assert_eq!(s.read_log(b"other".as_ref()), Vec::<Bytes>::new());
+    }
+
+    #[test]
+    fn log_appends_notify_subscribers() {
+        let s = Shard::new();
+        let (_cur, rx) = s.subscribe(b("log"));
+        s.append(b("log"), b("rec"));
+        assert_eq!(rx.recv().unwrap(), b("rec"));
+    }
+
+    #[test]
+    fn scan_prefix_filters() {
+        let s = Shard::new();
+        s.set(b("a:1"), b("x"));
+        s.set(b("a:2"), b("y"));
+        s.set(b("b:1"), b("z"));
+        let mut hits = s.scan_prefix(b"a:");
+        hits.sort();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, b("x"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let s = Shard::new();
+        s.set(b("k"), b("v"));
+        s.append(b("log"), b("r"));
+        let (map, logs) = s.snapshot();
+        let t = Shard::new();
+        t.restore(map, logs);
+        assert_eq!(t.get(b"k".as_ref()), Some(b("v")));
+        assert_eq!(t.read_log(b"log".as_ref()), vec![b("r")]);
+    }
+
+    #[test]
+    fn ops_counter_increments() {
+        let s = Shard::new();
+        let before = s.ops.get();
+        s.set(b("k"), b("v"));
+        s.get(b"k".as_ref());
+        assert!(s.ops.get() >= before + 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! The sharded key-value façade: routes every key to a shard by hash.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use rtml_common::ids::UniqueId;
+
+use crate::shard::Shard;
+
+/// A hash-sharded, in-memory control-plane store with pub-sub.
+///
+/// Cloning the handle is cheap; all clones see the same store. See the
+/// crate docs for the design rationale.
+pub struct KvStore {
+    shards: Vec<Arc<Shard>>,
+}
+
+/// Aggregate operation statistics across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvStats {
+    /// Per-shard operation counts, indexed by shard.
+    pub ops_per_shard: Vec<u64>,
+}
+
+impl KvStats {
+    /// Total operations across all shards.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_shard.iter().sum()
+    }
+
+    /// Ratio of the busiest shard to the mean — 1.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 || self.ops_per_shard.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.ops_per_shard.len() as f64;
+        let max = *self.ops_per_shard.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+impl KvStore {
+    /// Creates a store with `num_shards` independent shards (≥ 1).
+    pub fn new(num_shards: usize) -> Arc<Self> {
+        let num_shards = num_shards.max(1);
+        Arc::new(KvStore {
+            shards: (0..num_shards).map(|_| Arc::new(Shard::new())).collect(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Shard {
+        let idx = UniqueId::hash_bytes(key).bucket(self.shards.len());
+        &self.shards[idx]
+    }
+
+    /// Shard index a key routes to (exposed for balance diagnostics).
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        UniqueId::hash_bytes(key).bucket(self.shards.len())
+    }
+
+    /// Point read.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.shard_for(key).get(key)
+    }
+
+    /// Point write with subscriber notification.
+    pub fn set(&self, key: Bytes, value: Bytes) {
+        self.shard_for(&key).set(key.clone(), value);
+    }
+
+    /// Writes only if vacant; returns whether the write happened.
+    pub fn set_if_absent(&self, key: Bytes, value: Bytes) -> bool {
+        self.shard_for(&key).set_if_absent(key.clone(), value)
+    }
+
+    /// Atomic read-modify-write (see [`Shard::update`]).
+    pub fn update<F>(&self, key: Bytes, f: F) -> Option<Bytes>
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        self.shard_for(&key).update(key.clone(), f)
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.shard_for(key).delete(key)
+    }
+
+    /// Appends to the log at `key`.
+    pub fn append(&self, key: Bytes, record: Bytes) {
+        self.shard_for(&key).append(key.clone(), record);
+    }
+
+    /// Reads the full log at `key`.
+    pub fn read_log(&self, key: &[u8]) -> Vec<Bytes> {
+        self.shard_for(key).read_log(key)
+    }
+
+    /// Length of the log at `key`.
+    pub fn log_len(&self, key: &[u8]) -> usize {
+        self.shard_for(key).log_len(key)
+    }
+
+    /// Subscribes to a key: current value plus a stream of updates.
+    pub fn subscribe(&self, key: Bytes) -> (Option<Bytes>, Receiver<Bytes>) {
+        self.shard_for(&key).subscribe(key.clone())
+    }
+
+    /// All point entries whose key starts with `prefix` (tooling path;
+    /// scans every shard).
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.scan_prefix(prefix));
+        }
+        out
+    }
+
+    /// All logs whose key starts with `prefix` (tooling path).
+    pub fn scan_logs_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Vec<Bytes>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.scan_logs_prefix(prefix));
+        }
+        out
+    }
+
+    /// Total number of point keys across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no point keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation statistics for throughput experiments (E7).
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            ops_per_shard: self.shards.iter().map(|s| s.ops.get()).collect(),
+        }
+    }
+
+    /// Snapshot of every shard, for replication.
+    pub(crate) fn full_snapshot(&self) -> Vec<(Vec<(Bytes, Bytes)>, Vec<(Bytes, Vec<Bytes>)>)> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Restores every shard from a snapshot taken on an identically-sharded
+    /// store.
+    pub(crate) fn restore_snapshot(
+        &self,
+        snap: Vec<(Vec<(Bytes, Bytes)>, Vec<(Bytes, Vec<Bytes>)>)>,
+    ) {
+        assert_eq!(snap.len(), self.shards.len(), "shard count mismatch");
+        for (shard, (map, logs)) in self.shards.iter().zip(snap) {
+            shard.restore(map, logs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Bytes {
+        Bytes::from(format!("key:{i}"))
+    }
+
+    #[test]
+    fn routes_consistently() {
+        let kv = KvStore::new(8);
+        for i in 0..100 {
+            let k = key(i);
+            assert_eq!(kv.shard_index(&k), kv.shard_index(&k));
+        }
+    }
+
+    #[test]
+    fn spreads_keys_across_shards() {
+        let kv = KvStore::new(8);
+        for i in 0..1000 {
+            kv.set(key(i), Bytes::from_static(b"v"));
+        }
+        let stats = kv.stats();
+        assert!(stats.ops_per_shard.iter().all(|&n| n > 0));
+        assert!(stats.imbalance() < 2.0, "imbalance {}", stats.imbalance());
+    }
+
+    #[test]
+    fn get_set_roundtrip_across_shards() {
+        let kv = KvStore::new(4);
+        for i in 0..100 {
+            kv.set(key(i), Bytes::from(format!("v{i}")));
+        }
+        for i in 0..100 {
+            assert_eq!(kv.get(&key(i)), Some(Bytes::from(format!("v{i}"))));
+        }
+        assert_eq!(kv.len(), 100);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let kv = KvStore::new(0);
+        assert_eq!(kv.num_shards(), 1);
+        kv.set(key(1), Bytes::from_static(b"v"));
+        assert!(kv.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn scan_prefix_spans_shards() {
+        let kv = KvStore::new(4);
+        for i in 0..50 {
+            kv.set(Bytes::from(format!("pfx:{i}")), Bytes::from_static(b"v"));
+            kv.set(Bytes::from(format!("other:{i}")), Bytes::from_static(b"v"));
+        }
+        assert_eq!(kv.scan_prefix(b"pfx:").len(), 50);
+    }
+
+    #[test]
+    fn concurrent_updates_are_atomic() {
+        let kv = KvStore::new(4);
+        let k = Bytes::from_static(b"counter");
+        kv.set(k.clone(), Bytes::from(0u64.to_le_bytes().to_vec()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let kv = kv.clone();
+            let k = k.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    kv.update(k.clone(), |cur| {
+                        let mut a = [0u8; 8];
+                        a.copy_from_slice(cur.unwrap());
+                        let n = u64::from_le_bytes(a) + 1;
+                        Some(Bytes::from(n.to_le_bytes().to_vec()))
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&kv.get(&k).unwrap());
+        assert_eq!(u64::from_le_bytes(a), 8000);
+    }
+
+    #[test]
+    fn subscriptions_work_through_facade() {
+        let kv = KvStore::new(4);
+        let (cur, rx) = kv.subscribe(Bytes::from_static(b"s"));
+        assert!(cur.is_none());
+        kv.set(Bytes::from_static(b"s"), Bytes::from_static(b"x"));
+        assert_eq!(&rx.recv().unwrap()[..], b"x");
+    }
+
+    #[test]
+    fn logs_work_through_facade() {
+        let kv = KvStore::new(4);
+        kv.append(Bytes::from_static(b"l"), Bytes::from_static(b"a"));
+        kv.append(Bytes::from_static(b"l"), Bytes::from_static(b"b"));
+        assert_eq!(kv.log_len(b"l"), 2);
+        assert_eq!(kv.read_log(b"l").len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! The event log: append-only, per-(node, component) streams of
+//! [`Event`]s, spread across control-plane shards.
+//!
+//! The paper keeps event logs in the centralized control plane precisely
+//! so that profiling and debugging tools (R7) can reconstruct a global
+//! timeline without touching the data path. Appends go to a key derived
+//! from the emitting node and component, so high-rate logging scales with
+//! the shard count like every other control-plane write.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::event::{Component, Event};
+use rtml_common::ids::NodeId;
+
+use crate::store::KvStore;
+
+const PREFIX: &[u8] = b"ev:";
+
+/// Typed event-log handle.
+#[derive(Clone)]
+pub struct EventLog {
+    kv: Arc<KvStore>,
+    enabled: bool,
+}
+
+impl EventLog {
+    /// Creates an enabled event log over `kv`.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        EventLog { kv, enabled: true }
+    }
+
+    /// Creates a disabled log: appends become no-ops. Used by benchmarks
+    /// that want to exclude logging cost from a measurement.
+    pub fn disabled(kv: Arc<KvStore>) -> Self {
+        EventLog { kv, enabled: false }
+    }
+
+    /// Whether appends are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn key(node: NodeId, component: Component) -> Bytes {
+        let mut v = Vec::with_capacity(PREFIX.len() + 5);
+        v.extend_from_slice(PREFIX);
+        v.extend_from_slice(&node.0.to_le_bytes());
+        v.push(match component {
+            Component::Driver => 0,
+            Component::Worker => 1,
+            Component::LocalScheduler => 2,
+            Component::GlobalScheduler => 3,
+            Component::ObjectStore => 4,
+            Component::Supervisor => 5,
+        });
+        Bytes::from(v)
+    }
+
+    /// Appends an event attributed to `node`.
+    pub fn append(&self, node: NodeId, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.kv
+            .append(Self::key(node, event.component), encode_to_bytes(&event));
+    }
+
+    /// Reads all events from one (node, component) stream, in append
+    /// order.
+    pub fn read(&self, node: NodeId, component: Component) -> Vec<Event> {
+        self.kv
+            .read_log(&Self::key(node, component))
+            .iter()
+            .filter_map(|b| decode_from_slice(b).ok())
+            .collect()
+    }
+
+    /// Reads every event in the system, sorted by timestamp. Tooling path.
+    pub fn read_all(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .kv
+            .scan_logs_prefix(PREFIX)
+            .into_iter()
+            .flat_map(|(_k, records)| records)
+            .filter_map(|b| decode_from_slice(&b).ok())
+            .collect();
+        events.sort_by_key(|e| e.at_nanos);
+        events
+    }
+
+    /// Total number of events recorded.
+    pub fn len(&self) -> usize {
+        self.kv
+            .scan_logs_prefix(PREFIX)
+            .iter()
+            .map(|(_k, records)| records.len())
+            .sum()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::event::EventKind;
+    use rtml_common::ids::{DriverId, TaskId};
+
+    fn ev(component: Component, nanos: u64) -> Event {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        Event {
+            at_nanos: nanos,
+            component,
+            kind: EventKind::TaskSubmitted {
+                task: root.child(nanos),
+            },
+        }
+    }
+
+    #[test]
+    fn append_and_read_per_stream() {
+        let kv = KvStore::new(4);
+        let log = EventLog::new(kv);
+        log.append(NodeId(0), ev(Component::Worker, 1));
+        log.append(NodeId(0), ev(Component::Worker, 2));
+        log.append(NodeId(1), ev(Component::Worker, 3));
+        let events = log.read(NodeId(0), Component::Worker);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_nanos, 1);
+        assert_eq!(log.read(NodeId(1), Component::Worker).len(), 1);
+        assert!(log.read(NodeId(2), Component::Worker).is_empty());
+    }
+
+    #[test]
+    fn read_all_sorts_by_time() {
+        let kv = KvStore::new(4);
+        let log = EventLog::new(kv);
+        log.append(NodeId(1), ev(Component::LocalScheduler, 30));
+        log.append(NodeId(0), ev(Component::Worker, 10));
+        log.append(NodeId(2), ev(Component::GlobalScheduler, 20));
+        let all = log.read_all();
+        assert_eq!(all.len(), 3);
+        let times: Vec<u64> = all.iter().map(|e| e.at_nanos).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn disabled_log_drops_appends() {
+        let kv = KvStore::new(4);
+        let log = EventLog::disabled(kv);
+        assert!(!log.is_enabled());
+        log.append(NodeId(0), ev(Component::Worker, 1));
+        assert!(log.is_empty());
+    }
+}

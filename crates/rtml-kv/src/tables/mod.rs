@@ -1,0 +1,29 @@
+//! Typed views over the control-plane store — the tables of Figure 3.
+//!
+//! Each table is a thin wrapper that owns an `Arc<KvStore>`, encodes its
+//! records with the `rtml-common` codec, and namespaces its keys with a
+//! one-byte-ish prefix. All tables on one store share the same shards, so
+//! control-plane load from objects, tasks, and events spreads uniformly.
+
+pub mod event_log;
+pub mod function_table;
+pub mod object_table;
+pub mod task_table;
+
+use bytes::Bytes;
+use rtml_common::ids::UniqueId;
+
+/// Builds a namespaced key: `prefix ++ id_bytes`.
+pub(crate) fn id_key(prefix: &[u8], id: UniqueId) -> Bytes {
+    let mut v = Vec::with_capacity(prefix.len() + 16);
+    v.extend_from_slice(prefix);
+    v.extend_from_slice(&id.as_u128().to_le_bytes());
+    Bytes::from(v)
+}
+
+/// Inverse of [`id_key`]: recovers the ID from a namespaced key.
+pub(crate) fn parse_id_key(prefix: &[u8], key: &[u8]) -> Option<UniqueId> {
+    let suffix = key.strip_prefix(prefix)?;
+    let bytes: [u8; 16] = suffix.try_into().ok()?;
+    Some(UniqueId::from_u128(u128::from_le_bytes(bytes)))
+}

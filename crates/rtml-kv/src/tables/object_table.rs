@@ -1,0 +1,291 @@
+//! The object table: object ID → size, seal state, producer task, and the
+//! set of nodes currently holding a copy.
+//!
+//! This is the table the paper's global scheduler consults for locality
+//! and the one `get`/`wait` subscribe to. The producer field is the
+//! lineage edge used for reconstruction: *object → task that creates it*.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
+use rtml_common::error::Result;
+use rtml_common::ids::{NodeId, ObjectId, TaskId};
+
+use crate::store::KvStore;
+
+const PREFIX: &[u8] = b"obj:";
+
+/// Control-plane record for one object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Size in bytes (0 until first sealed).
+    pub size: u64,
+    /// Whether the object has been sealed (its value is final) anywhere.
+    pub sealed: bool,
+    /// Task that produces this object; `None` for driver `put`s whose
+    /// value did not come from a task (such objects cannot be
+    /// reconstructed — the paper's lineage covers task outputs).
+    pub producer: Option<TaskId>,
+    /// Nodes currently holding a sealed copy.
+    pub locations: Vec<NodeId>,
+}
+
+impl ObjectInfo {
+    /// Whether at least one sealed copy exists.
+    pub fn is_available(&self) -> bool {
+        self.sealed && !self.locations.is_empty()
+    }
+}
+
+impl Codec for ObjectInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.size);
+        self.sealed.encode(w);
+        self.producer.encode(w);
+        self.locations.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ObjectInfo {
+            size: r.take_varint()?,
+            sealed: bool::decode(r)?,
+            producer: Option::<TaskId>::decode(r)?,
+            locations: Vec::<NodeId>::decode(r)?,
+        })
+    }
+}
+
+/// Typed object-table handle.
+#[derive(Clone)]
+pub struct ObjectTable {
+    kv: Arc<KvStore>,
+}
+
+impl ObjectTable {
+    /// Creates a handle over `kv`.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        ObjectTable { kv }
+    }
+
+    fn key(object: ObjectId) -> Bytes {
+        super::id_key(PREFIX, object.unique())
+    }
+
+    /// Declares an object and its producing task. Called at task-submission
+    /// time for every return object, before the task runs — this is what
+    /// makes lineage available no matter when consumers ask.
+    ///
+    /// Keeps an existing record's locations if the object was already
+    /// declared (reconstruction re-declares).
+    pub fn declare(&self, object: ObjectId, producer: Option<TaskId>) {
+        self.kv.update(Self::key(object), |cur| {
+            if let Some(bytes) = cur {
+                // Preserve existing info; only fill in a missing producer.
+                if let Ok(mut info) = decode_from_slice::<ObjectInfo>(bytes) {
+                    if info.producer.is_none() {
+                        info.producer = producer;
+                    }
+                    return Some(encode_to_bytes(&info));
+                }
+            }
+            Some(encode_to_bytes(&ObjectInfo {
+                size: 0,
+                sealed: false,
+                producer,
+                locations: Vec::new(),
+            }))
+        });
+    }
+
+    /// Records that `node` now holds a sealed copy of `object` of `size`
+    /// bytes. Notifies subscribers (this is the wake-up edge for blocked
+    /// `get`s and `wait`s).
+    pub fn add_location(&self, object: ObjectId, node: NodeId, size: u64) {
+        self.kv.update(Self::key(object), |cur| {
+            let mut info = cur
+                .and_then(|b| decode_from_slice::<ObjectInfo>(b).ok())
+                .unwrap_or(ObjectInfo {
+                    size: 0,
+                    sealed: false,
+                    producer: None,
+                    locations: Vec::new(),
+                });
+            info.sealed = true;
+            info.size = size;
+            if !info.locations.contains(&node) {
+                info.locations.push(node);
+            }
+            Some(encode_to_bytes(&info))
+        });
+    }
+
+    /// Records that `node` no longer holds `object` (eviction or node
+    /// failure). The record itself persists — the lineage must survive the
+    /// last copy so reconstruction can find the producer.
+    pub fn remove_location(&self, object: ObjectId, node: NodeId) {
+        self.kv.update(Self::key(object), |cur| {
+            let bytes = cur?;
+            let mut info = decode_from_slice::<ObjectInfo>(bytes).ok()?;
+            info.locations.retain(|n| *n != node);
+            Some(encode_to_bytes(&info))
+        });
+    }
+
+    /// Reads the record for `object`.
+    pub fn get(&self, object: ObjectId) -> Option<ObjectInfo> {
+        let bytes = self.kv.get(&Self::key(object))?;
+        decode_from_slice(&bytes).ok()
+    }
+
+    /// Subscribes to the record: current value plus a decoded update
+    /// stream. The subscription is atomic with respect to writers.
+    pub fn subscribe(&self, object: ObjectId) -> (Option<ObjectInfo>, ObjectInfoStream) {
+        let (cur, rx) = self.kv.subscribe(Self::key(object));
+        let current = cur.and_then(|b| decode_from_slice(&b).ok());
+        (current, ObjectInfoStream { rx })
+    }
+
+    /// Whether a sealed copy of `object` exists anywhere.
+    pub fn is_available(&self, object: ObjectId) -> bool {
+        self.get(object).is_some_and(|info| info.is_available())
+    }
+}
+
+/// A decoded subscription stream of [`ObjectInfo`] updates.
+pub struct ObjectInfoStream {
+    rx: Receiver<Bytes>,
+}
+
+impl ObjectInfoStream {
+    /// Blocks until the next update or `timeout`.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<ObjectInfo> {
+        loop {
+            match self.rx.recv_timeout(timeout) {
+                Ok(bytes) => {
+                    if let Ok(info) = decode_from_slice(&bytes) {
+                        return Some(info);
+                    }
+                    // Skip undecodable frames (foreign writes to this key
+                    // are a bug, but a stuck waiter would be worse).
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Non-blocking poll for the next update.
+    pub fn try_recv(&self) -> Option<ObjectInfo> {
+        while let Ok(bytes) = self.rx.try_recv() {
+            if let Ok(info) = decode_from_slice(&bytes) {
+                return Some(info);
+            }
+        }
+        None
+    }
+
+    /// The raw receiver, for `select!` integration.
+    pub fn receiver(&self) -> &Receiver<Bytes> {
+        &self.rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::DriverId;
+    use std::time::Duration;
+
+    fn ids() -> (ObjectId, TaskId) {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let task = root.child(0);
+        (task.return_object(0), task)
+    }
+
+    #[test]
+    fn declare_then_seal() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.declare(obj, Some(task));
+        let info = table.get(obj).unwrap();
+        assert!(!info.sealed);
+        assert_eq!(info.producer, Some(task));
+        assert!(!table.is_available(obj));
+
+        table.add_location(obj, NodeId(1), 64);
+        let info = table.get(obj).unwrap();
+        assert!(info.sealed);
+        assert_eq!(info.size, 64);
+        assert_eq!(info.locations, vec![NodeId(1)]);
+        assert!(table.is_available(obj));
+    }
+
+    #[test]
+    fn add_location_is_idempotent() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, _) = ids();
+        table.add_location(obj, NodeId(1), 64);
+        table.add_location(obj, NodeId(1), 64);
+        table.add_location(obj, NodeId(2), 64);
+        let info = table.get(obj).unwrap();
+        assert_eq!(info.locations, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn remove_location_preserves_lineage() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.declare(obj, Some(task));
+        table.add_location(obj, NodeId(1), 8);
+        table.remove_location(obj, NodeId(1));
+        let info = table.get(obj).unwrap();
+        assert!(info.locations.is_empty());
+        assert!(!info.is_available());
+        // The producer edge must survive losing the last copy.
+        assert_eq!(info.producer, Some(task));
+    }
+
+    #[test]
+    fn declare_after_seal_keeps_locations() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.add_location(obj, NodeId(3), 16);
+        table.declare(obj, Some(task));
+        let info = table.get(obj).unwrap();
+        assert_eq!(info.locations, vec![NodeId(3)]);
+        assert_eq!(info.producer, Some(task));
+    }
+
+    #[test]
+    fn subscription_wakes_on_seal() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.declare(obj, Some(task));
+        let (cur, stream) = table.subscribe(obj);
+        assert!(cur.is_some());
+        assert!(!cur.unwrap().sealed);
+
+        let t2 = table.clone();
+        std::thread::spawn(move || {
+            t2.add_location(obj, NodeId(0), 10);
+        });
+        let info = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(info.sealed);
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, _) = ids();
+        assert!(table.get(obj).is_none());
+        assert!(!table.is_available(obj));
+    }
+}

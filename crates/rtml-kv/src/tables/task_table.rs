@@ -1,0 +1,221 @@
+//! The task table: task ID → immutable spec (the lineage record) and a
+//! separately-keyed mutable state.
+//!
+//! Storing the spec durably at submission time is the heart of the paper's
+//! fault-tolerance story: any finished-or-lost task can be re-executed
+//! from its spec alone, and the spec's argument list carries the lineage
+//! edges to *its* inputs, recursively.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::ids::TaskId;
+use rtml_common::task::{TaskSpec, TaskState};
+
+use crate::store::KvStore;
+
+const SPEC_PREFIX: &[u8] = b"tspec:";
+const STATE_PREFIX: &[u8] = b"tstate:";
+
+/// Typed task-table handle.
+#[derive(Clone)]
+pub struct TaskTable {
+    kv: Arc<KvStore>,
+}
+
+impl TaskTable {
+    /// Creates a handle over `kv`.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        TaskTable { kv }
+    }
+
+    fn spec_key(task: TaskId) -> Bytes {
+        super::id_key(SPEC_PREFIX, task.unique())
+    }
+
+    fn state_key(task: TaskId) -> Bytes {
+        super::id_key(STATE_PREFIX, task.unique())
+    }
+
+    /// Durably records a task spec (idempotent: reconstruction re-puts the
+    /// same spec, modulo the attempt counter which we do update).
+    pub fn put_spec(&self, spec: &TaskSpec) {
+        self.kv
+            .set(Self::spec_key(spec.task_id), encode_to_bytes(spec));
+    }
+
+    /// Reads a task spec.
+    pub fn get_spec(&self, task: TaskId) -> Option<TaskSpec> {
+        let bytes = self.kv.get(&Self::spec_key(task))?;
+        decode_from_slice(&bytes).ok()
+    }
+
+    /// Transitions a task's state; notifies state subscribers.
+    pub fn set_state(&self, task: TaskId, state: &TaskState) {
+        self.kv.set(Self::state_key(task), encode_to_bytes(state));
+    }
+
+    /// Reads a task's state.
+    pub fn get_state(&self, task: TaskId) -> Option<TaskState> {
+        let bytes = self.kv.get(&Self::state_key(task))?;
+        decode_from_slice(&bytes).ok()
+    }
+
+    /// Subscribes to state transitions: current state plus update stream.
+    pub fn subscribe_state(&self, task: TaskId) -> (Option<TaskState>, TaskStateStream) {
+        let (cur, rx) = self.kv.subscribe(Self::state_key(task));
+        let current = cur.and_then(|b| decode_from_slice(&b).ok());
+        (current, TaskStateStream { rx })
+    }
+
+    /// Scans every task's current state. Recovery/tooling path (full
+    /// scan); the data path never calls this.
+    pub fn scan_states(&self) -> Vec<(TaskId, TaskState)> {
+        self.kv
+            .scan_prefix(STATE_PREFIX)
+            .into_iter()
+            .filter_map(|(k, v)| {
+                let id = super::parse_id_key(STATE_PREFIX, &k)?;
+                let state = decode_from_slice::<TaskState>(&v).ok()?;
+                Some((TaskId::from_unique(id), state))
+            })
+            .collect()
+    }
+
+    /// Counts tasks currently recorded in each lifecycle state. Tooling
+    /// path (full scan) for the debugging requirement R7.
+    pub fn state_census(&self) -> TaskCensus {
+        let mut census = TaskCensus::default();
+        for (_k, v) in self.kv.scan_prefix(STATE_PREFIX) {
+            if let Ok(state) = decode_from_slice::<TaskState>(&v) {
+                match state {
+                    TaskState::Submitted => census.submitted += 1,
+                    TaskState::Queued(_) => census.queued += 1,
+                    TaskState::Spilled => census.spilled += 1,
+                    TaskState::Running(_) => census.running += 1,
+                    TaskState::Finished => census.finished += 1,
+                    TaskState::Failed(_) => census.failed += 1,
+                    TaskState::Lost => census.lost += 1,
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Counts of tasks per lifecycle state (R7 debugging view).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskCensus {
+    /// Tasks submitted but not yet queued anywhere.
+    pub submitted: usize,
+    /// Tasks in some local scheduler's queues.
+    pub queued: usize,
+    /// Tasks waiting at the global scheduler.
+    pub spilled: usize,
+    /// Tasks currently executing.
+    pub running: usize,
+    /// Tasks completed successfully.
+    pub finished: usize,
+    /// Tasks that raised application errors.
+    pub failed: usize,
+    /// Tasks lost to failures and eligible for reconstruction.
+    pub lost: usize,
+}
+
+impl TaskCensus {
+    /// Total tasks observed.
+    pub fn total(&self) -> usize {
+        self.submitted
+            + self.queued
+            + self.spilled
+            + self.running
+            + self.finished
+            + self.failed
+            + self.lost
+    }
+}
+
+/// A decoded subscription stream of [`TaskState`] transitions.
+pub struct TaskStateStream {
+    rx: Receiver<Bytes>,
+}
+
+impl TaskStateStream {
+    /// Blocks until the next transition or `timeout`.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<TaskState> {
+        loop {
+            match self.rx.recv_timeout(timeout) {
+                Ok(bytes) => {
+                    if let Ok(state) = decode_from_slice(&bytes) {
+                        return Some(state);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, FunctionId, NodeId, WorkerId};
+    use std::time::Duration;
+
+    fn spec() -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        TaskSpec::simple(root.child(0), FunctionId::from_name("f"), vec![])
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let kv = KvStore::new(2);
+        let table = TaskTable::new(kv);
+        let s = spec();
+        table.put_spec(&s);
+        assert_eq!(table.get_spec(s.task_id), Some(s.clone()));
+        assert!(table.get_spec(s.task_id.child(9)).is_none());
+    }
+
+    #[test]
+    fn state_transitions_and_subscription() {
+        let kv = KvStore::new(2);
+        let table = TaskTable::new(kv);
+        let s = spec();
+        table.set_state(s.task_id, &TaskState::Submitted);
+        let (cur, stream) = table.subscribe_state(s.task_id);
+        assert_eq!(cur, Some(TaskState::Submitted));
+
+        let t2 = table.clone();
+        let id = s.task_id;
+        std::thread::spawn(move || {
+            t2.set_state(id, &TaskState::Running(WorkerId::new(NodeId(0), 1)));
+            t2.set_state(id, &TaskState::Finished);
+        });
+        assert_eq!(
+            stream.recv_timeout(Duration::from_secs(5)),
+            Some(TaskState::Running(WorkerId::new(NodeId(0), 1)))
+        );
+        assert_eq!(
+            stream.recv_timeout(Duration::from_secs(5)),
+            Some(TaskState::Finished)
+        );
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let kv = KvStore::new(2);
+        let table = TaskTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(1));
+        table.set_state(root.child(0), &TaskState::Finished);
+        table.set_state(root.child(1), &TaskState::Finished);
+        table.set_state(root.child(2), &TaskState::Lost);
+        let census = table.state_census();
+        assert_eq!(census.finished, 2);
+        assert_eq!(census.lost, 1);
+        assert_eq!(census.total(), 3);
+    }
+}

@@ -1,0 +1,565 @@
+//! The message fabric: registration, routed delivery, delays, partitions.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::NodeId;
+use rtml_common::metrics::Counter;
+
+use crate::latency::LatencyModel;
+
+/// Identifies a registered endpoint on the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetAddress(u64);
+
+impl NetAddress {
+    /// Raw form, for embedding addresses in serialized messages.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an address from its raw form. The address is only
+    /// meaningful on the fabric that issued it.
+    pub const fn from_u64(raw: u64) -> Self {
+        NetAddress(raw)
+    }
+}
+
+/// Fabric configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FabricConfig {
+    /// Propagation delay applied to cross-node messages.
+    pub latency: LatencyModel,
+    /// Serialization bandwidth for cross-node messages; `None` means
+    /// infinite (no size-dependent term).
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+/// A message handed to a receiving endpoint.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// Sending endpoint.
+    pub from: NetAddress,
+    /// Opaque payload.
+    pub payload: Bytes,
+    /// When the message was sent (monotonic nanos since process epoch).
+    pub sent_at_nanos: u64,
+}
+
+/// A registered endpoint: an address plus the receiving side of its
+/// mailbox.
+pub struct Endpoint {
+    address: NetAddress,
+    node: NodeId,
+    rx: Receiver<Delivery>,
+}
+
+impl Endpoint {
+    /// This endpoint's fabric address.
+    pub fn address(&self) -> NetAddress {
+        self.address
+    }
+
+    /// The node the endpoint is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The mailbox receiver.
+    pub fn receiver(&self) -> &Receiver<Delivery> {
+        &self.rx
+    }
+}
+
+/// Counters describing fabric traffic.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Messages accepted by `send`.
+    pub sent: Counter,
+    /// Messages delivered to a live mailbox.
+    pub delivered: Counter,
+    /// Messages dropped by partitions or dead mailboxes.
+    pub dropped: Counter,
+    /// Total payload bytes accepted.
+    pub bytes: Counter,
+}
+
+struct PendingDelivery {
+    due: Instant,
+    seq: u64,
+    to: NetAddress,
+    delivery: Delivery,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest due first; seq breaks ties to preserve send order.
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct Routing {
+    endpoints: HashMap<NetAddress, (NodeId, Sender<Delivery>)>,
+    partitions: HashSet<(NodeId, NodeId)>,
+    next_address: u64,
+    next_seq: u64,
+    jitter_state: u64,
+}
+
+struct DelayQueue {
+    heap: Mutex<BinaryHeap<Reverse<PendingDelivery>>>,
+    wakeup: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// The shared fabric. Cheap to clone via `Arc`; see crate docs.
+pub struct Fabric {
+    config: FabricConfig,
+    routing: Mutex<Routing>,
+    queue: Arc<DelayQueue>,
+    /// Traffic counters.
+    pub stats: FabricStats,
+    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Fabric {
+    /// Creates a fabric and starts its delivery pump thread.
+    pub fn new(config: FabricConfig) -> Arc<Self> {
+        let queue = Arc::new(DelayQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            wakeup: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let fabric = Arc::new(Fabric {
+            config,
+            routing: Mutex::new(Routing {
+                jitter_state: 0x243f6a8885a308d3,
+                ..Routing::default()
+            }),
+            queue,
+            stats: FabricStats::default(),
+            pump: Mutex::new(None),
+        });
+        let pump_fabric = Arc::downgrade(&fabric);
+        let queue2 = fabric.queue.clone();
+        let handle = std::thread::Builder::new()
+            .name("rtml-net-pump".into())
+            .spawn(move || Self::pump_loop(queue2, pump_fabric))
+            .expect("spawn fabric pump");
+        *fabric.pump.lock() = Some(handle);
+        fabric
+    }
+
+    /// Registers an endpoint on `node`. The `name` is only for debugging.
+    pub fn register(&self, node: NodeId, _name: &str) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut routing = self.routing.lock();
+        routing.next_address += 1;
+        let address = NetAddress(routing.next_address);
+        routing.endpoints.insert(address, (node, tx));
+        Endpoint { address, node, rx }
+    }
+
+    /// Removes an endpoint (its mailbox closes; queued messages to it are
+    /// dropped at delivery time).
+    pub fn unregister(&self, address: NetAddress) {
+        self.routing.lock().endpoints.remove(&address);
+    }
+
+    /// Partitions traffic between two nodes (both directions).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut routing = self.routing.lock();
+        routing.partitions.insert((a, b));
+        routing.partitions.insert((b, a));
+    }
+
+    /// Heals a partition.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut routing = self.routing.lock();
+        routing.partitions.remove(&(a, b));
+        routing.partitions.remove(&(b, a));
+    }
+
+    /// Whether traffic from `a` to `b` is currently dropped.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.routing.lock().partitions.contains(&(a, b))
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// Same-node messages are delivered immediately (shared-memory path).
+    /// Cross-node messages pay the configured latency plus a
+    /// size/bandwidth term and are delivered asynchronously by the pump
+    /// thread, in send order for equal delays.
+    ///
+    /// Returns [`Error::Disconnected`] if either address is unregistered.
+    /// Partitioned messages are silently dropped, like a real network.
+    pub fn send(&self, from: NetAddress, to: NetAddress, payload: Bytes) -> Result<()> {
+        let mut routing = self.routing.lock();
+        let (from_node, _) = *routing
+            .endpoints
+            .get(&from)
+            .ok_or(Error::Disconnected("fabric sender"))?;
+        let (to_node, tx) = routing
+            .endpoints
+            .get(&to)
+            .cloned()
+            .ok_or(Error::Disconnected("fabric receiver"))?;
+
+        self.stats.sent.inc();
+        self.stats.bytes.add(payload.len() as u64);
+
+        if routing.partitions.contains(&(from_node, to_node)) {
+            self.stats.dropped.inc();
+            return Ok(());
+        }
+
+        let delivery = Delivery {
+            from,
+            payload,
+            sent_at_nanos: rtml_common::time::now_nanos(),
+        };
+
+        if from_node == to_node {
+            drop(routing);
+            if tx.send(delivery).is_ok() {
+                self.stats.delivered.inc();
+            } else {
+                self.stats.dropped.inc();
+            }
+            return Ok(());
+        }
+
+        // Cross-node: compute the delay.
+        routing.jitter_state = routing
+            .jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let entropy = routing.jitter_state;
+        routing.next_seq += 1;
+        let seq = routing.next_seq;
+        drop(routing);
+
+        let mut delay = self.config.latency.sample(entropy);
+        if let Some(bw) = self.config.bandwidth_bytes_per_sec {
+            if bw > 0 {
+                let xfer_nanos =
+                    (delivery.payload.len() as u128 * 1_000_000_000u128 / bw as u128) as u64;
+                delay += Duration::from_nanos(xfer_nanos);
+            }
+        }
+
+        if delay.is_zero() {
+            if tx.send(delivery).is_ok() {
+                self.stats.delivered.inc();
+            } else {
+                self.stats.dropped.inc();
+            }
+            return Ok(());
+        }
+
+        let pending = PendingDelivery {
+            due: Instant::now() + delay,
+            seq,
+            to,
+            delivery,
+        };
+        {
+            let mut heap = self.queue.heap.lock();
+            heap.push(Reverse(pending));
+        }
+        self.queue.wakeup.notify_one();
+        Ok(())
+    }
+
+    fn pump_loop(queue: Arc<DelayQueue>, fabric: std::sync::Weak<Fabric>) {
+        loop {
+            // Collect due deliveries and compute the next deadline.
+            let mut due_now = Vec::new();
+            let next_due: Option<Instant>;
+            {
+                let mut heap = queue.heap.lock();
+                let now = Instant::now();
+                while let Some(Reverse(head)) = heap.peek() {
+                    if head.due <= now {
+                        let Reverse(item) = heap.pop().expect("peeked");
+                        due_now.push(item);
+                    } else {
+                        break;
+                    }
+                }
+                next_due = heap.peek().map(|Reverse(p)| p.due);
+            }
+
+            if !due_now.is_empty() {
+                let Some(fabric) = fabric.upgrade() else {
+                    return;
+                };
+                for item in due_now {
+                    let tx = {
+                        let routing = fabric.routing.lock();
+                        routing.endpoints.get(&item.to).map(|(_, tx)| tx.clone())
+                    };
+                    match tx {
+                        Some(tx) if tx.send(item.delivery).is_ok() => {
+                            fabric.stats.delivered.inc();
+                        }
+                        _ => fabric.stats.dropped.inc(),
+                    }
+                }
+                continue;
+            }
+
+            // Nothing due: sleep until the next deadline or a new message.
+            let mut shutdown = queue.shutdown.lock();
+            if *shutdown {
+                return;
+            }
+            match next_due {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline > now {
+                        queue.wakeup.wait_for(&mut shutdown, deadline - now);
+                    }
+                }
+                None => {
+                    queue.wakeup.wait(&mut shutdown);
+                }
+            }
+            if *shutdown {
+                return;
+            }
+        }
+    }
+
+    /// Number of messages queued but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.queue.heap.lock().len()
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        *self.queue.shutdown.lock() = true;
+        self.queue.wakeup.notify_all();
+        if let Some(handle) = self.pump.lock().take() {
+            // The pump itself may drop the last `Arc<Fabric>` (it
+            // upgrades its Weak per delivery batch); joining oneself
+            // would deadlock, so detach in that case.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric_with_latency(micros: u64) -> Arc<Fabric> {
+        Fabric::new(FabricConfig {
+            latency: LatencyModel::Constant(Duration::from_micros(micros)),
+            ..FabricConfig::default()
+        })
+    }
+
+    #[test]
+    fn same_node_is_immediate() {
+        let fabric = fabric_with_latency(50_000);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(0), "b");
+        let start = Instant::now();
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        let msg = b.receiver().recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&msg.payload[..], b"x");
+        // Must not have paid the 50 ms cross-node latency.
+        assert!(start.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn cross_node_pays_latency() {
+        let fabric = fabric_with_latency(20_000); // 20 ms
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        let start = Instant::now();
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fifo_per_pair_under_constant_latency() {
+        let fabric = fabric_with_latency(1_000);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        for i in 0..100u32 {
+            fabric
+                .send(
+                    a.address(),
+                    b.address(),
+                    Bytes::from(i.to_le_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        for i in 0..100u32 {
+            let msg = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+            let mut arr = [0u8; 4];
+            arr.copy_from_slice(&msg.payload);
+            assert_eq!(u32::from_le_bytes(arr), i);
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_size_term() {
+        let fabric = Fabric::new(FabricConfig {
+            latency: LatencyModel::Zero,
+            bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
+            jitter_seed: 0,
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        // 50 KB at 1 MB/s = 50 ms.
+        let payload = Bytes::from(vec![0u8; 50_000]);
+        let start = Instant::now();
+        fabric.send(a.address(), b.address(), payload).unwrap();
+        let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn partition_drops_messages() {
+        let fabric = fabric_with_latency(0);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric.partition(NodeId(0), NodeId(1));
+        assert!(fabric.is_partitioned(NodeId(0), NodeId(1)));
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"lost"))
+            .unwrap();
+        assert!(b
+            .receiver()
+            .recv_timeout(Duration::from_millis(50))
+            .is_err());
+        assert_eq!(fabric.stats.dropped.get(), 1);
+
+        fabric.heal(NodeId(0), NodeId(1));
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"ok"))
+            .unwrap();
+        assert_eq!(
+            &b.receiver()
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .payload[..],
+            b"ok"
+        );
+    }
+
+    #[test]
+    fn unknown_addresses_error() {
+        let fabric = fabric_with_latency(0);
+        let a = fabric.register(NodeId(0), "a");
+        let ghost = NetAddress(999);
+        assert!(fabric.send(a.address(), ghost, Bytes::new()).is_err());
+        assert!(fabric.send(ghost, a.address(), Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn unregistered_receiver_drops_in_flight() {
+        let fabric = fabric_with_latency(10_000);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        fabric.unregister(b.address());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(fabric.stats.delivered.get(), 0);
+        assert_eq!(fabric.stats.dropped.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_senders_all_deliver() {
+        let fabric = fabric_with_latency(100);
+        let receiver = fabric.register(NodeId(1), "rx");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let fabric = fabric.clone();
+            let to = receiver.address();
+            handles.push(std::thread::spawn(move || {
+                let from = fabric.register(NodeId(0), &format!("tx{t}"));
+                for _ in 0..250 {
+                    fabric
+                        .send(from.address(), to, Bytes::from_static(b"m"))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while receiver
+            .receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .is_ok()
+        {
+            got += 1;
+            if got == 1000 {
+                break;
+            }
+        }
+        assert_eq!(got, 1000);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let fabric = fabric_with_latency(0);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(0), "b");
+        fabric
+            .send(a.address(), b.address(), Bytes::from(vec![0u8; 128]))
+            .unwrap();
+        assert_eq!(fabric.stats.bytes.get(), 128);
+        assert_eq!(fabric.stats.sent.get(), 1);
+    }
+
+    #[test]
+    fn shutdown_on_drop_joins_pump() {
+        let fabric = fabric_with_latency(1000);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        drop(a);
+        drop(b);
+        drop(fabric); // Must not hang.
+    }
+}

@@ -1,0 +1,567 @@
+//! The user-facing API surface: submission contexts for drivers and for
+//! running tasks.
+//!
+//! A [`Caller`] implements the paper's five API elements (§3.1): create
+//! tasks without blocking, pass values or futures as arguments, create
+//! tasks from within tasks, `get`, and `wait`. [`Driver`] wraps a
+//! `Caller` rooted at a driver program; [`TaskContext`] wraps one rooted
+//! at the currently-executing task (making the task graph dynamic, R3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtml_common::codec::Codec;
+use rtml_common::error::{Error, Result};
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::{DriverId, FunctionId, NodeId, ObjectId, TaskId, WorkerId};
+use rtml_common::resources::Resources;
+use rtml_common::task::{ArgSpec, TaskSpec, TaskState};
+
+use crate::envelope;
+use crate::fetch;
+use crate::lineage::ReconstructionManager;
+use crate::object_ref::{IntoArg, ObjectRef};
+use crate::registry::{Func0, Func1, Func2, Func3, Func4};
+use crate::services::Services;
+
+/// Per-submission options.
+#[derive(Clone, Debug)]
+pub struct TaskOptions {
+    /// Resource demand (admission + placement, R4). Default: 1 CPU.
+    pub resources: Resources,
+}
+
+impl Default for TaskOptions {
+    fn default() -> Self {
+        TaskOptions {
+            resources: Resources::cpu(1.0),
+        }
+    }
+}
+
+impl TaskOptions {
+    /// A demand of `cpu` CPUs.
+    pub fn cpu(cpu: f64) -> Self {
+        TaskOptions {
+            resources: Resources::cpu(cpu),
+        }
+    }
+
+    /// A demand of `gpu` GPUs (plus zero CPUs).
+    pub fn gpu(gpu: f64) -> Self {
+        TaskOptions {
+            resources: Resources::gpu(gpu),
+        }
+    }
+
+    /// An explicit resource vector.
+    pub fn resources(resources: Resources) -> Self {
+        TaskOptions { resources }
+    }
+}
+
+struct CallerInner {
+    services: Arc<Services>,
+    recon: Arc<ReconstructionManager>,
+    home: NodeId,
+    current_task: TaskId,
+    component: Component,
+    /// Set for worker contexts: lets blocking calls report to the local
+    /// scheduler so the task's resources are released while parked
+    /// (nested-task deadlock avoidance).
+    worker: Option<WorkerId>,
+    child_counter: AtomicU64,
+    put_counter: AtomicU64,
+}
+
+/// RAII guard bracketing a blocking section with WorkerBlocked /
+/// WorkerUnblocked notifications to the local scheduler.
+struct BlockGuard<'a> {
+    inner: &'a CallerInner,
+    notified: bool,
+}
+
+impl<'a> BlockGuard<'a> {
+    fn enter(inner: &'a CallerInner) -> BlockGuard<'a> {
+        let mut notified = false;
+        if let Some(worker) = inner.worker {
+            if let Some(tx) = inner.services.sched_sender(worker.node) {
+                notified = tx
+                    .send(rtml_sched::LocalMsg::WorkerBlocked {
+                        worker,
+                        task: inner.current_task,
+                    })
+                    .is_ok();
+            }
+        }
+        BlockGuard { inner, notified }
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        if !self.notified {
+            return;
+        }
+        if let Some(worker) = self.inner.worker {
+            if let Some(tx) = self.inner.services.sched_sender(worker.node) {
+                let _ = tx.send(rtml_sched::LocalMsg::WorkerUnblocked {
+                    worker,
+                    task: self.inner.current_task,
+                });
+            }
+        }
+    }
+}
+
+/// A submission context: the capability to create tasks, put objects, and
+/// block on futures. Cheap to clone.
+#[derive(Clone)]
+pub struct Caller {
+    inner: Arc<CallerInner>,
+}
+
+impl Caller {
+    pub(crate) fn new(
+        services: Arc<Services>,
+        recon: Arc<ReconstructionManager>,
+        home: NodeId,
+        current_task: TaskId,
+        component: Component,
+    ) -> Caller {
+        Caller::with_worker(services, recon, home, current_task, component, None)
+    }
+
+    pub(crate) fn with_worker(
+        services: Arc<Services>,
+        recon: Arc<ReconstructionManager>,
+        home: NodeId,
+        current_task: TaskId,
+        component: Component,
+        worker: Option<WorkerId>,
+    ) -> Caller {
+        Caller {
+            inner: Arc::new(CallerInner {
+                services,
+                recon,
+                home,
+                current_task,
+                component,
+                worker,
+                child_counter: AtomicU64::new(0),
+                put_counter: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The services bundle (exposed for tooling and benchmarks).
+    pub fn services(&self) -> &Arc<Services> {
+        &self.inner.services
+    }
+
+    /// The node this caller submits from.
+    pub fn home_node(&self) -> NodeId {
+        self.inner.home
+    }
+
+    /// The task identity this caller derives child IDs from.
+    pub fn current_task(&self) -> TaskId {
+        self.inner.current_task
+    }
+
+    /// Submits a task by raw parts. Returns the future(s) for its
+    /// returns. This is the non-blocking primitive behind all typed
+    /// wrappers (§3.1 item 1).
+    pub fn submit_raw(
+        &self,
+        function: FunctionId,
+        args: Vec<ArgSpec>,
+        num_returns: u32,
+        resources: Resources,
+    ) -> Result<Vec<ObjectId>> {
+        let inner = &self.inner;
+        let services = &inner.services;
+        if services.registry.get(function).is_none() {
+            return Err(Error::FunctionNotFound(function));
+        }
+        let counter = inner.child_counter.fetch_add(1, Ordering::Relaxed);
+        let task_id = inner.current_task.child(counter);
+        let return_ids: Vec<ObjectId> =
+            (0..num_returns).map(|i| task_id.return_object(i)).collect();
+
+        // Replay-aware submission: if this exact task already exists (we
+        // are a re-executed parent), do not double-submit unless its
+        // previous attempt was lost.
+        if let Some(state) = services.tasks.get_state(task_id) {
+            match state {
+                TaskState::Lost => {
+                    inner.recon.resubmit(task_id);
+                    return Ok(return_ids);
+                }
+                _ => return Ok(return_ids),
+            }
+        }
+
+        let spec = TaskSpec {
+            task_id,
+            function,
+            args,
+            num_returns,
+            resources,
+            submitter_node: inner.home,
+            attempt: 0,
+            actor: None,
+        };
+
+        // Admission control: a demand no node can ever satisfy fails
+        // fast with sealed error envelopes (consumers see the error
+        // rather than hanging).
+        if !services.cluster_fits(&spec.resources) {
+            let message = format!(
+                "task {task_id} is unschedulable: demand {} exceeds every node",
+                spec.resources
+            );
+            services.tasks.put_spec(&spec);
+            services
+                .tasks
+                .set_state(task_id, &TaskState::Failed(message.clone()));
+            for ret in &return_ids {
+                services.objects.declare(*ret, Some(task_id));
+            }
+            if let Some(store) = services
+                .store(inner.home)
+                .or_else(|| services.any_alive().and_then(|n| services.store(n)))
+            {
+                let bytes = envelope::seal_error(&message);
+                for ret in &return_ids {
+                    if store.put(*ret, bytes.clone()).is_ok() {
+                        services
+                            .objects
+                            .add_location(*ret, store.node(), bytes.len() as u64);
+                    }
+                }
+            }
+            return Ok(return_ids);
+        }
+
+        // Durable lineage first, then visibility, then routing.
+        services.tasks.put_spec(&spec);
+        for ret in &return_ids {
+            services.objects.declare(*ret, Some(task_id));
+        }
+        services.tasks.set_state(task_id, &TaskState::Submitted);
+        services.events.append(
+            inner.home,
+            Event::now(inner.component, EventKind::TaskSubmitted { task: task_id }),
+        );
+        services.submit_to(inner.home, spec)?;
+        Ok(return_ids)
+    }
+
+    /// Stores a value directly into the local object store and returns a
+    /// future for it. Unlike task returns, `put` objects carry no lineage
+    /// (losing every copy is unrecoverable — documented paper-faithful
+    /// behaviour).
+    pub fn put<T: Codec>(&self, value: &T) -> Result<ObjectRef<T>> {
+        let inner = &self.inner;
+        let counter = inner.put_counter.fetch_add(1, Ordering::Relaxed);
+        let object = inner.current_task.put_object(counter);
+        let store = inner
+            .services
+            .store(inner.home)
+            .or_else(|| {
+                inner
+                    .services
+                    .any_alive()
+                    .and_then(|n| inner.services.store(n))
+            })
+            .ok_or(Error::ShuttingDown)?;
+        let bytes = envelope::seal_value(value);
+        let len = bytes.len() as u64;
+        store.put(object, bytes)?;
+        inner.services.objects.declare(object, None);
+        inner
+            .services
+            .objects
+            .add_location(object, store.node(), len);
+        Ok(ObjectRef::typed(object))
+    }
+
+    /// Blocks until the future's value is available (default deadline
+    /// from the cluster tuning), fetching or reconstructing as needed.
+    pub fn get<T: Codec>(&self, fut: &ObjectRef<T>) -> Result<T> {
+        self.get_timeout(fut, self.inner.services.tuning.default_get_timeout)
+    }
+
+    /// [`Caller::get`] with an explicit deadline.
+    pub fn get_timeout<T: Codec>(&self, fut: &ObjectRef<T>, timeout: Duration) -> Result<T> {
+        let deadline = Instant::now() + timeout;
+        // Fast path: no scheduler round-trip when the value is local.
+        if let Some(store) = self.inner.services.store(self.inner.home) {
+            if let Some(bytes) = store.get(fut.id()) {
+                let producer = self
+                    .inner
+                    .services
+                    .objects
+                    .get(fut.id())
+                    .and_then(|i| i.producer)
+                    .unwrap_or(TaskId::NIL);
+                return envelope::open_value(&bytes, producer);
+            }
+        }
+        let _guard = BlockGuard::enter(&self.inner);
+        let (bytes, producer) = fetch::ensure_local_with_producer(
+            &self.inner.services,
+            &self.inner.recon,
+            self.inner.home,
+            fut.id(),
+            deadline,
+        )?;
+        envelope::open_value(&bytes, producer)
+    }
+
+    /// Raw `get`: sealed envelope bytes of an object by ID.
+    pub fn get_raw(&self, object: ObjectId, timeout: Duration) -> Result<bytes::Bytes> {
+        let deadline = Instant::now() + timeout;
+        let _guard = BlockGuard::enter(&self.inner);
+        fetch::ensure_local(
+            &self.inner.services,
+            &self.inner.recon,
+            self.inner.home,
+            object,
+            deadline,
+        )
+    }
+
+    /// Blocks until `num_ready` of `futs` have completed or `timeout`
+    /// elapses; returns `(ready, pending)` in input order (§3.1 item 5).
+    pub fn wait<T>(
+        &self,
+        futs: &[ObjectRef<T>],
+        num_ready: usize,
+        timeout: Duration,
+    ) -> (Vec<ObjectRef<T>>, Vec<ObjectRef<T>>) {
+        let ids: Vec<ObjectId> = futs.iter().map(|f| f.id()).collect();
+        let (ready, pending) = self.wait_ids(&ids, num_ready, timeout);
+        let to_refs = |ids: Vec<ObjectId>| ids.into_iter().map(ObjectRef::typed).collect();
+        (to_refs(ready), to_refs(pending))
+    }
+
+    /// Untyped [`Caller::wait`].
+    pub fn wait_ids(
+        &self,
+        ids: &[ObjectId],
+        num_ready: usize,
+        timeout: Duration,
+    ) -> (Vec<ObjectId>, Vec<ObjectId>) {
+        let _guard = BlockGuard::enter(&self.inner);
+        fetch::wait_ready(
+            &self.inner.services,
+            &self.inner.recon,
+            self.inner.home,
+            ids,
+            num_ready,
+            timeout,
+        )
+    }
+}
+
+macro_rules! submit_arity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $name_opts:ident, $token:ident, [$($ty:ident / $arg:ident),*]
+    ) => {
+        impl Caller {
+            $(#[$meta])*
+            pub fn $name<$($ty: Codec + 'static,)* R: Codec + 'static>(
+                &self,
+                f: &$token<$($ty,)* R>,
+                $($arg: impl IntoArg<$ty>,)*
+            ) -> Result<ObjectRef<R>> {
+                self.$name_opts(f, $($arg,)* TaskOptions::default())
+            }
+
+            /// Same, with explicit [`TaskOptions`] (resources).
+            pub fn $name_opts<$($ty: Codec + 'static,)* R: Codec + 'static>(
+                &self,
+                f: &$token<$($ty,)* R>,
+                $($arg: impl IntoArg<$ty>,)*
+                opts: TaskOptions,
+            ) -> Result<ObjectRef<R>> {
+                let args = vec![$($arg.into_arg()),*];
+                let ids = self.submit_raw(f.id(), args, 1, opts.resources)?;
+                Ok(ObjectRef::typed(ids[0]))
+            }
+        }
+    };
+}
+
+submit_arity!(
+    /// Submits a nullary task; returns its future immediately.
+    submit0, submit0_opts, Func0, []
+);
+submit_arity!(
+    /// Submits a unary task; the argument may be a value or a future.
+    submit1, submit1_opts, Func1, [A / a]
+);
+submit_arity!(
+    /// Submits a binary task; arguments may mix values and futures.
+    submit2, submit2_opts, Func2, [A / a, B / b]
+);
+submit_arity!(
+    /// Submits a ternary task; arguments may mix values and futures.
+    submit3, submit3_opts, Func3, [A / a, B / b, C / c]
+);
+submit_arity!(
+    /// Submits a 4-ary task; arguments may mix values and futures.
+    submit4, submit4_opts, Func4, [A / a, B / b, C / c, D / d]
+);
+
+/// A driver program's connection to the cluster.
+///
+/// Obtained from [`crate::cluster::Cluster::driver`]; dereferences to
+/// [`Caller`] for the full API.
+pub struct Driver {
+    caller: Caller,
+    id: DriverId,
+}
+
+impl Driver {
+    pub(crate) fn new(
+        services: Arc<Services>,
+        recon: Arc<ReconstructionManager>,
+        home: NodeId,
+        id: DriverId,
+    ) -> Driver {
+        let root = TaskId::driver_root(id);
+        Driver {
+            caller: Caller::new(services, recon, home, root, Component::Driver),
+            id,
+        }
+    }
+
+    /// This driver's identity.
+    pub fn id(&self) -> DriverId {
+        self.id
+    }
+}
+
+impl std::ops::Deref for Driver {
+    type Target = Caller;
+
+    fn deref(&self) -> &Caller {
+        &self.caller
+    }
+}
+
+/// The context handed to an executing task: the same API as a driver,
+/// rooted at the running task (so nested submissions derive deterministic
+/// child IDs — the backbone of replay).
+pub struct TaskContext {
+    caller: Caller,
+    worker: WorkerId,
+}
+
+impl TaskContext {
+    pub(crate) fn new(
+        services: Arc<Services>,
+        recon: Arc<ReconstructionManager>,
+        task: TaskId,
+        worker: WorkerId,
+    ) -> TaskContext {
+        TaskContext {
+            caller: Caller::with_worker(
+                services,
+                recon,
+                worker.node,
+                task,
+                Component::Worker,
+                Some(worker),
+            ),
+            worker,
+        }
+    }
+
+    /// The executing worker.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    /// The executing task.
+    pub fn task(&self) -> TaskId {
+        self.caller.current_task()
+    }
+}
+
+impl std::ops::Deref for TaskContext {
+    type Target = Caller;
+
+    fn deref(&self) -> &Caller {
+        &self.caller
+    }
+}
+
+/// Test-only helpers for constructing detached contexts.
+pub mod test_support {
+    use super::*;
+    use crate::services::RuntimeTuning;
+
+    /// Runs `f` with a context not attached to any cluster (submissions
+    /// will fail; argument decoding and similar pure paths work).
+    pub fn with_detached_context<R>(f: impl FnOnce(&TaskContext) -> R) -> R {
+        let services = Services::create(
+            1,
+            rtml_net::FabricConfig::default(),
+            false,
+            RuntimeTuning::default(),
+        );
+        let recon = ReconstructionManager::new(services.clone());
+        let root = TaskId::driver_root(DriverId::from_index(u64::MAX));
+        let ctx = TaskContext::new(services, recon, root, WorkerId::new(NodeId(0), 0));
+        f(&ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_context_exposes_identity() {
+        test_support::with_detached_context(|ctx| {
+            assert_eq!(ctx.worker(), WorkerId::new(NodeId(0), 0));
+            assert_eq!(ctx.home_node(), NodeId(0));
+        });
+    }
+
+    #[test]
+    fn submit_unknown_function_errors() {
+        test_support::with_detached_context(|ctx| {
+            let err = ctx
+                .submit_raw(
+                    FunctionId::from_name("nope"),
+                    vec![],
+                    1,
+                    Resources::cpu(1.0),
+                )
+                .unwrap_err();
+            assert!(matches!(err, Error::FunctionNotFound(_)));
+        });
+    }
+
+    #[test]
+    fn put_without_nodes_errors() {
+        test_support::with_detached_context(|ctx| {
+            let err = ctx.put(&5u64).unwrap_err();
+            assert_eq!(err, Error::ShuttingDown);
+        });
+    }
+
+    #[test]
+    fn task_options_constructors() {
+        assert_eq!(TaskOptions::cpu(2.0).resources, Resources::cpu(2.0));
+        assert_eq!(TaskOptions::gpu(1.0).resources, Resources::gpu(1.0));
+        assert_eq!(TaskOptions::default().resources, Resources::cpu(1.0));
+    }
+}

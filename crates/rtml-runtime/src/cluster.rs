@@ -1,0 +1,464 @@
+//! Cluster assembly: the whole of the paper's Figure 3 in one value.
+//!
+//! [`Cluster::start`] builds the sharded control plane, the simulated
+//! fabric, the global scheduler, and every node (store + transfer +
+//! local scheduler + workers), then hands out [`Driver`] connections.
+//! Failure injection ([`Cluster::kill_worker`], [`Cluster::kill_node`],
+//! [`Cluster::restart_node`]) drives the fault-tolerance experiments.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use rtml_common::codec::Codec;
+use rtml_common::error::{Error, Result};
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::{DriverId, NodeId, WorkerId};
+use rtml_common::task::TaskState;
+use rtml_kv::FunctionInfo;
+use rtml_net::{FabricConfig, LatencyModel};
+use rtml_sched::{
+    GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle, PlacementPolicy, SchedWire,
+    SpillMode,
+};
+
+use crate::actors::ActorHandle;
+use crate::caller::{Driver, TaskContext};
+use crate::lineage::ReconstructionManager;
+use crate::node::{NodeConfig, NodeRuntime, NodeTuning};
+use crate::profiling::ProfileReport;
+use crate::registry::{Func0, Func1, Func2, Func3, Func4};
+use crate::services::{RuntimeTuning, Services};
+
+/// Whole-cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// One entry per node.
+    pub nodes: Vec<NodeConfig>,
+    /// Control-plane shard count (R2 scaling knob; experiment E7).
+    pub kv_shards: usize,
+    /// Cross-node message latency.
+    pub latency: LatencyModel,
+    /// Cross-node bandwidth (None = infinite).
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Local-scheduler spill rule (experiment E8).
+    pub spill: SpillMode,
+    /// Global placement policy (experiment A2).
+    pub placement: PlacementPolicy,
+    /// Whether to record events (R7). Benchmarks may disable it.
+    pub event_logging: bool,
+    /// Fetch timeout for dependency resolution.
+    pub fetch_timeout: Duration,
+    /// Default deadline for blocking `get`s.
+    pub default_get_timeout: Duration,
+    /// Load-report publication interval.
+    pub load_interval: Duration,
+    /// Seed for randomized placement policies.
+    pub seed: u64,
+    /// Which node hosts the global scheduler (a "head node"). Components
+    /// on the same node reach it without fabric latency.
+    pub global_host: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: vec![NodeConfig::default()],
+            kv_shards: 8,
+            latency: LatencyModel::Constant(Duration::from_micros(100)),
+            bandwidth_bytes_per_sec: None,
+            spill: SpillMode::default(),
+            placement: PlacementPolicy::LocalityAware,
+            event_logging: true,
+            fetch_timeout: Duration::from_secs(2),
+            default_get_timeout: Duration::from_secs(30),
+            load_interval: Duration::from_millis(1),
+            seed: 0x5eed,
+            global_host: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A quick local cluster: `nodes` CPU-only nodes with
+    /// `workers_per_node` workers each.
+    pub fn local(nodes: usize, workers_per_node: u32) -> Self {
+        ClusterConfig {
+            nodes: (0..nodes)
+                .map(|_| NodeConfig::cpu_only(workers_per_node))
+                .collect(),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Replaces the latency model builder-style.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the spill mode builder-style.
+    pub fn with_spill(mut self, spill: SpillMode) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Replaces the shard count builder-style.
+    pub fn with_kv_shards(mut self, shards: usize) -> Self {
+        self.kv_shards = shards;
+        self
+    }
+
+    /// Disables event logging builder-style (for overhead-sensitive
+    /// benchmarks).
+    pub fn without_event_log(mut self) -> Self {
+        self.event_logging = false;
+        self
+    }
+}
+
+/// A running rtml cluster.
+pub struct Cluster {
+    services: Arc<Services>,
+    recon: Arc<ReconstructionManager>,
+    global: Mutex<Option<GlobalSchedulerHandle>>,
+    nodes: Mutex<HashMap<NodeId, NodeRuntime>>,
+    tuning: NodeTuning,
+    driver_counter: AtomicU64,
+    actor_counter: AtomicU64,
+}
+
+impl Cluster {
+    /// Builds and starts every component described by `config`.
+    pub fn start(config: ClusterConfig) -> Result<Cluster> {
+        if config.nodes.is_empty() {
+            return Err(Error::InvalidArgument(
+                "cluster needs at least one node".into(),
+            ));
+        }
+        let services = Services::create(
+            config.kv_shards,
+            FabricConfig {
+                latency: config.latency.clone(),
+                bandwidth_bytes_per_sec: config.bandwidth_bytes_per_sec,
+                jitter_seed: config.seed,
+            },
+            config.event_logging,
+            RuntimeTuning {
+                fetch_timeout: config.fetch_timeout,
+                default_get_timeout: config.default_get_timeout,
+            },
+        );
+        let recon = ReconstructionManager::new(services.clone());
+
+        let global = GlobalScheduler::spawn(
+            GlobalSchedulerConfig {
+                host_node: NodeId(config.global_host.min(config.nodes.len() as u32 - 1)),
+                policy: config.placement,
+                seed: config.seed,
+            },
+            services.fabric.clone(),
+            services.objects.clone(),
+            services.events.clone(),
+        );
+
+        let tuning = NodeTuning {
+            spill: config.spill.clone(),
+            fetch_timeout: config.fetch_timeout,
+            load_interval: config.load_interval,
+        };
+        let mut nodes = HashMap::new();
+        for (i, node_config) in config.nodes.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let runtime = NodeRuntime::build(
+                node,
+                node_config.clone(),
+                &services,
+                &recon,
+                global.address(),
+                &tuning,
+            );
+            nodes.insert(node, runtime);
+        }
+
+        // Formation barrier: do not hand out drivers until the global
+        // scheduler has heard every node's NodeUp (their announcements
+        // cross the fabric and pay its latency). Without this, an
+        // immediate submission burst would see a one-node cluster.
+        let expected = config.nodes.len();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while global
+            .stats()
+            .nodes_known
+            .load(std::sync::atomic::Ordering::Acquire)
+            < expected
+        {
+            if std::time::Instant::now() > deadline {
+                return Err(Error::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+
+        Ok(Cluster {
+            services,
+            recon,
+            global: Mutex::new(Some(global)),
+            nodes: Mutex::new(nodes),
+            tuning,
+            driver_counter: AtomicU64::new(0),
+            actor_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared services bundle (tables, registry, fabric).
+    pub fn services(&self) -> &Arc<Services> {
+        &self.services
+    }
+
+    /// The lineage-replay coordinator (exposes reconstruction counters).
+    pub fn reconstructions(&self) -> u64 {
+        self.recon.reconstructions.get()
+    }
+
+    /// Global-scheduler counters: `(spills received, placements issued,
+    /// tasks parked)`.
+    pub fn global_stats(&self) -> (u64, u64, u64) {
+        match self.global.lock().as_ref() {
+            Some(global) => {
+                let stats = global.stats();
+                (
+                    stats.spills.get(),
+                    stats.placements.get(),
+                    stats.parked.get(),
+                )
+            }
+            None => (0, 0, 0),
+        }
+    }
+
+    /// Connects a new driver program (homed on the lowest alive node).
+    pub fn driver(&self) -> Driver {
+        let id = DriverId::from_index(self.driver_counter.fetch_add(1, Ordering::Relaxed));
+        let home = self.services.any_alive().unwrap_or(NodeId(0));
+        Driver::new(self.services.clone(), self.recon.clone(), home, id)
+    }
+
+    /// Nodes currently alive.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.services.alive_nodes()
+    }
+
+    /// Kills one worker (crash semantics). Its in-flight task, if any, is
+    /// marked lost and reconstructed on demand.
+    pub fn kill_worker(&self, worker: WorkerId) -> Result<()> {
+        let mut nodes = self.nodes.lock();
+        let node = nodes
+            .get_mut(&worker.node)
+            .ok_or(Error::NodeDown(worker.node))?;
+        if node.kill_worker(worker) {
+            self.services.events.append(
+                worker.node,
+                Event::now(Component::Supervisor, EventKind::WorkerLost { worker }),
+            );
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument(format!("no such worker {worker}")))
+        }
+    }
+
+    /// Kills a whole node: store contents vanish, queued and running
+    /// tasks are marked lost (reconstructible), and the global scheduler
+    /// is told to stop placing there.
+    pub fn kill_node(&self, node: NodeId) -> Result<()> {
+        let runtime = self
+            .nodes
+            .lock()
+            .remove(&node)
+            .ok_or(Error::NodeDown(node))?;
+        runtime.kill(&self.services);
+
+        // Repair the task table: anything bound to the dead node is lost.
+        for (task, state) in self.services.tasks.scan_states() {
+            let lost = match &state {
+                TaskState::Queued(n) => *n == node,
+                TaskState::Running(w) => w.node == node,
+                TaskState::Submitted => self
+                    .services
+                    .tasks
+                    .get_spec(task)
+                    .is_some_and(|s| s.submitter_node == node),
+                _ => false,
+            };
+            if lost {
+                self.services.tasks.set_state(task, &TaskState::Lost);
+            }
+        }
+
+        // Tell the global scheduler via an ephemeral endpoint.
+        if let Some(global) = self.global.lock().as_ref() {
+            let from_node = self.services.any_alive().unwrap_or(NodeId(0));
+            let endpoint = self.services.fabric.register(from_node, "node-down");
+            let _ = self.services.fabric.send(
+                endpoint.address(),
+                global.address(),
+                rtml_common::codec::encode_to_bytes(&SchedWire::NodeDown { node }),
+            );
+            self.services.fabric.unregister(endpoint.address());
+        }
+        Ok(())
+    }
+
+    /// Restarts a previously-killed node with its original configuration
+    /// — the paper's "recover by restarting stateless components". The
+    /// store starts empty; lost objects reappear via lineage replay when
+    /// next needed.
+    pub fn restart_node(&self, node: NodeId, config: NodeConfig) -> Result<()> {
+        let mut nodes = self.nodes.lock();
+        if nodes.contains_key(&node) {
+            return Err(Error::InvalidArgument(format!("{node} is alive")));
+        }
+        let global_address = self
+            .global
+            .lock()
+            .as_ref()
+            .map(|g| g.address())
+            .ok_or(Error::ShuttingDown)?;
+        let runtime = NodeRuntime::build(
+            node,
+            config,
+            &self.services,
+            &self.recon,
+            global_address,
+            &self.tuning,
+        );
+        nodes.insert(node, runtime);
+        self.services.events.append(
+            node,
+            Event::now(Component::Supervisor, EventKind::NodeRestarted { node }),
+        );
+        Ok(())
+    }
+
+    /// The stored configuration of an alive node (useful for restarts).
+    pub fn node_config(&self, node: NodeId) -> Option<NodeConfig> {
+        self.nodes.lock().get(&node).map(|n| n.config().clone())
+    }
+
+    /// Builds a profiling report from the event log (R7).
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport::from_events(&self.services.events.read_all())
+    }
+
+    /// Spawns a stateful actor on `node` (an extension beyond the paper's
+    /// task-only model; see [`crate::actors`]).
+    pub fn spawn_actor<S: Send + 'static>(
+        &self,
+        name: &str,
+        node: NodeId,
+        init: impl FnOnce() -> S + Send + 'static,
+    ) -> Result<ActorHandle<S>> {
+        if self.services.store(node).is_none() {
+            return Err(Error::NodeDown(node));
+        }
+        let counter = self.actor_counter.fetch_add(1, Ordering::Relaxed);
+        ActorHandle::spawn(name, counter, node, self.services.clone(), init)
+    }
+
+    /// Gracefully stops every component and joins their threads.
+    pub fn shutdown(self) {
+        let nodes: Vec<NodeRuntime> = {
+            let mut guard = self.nodes.lock();
+            guard.drain().map(|(_, n)| n).collect()
+        };
+        for node in nodes {
+            node.shutdown(&self.services);
+        }
+        if let Some(mut global) = self.global.lock().take() {
+            global.shutdown();
+        }
+    }
+}
+
+macro_rules! cluster_register {
+    ($name:ident, $name_ctx:ident, $reg:ident, $reg_ctx:ident, $token:ident, [$($ty:ident),*]) => {
+        impl Cluster {
+            /// Registers a typed remote function cluster-wide.
+            pub fn $name<$($ty: Codec + 'static,)* R: Codec + 'static>(
+                &self,
+                name: &str,
+                f: impl Fn($($ty),*) -> Result<R> + Send + Sync + 'static,
+            ) -> $token<$($ty,)* R> {
+                let token = self.services.registry.$reg(name, f);
+                self.record_function(name, token.id());
+                token
+            }
+
+            /// Registers a typed remote function that receives the
+            /// [`TaskContext`] (for nested submissions).
+            pub fn $name_ctx<$($ty: Codec + 'static,)* R: Codec + 'static>(
+                &self,
+                name: &str,
+                f: impl Fn(&TaskContext $(, $ty)*) -> Result<R> + Send + Sync + 'static,
+            ) -> $token<$($ty,)* R> {
+                let token = self.services.registry.$reg_ctx(name, f);
+                self.record_function(name, token.id());
+                token
+            }
+        }
+    };
+}
+
+cluster_register!(
+    register_fn0,
+    register_fn0_ctx,
+    register0,
+    register0_ctx,
+    Func0,
+    []
+);
+cluster_register!(
+    register_fn1,
+    register_fn1_ctx,
+    register1,
+    register1_ctx,
+    Func1,
+    [A]
+);
+cluster_register!(
+    register_fn2,
+    register_fn2_ctx,
+    register2,
+    register2_ctx,
+    Func2,
+    [A, B]
+);
+cluster_register!(
+    register_fn3,
+    register_fn3_ctx,
+    register3,
+    register3_ctx,
+    Func3,
+    [A, B, C]
+);
+cluster_register!(
+    register_fn4,
+    register_fn4_ctx,
+    register4,
+    register4_ctx,
+    Func4,
+    [A, B, C, D]
+);
+
+impl Cluster {
+    fn record_function(&self, name: &str, id: rtml_common::ids::FunctionId) {
+        let arity = self.services.registry.arity_of(id).unwrap_or(0);
+        self.services.functions.register(&FunctionInfo {
+            id,
+            name: name.to_string(),
+            arity,
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Value envelopes: how task results and errors travel through the object
+//! store.
+//!
+//! Every object payload in the system is an [`Envelope`]: either a
+//! successfully computed value or an application error. Sealing errors as
+//! first-class objects is what lets failures propagate through dataflow
+//! edges without any side channel: a consumer task opens its argument,
+//! sees the error, and fails the same way, cascading to the driver's
+//! `get` (the behaviour Ray later standardized).
+
+use bytes::Bytes;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::TaskId;
+
+/// An object-store payload: a value or a propagated error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    /// Encoded application value.
+    Value(Bytes),
+    /// An error raised by the producing task (or one of its ancestors).
+    Error(String),
+}
+
+impl Codec for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Envelope::Value(bytes) => {
+                w.put_u8(0);
+                bytes.encode(w);
+            }
+            Envelope::Error(message) => {
+                w.put_u8(1);
+                message.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => Envelope::Value(Bytes::decode(r)?),
+            1 => Envelope::Error(String::decode(r)?),
+            other => return Err(Error::Codec(format!("invalid Envelope tag {other}"))),
+        })
+    }
+}
+
+impl Envelope {
+    /// Wraps an encodable value.
+    pub fn of_value<T: Codec>(value: &T) -> Envelope {
+        Envelope::Value(encode_to_bytes(value))
+    }
+
+    /// Serializes this envelope to store bytes.
+    pub fn seal(&self) -> Bytes {
+        encode_to_bytes(self)
+    }
+
+    /// Parses an envelope from store bytes.
+    pub fn open(bytes: &[u8]) -> Result<Envelope> {
+        decode_from_slice(bytes)
+    }
+
+    /// Extracts the raw value bytes or surfaces the propagated error.
+    pub fn into_value_bytes(self, producer: TaskId) -> Result<Bytes> {
+        match self {
+            Envelope::Value(bytes) => Ok(bytes),
+            Envelope::Error(message) => Err(Error::TaskFailed {
+                task: producer,
+                message,
+            }),
+        }
+    }
+}
+
+/// Convenience: seal a value directly to store bytes.
+pub fn seal_value<T: Codec>(value: &T) -> Bytes {
+    Envelope::of_value(value).seal()
+}
+
+/// Convenience: seal an error directly to store bytes.
+pub fn seal_error(message: &str) -> Bytes {
+    Envelope::Error(message.to_string()).seal()
+}
+
+/// Opens store bytes and decodes the value inside.
+pub fn open_value<T: Codec>(bytes: &[u8], producer: TaskId) -> Result<T> {
+    let raw = Envelope::open(bytes)?.into_value_bytes(producer)?;
+    decode_from_slice(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        let sealed = seal_value(&(7u64, String::from("x")));
+        let back: (u64, String) = open_value(&sealed, TaskId::NIL).unwrap();
+        assert_eq!(back, (7, "x".to_string()));
+    }
+
+    #[test]
+    fn error_surfaces_as_task_failed() {
+        let sealed = seal_error("boom");
+        let r: Result<u64> = open_value(&sealed, TaskId::NIL);
+        match r {
+            Err(Error::TaskFailed { message, .. }) => assert_eq!(message, "boom"),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn envelope_codec_round_trips() {
+        for env in [
+            Envelope::Value(Bytes::from_static(b"v")),
+            Envelope::Error("e".into()),
+        ] {
+            let bytes = env.seal();
+            assert_eq!(Envelope::open(&bytes).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Envelope::open(&[9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_codec_error() {
+        let sealed = seal_value(&String::from("text"));
+        let r: Result<Vec<f64>> = open_value(&sealed, TaskId::NIL);
+        assert!(r.is_err());
+    }
+}

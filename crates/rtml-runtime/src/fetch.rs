@@ -1,0 +1,222 @@
+//! Blocking object access: the machinery behind `get` and `wait`.
+//!
+//! [`ensure_local`] implements the paper's `get` semantics: return the
+//! value as soon as a copy is in the caller's local store, transparently
+//! pulling remote copies over the fabric, and invoking lineage
+//! reconstruction when every copy has been lost (R6). [`wait_ready`]
+//! implements `wait` (§3.1 item 5): completion-based readiness with a
+//! count and a timeout, the primitive that lets applications trade
+//! stragglers for latency (R1).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use rtml_common::codec::decode_from_slice;
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::{NodeId, ObjectId};
+use rtml_store::fetch_object;
+
+use crate::lineage::ReconstructionManager;
+use crate::services::Services;
+
+/// How long to block on notification channels before re-polling. The
+/// re-poll covers windows where a notification raced the subscription.
+const POLL_SLICE: Duration = Duration::from_millis(10);
+
+/// Blocks until `object` is present in `node`'s store, and returns its
+/// sealed bytes.
+///
+/// Resolution order:
+/// 1. local store hit;
+/// 2. remote copy exists → pull it through the transfer service (and
+///    record the new location);
+/// 3. no copy exists → ask the reconstruction manager to replay lineage,
+///    then keep waiting for the replayed task to seal the object.
+pub fn ensure_local(
+    services: &Services,
+    recon: &ReconstructionManager,
+    node: NodeId,
+    object: ObjectId,
+    deadline: Instant,
+) -> Result<Bytes> {
+    let store = services.store(node).ok_or(Error::NodeDown(node))?;
+    if let Some(bytes) = store.get(object) {
+        return Ok(bytes);
+    }
+
+    let local_rx = store.subscribe_local(object);
+    let (mut pending_info, stream) = services.objects.subscribe(object);
+
+    loop {
+        if let Some(bytes) = store.get(object) {
+            return Ok(bytes);
+        }
+        let info = pending_info.take().or_else(|| services.objects.get(object));
+        if let Some(info) = info {
+            if info.is_available() {
+                let holders: Vec<_> = info
+                    .locations
+                    .iter()
+                    .copied()
+                    .filter(|n| *n != node)
+                    .collect();
+                if !holders.is_empty() {
+                    let mut fetched = None;
+                    for holder in &holders {
+                        match fetch_object(
+                            &services.fabric,
+                            &services.directory,
+                            &store,
+                            object,
+                            *holder,
+                            services.tuning.fetch_timeout,
+                        ) {
+                            Ok(result) => {
+                                fetched = Some(result);
+                                break;
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    match fetched {
+                        Some((bytes, outcome)) => {
+                            services
+                                .objects
+                                .add_location(object, node, bytes.len() as u64);
+                            for evicted in outcome.evicted {
+                                services.objects.remove_location(evicted, node);
+                            }
+                            return Ok(bytes);
+                        }
+                        None => {
+                            // Every listed holder is unreachable
+                            // (partition or silent death): replay the
+                            // producer rather than spinning on fetches.
+                            recon.force_replay(object);
+                        }
+                    }
+                } else if info.locations == vec![node] {
+                    // The table claims we hold it but the store disagrees
+                    // (eviction race): fix the record and reconstruct.
+                    services.objects.remove_location(object, node);
+                    recon.handle_missing(object);
+                }
+            } else {
+                recon.handle_missing(object);
+            }
+        }
+
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(Error::Timeout);
+        }
+        let slice = POLL_SLICE.min(deadline - now);
+        crossbeam::channel::select! {
+            recv(local_rx) -> msg => {
+                if msg.is_err() {
+                    return Err(Error::NodeDown(node));
+                }
+            }
+            recv(stream.receiver()) -> msg => {
+                match msg {
+                    Ok(bytes) => pending_info = decode_from_slice(&bytes).ok(),
+                    Err(_) => return Err(Error::ShuttingDown),
+                }
+            }
+            default(slice) => {}
+        }
+    }
+}
+
+/// Blocks until at least `num_ready` of `ids` are complete (their objects
+/// sealed anywhere, including error seals) or `timeout` elapses. Returns
+/// `(ready, pending)` preserving input order.
+///
+/// Matches the paper's `wait`: "returns the subset of futures whose tasks
+/// have completed when the timeout occurs or the requested number have
+/// completed."
+pub fn wait_ready(
+    services: &Services,
+    recon: &ReconstructionManager,
+    node: NodeId,
+    ids: &[ObjectId],
+    num_ready: usize,
+    timeout: Duration,
+) -> (Vec<ObjectId>, Vec<ObjectId>) {
+    let deadline = Instant::now() + timeout;
+    let num_ready = num_ready.min(ids.len());
+    let store = services.store(node);
+
+    // One table subscription per distinct pending object.
+    let streams: Vec<_> = ids
+        .iter()
+        .map(|id| services.objects.subscribe(*id).1)
+        .collect();
+
+    // Readiness is *completion*, not residency: an object that sealed
+    // once and was later evicted still counts (its task completed; the
+    // value is reconstructible on demand). Matches §3.1 item 5: "the
+    // subset of futures whose tasks have completed".
+    let is_ready = |id: ObjectId| -> bool {
+        if let Some(store) = &store {
+            if store.contains(id) {
+                return true;
+            }
+        }
+        services.objects.get(id).is_some_and(|info| info.sealed)
+    };
+
+    // Nudge reconstruction once for anything that looks lost; the manager
+    // no-ops for in-flight producers.
+    for id in ids {
+        if !is_ready(*id) {
+            recon.handle_missing(*id);
+        }
+    }
+
+    loop {
+        let ready_count = ids.iter().filter(|id| is_ready(**id)).count();
+        let now = Instant::now();
+        if ready_count >= num_ready || now >= deadline {
+            let (ready, pending): (Vec<ObjectId>, Vec<ObjectId>) =
+                ids.iter().partition(|id| is_ready(**id));
+            return (ready, pending);
+        }
+
+        // Block on any table change among the pending ids, or the poll
+        // slice, whichever first.
+        let slice = POLL_SLICE.min(deadline - now);
+        let mut select = crossbeam::channel::Select::new();
+        for stream in &streams {
+            select.recv(stream.receiver());
+        }
+        match select.select_timeout(slice) {
+            Ok(op) => {
+                let idx = op.index();
+                // Drain the operation to keep the channel consistent.
+                let _ = op.recv(streams[idx].receiver());
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// Variant of [`ensure_local`] returning the producing task for error
+/// attribution.
+pub fn ensure_local_with_producer(
+    services: &Arc<Services>,
+    recon: &ReconstructionManager,
+    node: NodeId,
+    object: ObjectId,
+    deadline: Instant,
+) -> Result<(Bytes, rtml_common::ids::TaskId)> {
+    let bytes = ensure_local(services, recon, node, object, deadline)?;
+    let producer = services
+        .objects
+        .get(object)
+        .and_then(|info| info.producer)
+        .unwrap_or(rtml_common::ids::TaskId::NIL);
+    Ok((bytes, producer))
+}

@@ -1,0 +1,190 @@
+//! Lineage-based fault tolerance (paper §3.2.1 / R6).
+//!
+//! "The database stores the computation lineage, which allows us to
+//! reconstruct lost data by replaying the computation." The lineage *is*
+//! the task table: every task spec is durable at submission time, task
+//! IDs are deterministic functions of the submission structure, and
+//! object IDs are deterministic functions of task IDs. So reconstruction
+//! is: find the producer of the missing object, re-submit its spec, and
+//! let the ordinary scheduling/dependency machinery do the rest —
+//! including recursively reconstructing the producer's own missing
+//! inputs.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::{ObjectId, TaskId};
+use rtml_common::metrics::Counter;
+use rtml_common::task::{TaskSpec, TaskState};
+
+use crate::envelope;
+use crate::services::Services;
+
+/// Deduplicating lineage-replay coordinator. One per cluster.
+pub struct ReconstructionManager {
+    services: Arc<Services>,
+    /// Tasks between the resubmission decision and the Submitted state
+    /// write (a very small window, but enough for duplicate triggers).
+    inflight: Mutex<HashSet<TaskId>>,
+    /// Total reconstructions performed (for experiments).
+    pub reconstructions: Counter,
+}
+
+impl ReconstructionManager {
+    /// Creates a manager over `services`.
+    pub fn new(services: Arc<Services>) -> Arc<Self> {
+        Arc::new(ReconstructionManager {
+            services,
+            inflight: Mutex::new(HashSet::new()),
+            reconstructions: Counter::new(),
+        })
+    }
+
+    /// Called when someone needs `object` but no live copy exists.
+    ///
+    /// Idempotent and cheap when the producer is already in flight;
+    /// resubmits the producer when it terminated without leaving a copy
+    /// (node failure, eviction); seals error envelopes when the object
+    /// can never be produced (failed producer, broken lineage).
+    pub fn handle_missing(&self, object: ObjectId) {
+        let Some(info) = self.services.objects.get(object) else {
+            // Unknown object: nothing to go on (not declared yet).
+            return;
+        };
+        if info.is_available() {
+            return;
+        }
+        let Some(producer) = info.producer else {
+            // No producing task recorded (a `put` or an actor result).
+            // If it has never been sealed it is simply not produced yet —
+            // keep waiting. If it *was* sealed and now has no copies, the
+            // value is gone for good: no lineage to replay.
+            if info.sealed {
+                self.seal_missing_as_error(
+                    &[object],
+                    "lineage broken: object has no producing task and its last copy was lost",
+                );
+            }
+            return;
+        };
+        match self.services.tasks.get_state(producer) {
+            None
+            | Some(TaskState::Submitted)
+            | Some(TaskState::Queued(_))
+            | Some(TaskState::Spilled)
+            | Some(TaskState::Running(_)) => {
+                // In flight (or about to be): the seal will come.
+            }
+            Some(TaskState::Failed(message)) => {
+                // The producer ran and failed; its error envelopes should
+                // exist, but a node death may have taken them. Re-seal.
+                let returns: Vec<ObjectId> = self
+                    .services
+                    .tasks
+                    .get_spec(producer)
+                    .map(|s| s.return_ids())
+                    .unwrap_or_else(|| vec![object]);
+                self.seal_missing_as_error(&returns, &message);
+            }
+            Some(TaskState::Finished) | Some(TaskState::Lost) => {
+                self.resubmit(producer);
+            }
+        }
+    }
+
+    /// Forces a replay of `object`'s producer even though copies appear
+    /// to exist — called after fetches to every listed holder failed
+    /// (network partition, silently dead node). The evidence bar is
+    /// high (a full fetch timeout elapsed), so the occasional redundant
+    /// replay is an acceptable price for liveness.
+    pub fn force_replay(&self, object: ObjectId) {
+        let Some(info) = self.services.objects.get(object) else {
+            return;
+        };
+        let Some(producer) = info.producer else {
+            return; // A put: nothing to replay.
+        };
+        match self.services.tasks.get_state(producer) {
+            Some(TaskState::Finished) | Some(TaskState::Lost) => self.resubmit(producer),
+            _ => {}
+        }
+    }
+
+    /// Resubmits `task` from its durable spec, bumping the attempt
+    /// counter. No-op if another trigger beat us to it.
+    pub fn resubmit(&self, task: TaskId) {
+        {
+            let mut inflight = self.inflight.lock();
+            if !inflight.insert(task) {
+                return;
+            }
+        }
+        let result = self.resubmit_inner(task);
+        self.inflight.lock().remove(&task);
+        if let Some(spec) = result {
+            // Routing failed entirely (cluster shutting down): nothing
+            // more to do; callers will time out.
+            drop(spec);
+        }
+    }
+
+    fn resubmit_inner(&self, task: TaskId) -> Option<TaskSpec> {
+        let Some(mut spec) = self.services.tasks.get_spec(task) else {
+            return None;
+        };
+        // Re-check state under the inflight guard: another thread may
+        // have already resubmitted.
+        match self.services.tasks.get_state(task) {
+            Some(TaskState::Finished) | Some(TaskState::Lost) | None => {}
+            _ => return None,
+        }
+        spec.attempt += 1;
+        self.services.tasks.put_spec(&spec);
+        self.services.tasks.set_state(task, &TaskState::Submitted);
+        self.reconstructions.inc();
+        let home = self.services.any_alive().unwrap_or(spec.submitter_node);
+        self.services.events.append(
+            home,
+            Event::now(
+                Component::Supervisor,
+                EventKind::TaskReconstructed {
+                    task,
+                    attempt: spec.attempt,
+                },
+            ),
+        );
+        if self
+            .services
+            .submit_to(spec.submitter_node, spec.clone())
+            .is_err()
+        {
+            return Some(spec);
+        }
+        None
+    }
+
+    /// Seals error envelopes for objects that can never be produced, so
+    /// consumers fail fast instead of hanging.
+    fn seal_missing_as_error(&self, objects: &[ObjectId], message: &str) {
+        let Some(node) = self.services.any_alive() else {
+            return;
+        };
+        let Some(store) = self.services.store(node) else {
+            return;
+        };
+        let bytes = envelope::seal_error(message);
+        for object in objects {
+            if self.services.objects.is_available(*object) {
+                continue;
+            }
+            if store.put(*object, bytes.clone()).is_ok() {
+                self.services
+                    .objects
+                    .add_location(*object, node, bytes.len() as u64);
+            }
+        }
+    }
+}

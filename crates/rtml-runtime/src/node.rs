@@ -1,0 +1,306 @@
+//! Per-node assembly: object store + transfer service + local scheduler +
+//! worker pool (one column of the paper's Figure 3).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::{NodeId, WorkerId};
+use rtml_common::resources::Resources;
+use rtml_net::NetAddress;
+use rtml_sched::{
+    LocalMsg, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices, SpillMode,
+    WorkerCommand, WorkerHandle,
+};
+use rtml_store::{ObjectStore, StoreConfig, TransferService};
+
+use crate::lineage::ReconstructionManager;
+use crate::services::Services;
+use crate::worker::WorkerRuntime;
+
+/// Static description of one node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Number of worker threads.
+    pub workers: u32,
+    /// CPU capacity advertised to the scheduler (defaults to `workers`).
+    pub cpus: f64,
+    /// GPU capacity.
+    pub gpus: f64,
+    /// Named custom resources.
+    pub custom: Vec<(String, f64)>,
+    /// Object store capacity in bytes.
+    pub store_capacity: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            workers: 4,
+            cpus: 4.0,
+            gpus: 0.0,
+            custom: Vec::new(),
+            store_capacity: 256 * 1024 * 1024,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// A CPU-only node with `workers` workers (capacity = worker count).
+    pub fn cpu_only(workers: u32) -> Self {
+        NodeConfig {
+            workers,
+            cpus: workers as f64,
+            ..NodeConfig::default()
+        }
+    }
+
+    /// Adds GPUs builder-style.
+    pub fn with_gpus(mut self, gpus: f64) -> Self {
+        self.gpus = gpus;
+        self
+    }
+
+    /// Adds a custom resource builder-style.
+    pub fn with_custom(mut self, name: &str, amount: f64) -> Self {
+        self.custom.push((name.to_string(), amount));
+        self
+    }
+
+    /// Sets store capacity builder-style.
+    pub fn with_store_capacity(mut self, bytes: u64) -> Self {
+        self.store_capacity = bytes;
+        self
+    }
+
+    /// The node's resource vector.
+    pub fn total_resources(&self) -> Resources {
+        let mut r = Resources::new(self.cpus, self.gpus);
+        for (name, amount) in &self.custom {
+            r = r.with_custom(name, *amount);
+        }
+        r
+    }
+}
+
+/// Scheduler tuning shared by all nodes (subset of cluster config).
+#[derive(Clone, Debug)]
+pub struct NodeTuning {
+    /// Spill rule for local schedulers.
+    pub spill: SpillMode,
+    /// Fetch timeout for dependency resolution.
+    pub fetch_timeout: std::time::Duration,
+    /// Load-report publication interval.
+    pub load_interval: std::time::Duration,
+}
+
+/// A live node: all per-node components plus their control handles.
+pub struct NodeRuntime {
+    /// Node identity.
+    pub node: NodeId,
+    /// The node's object store.
+    pub store: Arc<ObjectStore>,
+    config: NodeConfig,
+    transfer: TransferService,
+    sched: LocalSchedulerHandle,
+    /// Shared with the pool-manager thread, which appends on-demand
+    /// workers (nested-task deadlock avoidance).
+    workers: Arc<parking_lot::Mutex<Vec<(WorkerRuntime, Sender<WorkerCommand>)>>>,
+}
+
+impl NodeRuntime {
+    /// Builds and starts all components for `node`, registering it with
+    /// the shared services.
+    pub fn build(
+        node: NodeId,
+        config: NodeConfig,
+        services: &Arc<Services>,
+        recon: &Arc<ReconstructionManager>,
+        global_address: NetAddress,
+        tuning: &NodeTuning,
+    ) -> NodeRuntime {
+        let store = Arc::new(ObjectStore::new(StoreConfig {
+            node,
+            capacity_bytes: config.store_capacity,
+        }));
+        let transfer =
+            TransferService::spawn(services.fabric.clone(), store.clone(), &services.directory);
+
+        // Worker channels first: the scheduler needs the handles.
+        let mut worker_channels = Vec::new();
+        let mut handles = Vec::new();
+        for index in 0..config.workers {
+            let (tx, rx) = unbounded();
+            let id = WorkerId::new(node, index);
+            handles.push(WorkerHandle { id, tx: tx.clone() });
+            worker_channels.push((id, tx, rx));
+        }
+
+        let recon_hook = {
+            let recon = recon.clone();
+            Arc::new(move |object| recon.handle_missing(object))
+        };
+        let (pool_tx, pool_rx) = unbounded::<()>();
+        let request_worker = Arc::new(move || {
+            let _ = pool_tx.send(());
+        });
+        let sched_services = SchedServices {
+            kv: services.kv.clone(),
+            objects: services.objects.clone(),
+            tasks: services.tasks.clone(),
+            events: services.events.clone(),
+            fabric: services.fabric.clone(),
+            directory: services.directory.clone(),
+            store: store.clone(),
+            global_address,
+            reconstruct: recon_hook,
+            request_worker,
+        };
+        let sched = LocalScheduler::spawn(
+            LocalSchedulerConfig {
+                node,
+                total_resources: config.total_resources(),
+                spill: tuning.spill.clone(),
+                fetch_timeout: tuning.fetch_timeout,
+                load_interval: tuning.load_interval,
+            },
+            sched_services,
+            handles,
+        );
+
+        let workers: Arc<parking_lot::Mutex<Vec<(WorkerRuntime, Sender<WorkerCommand>)>>> =
+            Arc::new(parking_lot::Mutex::new(
+                worker_channels
+                    .into_iter()
+                    .map(|(id, tx, rx)| {
+                        (
+                            WorkerRuntime::spawn(
+                                id,
+                                services.clone(),
+                                recon.clone(),
+                                sched.sender(),
+                                rx,
+                            ),
+                            tx,
+                        )
+                    })
+                    .collect(),
+            ));
+
+        // Pool manager: grows the worker pool on scheduler request, up
+        // to a cap. Exits when the scheduler (and its request hook) die.
+        {
+            let workers = workers.clone();
+            let services = services.clone();
+            let recon = recon.clone();
+            let sched_tx = sched.sender();
+            let max_workers = (config.workers as usize * 4).max(16);
+            let mut next_index = config.workers;
+            std::thread::Builder::new()
+                .name(format!("rtml-pool-{node}"))
+                .spawn(move || {
+                    while pool_rx.recv().is_ok() {
+                        if workers.lock().len() >= max_workers {
+                            continue;
+                        }
+                        let (tx, rx) = unbounded();
+                        let id = WorkerId::new(node, next_index);
+                        next_index += 1;
+                        let runtime = WorkerRuntime::spawn(
+                            id,
+                            services.clone(),
+                            recon.clone(),
+                            sched_tx.clone(),
+                            rx,
+                        );
+                        workers.lock().push((runtime, tx.clone()));
+                        let _ = sched_tx.send(rtml_sched::LocalMsg::AddWorker(
+                            rtml_sched::WorkerHandle { id, tx },
+                        ));
+                    }
+                })
+                .expect("spawn pool manager");
+        }
+
+        services.attach_node(
+            node,
+            store.clone(),
+            sched.sender(),
+            config.total_resources(),
+        );
+
+        NodeRuntime {
+            node,
+            store,
+            config,
+            transfer,
+            sched,
+            workers,
+        }
+    }
+
+    /// The node's static configuration (used for restarts).
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Kills one worker: crash semantics (in-flight task effects
+    /// discarded, scheduler notified). Returns whether the worker
+    /// existed.
+    pub fn kill_worker(&mut self, worker: WorkerId) -> bool {
+        let mut workers = self.workers.lock();
+        let Some((runtime, tx)) = workers.iter_mut().find(|(w, _)| w.id == worker) else {
+            return false;
+        };
+        runtime.kill();
+        runtime.detach();
+        // Unblock the thread if it is idle in recv().
+        let _ = tx.send(WorkerCommand::Stop);
+        let _ = self.sched.sender().send(LocalMsg::RemoveWorker(worker));
+        true
+    }
+
+    /// Simulates a whole-node crash: workers die (discarding in-flight
+    /// effects), the store's contents vanish, and all registrations are
+    /// withdrawn. The caller (cluster) handles task-table repair and
+    /// notifying the global scheduler.
+    pub fn kill(self, services: &Arc<Services>) {
+        // Stop routing new work here first.
+        services.detach_node(self.node);
+        for (runtime, tx) in self.workers.lock().iter_mut() {
+            runtime.kill();
+            runtime.detach();
+            let _ = tx.send(WorkerCommand::Stop);
+        }
+        let mut this = self;
+        this.sched.shutdown();
+        // Drop the store contents and erase locations from the table.
+        for object in this.store.clear() {
+            services.objects.remove_location(object, this.node);
+        }
+        services.directory.remove(this.node);
+        this.transfer.shutdown();
+        services.events.append(
+            this.node,
+            Event::now(
+                Component::Supervisor,
+                EventKind::NodeLost { node: this.node },
+            ),
+        );
+    }
+
+    /// Graceful shutdown: drains schedulers and joins workers.
+    pub fn shutdown(mut self, services: &Arc<Services>) {
+        services.detach_node(self.node);
+        // The scheduler's shutdown sends Stop to its registered workers.
+        self.sched.shutdown();
+        for (runtime, tx) in self.workers.lock().iter_mut() {
+            // Belt and braces for workers the scheduler no longer knows.
+            let _ = tx.send(WorkerCommand::Stop);
+            runtime.join();
+        }
+        services.directory.remove(self.node);
+        self.transfer.shutdown();
+    }
+}

@@ -1,0 +1,162 @@
+//! Typed futures over object-store entries.
+//!
+//! An [`ObjectRef<T>`] is the paper's *future* (§3.1, citing Baker &
+//! Hewitt): a handle to the eventual, immutable result of a task (or a
+//! `put`). It is `Copy`, freely shareable across threads, and usable as a
+//! task argument — which is how dataflow edges are expressed (R5).
+
+use std::marker::PhantomData;
+
+use rtml_common::codec::{encode_to_bytes, Codec};
+use rtml_common::ids::ObjectId;
+use rtml_common::task::ArgSpec;
+
+/// A typed future for an object of type `T`.
+///
+/// The type parameter is a compile-time convenience only; the wire
+/// representation is the raw [`ObjectId`]. `erase`/`typed` convert
+/// between the typed and untyped views.
+pub struct ObjectRef<T> {
+    id: ObjectId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> ObjectRef<T> {
+    /// Wraps an object ID as a typed future.
+    pub fn typed(id: ObjectId) -> Self {
+        ObjectRef {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying object ID.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Drops the type parameter.
+    pub fn erase(&self) -> ObjectId {
+        self.id
+    }
+}
+
+impl<T> Clone for ObjectRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for ObjectRef<T> {}
+
+impl<T> std::fmt::Debug for ObjectRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectRef({})", self.id)
+    }
+}
+
+impl<T> PartialEq for ObjectRef<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<T> Eq for ObjectRef<T> {}
+
+impl<T> std::hash::Hash for ObjectRef<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+/// A value that can be passed as a task argument slot of type `T`.
+///
+/// Two forms exist: immediate values (encoded inline into the task spec)
+/// and futures (dataflow dependencies). This trait is what lets
+/// `submit2(&f, 3, other_future)` mix both naturally (paper §3.1 item 2:
+/// "task arguments can be either regular values or futures").
+pub trait IntoArg<T> {
+    /// Converts into the task-spec argument form.
+    fn into_arg(self) -> ArgSpec;
+}
+
+impl<T: Codec> IntoArg<T> for T {
+    fn into_arg(self) -> ArgSpec {
+        ArgSpec::Value(encode_to_bytes(&self))
+    }
+}
+
+impl<T: Codec + Clone> IntoArg<T> for &T {
+    fn into_arg(self) -> ArgSpec {
+        ArgSpec::Value(encode_to_bytes(self))
+    }
+}
+
+impl<T> IntoArg<T> for ObjectRef<T> {
+    fn into_arg(self) -> ArgSpec {
+        ArgSpec::ObjectRef(self.id())
+    }
+}
+
+impl<T> IntoArg<T> for &ObjectRef<T> {
+    fn into_arg(self) -> ArgSpec {
+        ArgSpec::ObjectRef(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, TaskId};
+
+    fn some_object() -> ObjectId {
+        TaskId::driver_root(DriverId::from_index(0))
+            .child(0)
+            .return_object(0)
+    }
+
+    #[test]
+    fn refs_are_copy_and_comparable() {
+        let a: ObjectRef<u64> = ObjectRef::typed(some_object());
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.erase());
+    }
+
+    #[test]
+    fn value_arg_encodes_inline() {
+        let arg = IntoArg::<u64>::into_arg(5u64);
+        match arg {
+            ArgSpec::Value(bytes) => {
+                let v: u64 = rtml_common::codec::decode_from_slice(&bytes).unwrap();
+                assert_eq!(v, 5);
+            }
+            _ => panic!("expected inline value"),
+        }
+    }
+
+    #[test]
+    fn ref_arg_becomes_dependency() {
+        let fut: ObjectRef<u64> = ObjectRef::typed(some_object());
+        let arg = fut.into_arg();
+        assert_eq!(arg.dependency(), Some(some_object()));
+    }
+
+    #[test]
+    fn borrowed_forms_work() {
+        let v = String::from("s");
+        let arg = IntoArg::<String>::into_arg(&v);
+        assert!(matches!(arg, ArgSpec::Value(_)));
+        let fut: ObjectRef<String> = ObjectRef::typed(some_object());
+        let arg = (&fut).into_arg();
+        assert!(matches!(arg, ArgSpec::ObjectRef(_)));
+    }
+
+    #[test]
+    fn refs_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // Holds even when T itself is not Send/Sync, because the ref only
+        // names the value.
+        assert_send_sync::<ObjectRef<std::rc::Rc<u8>>>();
+    }
+}

@@ -1,0 +1,284 @@
+//! Profiling and debugging tools over the event log (requirement R7).
+//!
+//! The paper's Figure 3 attaches profiling, debugging, and error-
+//! diagnosis tools to the centralized control state. This module is that
+//! box: it folds the event log into per-task timelines, summarizes
+//! scheduling latency, and exports a Chrome-trace JSON
+//! (`chrome://tracing` / Perfetto) of the whole run.
+
+use std::collections::HashMap;
+
+use rtml_common::event::{Event, EventKind};
+use rtml_common::ids::{TaskId, WorkerId};
+use rtml_common::metrics::{fmt_nanos, Histogram};
+
+/// Per-task timeline assembled from the event log.
+#[derive(Clone, Debug, Default)]
+pub struct TaskProfile {
+    /// Task identity.
+    pub task: Option<TaskId>,
+    /// When the task was submitted (nanos since epoch).
+    pub submitted: Option<u64>,
+    /// When a local scheduler queued it.
+    pub queued: Option<u64>,
+    /// Whether it took the spillover path.
+    pub spilled: bool,
+    /// When the global scheduler placed it (spilled tasks only).
+    pub placed: Option<u64>,
+    /// When a worker started it.
+    pub started: Option<u64>,
+    /// When it finished.
+    pub finished: Option<u64>,
+    /// Executor-measured run time in microseconds.
+    pub exec_micros: Option<u64>,
+    /// The worker that ran it.
+    pub worker: Option<WorkerId>,
+    /// Whether it failed.
+    pub failed: bool,
+    /// Reconstruction attempts observed.
+    pub reconstructions: u32,
+}
+
+impl TaskProfile {
+    /// Submit→start latency (the system overhead the paper's §4.1
+    /// microbenchmarks measure), if both endpoints were recorded.
+    pub fn scheduling_latency_nanos(&self) -> Option<u64> {
+        Some(self.started?.saturating_sub(self.submitted?))
+    }
+}
+
+/// A digest of one run's event log.
+#[derive(Debug, Default)]
+pub struct ProfileReport {
+    /// Per-task timelines, ordered by submission time.
+    pub tasks: Vec<TaskProfile>,
+    /// Cross-node transfers completed.
+    pub transfers: usize,
+    /// Objects evicted.
+    pub evictions: usize,
+    /// Objects sealed.
+    pub seals: usize,
+    /// Workers lost.
+    pub workers_lost: usize,
+    /// Nodes lost.
+    pub nodes_lost: usize,
+}
+
+impl ProfileReport {
+    /// Folds a (time-sorted) event stream into a report.
+    pub fn from_events(events: &[Event]) -> ProfileReport {
+        let mut by_task: HashMap<TaskId, TaskProfile> = HashMap::new();
+        let mut report = ProfileReport::default();
+        for event in events {
+            match &event.kind {
+                EventKind::ObjectSealed { .. } => report.seals += 1,
+                EventKind::ObjectEvicted { .. } => report.evictions += 1,
+                EventKind::TransferFinished { .. } => report.transfers += 1,
+                EventKind::WorkerLost { .. } => report.workers_lost += 1,
+                EventKind::NodeLost { .. } => report.nodes_lost += 1,
+                _ => {}
+            }
+            let Some(task) = event.kind.task() else {
+                continue;
+            };
+            let profile = by_task.entry(task).or_default();
+            profile.task = Some(task);
+            match &event.kind {
+                EventKind::TaskSubmitted { .. } => {
+                    profile.submitted.get_or_insert(event.at_nanos);
+                }
+                EventKind::TaskQueuedLocal { .. } => {
+                    profile.queued.get_or_insert(event.at_nanos);
+                }
+                EventKind::TaskSpilled { .. } => profile.spilled = true,
+                EventKind::TaskPlaced { .. } => {
+                    profile.placed.get_or_insert(event.at_nanos);
+                }
+                EventKind::TaskStarted { worker, .. } => {
+                    profile.started.get_or_insert(event.at_nanos);
+                    profile.worker = Some(*worker);
+                }
+                EventKind::TaskFinished { micros, .. } => {
+                    profile.finished = Some(event.at_nanos);
+                    profile.exec_micros = Some(*micros);
+                }
+                EventKind::TaskFailed { .. } => profile.failed = true,
+                EventKind::TaskReconstructed { .. } => profile.reconstructions += 1,
+                _ => {}
+            }
+        }
+        let mut tasks: Vec<TaskProfile> = by_task.into_values().collect();
+        tasks.sort_by_key(|t| t.submitted.unwrap_or(u64::MAX));
+        report.tasks = tasks;
+        report
+    }
+
+    /// Histogram of submit→start scheduling latency.
+    pub fn scheduling_latency(&self) -> Histogram {
+        let hist = Histogram::new();
+        for task in &self.tasks {
+            if let Some(nanos) = task.scheduling_latency_nanos() {
+                hist.record(nanos);
+            }
+        }
+        hist
+    }
+
+    /// Number of tasks that took the spill path.
+    pub fn spilled_count(&self) -> usize {
+        self.tasks.iter().filter(|t| t.spilled).count()
+    }
+
+    /// Number of failed tasks.
+    pub fn failed_count(&self) -> usize {
+        self.tasks.iter().filter(|t| t.failed).count()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let latency = self.scheduling_latency().snapshot();
+        format!(
+            "tasks: {} ({} spilled, {} failed)\n\
+             scheduling latency: p50 {} / p99 {} / max {}\n\
+             objects sealed: {}, transfers: {}, evictions: {}\n\
+             failures injected: {} workers, {} nodes",
+            self.tasks.len(),
+            self.spilled_count(),
+            self.failed_count(),
+            fmt_nanos(latency.p50()),
+            fmt_nanos(latency.p99()),
+            fmt_nanos(latency.max()),
+            self.seals,
+            self.transfers,
+            self.evictions,
+            self.workers_lost,
+            self.nodes_lost,
+        )
+    }
+
+    /// Chrome-trace JSON (the "trace event format"): one complete event
+    /// per executed task, with node as pid and worker as tid. Load in
+    /// `chrome://tracing` or Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for task in &self.tasks {
+            let (Some(id), Some(started)) = (task.task, task.started) else {
+                continue;
+            };
+            let finished = task.finished.unwrap_or(started);
+            let worker = task
+                .worker
+                .unwrap_or(WorkerId::new(rtml_common::ids::NodeId(0), 0));
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{id}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                started / 1_000,
+                (finished.saturating_sub(started)) / 1_000,
+                worker.node.0,
+                worker.index,
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::event::Component;
+    use rtml_common::ids::{DriverId, NodeId};
+
+    fn task_events() -> Vec<Event> {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let t = root.child(0);
+        let w = WorkerId::new(NodeId(0), 1);
+        vec![
+            Event {
+                at_nanos: 100,
+                component: Component::Driver,
+                kind: EventKind::TaskSubmitted { task: t },
+            },
+            Event {
+                at_nanos: 150,
+                component: Component::LocalScheduler,
+                kind: EventKind::TaskQueuedLocal {
+                    task: t,
+                    node: NodeId(0),
+                },
+            },
+            Event {
+                at_nanos: 200,
+                component: Component::Worker,
+                kind: EventKind::TaskStarted { task: t, worker: w },
+            },
+            Event {
+                at_nanos: 900,
+                component: Component::ObjectStore,
+                kind: EventKind::ObjectSealed {
+                    object: t.return_object(0),
+                    node: NodeId(0),
+                    size: 8,
+                },
+            },
+            Event {
+                at_nanos: 1000,
+                component: Component::Worker,
+                kind: EventKind::TaskFinished {
+                    task: t,
+                    worker: w,
+                    micros: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_task_timeline() {
+        let report = ProfileReport::from_events(&task_events());
+        assert_eq!(report.tasks.len(), 1);
+        let t = &report.tasks[0];
+        assert_eq!(t.submitted, Some(100));
+        assert_eq!(t.queued, Some(150));
+        assert_eq!(t.started, Some(200));
+        assert_eq!(t.finished, Some(1000));
+        assert_eq!(t.scheduling_latency_nanos(), Some(100));
+        assert!(!t.spilled);
+        assert!(!t.failed);
+        assert_eq!(report.seals, 1);
+    }
+
+    #[test]
+    fn latency_histogram_counts_tasks() {
+        let report = ProfileReport::from_events(&task_events());
+        assert_eq!(report.scheduling_latency().count(), 1);
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let report = ProfileReport::from_events(&task_events());
+        let s = report.summary();
+        assert!(s.contains("tasks: 1"), "{s}");
+    }
+
+    #[test]
+    fn chrome_trace_is_json_array() {
+        let report = ProfileReport::from_events(&task_events());
+        let json = report.chrome_trace();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let report = ProfileReport::from_events(&[]);
+        assert!(report.tasks.is_empty());
+        assert_eq!(report.scheduling_latency().count(), 0);
+        assert_eq!(report.chrome_trace(), "[]");
+    }
+}

@@ -1,0 +1,233 @@
+//! The shared service bundle threaded through every runtime component.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::NodeId;
+use rtml_common::resources::Resources;
+use rtml_common::task::TaskSpec;
+use rtml_kv::{EventLog, FunctionTable, KvStore, ObjectTable, TaskTable};
+use rtml_net::{Fabric, FabricConfig};
+use rtml_sched::LocalMsg;
+use rtml_store::{ObjectStore, TransferDirectory};
+
+use crate::registry::FunctionRegistry;
+
+/// Runtime-wide timing knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeTuning {
+    /// Per-attempt timeout for cross-node object fetches.
+    pub fetch_timeout: Duration,
+    /// Default deadline for blocking `get`s.
+    pub default_get_timeout: Duration,
+}
+
+impl Default for RuntimeTuning {
+    fn default() -> Self {
+        RuntimeTuning {
+            fetch_timeout: Duration::from_secs(2),
+            default_get_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything a component needs to participate in the cluster: the
+/// control-plane tables, the function registry, the fabric, and the
+/// routing maps for live nodes.
+///
+/// All mutable state lives in the control plane or behind the node maps;
+/// `Services` itself can be shared freely.
+pub struct Services {
+    /// Control-plane store.
+    pub kv: Arc<KvStore>,
+    /// Object table view.
+    pub objects: ObjectTable,
+    /// Task table view.
+    pub tasks: TaskTable,
+    /// Function metadata table.
+    pub functions: FunctionTable,
+    /// Event log (R7).
+    pub events: EventLog,
+    /// In-process callables.
+    pub registry: Arc<FunctionRegistry>,
+    /// Simulated network.
+    pub fabric: Arc<Fabric>,
+    /// Node → transfer service address.
+    pub directory: Arc<TransferDirectory>,
+    /// Timing knobs.
+    pub tuning: RuntimeTuning,
+    router: RwLock<HashMap<NodeId, Sender<LocalMsg>>>,
+    stores: RwLock<HashMap<NodeId, Arc<ObjectStore>>>,
+    node_totals: RwLock<HashMap<NodeId, Resources>>,
+}
+
+impl Services {
+    /// Creates the service bundle (control plane, fabric, registry).
+    pub fn create(
+        kv_shards: usize,
+        fabric_config: FabricConfig,
+        event_logging: bool,
+        tuning: RuntimeTuning,
+    ) -> Arc<Self> {
+        let kv = KvStore::new(kv_shards);
+        let events = if event_logging {
+            EventLog::new(kv.clone())
+        } else {
+            EventLog::disabled(kv.clone())
+        };
+        Arc::new(Services {
+            objects: ObjectTable::new(kv.clone()),
+            tasks: TaskTable::new(kv.clone()),
+            functions: FunctionTable::new(kv.clone()),
+            events,
+            registry: FunctionRegistry::new(),
+            fabric: Fabric::new(fabric_config),
+            directory: TransferDirectory::new(),
+            tuning,
+            router: RwLock::new(HashMap::new()),
+            stores: RwLock::new(HashMap::new()),
+            node_totals: RwLock::new(HashMap::new()),
+            kv,
+        })
+    }
+
+    /// Registers a live node's store, scheduler channel, and capacity.
+    pub fn attach_node(
+        &self,
+        node: NodeId,
+        store: Arc<ObjectStore>,
+        sched: Sender<LocalMsg>,
+        total: Resources,
+    ) {
+        self.stores.write().insert(node, store);
+        self.router.write().insert(node, sched);
+        self.node_totals.write().insert(node, total);
+    }
+
+    /// Removes a node from the routing maps (kill or shutdown).
+    pub fn detach_node(&self, node: NodeId) {
+        self.stores.write().remove(&node);
+        self.router.write().remove(&node);
+        self.node_totals.write().remove(&node);
+    }
+
+    /// The node's object store, if the node is alive.
+    pub fn store(&self, node: NodeId) -> Option<Arc<ObjectStore>> {
+        self.stores.read().get(&node).cloned()
+    }
+
+    /// Sends a task to `node`'s local scheduler. Falls back to any alive
+    /// node when the target is gone (e.g. reconstruction onto a dead
+    /// submitter).
+    pub fn submit_to(&self, node: NodeId, spec: TaskSpec) -> Result<()> {
+        let router = self.router.read();
+        let target = router
+            .get(&node)
+            .or_else(|| self.lowest_alive_locked(&router))
+            .ok_or(Error::ShuttingDown)?;
+        target
+            .send(LocalMsg::Submit {
+                spec,
+                via_global: false,
+            })
+            .map_err(|_| Error::Disconnected("local scheduler"))
+    }
+
+    fn lowest_alive_locked<'a>(
+        &self,
+        router: &'a HashMap<NodeId, Sender<LocalMsg>>,
+    ) -> Option<&'a Sender<LocalMsg>> {
+        router.iter().min_by_key(|(n, _)| **n).map(|(_, tx)| tx)
+    }
+
+    /// The lowest-numbered alive node (the driver's preferred home).
+    pub fn any_alive(&self) -> Option<NodeId> {
+        self.router.read().keys().min().copied()
+    }
+
+    /// Direct channel to `node`'s local scheduler (used by worker
+    /// contexts to report blocked/unblocked transitions).
+    pub fn sched_sender(&self, node: NodeId) -> Option<Sender<LocalMsg>> {
+        self.router.read().get(&node).cloned()
+    }
+
+    /// Nodes currently routable.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.router.read().keys().copied().collect();
+        nodes.sort();
+        nodes
+    }
+
+    /// Whether any alive node's total capacity fits `demand` — the
+    /// admission-control check that rejects permanently unschedulable
+    /// tasks at submission time.
+    pub fn cluster_fits(&self, demand: &Resources) -> bool {
+        self.node_totals
+            .read()
+            .values()
+            .any(|total| total.fits(demand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use rtml_store::StoreConfig;
+
+    fn services() -> Arc<Services> {
+        Services::create(2, FabricConfig::default(), true, RuntimeTuning::default())
+    }
+
+    #[test]
+    fn attach_detach_lifecycle() {
+        let sv = services();
+        assert_eq!(sv.any_alive(), None);
+        assert!(!sv.cluster_fits(&Resources::cpu(1.0)));
+
+        let store = Arc::new(ObjectStore::new(StoreConfig::default()));
+        let (tx, _rx) = unbounded();
+        sv.attach_node(NodeId(3), store, tx, Resources::cpu(4.0));
+        assert_eq!(sv.any_alive(), Some(NodeId(3)));
+        assert!(sv.cluster_fits(&Resources::cpu(4.0)));
+        assert!(!sv.cluster_fits(&Resources::gpu(1.0)));
+        assert!(sv.store(NodeId(3)).is_some());
+        assert_eq!(sv.alive_nodes(), vec![NodeId(3)]);
+
+        sv.detach_node(NodeId(3));
+        assert_eq!(sv.any_alive(), None);
+        assert!(sv.store(NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn submit_falls_back_to_alive_node() {
+        let sv = services();
+        let store = Arc::new(ObjectStore::new(StoreConfig::default()));
+        let (tx, rx) = unbounded();
+        sv.attach_node(NodeId(0), store, tx, Resources::cpu(4.0));
+
+        use rtml_common::ids::{DriverId, FunctionId, TaskId};
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let spec = TaskSpec::simple(root.child(0), FunctionId::from_name("f"), vec![]);
+        // Target node 9 is dead; the task must land on node 0.
+        sv.submit_to(NodeId(9), spec.clone()).unwrap();
+        match rx.recv().unwrap() {
+            LocalMsg::Submit { spec: got, .. } => assert_eq!(got.task_id, spec.task_id),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_with_no_nodes_errors() {
+        let sv = services();
+        use rtml_common::ids::{DriverId, FunctionId, TaskId};
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let spec = TaskSpec::simple(root.child(0), FunctionId::from_name("f"), vec![]);
+        assert_eq!(sv.submit_to(NodeId(0), spec), Err(Error::ShuttingDown));
+    }
+}

@@ -1,0 +1,312 @@
+//! Worker threads: where tasks actually run.
+//!
+//! A worker receives [`WorkerCommand::Run`] from its local scheduler,
+//! resolves the task's arguments from the node's object store (they are
+//! local by the time the scheduler dispatches, modulo rare races that the
+//! fetch path covers), invokes the registered function with a
+//! [`TaskContext`] (giving the task the full API — dynamic graphs, R3),
+//! seals the results, and reports back.
+//!
+//! Failure semantics:
+//! - An application error or panic seals **error envelopes** for every
+//!   return object, so consumers fail fast and errors propagate along
+//!   dataflow edges.
+//! - A worker killed by failure injection discards all effects of its
+//!   in-flight task (no seals, no completion message) — exactly what a
+//!   process crash would look like to the rest of the system.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use rtml_common::error::{Error, Result};
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::WorkerId;
+use rtml_common::task::{ArgSpec, TaskSpec, TaskState};
+use rtml_sched::{LocalMsg, WorkerCommand};
+
+use crate::caller::TaskContext;
+use crate::envelope::{self, Envelope};
+use crate::fetch;
+use crate::lineage::ReconstructionManager;
+use crate::services::Services;
+
+/// A running worker thread plus its kill switch.
+pub struct WorkerRuntime {
+    /// Worker identity.
+    pub id: WorkerId,
+    kill: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerRuntime {
+    /// Spawns a worker thread.
+    pub fn spawn(
+        id: WorkerId,
+        services: Arc<Services>,
+        recon: Arc<ReconstructionManager>,
+        sched_tx: Sender<LocalMsg>,
+        cmd_rx: Receiver<WorkerCommand>,
+    ) -> WorkerRuntime {
+        let kill = Arc::new(AtomicBool::new(false));
+        let kill2 = kill.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("rtml-worker-{id}"))
+            .spawn(move || worker_loop(id, services, recon, sched_tx, cmd_rx, kill2))
+            .expect("spawn worker");
+        WorkerRuntime {
+            id,
+            kill,
+            join: Some(join),
+        }
+    }
+
+    /// Simulates a crash: all effects of the in-flight task (if any) are
+    /// discarded and the thread exits at the next checkpoint.
+    pub fn kill(&self) {
+        self.kill.store(true, Ordering::Release);
+    }
+
+    /// Whether the kill switch has been thrown.
+    pub fn is_killed(&self) -> bool {
+        self.kill.load(Ordering::Acquire)
+    }
+
+    /// Joins the worker thread (after a `Stop` command or kill).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.join.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Detaches the thread (used on kill paths where the worker may be
+    /// blocked inside a long task).
+    pub fn detach(&mut self) {
+        self.join.take();
+    }
+}
+
+fn worker_loop(
+    id: WorkerId,
+    services: Arc<Services>,
+    recon: Arc<ReconstructionManager>,
+    sched_tx: Sender<LocalMsg>,
+    cmd_rx: Receiver<WorkerCommand>,
+    kill: Arc<AtomicBool>,
+) {
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            WorkerCommand::Stop => break,
+            WorkerCommand::Run(spec) => {
+                if kill.load(Ordering::Acquire) {
+                    break;
+                }
+                execute_task(id, &services, &recon, &spec, &kill);
+                if kill.load(Ordering::Acquire) {
+                    // Crashed mid-task: no completion report.
+                    break;
+                }
+                let _ = sched_tx.send(LocalMsg::WorkerDone {
+                    worker: id,
+                    task: spec.task_id,
+                });
+            }
+        }
+    }
+}
+
+fn execute_task(
+    id: WorkerId,
+    services: &Arc<Services>,
+    recon: &Arc<ReconstructionManager>,
+    spec: &TaskSpec,
+    kill: &AtomicBool,
+) {
+    let node = id.node;
+    let task = spec.task_id;
+    services.tasks.set_state(task, &TaskState::Running(id));
+    services.events.append(
+        node,
+        Event::now(
+            Component::Worker,
+            EventKind::TaskStarted { task, worker: id },
+        ),
+    );
+    let started = Instant::now();
+
+    let outcome = resolve_args(services, recon, id, spec).and_then(|raw_args| {
+        let func = services
+            .registry
+            .get(spec.function)
+            .ok_or(Error::FunctionNotFound(spec.function))?;
+        let ctx = TaskContext::new(services.clone(), recon.clone(), task, id);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&ctx, &raw_args)));
+        match result {
+            Ok(r) => r,
+            Err(panic) => Err(Error::TaskFailed {
+                task,
+                message: panic_message(&panic),
+            }),
+        }
+    });
+
+    if kill.load(Ordering::Acquire) {
+        // Simulated crash: discard all results and state updates.
+        return;
+    }
+
+    let exec_micros = started.elapsed().as_micros() as u64;
+    match outcome {
+        Ok(results) if results.len() == spec.num_returns as usize => {
+            for (i, raw) in results.into_iter().enumerate() {
+                let object = task.return_object(i as u32);
+                seal(services, node, object, Envelope::Value(raw).seal());
+            }
+            services.tasks.set_state(task, &TaskState::Finished);
+            services.events.append(
+                node,
+                Event::now(
+                    Component::Worker,
+                    EventKind::TaskFinished {
+                        task,
+                        worker: id,
+                        micros: exec_micros,
+                    },
+                ),
+            );
+        }
+        Ok(results) => {
+            let message = format!(
+                "task {task} returned {} values, expected {}",
+                results.len(),
+                spec.num_returns
+            );
+            fail_task(services, node, spec, &message, id);
+        }
+        Err(err) => {
+            let message = err.to_string();
+            fail_task(services, node, spec, &message, id);
+        }
+    }
+}
+
+/// Seals error envelopes for every return of a failed task, so consumers
+/// unblock with the propagated error, then records the failure.
+fn fail_task(
+    services: &Arc<Services>,
+    node: rtml_common::ids::NodeId,
+    spec: &TaskSpec,
+    message: &str,
+    worker: WorkerId,
+) {
+    let bytes = envelope::seal_error(message);
+    for i in 0..spec.num_returns {
+        let object = spec.task_id.return_object(i);
+        seal(services, node, object, bytes.clone());
+    }
+    services
+        .tasks
+        .set_state(spec.task_id, &TaskState::Failed(message.to_string()));
+    services.events.append(
+        node,
+        Event::now(
+            Component::Worker,
+            EventKind::TaskFailed {
+                task: spec.task_id,
+                message: message.to_string(),
+            },
+        ),
+    );
+    let _ = worker;
+}
+
+fn seal(
+    services: &Arc<Services>,
+    node: rtml_common::ids::NodeId,
+    object: rtml_common::ids::ObjectId,
+    bytes: Bytes,
+) {
+    let Some(store) = services.store(node) else {
+        return;
+    };
+    let len = bytes.len() as u64;
+    match store.put(object, bytes) {
+        Ok(outcome) => {
+            services.objects.add_location(object, node, len);
+            for evicted in outcome.evicted {
+                services.objects.remove_location(evicted, node);
+                services.events.append(
+                    node,
+                    Event::now(
+                        Component::ObjectStore,
+                        EventKind::ObjectEvicted {
+                            object: evicted,
+                            node,
+                        },
+                    ),
+                );
+            }
+            services.events.append(
+                node,
+                Event::now(
+                    Component::ObjectStore,
+                    EventKind::ObjectSealed {
+                        object,
+                        node,
+                        size: len,
+                    },
+                ),
+            );
+        }
+        Err(_) => {
+            // Store full beyond eviction: the object stays unsealed;
+            // consumers will reconstruct (and likely hit the same wall —
+            // surfaced as timeouts, which is honest).
+        }
+    }
+}
+
+/// Resolves argument bytes, propagating upstream errors.
+fn resolve_args(
+    services: &Arc<Services>,
+    recon: &Arc<ReconstructionManager>,
+    id: WorkerId,
+    spec: &TaskSpec,
+) -> Result<Vec<Bytes>> {
+    let deadline = Instant::now() + services.tuning.default_get_timeout;
+    let mut raw = Vec::with_capacity(spec.args.len());
+    for arg in &spec.args {
+        match arg {
+            ArgSpec::Value(bytes) => raw.push(bytes.clone()),
+            ArgSpec::ObjectRef(object) => {
+                let bytes = fetch::ensure_local(services, recon, id.node, *object, deadline)
+                    .map_err(|e| Error::TaskFailed {
+                        task: spec.task_id,
+                        message: format!("failed to resolve argument {object}: {e}"),
+                    })?;
+                let producer = services
+                    .objects
+                    .get(*object)
+                    .and_then(|i| i.producer)
+                    .unwrap_or(rtml_common::ids::TaskId::NIL);
+                let value = Envelope::open(&bytes)?.into_value_bytes(producer)?;
+                raw.push(value);
+            }
+        }
+    }
+    Ok(raw)
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}

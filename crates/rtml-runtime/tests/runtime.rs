@@ -1,0 +1,471 @@
+//! End-to-end tests of the runtime: the paper's API semantics (§3.1),
+//! scheduling behaviour (§3.2), and fault tolerance (R6).
+
+use std::time::{Duration, Instant};
+
+use rtml_common::error::Error;
+use rtml_common::ids::{NodeId, WorkerId};
+use rtml_common::resources::Resources;
+use rtml_common::task::TaskState;
+use rtml_net::LatencyModel;
+use rtml_runtime::{Cluster, ClusterConfig, NodeConfig, TaskOptions};
+use rtml_sched::SpillMode;
+
+fn small_cluster() -> Cluster {
+    Cluster::start(ClusterConfig::local(2, 2)).unwrap()
+}
+
+#[test]
+fn submit_and_get_round_trip() {
+    let cluster = small_cluster();
+    let square = cluster.register_fn1("square", |x: i64| Ok(x * x));
+    let driver = cluster.driver();
+    let fut = driver.submit1(&square, 12).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 144);
+    cluster.shutdown();
+}
+
+#[test]
+fn futures_compose_into_dags() {
+    let cluster = small_cluster();
+    let add = cluster.register_fn2("add", |a: i64, b: i64| Ok(a + b));
+    let driver = cluster.driver();
+    // Diamond: d = (a+b) + (a+c).
+    let ab = driver.submit2(&add, 1, 2).unwrap();
+    let ac = driver.submit2(&add, 1, 3).unwrap();
+    let d = driver.submit2(&add, &ab, &ac).unwrap();
+    assert_eq!(driver.get(&d).unwrap(), 7);
+    cluster.shutdown();
+}
+
+#[test]
+fn deep_chain_executes_in_order() {
+    let cluster = small_cluster();
+    let inc = cluster.register_fn1("inc", |x: i64| Ok(x + 1));
+    let driver = cluster.driver();
+    let mut fut = driver.submit1(&inc, 0).unwrap();
+    for _ in 0..49 {
+        fut = driver.submit1(&inc, &fut).unwrap();
+    }
+    assert_eq!(driver.get(&fut).unwrap(), 50);
+    cluster.shutdown();
+}
+
+#[test]
+fn nested_tasks_build_dynamic_graphs() {
+    // R3: a task spawns subtasks and aggregates them with get.
+    let cluster = small_cluster();
+    let leaf = cluster.register_fn1("leaf", |x: i64| Ok(x * 10));
+    let fanout = cluster.register_fn1_ctx("fanout", move |ctx, n: i64| {
+        let futs: Vec<_> = (0..n).map(|i| ctx.submit1(&leaf, i).unwrap()).collect();
+        let mut total = 0;
+        for fut in &futs {
+            total += ctx.get(fut)?;
+        }
+        Ok(total)
+    });
+    let driver = cluster.driver();
+    let fut = driver.submit1(&fanout, 5).unwrap();
+    // 10*(0+1+2+3+4) = 100.
+    assert_eq!(driver.get(&fut).unwrap(), 100);
+    cluster.shutdown();
+}
+
+#[test]
+fn put_then_pass_as_argument() {
+    let cluster = small_cluster();
+    let sum = cluster.register_fn1("sum_vec", |v: Vec<i64>| Ok(v.iter().sum::<i64>()));
+    let driver = cluster.driver();
+    let data = driver.put(&vec![1i64, 2, 3, 4]).unwrap();
+    let fut = driver.submit1(&sum, &data).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 10);
+    // put objects can also be fetched directly.
+    assert_eq!(driver.get(&data).unwrap(), vec![1, 2, 3, 4]);
+    cluster.shutdown();
+}
+
+#[test]
+fn wait_returns_completed_subset() {
+    let cluster = small_cluster();
+    let sleepy = cluster.register_fn1("sleepy", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok(ms)
+    });
+    let driver = cluster.driver();
+    let fast = driver.submit1(&sleepy, 5u64).unwrap();
+    let slow = driver.submit1(&sleepy, 3_000u64).unwrap();
+    let (ready, pending) = driver.wait(&[fast, slow], 1, Duration::from_secs(2));
+    assert_eq!(ready, vec![fast]);
+    assert_eq!(pending, vec![slow]);
+    cluster.shutdown();
+}
+
+#[test]
+fn wait_timeout_returns_empty_ready() {
+    let cluster = small_cluster();
+    let sleepy = cluster.register_fn1("sleepy2", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok(ms)
+    });
+    let driver = cluster.driver();
+    let slow = driver.submit1(&sleepy, 2_000u64).unwrap();
+    let start = Instant::now();
+    let (ready, pending) = driver.wait(&[slow], 1, Duration::from_millis(50));
+    assert!(ready.is_empty());
+    assert_eq!(pending.len(), 1);
+    assert!(start.elapsed() < Duration::from_secs(1));
+    cluster.shutdown();
+}
+
+#[test]
+fn application_errors_propagate_to_get() {
+    let cluster = small_cluster();
+    let fail = cluster.register_fn0("fail", || -> rtml_common::error::Result<i64> {
+        Err(Error::InvalidArgument("bad input".into()))
+    });
+    let driver = cluster.driver();
+    let fut = driver.submit0(&fail).unwrap();
+    match driver.get(&fut) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("bad input"), "{message}");
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn errors_cascade_through_dataflow() {
+    let cluster = small_cluster();
+    let fail = cluster.register_fn0("fail2", || -> rtml_common::error::Result<i64> {
+        Err(Error::InvalidArgument("root cause".into()))
+    });
+    let inc = cluster.register_fn1("inc2", |x: i64| Ok(x + 1));
+    let driver = cluster.driver();
+    let bad = driver.submit0(&fail).unwrap();
+    let downstream = driver.submit1(&inc, &bad).unwrap();
+    match driver.get(&downstream) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("root cause"), "{message}");
+        }
+        other => panic!("expected cascaded failure, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn panics_become_task_failures() {
+    let cluster = small_cluster();
+    let boom = cluster.register_fn0("boom", || -> rtml_common::error::Result<i64> {
+        panic!("kaboom");
+    });
+    let driver = cluster.driver();
+    let fut = driver.submit0(&boom).unwrap();
+    match driver.get(&fut) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("kaboom"), "{message}");
+        }
+        other => panic!("expected panic capture, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn unschedulable_demand_fails_fast() {
+    let cluster = small_cluster(); // CPU-only nodes
+    let f = cluster.register_fn0("gpu_hungry", || Ok(1i64));
+    let driver = cluster.driver();
+    let fut = driver.submit0_opts(&f, TaskOptions::gpu(4.0)).unwrap();
+    match driver.get_timeout(&fut, Duration::from_secs(5)) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("unschedulable"), "{message}");
+        }
+        other => panic!("expected unschedulable failure, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn gpu_tasks_route_to_gpu_nodes() {
+    let config = ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(2),
+            NodeConfig::cpu_only(2).with_gpus(1.0),
+        ],
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let whereami = cluster.register_fn0_ctx("whereami", |ctx| Ok(ctx.worker().node.0 as i64));
+    let driver = cluster.driver();
+    let fut = driver
+        .submit0_opts(&whereami, TaskOptions::resources(Resources::new(1.0, 1.0)))
+        .unwrap();
+    // Must run on node 1 (the only GPU node), even though the driver is
+    // on node 0.
+    assert_eq!(driver.get(&fut).unwrap(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn heavy_fanout_spreads_across_nodes() {
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2); 4],
+        spill: SpillMode::Hybrid { queue_threshold: 2 },
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let whereami = cluster.register_fn1_ctx("whereami2", |ctx, _i: i64| {
+        std::thread::sleep(Duration::from_millis(20));
+        Ok(ctx.worker().node.0 as i64)
+    });
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..32)
+        .map(|i| driver.submit1(&whereami, i).unwrap())
+        .collect();
+    let mut nodes_used = std::collections::HashSet::new();
+    for fut in &futs {
+        nodes_used.insert(driver.get(fut).unwrap());
+    }
+    assert!(
+        nodes_used.len() >= 2,
+        "spillover should engage more than one node, got {nodes_used:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn killed_worker_task_is_reconstructed() {
+    let cluster = Cluster::start(ClusterConfig::local(1, 2)).unwrap();
+    let slow_id = cluster.register_fn1("slow_square", |x: i64| {
+        std::thread::sleep(Duration::from_millis(300));
+        Ok(x * x)
+    });
+    let driver = cluster.driver();
+    let fut = driver.submit1(&slow_id, 9).unwrap();
+    // Let the task start, then kill the worker running it.
+    std::thread::sleep(Duration::from_millis(100));
+    let running: Vec<(_, TaskState)> = driver
+        .services()
+        .tasks
+        .scan_states()
+        .into_iter()
+        .filter(|(_, s)| matches!(s, TaskState::Running(_)))
+        .collect();
+    assert!(!running.is_empty(), "task should be running");
+    if let TaskState::Running(worker) = running[0].1 {
+        cluster.kill_worker(worker).unwrap();
+    }
+    // get() must trigger lineage replay and still produce the answer.
+    assert_eq!(driver.get(&fut).unwrap(), 81);
+    assert!(cluster.reconstructions() >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn killed_node_objects_are_reconstructed() {
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        // Force everything onto remote queues aggressively.
+        spill: SpillMode::Hybrid { queue_threshold: 0 },
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let make = cluster.register_fn1("make_data", |x: i64| Ok(vec![x; 100]));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..8).map(|i| driver.submit1(&make, i).unwrap()).collect();
+    // Materialize everything first.
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(driver.get(fut).unwrap(), vec![i as i64; 100]);
+    }
+    // Kill node 1; objects that lived only there are gone.
+    cluster.kill_node(NodeId(1)).unwrap();
+    // All values must still be retrievable (local copies or replay).
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get(fut).unwrap(),
+            vec![i as i64; 100],
+            "object {i} lost forever"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn node_restart_rejoins_cluster() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let f = cluster.register_fn1("echo", |x: i64| Ok(x));
+    let driver = cluster.driver();
+    let node_config = cluster.node_config(NodeId(1)).unwrap();
+    cluster.kill_node(NodeId(1)).unwrap();
+    assert_eq!(cluster.alive_nodes(), vec![NodeId(0)]);
+    cluster.restart_node(NodeId(1), node_config).unwrap();
+    assert_eq!(cluster.alive_nodes(), vec![NodeId(0), NodeId(1)]);
+    // The cluster still works end to end.
+    let fut = driver.submit1(&f, 5).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn lost_put_objects_report_broken_lineage() {
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let driver = cluster.driver(); // homed on node 0
+    let data = driver.put(&42u64).unwrap();
+    cluster.kill_node(NodeId(0)).unwrap();
+    // The only copy died with node 0 and puts carry no lineage: the
+    // error must say so rather than hang.
+    let driver2 = cluster.driver(); // homed on node 1 now
+    match driver2.get_timeout(&data, Duration::from_secs(5)) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("lineage"), "{message}");
+        }
+        other => panic!("expected broken-lineage failure, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn remote_latency_affects_cross_node_tasks() {
+    // The task must run on node 1 (only GPU there) while the driver and
+    // the global scheduler live on node 0: the placement message pays one
+    // 3 ms hop and the result fetch pays two more.
+    let config = ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(2),
+            NodeConfig::cpu_only(2).with_gpus(1.0),
+        ],
+        latency: LatencyModel::Constant(Duration::from_millis(3)),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let f = cluster.register_fn0("quick", || Ok(1i64));
+    let driver = cluster.driver();
+    let start = Instant::now();
+    let fut = driver.submit0_opts(&f, TaskOptions::gpu(1.0)).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 1);
+    assert!(
+        start.elapsed() >= Duration::from_millis(6),
+        "remote task should pay network hops, took {:?}",
+        start.elapsed()
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_methods_execute_in_order() {
+    let cluster = small_cluster();
+    let actor = cluster.spawn_actor("counter", NodeId(0), || 0i64).unwrap();
+    let driver = cluster.driver();
+    let mut futs = Vec::new();
+    for i in 1..=10 {
+        futs.push(
+            actor
+                .call(move |state| {
+                    *state += i;
+                    Ok(*state)
+                })
+                .unwrap(),
+        );
+    }
+    // Running totals prove strict ordering: 1, 3, 6, 10, ...
+    let mut expected = 0;
+    for (i, fut) in futs.iter().enumerate() {
+        expected += (i + 1) as i64;
+        assert_eq!(driver.get(fut).unwrap(), expected);
+    }
+    actor.stop();
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_errors_propagate() {
+    let cluster = small_cluster();
+    let actor = cluster.spawn_actor("fragile", NodeId(0), || 0i64).unwrap();
+    let driver = cluster.driver();
+    let fut = actor
+        .call(|_state| -> rtml_common::error::Result<i64> {
+            Err(Error::InvalidArgument("actor refused".into()))
+        })
+        .unwrap();
+    match driver.get(&fut) {
+        Err(Error::TaskFailed { message, .. }) => {
+            assert!(message.contains("actor refused"), "{message}");
+        }
+        other => panic!("expected actor error, got {other:?}"),
+    }
+    // The actor survives failed calls.
+    let ok = actor
+        .call(|state| {
+            *state += 1;
+            Ok(*state)
+        })
+        .unwrap();
+    assert_eq!(driver.get(&ok).unwrap(), 1);
+    actor.stop();
+    cluster.shutdown();
+}
+
+#[test]
+fn profile_report_covers_run() {
+    let cluster = small_cluster();
+    let f = cluster.register_fn1("plus1", |x: i64| Ok(x + 1));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..10).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    let report = cluster.profile();
+    assert!(
+        report.tasks.len() >= 10,
+        "profile saw {}",
+        report.tasks.len()
+    );
+    assert!(report.seals >= 10);
+    let trace = report.chrome_trace();
+    assert!(trace.starts_with('[') && trace.ends_with(']'));
+    assert!(report.summary().contains("tasks:"));
+    cluster.shutdown();
+}
+
+#[test]
+fn many_drivers_do_not_collide() {
+    let cluster = small_cluster();
+    let f = cluster.register_fn1("ident", |x: i64| Ok(x));
+    let d1 = cluster.driver();
+    let d2 = cluster.driver();
+    let f1 = d1.submit1(&f, 1).unwrap();
+    let f2 = d2.submit1(&f, 2).unwrap();
+    assert_ne!(f1.id(), f2.id());
+    assert_eq!(d1.get(&f1).unwrap(), 1);
+    assert_eq!(d2.get(&f2).unwrap(), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn throughput_thousand_tasks() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 4).without_event_log()).unwrap();
+    let f = cluster.register_fn1("tiny", |x: u64| Ok(x));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..1000u64)
+        .map(|i| driver.submit1(&f, i).unwrap())
+        .collect();
+    let (ready, pending) = driver.wait(&futs, 1000, Duration::from_secs(60));
+    assert_eq!(ready.len(), 1000);
+    assert!(pending.is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn kill_worker_on_dead_node_errors() {
+    let cluster = small_cluster();
+    cluster.kill_node(NodeId(1)).unwrap();
+    let err = cluster
+        .kill_worker(WorkerId::new(NodeId(1), 0))
+        .unwrap_err();
+    assert_eq!(err, Error::NodeDown(NodeId(1)));
+    cluster.shutdown();
+}

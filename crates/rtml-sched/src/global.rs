@@ -1,0 +1,508 @@
+//! The global scheduler (paper §3.2.2).
+//!
+//! Receives spilled tasks from local schedulers over the fabric, and
+//! places each on a node chosen from cluster-wide information: per-node
+//! load reports (pushed by local schedulers) and object locality (read
+//! from the object table). Placements are sent back over the fabric to
+//! the chosen node's local scheduler — every hop through here costs
+//! cross-node latency, which is exactly why the hybrid design keeps the
+//! common case local.
+//!
+//! Tasks that currently fit no node (e.g. GPU demand while the only GPU
+//! node is down) are **parked** and retried whenever the cluster view
+//! changes (new load report, node up).
+
+use std::collections::{HashMap, VecDeque};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::NodeId;
+use rtml_common::metrics::Counter;
+use rtml_common::task::TaskSpec;
+use rtml_kv::{EventLog, ObjectTable};
+use rtml_net::{Fabric, NetAddress};
+
+use crate::msg::LoadReport;
+use crate::policy::{PlacementPolicy, PolicyState};
+use crate::wire::SchedWire;
+
+/// Placement attempts before a task is parked to await a cluster change
+/// (guards against local/global ping-pong on stale state).
+const MAX_HOPS: u32 = 8;
+
+/// Static configuration for the global scheduler.
+#[derive(Clone, Debug)]
+pub struct GlobalSchedulerConfig {
+    /// Node hosting the global scheduler (its fabric endpoint lives
+    /// there; co-located components reach it without paying latency).
+    pub host_node: NodeId,
+    /// Placement policy.
+    pub policy: PlacementPolicy,
+    /// Seed for randomized policies.
+    pub seed: u64,
+}
+
+impl Default for GlobalSchedulerConfig {
+    fn default() -> Self {
+        GlobalSchedulerConfig {
+            host_node: NodeId(0),
+            policy: PlacementPolicy::LocalityAware,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Aggregate counters for experiments.
+#[derive(Debug, Default)]
+pub struct GlobalStats {
+    /// Tasks received via spill.
+    pub spills: Counter,
+    /// Placements issued.
+    pub placements: Counter,
+    /// Tasks currently or ever parked.
+    pub parked: Counter,
+    /// Nodes currently known (NodeUp received, not NodeDown). Used by the
+    /// cluster to barrier on formation before accepting work.
+    pub nodes_known: std::sync::atomic::AtomicUsize,
+}
+
+enum Control {
+    Shutdown,
+}
+
+/// Running handle for the global scheduler.
+pub struct GlobalSchedulerHandle {
+    address: NetAddress,
+    control: Sender<Control>,
+    join: Option<std::thread::JoinHandle<()>>,
+    stats: std::sync::Arc<GlobalStats>,
+}
+
+impl GlobalSchedulerHandle {
+    /// The fabric address local schedulers spill to.
+    pub fn address(&self) -> NetAddress {
+        self.address
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &GlobalStats {
+        &self.stats
+    }
+
+    /// Requests shutdown and joins the scheduler thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.control.send(Control::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for GlobalSchedulerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Namespace for spawning the global scheduler.
+pub struct GlobalScheduler;
+
+impl GlobalScheduler {
+    /// Spawns the global scheduler thread.
+    pub fn spawn(
+        config: GlobalSchedulerConfig,
+        fabric: std::sync::Arc<Fabric>,
+        objects: ObjectTable,
+        events: EventLog,
+    ) -> GlobalSchedulerHandle {
+        let endpoint = fabric.register(config.host_node, "global-sched");
+        let address = endpoint.address();
+        let (control_tx, control_rx) = unbounded();
+        let stats = std::sync::Arc::new(GlobalStats::default());
+        let stats2 = stats.clone();
+        let join = std::thread::Builder::new()
+            .name("rtml-gsched".into())
+            .spawn(move || {
+                let mut core = GlobalCore {
+                    config,
+                    fabric,
+                    objects,
+                    events,
+                    address,
+                    loads: HashMap::new(),
+                    scheds: HashMap::new(),
+                    parked: VecDeque::new(),
+                    policy_state: PolicyState::new(0x5eed),
+                    stats: stats2,
+                };
+                core.policy_state = PolicyState::new(core.config.seed);
+                core.run(endpoint, control_rx);
+            })
+            .expect("spawn global scheduler");
+        GlobalSchedulerHandle {
+            address,
+            control: control_tx,
+            join: Some(join),
+            stats,
+        }
+    }
+}
+
+struct GlobalCore {
+    config: GlobalSchedulerConfig,
+    fabric: std::sync::Arc<Fabric>,
+    objects: ObjectTable,
+    events: EventLog,
+    address: NetAddress,
+    loads: HashMap<NodeId, LoadReport>,
+    scheds: HashMap<NodeId, NetAddress>,
+    parked: VecDeque<(TaskSpec, u32)>,
+    policy_state: PolicyState,
+    stats: std::sync::Arc<GlobalStats>,
+}
+
+impl GlobalCore {
+    fn run(&mut self, endpoint: rtml_net::Endpoint, control: Receiver<Control>) {
+        loop {
+            crossbeam::channel::select! {
+                recv(endpoint.receiver()) -> msg => match msg {
+                    Ok(delivery) => self.on_net(delivery.payload),
+                    Err(_) => break,
+                },
+                recv(control) -> msg => match msg {
+                    Ok(Control::Shutdown) | Err(_) => break,
+                },
+            }
+        }
+        self.fabric.unregister(self.address);
+    }
+
+    fn on_net(&mut self, payload: bytes::Bytes) {
+        match decode_from_slice::<SchedWire>(&payload) {
+            Ok(SchedWire::Spill(spec)) => {
+                self.stats.spills.inc();
+                self.place(spec, 0);
+            }
+            Ok(SchedWire::Place { spec, hops }) => {
+                // A local scheduler bounced a placement (stale capacity);
+                // try again with the hop count preserved.
+                self.place(spec, hops);
+            }
+            Ok(SchedWire::Load(report)) => {
+                self.loads.insert(report.node, report);
+                self.update_known();
+                self.retry_parked();
+            }
+            Ok(SchedWire::NodeUp {
+                node,
+                sched_address,
+            }) => {
+                self.scheds
+                    .insert(node, NetAddress::from_u64(sched_address));
+                self.update_known();
+                self.retry_parked();
+            }
+            Ok(SchedWire::NodeDown { node }) => {
+                self.loads.remove(&node);
+                self.scheds.remove(&node);
+                self.update_known();
+            }
+            Err(_) => {}
+        }
+    }
+
+    fn place(&mut self, spec: TaskSpec, hops: u32) {
+        if hops >= MAX_HOPS {
+            self.park(spec, hops);
+            return;
+        }
+        // Only consider nodes whose scheduler we can actually reach.
+        let candidates: HashMap<NodeId, LoadReport> = self
+            .loads
+            .iter()
+            .filter(|(n, _)| self.scheds.contains_key(n))
+            .map(|(n, l)| (*n, l.clone()))
+            .collect();
+        let choice =
+            self.config
+                .policy
+                .place(&spec, &candidates, &self.objects, &mut self.policy_state);
+        match choice {
+            Some(node) => {
+                let target = self.scheds[&node];
+                self.events.append(
+                    self.config.host_node,
+                    Event::now(
+                        Component::GlobalScheduler,
+                        EventKind::TaskPlaced {
+                            task: spec.task_id,
+                            node,
+                        },
+                    ),
+                );
+                // Optimistically bump the cached queue depth so a burst of
+                // spills spreads out instead of dog-piling one node.
+                if let Some(load) = self.loads.get_mut(&node) {
+                    load.ready += 1;
+                }
+                let msg = SchedWire::Place {
+                    spec,
+                    hops: hops + 1,
+                };
+                if self
+                    .fabric
+                    .send(self.address, target, encode_to_bytes(&msg))
+                    .is_ok()
+                {
+                    self.stats.placements.inc();
+                } else if let SchedWire::Place { spec, hops } = msg {
+                    // The node vanished mid-send; forget it and park.
+                    self.scheds.remove(&node);
+                    self.loads.remove(&node);
+                    self.park(spec, hops);
+                }
+            }
+            None => self.park(spec, hops),
+        }
+    }
+
+    /// A node counts as known once it is both reachable (NodeUp) and has
+    /// reported load — i.e. it is a viable placement candidate.
+    fn update_known(&self) {
+        let known = self
+            .scheds
+            .keys()
+            .filter(|n| self.loads.contains_key(n))
+            .count();
+        self.stats
+            .nodes_known
+            .store(known, std::sync::atomic::Ordering::Release);
+    }
+
+    fn park(&mut self, spec: TaskSpec, hops: u32) {
+        self.stats.parked.inc();
+        self.parked.push_back((spec, hops.min(MAX_HOPS - 1)));
+    }
+
+    fn retry_parked(&mut self) {
+        let mut batch: VecDeque<(TaskSpec, u32)> = std::mem::take(&mut self.parked);
+        while let Some((spec, hops)) = batch.pop_front() {
+            self.place(spec, hops);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, FunctionId, TaskId};
+    use rtml_common::resources::Resources;
+    use rtml_kv::KvStore;
+    use rtml_net::FabricConfig;
+    use std::time::Duration;
+
+    struct Rig {
+        fabric: std::sync::Arc<Fabric>,
+        kv: std::sync::Arc<KvStore>,
+        handle: GlobalSchedulerHandle,
+    }
+
+    fn rig(policy: PlacementPolicy) -> Rig {
+        let fabric = Fabric::new(FabricConfig::default());
+        let kv = KvStore::new(2);
+        let handle = GlobalScheduler::spawn(
+            GlobalSchedulerConfig {
+                host_node: NodeId(0),
+                policy,
+                seed: 7,
+            },
+            fabric.clone(),
+            ObjectTable::new(kv.clone()),
+            EventLog::new(kv.clone()),
+        );
+        Rig { fabric, kv, handle }
+    }
+
+    fn fake_node(rig: &Rig, node: NodeId, queue: u32, total: Resources) -> rtml_net::Endpoint {
+        let endpoint = rig.fabric.register(node, "fake-local");
+        let up = SchedWire::NodeUp {
+            node,
+            sched_address: endpoint.address().as_u64(),
+        };
+        rig.fabric
+            .send(
+                endpoint.address(),
+                rig.handle.address(),
+                encode_to_bytes(&up),
+            )
+            .unwrap();
+        let load = SchedWire::Load(LoadReport {
+            node,
+            ready: queue,
+            waiting: 0,
+            running: 0,
+            idle_workers: 1,
+            available: total.clone(),
+            total,
+            at_nanos: 0,
+        });
+        rig.fabric
+            .send(
+                endpoint.address(),
+                rig.handle.address(),
+                encode_to_bytes(&load),
+            )
+            .unwrap();
+        endpoint
+    }
+
+    fn spill(rig: &Rig, from: &rtml_net::Endpoint, spec: TaskSpec) {
+        rig.fabric
+            .send(
+                from.address(),
+                rig.handle.address(),
+                encode_to_bytes(&SchedWire::Spill(spec)),
+            )
+            .unwrap();
+    }
+
+    fn expect_place(endpoint: &rtml_net::Endpoint) -> TaskSpec {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .expect("timed out waiting for placement");
+            let d = endpoint
+                .receiver()
+                .recv_timeout(remaining)
+                .expect("delivery");
+            if let Ok(SchedWire::Place { spec, .. }) = decode_from_slice(&d.payload) {
+                return spec;
+            }
+        }
+    }
+
+    fn task(idx: u64, resources: Resources) -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let mut spec = TaskSpec::simple(root.child(idx), FunctionId::from_name("f"), vec![]);
+        spec.resources = resources;
+        spec
+    }
+
+    #[test]
+    fn places_on_least_loaded() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let busy = fake_node(&r, NodeId(1), 10, Resources::cpu(4.0));
+        let idle = fake_node(&r, NodeId(2), 0, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20)); // let loads land
+        spill(&r, &busy, task(0, Resources::cpu(1.0)));
+        let placed = expect_place(&idle);
+        assert_eq!(placed.task_id, task(0, Resources::cpu(1.0)).task_id);
+        assert_eq!(r.handle.stats().spills.get(), 1);
+        assert_eq!(r.handle.stats().placements.get(), 1);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn respects_resource_fit() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let cpu_node = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let gpu_node = fake_node(&r, NodeId(2), 50, Resources::new(4.0, 2.0));
+        std::thread::sleep(Duration::from_millis(20));
+        // GPU task must land on the busy GPU node, not the idle CPU node.
+        spill(&r, &cpu_node, task(0, Resources::gpu(1.0)));
+        let placed = expect_place(&gpu_node);
+        assert_eq!(placed.resources, Resources::gpu(1.0));
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn parks_until_fitting_node_appears() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let cpu_node = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20));
+        spill(&r, &cpu_node, task(0, Resources::gpu(1.0)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(r.handle.stats().parked.get(), 1);
+        assert_eq!(r.handle.stats().placements.get(), 0);
+        // A GPU node joins; the parked task must be placed there.
+        let gpu_node = fake_node(&r, NodeId(2), 0, Resources::new(4.0, 1.0));
+        let placed = expect_place(&gpu_node);
+        assert_eq!(placed.resources, Resources::gpu(1.0));
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn locality_aware_places_near_data() {
+        let mut r = rig(PlacementPolicy::LocalityAware);
+        let objects = ObjectTable::new(r.kv.clone());
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let dep = root.child(9).return_object(0);
+        objects.add_location(dep, NodeId(2), 1 << 20);
+
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let n2 = fake_node(&r, NodeId(2), 5, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut spec = task(0, Resources::cpu(1.0));
+        spec.args = vec![rtml_common::task::ArgSpec::ObjectRef(dep)];
+        spill(&r, &n1, spec);
+        let placed = expect_place(&n2);
+        assert_eq!(placed.dependency_count(), 1);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn node_down_removes_candidate() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let n2 = fake_node(&r, NodeId(2), 5, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20));
+        r.fabric
+            .send(
+                n1.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::NodeDown { node: NodeId(1) }),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        spill(&r, &n1, task(0, Resources::cpu(1.0)));
+        // Node 1 is gone; the busier node 2 must receive the task.
+        let placed = expect_place(&n2);
+        assert_eq!(placed.resources, Resources::cpu(1.0));
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn burst_spreads_via_optimistic_load_bump() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let n2 = fake_node(&r, NodeId(2), 0, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20));
+        // Ten spills with no intervening load reports: without the bump
+        // they would all land on one node.
+        for i in 0..10 {
+            spill(&r, &n1, task(i, Resources::cpu(1.0)));
+        }
+        let mut count1 = 0;
+        let mut count2 = 0;
+        for _ in 0..10 {
+            crossbeam::channel::select! {
+                recv(n1.receiver()) -> d => {
+                    if let Ok(SchedWire::Place { .. }) = decode_from_slice(&d.unwrap().payload) {
+                        count1 += 1;
+                    }
+                }
+                recv(n2.receiver()) -> d => {
+                    if let Ok(SchedWire::Place { .. }) = decode_from_slice(&d.unwrap().payload) {
+                        count2 += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count1 + count2, 10);
+        assert!(count1 >= 3 && count2 >= 3, "skewed: {count1}/{count2}");
+        r.handle.shutdown();
+    }
+}

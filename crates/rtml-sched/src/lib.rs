@@ -1,0 +1,41 @@
+//! The hybrid, bottom-up scheduler (paper §3.2.2).
+//!
+//! The paper's scheduling architecture is the answer to the tension
+//! between latency (R1) and throughput (R2) under *dynamic* task creation
+//! (R3): tasks are born on whatever worker created them, so scheduling
+//! decisions must start at the edge, not at a central choke point.
+//!
+//! - Every node runs a [`LocalScheduler`]: workers submit tasks to it
+//!   directly (an in-process channel — no network hop). It tracks
+//!   per-node resource availability, gates tasks on their dataflow
+//!   dependencies (a task is dispatched if and only if every object it
+//!   consumes is sealed in the local store), and dispatches to idle
+//!   workers.
+//! - When a task's demand can never fit the node, or the local backlog
+//!   exceeds the [`SpillMode`] threshold, the task **spills over** to a
+//!   [`GlobalScheduler`] via the simulated fabric (paying the cross-node
+//!   latency the paper's hybrid design tries to avoid on the fast path).
+//! - The global scheduler places spilled tasks using cluster-wide
+//!   information — per-node load reports and the object table's locality
+//!   data — under a pluggable [`PlacementPolicy`].
+//!
+//! Experiments: E8 compares `SpillMode::{Hybrid, AlwaysSpill, NeverSpill}`
+//! (hybrid vs fully-centralized vs node-local scheduling); A2 compares
+//! placement policies.
+//!
+//! [`LocalScheduler`]: local::LocalScheduler
+//! [`GlobalScheduler`]: global::GlobalScheduler
+
+pub mod global;
+pub mod local;
+pub mod msg;
+pub mod policy;
+pub mod spill;
+pub mod wire;
+
+pub use global::{GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle};
+pub use local::{LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices};
+pub use msg::{LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
+pub use policy::PlacementPolicy;
+pub use spill::SpillMode;
+pub use wire::SchedWire;

@@ -1,0 +1,1074 @@
+//! The per-node local scheduler (paper §3.2.2, Figure 3).
+//!
+//! One instance runs per node as a dedicated thread. It owns three task
+//! collections:
+//!
+//! - `waiting`: tasks with unsatisfied dataflow dependencies. For each
+//!   missing object a **resolver** watches the object table, fetches the
+//!   object from a remote holder as soon as a copy exists (updating the
+//!   object table), and asks the runtime's reconstruction hook for help
+//!   if the object has been lost. When the object seals locally the task
+//!   moves to `ready` — the paper's "tasks become available for execution
+//!   if and only if their dependencies have finished executing".
+//! - `ready`: runnable tasks awaiting a worker and resources. Dispatch is
+//!   first-fit: a small CPU task may overtake a GPU task that is waiting
+//!   for a free GPU (heterogeneity, R4).
+//! - `running`: tasks on workers, with their resource grants.
+//!
+//! Submissions from same-node workers arrive on an in-process channel
+//! (the latency-critical path, R1); placements from the global scheduler
+//! arrive over the fabric; spill decisions follow the configured
+//! [`SpillMode`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::{NodeId, ObjectId, TaskId, WorkerId};
+use rtml_common::resources::Resources;
+use rtml_common::task::{TaskSpec, TaskState};
+use rtml_kv::{EventLog, KvStore, ObjectTable, TaskTable};
+use rtml_net::{Fabric, NetAddress};
+use rtml_store::{fetch_object, ObjectStore, TransferDirectory};
+
+use crate::msg::{load_key, LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
+use crate::spill::SpillMode;
+use crate::wire::SchedWire;
+
+/// Static configuration for one local scheduler.
+#[derive(Clone, Debug)]
+pub struct LocalSchedulerConfig {
+    /// Node this scheduler manages.
+    pub node: NodeId,
+    /// The node's total resource capacity.
+    pub total_resources: Resources,
+    /// Spillover decision rule.
+    pub spill: SpillMode,
+    /// Per-attempt timeout for remote object fetches.
+    pub fetch_timeout: Duration,
+    /// Minimum interval between load publications.
+    pub load_interval: Duration,
+}
+
+impl Default for LocalSchedulerConfig {
+    fn default() -> Self {
+        LocalSchedulerConfig {
+            node: NodeId(0),
+            total_resources: Resources::cpu(4.0),
+            spill: SpillMode::default(),
+            fetch_timeout: Duration::from_secs(2),
+            load_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Shared services every scheduler component needs. Cloning is cheap
+/// (everything is behind `Arc`).
+#[derive(Clone)]
+pub struct SchedServices {
+    /// Control-plane store.
+    pub kv: Arc<KvStore>,
+    /// Object table view.
+    pub objects: ObjectTable,
+    /// Task table view.
+    pub tasks: TaskTable,
+    /// Event log (R7).
+    pub events: EventLog,
+    /// The simulated network.
+    pub fabric: Arc<Fabric>,
+    /// Node → transfer-service address map.
+    pub directory: Arc<TransferDirectory>,
+    /// This node's object store.
+    pub store: Arc<ObjectStore>,
+    /// Fabric address of the global scheduler.
+    pub global_address: NetAddress,
+    /// Runtime hook invoked when a watched object appears to be lost
+    /// (has a producer but no live copies). The runtime deduplicates and
+    /// resubmits producing tasks (lineage replay).
+    pub reconstruct: Arc<dyn Fn(ObjectId) + Send + Sync>,
+    /// Runtime hook asking the node to grow its worker pool: invoked
+    /// when runnable tasks exist, no worker is idle, and at least one
+    /// worker is blocked inside `get`/`wait` (nested-task deadlock
+    /// avoidance).
+    pub request_worker: Arc<dyn Fn() + Send + Sync>,
+}
+
+/// Running handle for a local scheduler.
+pub struct LocalSchedulerHandle {
+    tx: Sender<LocalMsg>,
+    address: NetAddress,
+    node: NodeId,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LocalSchedulerHandle {
+    /// The in-process submission channel (used by same-node workers and
+    /// the driver).
+    pub fn sender(&self) -> Sender<LocalMsg> {
+        self.tx.clone()
+    }
+
+    /// The scheduler's fabric address (placements are sent here).
+    pub fn address(&self) -> NetAddress {
+        self.address
+    }
+
+    /// The node this scheduler manages.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Submits a task from this node (driver/worker path).
+    pub fn submit(&self, spec: TaskSpec) {
+        let _ = self.tx.send(LocalMsg::Submit {
+            spec,
+            via_global: false,
+        });
+    }
+
+    /// Requests shutdown and joins the scheduler thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.tx.send(LocalMsg::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for LocalSchedulerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Namespace for spawning local schedulers.
+pub struct LocalScheduler;
+
+impl LocalScheduler {
+    /// Spawns a local scheduler thread for `config.node`.
+    ///
+    /// `workers` are the node's initial worker pool; more can be attached
+    /// later with [`LocalMsg::AddWorker`]. The scheduler registers its
+    /// fabric endpoint, announces itself to the global scheduler
+    /// (`NodeUp`), and publishes an initial load report.
+    pub fn spawn(
+        config: LocalSchedulerConfig,
+        services: SchedServices,
+        workers: Vec<WorkerHandle>,
+    ) -> LocalSchedulerHandle {
+        let (tx, rx) = unbounded();
+        let endpoint = services.fabric.register(config.node, "local-sched");
+        let address = endpoint.address();
+        let node = config.node;
+
+        let (seal_tx, seal_rx) = unbounded();
+        services.store.add_seal_listener(seal_tx);
+
+        let join = std::thread::Builder::new()
+            .name(format!("rtml-lsched-{node}"))
+            .spawn(move || {
+                let mut core = Core {
+                    config,
+                    services,
+                    address,
+                    workers: HashMap::new(),
+                    idle: VecDeque::new(),
+                    in_use: Resources::none(),
+                    ready: VecDeque::new(),
+                    waiting: HashMap::new(),
+                    watchers: HashMap::new(),
+                    resolving: HashSet::new(),
+                    running: HashMap::new(),
+                    released: HashSet::new(),
+                    spawn_pending: false,
+                    load_dirty: true,
+                    last_load: Instant::now() - Duration::from_secs(1),
+                };
+                for w in workers {
+                    core.add_worker(w);
+                }
+                core.announce();
+                core.run(rx, endpoint, seal_rx);
+            })
+            .expect("spawn local scheduler");
+
+        LocalSchedulerHandle {
+            tx,
+            address,
+            node,
+            join: Some(join),
+        }
+    }
+}
+
+enum Incoming {
+    Local(LocalMsg),
+    Net(bytes::Bytes),
+    Seal(ObjectId),
+    Tick,
+    Closed,
+}
+
+struct Core {
+    config: LocalSchedulerConfig,
+    services: SchedServices,
+    address: NetAddress,
+    workers: HashMap<WorkerId, Sender<WorkerCommand>>,
+    idle: VecDeque<WorkerId>,
+    /// Resources granted to running (non-blocked) tasks. May transiently
+    /// exceed the node total when blocked tasks resume.
+    in_use: Resources,
+    ready: VecDeque<TaskSpec>,
+    /// task → (spec, number of distinct objects still missing).
+    waiting: HashMap<TaskId, (TaskSpec, usize)>,
+    /// missing object → tasks waiting on it.
+    watchers: HashMap<ObjectId, Vec<TaskId>>,
+    /// objects with an active resolver thread.
+    resolving: HashSet<ObjectId>,
+    running: HashMap<TaskId, (WorkerId, Resources)>,
+    /// Tasks whose grant has been released because they are blocked in
+    /// `get`/`wait`.
+    released: HashSet<TaskId>,
+    /// A worker-pool growth request is outstanding.
+    spawn_pending: bool,
+    load_dirty: bool,
+    last_load: Instant,
+}
+
+impl Core {
+    fn run(
+        &mut self,
+        rx: Receiver<LocalMsg>,
+        endpoint: rtml_net::Endpoint,
+        seal_rx: Receiver<ObjectId>,
+    ) {
+        loop {
+            let incoming = {
+                crossbeam::channel::select! {
+                    recv(rx) -> m => m.map(Incoming::Local).unwrap_or(Incoming::Closed),
+                    recv(endpoint.receiver()) -> d => d
+                        .map(|d| Incoming::Net(d.payload))
+                        .unwrap_or(Incoming::Closed),
+                    recv(seal_rx) -> o => o.map(Incoming::Seal).unwrap_or(Incoming::Closed),
+                    default(self.config.load_interval) => Incoming::Tick,
+                }
+            };
+            match incoming {
+                Incoming::Local(LocalMsg::Shutdown) | Incoming::Closed => break,
+                Incoming::Local(msg) => self.on_local(msg),
+                Incoming::Net(payload) => self.on_net(payload),
+                Incoming::Seal(object) => self.on_sealed(object),
+                Incoming::Tick => {}
+            }
+            self.dispatch();
+            self.maybe_publish_load();
+        }
+        // Drain: stop workers, deregister from the fabric.
+        for (_, tx) in self.workers.drain() {
+            let _ = tx.send(WorkerCommand::Stop);
+        }
+        self.services.fabric.unregister(self.address);
+    }
+
+    fn announce(&mut self) {
+        let up = SchedWire::NodeUp {
+            node: self.config.node,
+            sched_address: self.address.as_u64(),
+        };
+        let _ = self.services.fabric.send(
+            self.address,
+            self.services.global_address,
+            encode_to_bytes(&up),
+        );
+        self.publish_load();
+    }
+
+    fn on_local(&mut self, msg: LocalMsg) {
+        match msg {
+            LocalMsg::Submit { spec, via_global } => self.on_submit(spec, via_global),
+            LocalMsg::ObjectSealed(object) => self.on_sealed(object),
+            LocalMsg::WorkerDone { worker, task } => self.on_worker_done(worker, task),
+            LocalMsg::AddWorker(handle) => self.add_worker(handle),
+            LocalMsg::RemoveWorker(worker) => self.remove_worker(worker),
+            LocalMsg::WorkerBlocked { worker: _, task } => self.on_blocked(task),
+            LocalMsg::WorkerUnblocked { worker: _, task } => self.on_unblocked(task),
+            LocalMsg::Shutdown => unreachable!("handled by run()"),
+        }
+    }
+
+    fn on_net(&mut self, payload: bytes::Bytes) {
+        match decode_from_slice::<SchedWire>(&payload) {
+            Ok(SchedWire::Place { spec, hops: _ }) => self.on_submit(spec, true),
+            Ok(SchedWire::Spill(spec)) => {
+                // Misdirected spill (we are not a global scheduler);
+                // treat as a local submission rather than dropping work.
+                self.on_submit(spec, false)
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    fn add_worker(&mut self, handle: WorkerHandle) {
+        self.idle.push_back(handle.id);
+        self.workers.insert(handle.id, handle.tx);
+        self.spawn_pending = false;
+        self.load_dirty = true;
+    }
+
+    /// A task blocked inside `get`/`wait`: hand its grant back so other
+    /// work can use the node (and, if needed, ask for one more worker).
+    fn on_blocked(&mut self, task: TaskId) {
+        if let Some((_, grant)) = self.running.get(&task) {
+            if self.released.insert(task) {
+                self.in_use = self.in_use.saturating_sub(grant);
+                self.load_dirty = true;
+            }
+        }
+    }
+
+    /// A blocked task resumed: take its grant back (transient
+    /// oversubscription is accepted rather than pausing a live thread).
+    fn on_unblocked(&mut self, task: TaskId) {
+        if self.released.remove(&task) {
+            if let Some((_, grant)) = self.running.get(&task) {
+                self.in_use = self.in_use.add(grant);
+                self.load_dirty = true;
+            }
+        }
+    }
+
+    fn remove_worker(&mut self, worker: WorkerId) {
+        self.workers.remove(&worker);
+        self.idle.retain(|w| *w != worker);
+        let lost: Vec<TaskId> = self
+            .running
+            .iter()
+            .filter(|(_, (w, _))| *w == worker)
+            .map(|(t, _)| *t)
+            .collect();
+        for task in lost {
+            let (_, grant) = self.running.remove(&task).expect("collected above");
+            if !self.released.remove(&task) {
+                self.in_use = self.in_use.saturating_sub(&grant);
+            }
+            self.services.tasks.set_state(task, &TaskState::Lost);
+        }
+        self.services.events.append(
+            self.config.node,
+            Event::now(Component::LocalScheduler, EventKind::WorkerLost { worker }),
+        );
+        self.load_dirty = true;
+    }
+
+    fn on_submit(&mut self, spec: TaskSpec, via_global: bool) {
+        let node = self.config.node;
+        let backlog = self.ready.len();
+
+        let must_spill = if via_global {
+            // The global scheduler placed us; only bounce if the demand
+            // truly can never fit (stale capacity information).
+            !self.config.total_resources.fits(&spec.resources)
+        } else {
+            self.config
+                .spill
+                .should_spill(&spec, backlog, &self.config.total_resources)
+        };
+        if must_spill {
+            self.spill(spec);
+            return;
+        }
+
+        self.services
+            .tasks
+            .set_state(spec.task_id, &TaskState::Queued(node));
+        self.services.events.append(
+            node,
+            Event::now(
+                Component::LocalScheduler,
+                EventKind::TaskQueuedLocal {
+                    task: spec.task_id,
+                    node,
+                },
+            ),
+        );
+
+        // Dependency gating: distinct objects not yet in the local store.
+        let missing: HashSet<ObjectId> = spec
+            .dependencies()
+            .filter(|o| !self.services.store.contains(*o))
+            .collect();
+        if missing.is_empty() {
+            self.ready.push_back(spec);
+        } else {
+            let count = missing.len();
+            for object in missing {
+                self.watchers.entry(object).or_default().push(spec.task_id);
+                self.ensure_resolver(object);
+            }
+            self.waiting.insert(spec.task_id, (spec, count));
+        }
+        self.load_dirty = true;
+    }
+
+    fn spill(&mut self, spec: TaskSpec) {
+        let node = self.config.node;
+        self.services
+            .tasks
+            .set_state(spec.task_id, &TaskState::Spilled);
+        self.services.events.append(
+            node,
+            Event::now(
+                Component::LocalScheduler,
+                EventKind::TaskSpilled {
+                    task: spec.task_id,
+                    from: node,
+                },
+            ),
+        );
+        let msg = SchedWire::Spill(spec.clone());
+        if self
+            .services
+            .fabric
+            .send(
+                self.address,
+                self.services.global_address,
+                encode_to_bytes(&msg),
+            )
+            .is_err()
+        {
+            // No global scheduler (shutdown race). Keep the work if we
+            // possibly can rather than losing it.
+            if self.config.total_resources.fits(&spec.resources) {
+                self.services
+                    .tasks
+                    .set_state(spec.task_id, &TaskState::Queued(node));
+                self.ready.push_back(spec);
+            } else {
+                self.services
+                    .tasks
+                    .set_state(spec.task_id, &TaskState::Lost);
+            }
+        }
+        self.load_dirty = true;
+    }
+
+    fn ensure_resolver(&mut self, object: ObjectId) {
+        if self.resolving.contains(&object) || self.services.store.contains(object) {
+            return;
+        }
+        self.resolving.insert(object);
+        let services = self.services.clone();
+        let node = self.config.node;
+        let fetch_timeout = self.config.fetch_timeout;
+        std::thread::Builder::new()
+            .name(format!("rtml-resolver-{node}"))
+            .spawn(move || resolve_object(services, object, node, fetch_timeout))
+            .expect("spawn resolver");
+    }
+
+    fn on_sealed(&mut self, object: ObjectId) {
+        self.resolving.remove(&object);
+        let Some(tasks) = self.watchers.remove(&object) else {
+            return;
+        };
+        for task in tasks {
+            if let Some((_, missing)) = self.waiting.get_mut(&task) {
+                *missing -= 1;
+                if *missing == 0 {
+                    let (spec, _) = self.waiting.remove(&task).expect("present");
+                    self.ready.push_back(spec);
+                }
+            }
+        }
+        self.load_dirty = true;
+    }
+
+    fn on_worker_done(&mut self, worker: WorkerId, task: TaskId) {
+        if let Some((granted_worker, grant)) = self.running.remove(&task) {
+            debug_assert_eq!(granted_worker, worker, "completion from wrong worker");
+            if !self.released.remove(&task) {
+                self.in_use = self.in_use.saturating_sub(&grant);
+            }
+        }
+        if self.workers.contains_key(&worker) {
+            self.idle.push_back(worker);
+        }
+        self.load_dirty = true;
+    }
+
+    fn dispatch(&mut self) {
+        while !self.idle.is_empty() {
+            let available = self.config.total_resources.saturating_sub(&self.in_use);
+            // First-fit over the ready queue: lets small tasks overtake a
+            // task waiting for scarce resources (R4).
+            let Some(pos) = self.ready.iter().position(|s| available.fits(&s.resources)) else {
+                break;
+            };
+            let spec = self.ready.remove(pos).expect("position valid");
+            let worker = self.idle.pop_front().expect("non-empty");
+            let Some(worker_tx) = self.workers.get(&worker) else {
+                // Worker vanished between bookkeeping steps; retry.
+                self.ready.insert(pos.min(self.ready.len()), spec);
+                continue;
+            };
+            let grant = spec.resources.clone();
+            let task = spec.task_id;
+            if worker_tx.send(WorkerCommand::Run(spec.clone())).is_ok() {
+                self.in_use = self.in_use.add(&grant);
+                self.running.insert(task, (worker, grant));
+            } else {
+                // Dead worker: drop it and put the task back.
+                self.workers.remove(&worker);
+                self.ready.insert(pos.min(self.ready.len()), spec);
+            }
+            self.load_dirty = true;
+        }
+        // Nested-task deadlock avoidance: runnable work, no idle worker,
+        // and at least one worker parked in get/wait -> grow the pool.
+        if !self.ready.is_empty()
+            && self.idle.is_empty()
+            && !self.released.is_empty()
+            && !self.spawn_pending
+        {
+            self.spawn_pending = true;
+            (self.services.request_worker)();
+        }
+    }
+
+    fn maybe_publish_load(&mut self) {
+        if self.load_dirty && self.last_load.elapsed() >= self.config.load_interval {
+            self.publish_load();
+        }
+    }
+
+    fn publish_load(&mut self) {
+        let report = LoadReport {
+            node: self.config.node,
+            ready: self.ready.len() as u32,
+            waiting: self.waiting.len() as u32,
+            running: self.running.len() as u32,
+            idle_workers: self.idle.len() as u32,
+            available: self.config.total_resources.saturating_sub(&self.in_use),
+            total: self.config.total_resources.clone(),
+            at_nanos: rtml_common::time::now_nanos(),
+        };
+        self.services
+            .kv
+            .set(load_key(self.config.node), encode_to_bytes(&report));
+        let _ = self.services.fabric.send(
+            self.address,
+            self.services.global_address,
+            encode_to_bytes(&SchedWire::Load(report)),
+        );
+        self.load_dirty = false;
+        self.last_load = Instant::now();
+    }
+}
+
+/// Watches one missing object until it is sealed into the local store.
+///
+/// Runs on its own short-lived thread. Terminates when the object becomes
+/// local (the store's seal listener wakes the scheduler) or when the
+/// control plane shuts down.
+fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_timeout: Duration) {
+    let local_rx = services.store.subscribe_local(object);
+    let (mut pending_info, stream) = services.objects.subscribe(object);
+    loop {
+        if services.store.contains(object) {
+            return;
+        }
+        let info = pending_info.take().or_else(|| services.objects.get(object));
+        if let Some(info) = info {
+            if info.is_available() {
+                let holder = info.locations.iter().copied().find(|n| *n != me);
+                if let Some(holder) = holder {
+                    services.events.append(
+                        me,
+                        Event::now(
+                            Component::ObjectStore,
+                            EventKind::TransferStarted {
+                                object,
+                                from: holder,
+                                to: me,
+                            },
+                        ),
+                    );
+                    let started = Instant::now();
+                    match fetch_object(
+                        &services.fabric,
+                        &services.directory,
+                        &services.store,
+                        object,
+                        holder,
+                        fetch_timeout,
+                    ) {
+                        Ok((data, outcome)) => {
+                            services.objects.add_location(object, me, data.len() as u64);
+                            for evicted in outcome.evicted {
+                                services.objects.remove_location(evicted, me);
+                            }
+                            services.events.append(
+                                me,
+                                Event::now(
+                                    Component::ObjectStore,
+                                    EventKind::TransferFinished {
+                                        object,
+                                        to: me,
+                                        micros: started.elapsed().as_micros() as u64,
+                                    },
+                                ),
+                            );
+                            return;
+                        }
+                        Err(_) => {
+                            // Holder unreachable or object gone; fall
+                            // through and wait for table changes.
+                        }
+                    }
+                }
+            } else if info.producer.is_some() {
+                // No live copy but we know the producer: ask the runtime
+                // to replay lineage (idempotent; the hook deduplicates).
+                (services.reconstruct)(object);
+            }
+        }
+        // Block until the table changes, the object seals locally, or a
+        // poll interval passes (covers lost notifications and retries).
+        crossbeam::channel::select! {
+            recv(local_rx) -> msg => {
+                if msg.is_ok() {
+                    return;
+                }
+                // Store dropped: node is gone, give up.
+                return;
+            }
+            recv(stream.receiver()) -> msg => {
+                match msg {
+                    Ok(bytes) => {
+                        pending_info = decode_from_slice(&bytes).ok();
+                    }
+                    Err(_) => return, // control plane gone
+                }
+            }
+            default(Duration::from_millis(20)) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rtml_common::ids::{DriverId, FunctionId};
+    use rtml_common::task::ArgSpec;
+    use rtml_net::FabricConfig;
+    use rtml_store::{StoreConfig, TransferService};
+
+    struct Rig {
+        services: SchedServices,
+        global_endpoint: rtml_net::Endpoint,
+        _transfer: TransferService,
+        worker_rx: Receiver<WorkerCommand>,
+        worker_id: WorkerId,
+        handle: LocalSchedulerHandle,
+    }
+
+    fn rig(config: LocalSchedulerConfig) -> Rig {
+        rig_with_workers(config, 1)
+    }
+
+    fn rig_with_workers(config: LocalSchedulerConfig, n_workers: u32) -> Rig {
+        let kv = KvStore::new(2);
+        let fabric = Fabric::new(FabricConfig::default());
+        let directory = TransferDirectory::new();
+        let store = Arc::new(ObjectStore::new(StoreConfig {
+            node: config.node,
+            capacity_bytes: 1 << 20,
+        }));
+        let transfer = TransferService::spawn(fabric.clone(), store.clone(), &directory);
+        let global_endpoint = fabric.register(NodeId(1000), "fake-global");
+        let services = SchedServices {
+            kv: kv.clone(),
+            objects: ObjectTable::new(kv.clone()),
+            tasks: TaskTable::new(kv.clone()),
+            events: EventLog::new(kv.clone()),
+            fabric,
+            directory,
+            store,
+            global_address: global_endpoint.address(),
+            reconstruct: Arc::new(|_| {}),
+            request_worker: Arc::new(|| {}),
+        };
+        let (worker_tx, worker_rx) = unbounded();
+        let worker_id = WorkerId::new(config.node, 0);
+        let mut workers = vec![WorkerHandle {
+            id: worker_id,
+            tx: worker_tx,
+        }];
+        for i in 1..n_workers {
+            let (tx, rx) = unbounded();
+            // Extra workers silently discard commands.
+            std::thread::spawn(move || while rx.recv().is_ok() {});
+            workers.push(WorkerHandle {
+                id: WorkerId::new(config.node, i),
+                tx,
+            });
+        }
+        let handle = LocalScheduler::spawn(config, services.clone(), workers);
+        Rig {
+            services,
+            global_endpoint,
+            _transfer: transfer,
+            worker_rx,
+            worker_id,
+            handle,
+        }
+    }
+
+    fn spec_with(args: Vec<ArgSpec>, idx: u64) -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        TaskSpec::simple(root.child(idx), FunctionId::from_name("f"), args)
+    }
+
+    fn recv_run(rx: &Receiver<WorkerCommand>) -> TaskSpec {
+        match rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker command")
+        {
+            WorkerCommand::Run(spec) => spec,
+            WorkerCommand::Stop => panic!("unexpected stop"),
+        }
+    }
+
+    #[test]
+    fn no_dep_task_dispatches_immediately() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        let spec = spec_with(vec![], 0);
+        r.handle.submit(spec.clone());
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        assert_eq!(
+            r.services.tasks.get_state(spec.task_id),
+            Some(TaskState::Queued(NodeId(0)))
+        );
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn dependent_task_waits_for_local_seal() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(99)
+            .return_object(0);
+        let spec = spec_with(vec![ArgSpec::ObjectRef(dep)], 0);
+        r.handle.submit(spec.clone());
+        // Not dispatched while the dependency is missing.
+        assert!(r.worker_rx.recv_timeout(Duration::from_millis(80)).is_err());
+        // Seal the dependency locally; the seal listener wakes the
+        // scheduler.
+        r.services.store.put(dep, Bytes::from_static(b"v")).unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn worker_done_frees_resources_for_next_task() {
+        // One worker, 1 CPU: two tasks must run strictly in sequence.
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            ..LocalSchedulerConfig::default()
+        });
+        let a = spec_with(vec![], 0);
+        let b = spec_with(vec![], 1);
+        r.handle.submit(a.clone());
+        r.handle.submit(b.clone());
+        let first = recv_run(&r.worker_rx);
+        assert_eq!(first.task_id, a.task_id);
+        // Second task must not arrive while the first runs.
+        assert!(r.worker_rx.recv_timeout(Duration::from_millis(80)).is_err());
+        r.handle
+            .sender()
+            .send(LocalMsg::WorkerDone {
+                worker: r.worker_id,
+                task: a.task_id,
+            })
+            .unwrap();
+        let second = recv_run(&r.worker_rx);
+        assert_eq!(second.task_id, b.task_id);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn infeasible_task_spills_to_global() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(4.0), // no GPU
+            ..LocalSchedulerConfig::default()
+        });
+        let mut spec = spec_with(vec![], 0);
+        spec.resources = Resources::gpu(1.0);
+        r.handle.submit(spec.clone());
+        // The fake global receives the spill.
+        let spilled = loop {
+            let d = r
+                .global_endpoint
+                .receiver()
+                .recv_timeout(Duration::from_secs(5))
+                .expect("spill");
+            match decode_from_slice::<SchedWire>(&d.payload).unwrap() {
+                SchedWire::Spill(s) => break s,
+                _ => continue, // loads, node-up
+            }
+        };
+        assert_eq!(spilled.task_id, spec.task_id);
+        assert_eq!(
+            r.services.tasks.get_state(spec.task_id),
+            Some(TaskState::Spilled)
+        );
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn backlog_past_threshold_spills() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::Hybrid { queue_threshold: 2 },
+            ..LocalSchedulerConfig::default()
+        });
+        // Worker takes the first task; then ready backlog builds.
+        for i in 0..8 {
+            r.handle.submit(spec_with(vec![], i));
+        }
+        let mut spills = 0;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline && spills == 0 {
+            if let Ok(d) = r
+                .global_endpoint
+                .receiver()
+                .recv_timeout(Duration::from_millis(200))
+            {
+                if matches!(
+                    decode_from_slice::<SchedWire>(&d.payload),
+                    Ok(SchedWire::Spill(_))
+                ) {
+                    spills += 1;
+                }
+            }
+        }
+        assert!(spills > 0, "expected at least one spill");
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn placement_from_global_does_not_respill() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::AlwaysSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        let spec = spec_with(vec![], 0);
+        // Deliver a placement as the global scheduler would.
+        let place = SchedWire::Place {
+            spec: spec.clone(),
+            hops: 1,
+        };
+        r.services
+            .fabric
+            .send(
+                r.global_endpoint.address(),
+                r.handle.address(),
+                encode_to_bytes(&place),
+            )
+            .unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn first_fit_lets_small_tasks_overtake() {
+        let mut r = rig_with_workers(
+            LocalSchedulerConfig {
+                total_resources: Resources::new(2.0, 0.0).with_custom("slot", 1.0),
+                spill: SpillMode::NeverSpill,
+                ..LocalSchedulerConfig::default()
+            },
+            2,
+        );
+        // Task A consumes the only "slot"; task B (also slot) must wait;
+        // task C (cpu only) overtakes B.
+        let mut a = spec_with(vec![], 0);
+        a.resources = Resources::cpu(1.0).with_custom("slot", 1.0);
+        let mut b = spec_with(vec![], 1);
+        b.resources = Resources::cpu(1.0).with_custom("slot", 1.0);
+        let mut c = spec_with(vec![], 2);
+        c.resources = Resources::cpu(1.0);
+        r.handle.submit(a.clone());
+        // Wait until A occupies the slot (worker 0 receives it).
+        let first = recv_run(&r.worker_rx);
+        assert_eq!(first.task_id, a.task_id);
+        r.handle.submit(b.clone());
+        r.handle.submit(c.clone());
+        // C dispatches (to the discard worker) even though B is ahead.
+        // Give the scheduler a moment, then check the task table.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let b_state = r.services.tasks.get_state(b.task_id);
+            let c_queued = r.services.tasks.get_state(c.task_id).is_some();
+            if c_queued && matches!(b_state, Some(TaskState::Queued(_))) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for states");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn remove_worker_marks_running_task_lost() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        let spec = spec_with(vec![], 0);
+        r.handle.submit(spec.clone());
+        let _ = recv_run(&r.worker_rx);
+        r.handle
+            .sender()
+            .send(LocalMsg::RemoveWorker(r.worker_id))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if r.services.tasks.get_state(spec.task_id) == Some(TaskState::Lost) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "task never marked lost");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn load_report_published_to_kv() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(bytes) = r.services.kv.get(&load_key(NodeId(0))) {
+                let report: LoadReport = decode_from_slice(&bytes).unwrap();
+                assert_eq!(report.node, NodeId(0));
+                assert_eq!(report.total, Resources::cpu(4.0));
+                break;
+            }
+            assert!(Instant::now() < deadline, "no load report");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn resolver_fetches_remote_dependency() {
+        // Node 0 scheduler; dependency lives on node 7's store.
+        let kv = KvStore::new(2);
+        let fabric = Fabric::new(FabricConfig::default());
+        let directory = TransferDirectory::new();
+        let store0 = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+        }));
+        let store7 = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(7),
+            capacity_bytes: 1 << 20,
+        }));
+        let _t0 = TransferService::spawn(fabric.clone(), store0.clone(), &directory);
+        let _t7 = TransferService::spawn(fabric.clone(), store7.clone(), &directory);
+        let global = fabric.register(NodeId(1000), "fake-global");
+        let objects = ObjectTable::new(kv.clone());
+        let services = SchedServices {
+            kv: kv.clone(),
+            objects: objects.clone(),
+            tasks: TaskTable::new(kv.clone()),
+            events: EventLog::new(kv.clone()),
+            fabric,
+            directory,
+            store: store0.clone(),
+            global_address: global.address(),
+            reconstruct: Arc::new(|_| {}),
+            request_worker: Arc::new(|| {}),
+        };
+        let (worker_tx, worker_rx) = unbounded();
+        let mut handle = LocalScheduler::spawn(
+            LocalSchedulerConfig::default(),
+            services,
+            vec![WorkerHandle {
+                id: WorkerId::new(NodeId(0), 0),
+                tx: worker_tx,
+            }],
+        );
+
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(50)
+            .return_object(0);
+        store7.put(dep, Bytes::from_static(b"remote")).unwrap();
+        objects.add_location(dep, NodeId(7), 6);
+
+        let spec = spec_with(vec![ArgSpec::ObjectRef(dep)], 0);
+        handle.submit(spec.clone());
+        let got = recv_run(&worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        // The object must now be local and the table updated.
+        assert!(store0.contains(dep));
+        let info = objects.get(dep).unwrap();
+        assert!(info.locations.contains(&NodeId(0)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn resolver_triggers_reconstruction_for_lost_object() {
+        let kv = KvStore::new(2);
+        let fabric = Fabric::new(FabricConfig::default());
+        let directory = TransferDirectory::new();
+        let store = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+        }));
+        let _t = TransferService::spawn(fabric.clone(), store.clone(), &directory);
+        let global = fabric.register(NodeId(1000), "fake-global");
+        let objects = ObjectTable::new(kv.clone());
+        let (hook_tx, hook_rx) = unbounded();
+        let services = SchedServices {
+            kv: kv.clone(),
+            objects: objects.clone(),
+            tasks: TaskTable::new(kv.clone()),
+            events: EventLog::new(kv.clone()),
+            fabric,
+            directory,
+            store,
+            global_address: global.address(),
+            reconstruct: Arc::new(move |obj| {
+                let _ = hook_tx.send(obj);
+            }),
+            request_worker: Arc::new(|| {}),
+        };
+        let (worker_tx, _worker_rx) = unbounded();
+        let mut handle = LocalScheduler::spawn(
+            LocalSchedulerConfig::default(),
+            services,
+            vec![WorkerHandle {
+                id: WorkerId::new(NodeId(0), 0),
+                tx: worker_tx,
+            }],
+        );
+
+        // A dependency whose producer is known but which has no copies.
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let producer = root.child(77);
+        let dep = producer.return_object(0);
+        objects.declare(dep, Some(producer));
+
+        handle.submit(spec_with(vec![ArgSpec::ObjectRef(dep)], 0));
+        let asked = hook_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(asked, dep);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,170 @@
+//! In-process messages between workers, local schedulers, and the runtime.
+
+use crossbeam::channel::Sender;
+
+use rtml_common::codec::{Codec, Reader, Writer};
+use rtml_common::error::Result;
+use rtml_common::ids::{NodeId, ObjectId, TaskId, WorkerId};
+use rtml_common::resources::Resources;
+use rtml_common::task::TaskSpec;
+
+/// Commands the local scheduler sends to a worker thread.
+#[derive(Debug)]
+pub enum WorkerCommand {
+    /// Execute this task; report completion via `LocalMsg::WorkerDone`.
+    Run(TaskSpec),
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// A worker as seen by the local scheduler: identity plus command
+/// channel.
+#[derive(Clone, Debug)]
+pub struct WorkerHandle {
+    /// Worker identity.
+    pub id: WorkerId,
+    /// Command channel into the worker thread.
+    pub tx: Sender<WorkerCommand>,
+}
+
+/// Mailbox messages for a [`crate::local::LocalScheduler`].
+#[derive(Debug)]
+pub enum LocalMsg {
+    /// A task submission. `via_global` marks placements made by the
+    /// global scheduler, which must not spill again (except when the
+    /// node genuinely cannot ever satisfy the demand).
+    Submit {
+        /// The task.
+        spec: TaskSpec,
+        /// Whether the global scheduler placed this task here.
+        via_global: bool,
+    },
+    /// An object was sealed into this node's store (from a local worker,
+    /// a completed fetch, or a reconstruction) — re-evaluate waiters.
+    ObjectSealed(ObjectId),
+    /// A worker finished its task (successfully or not) and is idle.
+    WorkerDone {
+        /// The worker, now idle.
+        worker: WorkerId,
+        /// The task it ran.
+        task: TaskId,
+    },
+    /// Attach a worker to this scheduler's pool.
+    AddWorker(WorkerHandle),
+    /// Detach a worker (failure injection). Its running task, if any, is
+    /// marked lost.
+    RemoveWorker(WorkerId),
+    /// The worker's current task is blocked in `get`/`wait`: release its
+    /// resource grant so other tasks can run (the anti-deadlock
+    /// mechanism for nested task graphs; Ray does the same).
+    WorkerBlocked {
+        /// The blocked worker.
+        worker: WorkerId,
+        /// The task that is blocking.
+        task: TaskId,
+    },
+    /// The worker's task resumed; re-acquire its grant (transient
+    /// oversubscription is tolerated).
+    WorkerUnblocked {
+        /// The resumed worker.
+        worker: WorkerId,
+        /// The task that resumed.
+        task: TaskId,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// A node's load, as published to the global scheduler and control
+/// plane. This is the information basis for placement (paper §3.2.2:
+/// "global information about factors including object locality and
+/// resource availability").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Tasks runnable now (dependencies satisfied) but not yet started.
+    pub ready: u32,
+    /// Tasks blocked on dependencies.
+    pub waiting: u32,
+    /// Tasks currently executing.
+    pub running: u32,
+    /// Idle workers.
+    pub idle_workers: u32,
+    /// Resources not currently allocated.
+    pub available: Resources,
+    /// The node's full capacity.
+    pub total: Resources,
+    /// Timestamp (nanos since process epoch).
+    pub at_nanos: u64,
+}
+
+impl LoadReport {
+    /// Backlog pressure used by load-based placement: runnable plus
+    /// running work, normalized per idle worker would be fancier; queue
+    /// depth is what the paper's threshold policy needs.
+    pub fn queue_depth(&self) -> u32 {
+        self.ready + self.running
+    }
+}
+
+impl Codec for LoadReport {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        w.put_u32(self.ready);
+        w.put_u32(self.waiting);
+        w.put_u32(self.running);
+        w.put_u32(self.idle_workers);
+        self.available.encode(w);
+        self.total.encode(w);
+        w.put_varint(self.at_nanos);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(LoadReport {
+            node: NodeId::decode(r)?,
+            ready: r.take_u32()?,
+            waiting: r.take_u32()?,
+            running: r.take_u32()?,
+            idle_workers: r.take_u32()?,
+            available: Resources::decode(r)?,
+            total: Resources::decode(r)?,
+            at_nanos: r.take_varint()?,
+        })
+    }
+}
+
+/// Key under which a node's load report is mirrored into the KV store
+/// (for debugging tools; the scheduling path uses fabric messages).
+pub fn load_key(node: NodeId) -> bytes::Bytes {
+    bytes::Bytes::from(format!("load:{}", node.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+
+    #[test]
+    fn load_report_round_trips() {
+        let report = LoadReport {
+            node: NodeId(3),
+            ready: 5,
+            waiting: 2,
+            running: 4,
+            idle_workers: 0,
+            available: Resources::cpu(1.0),
+            total: Resources::new(4.0, 1.0),
+            at_nanos: 12345,
+        };
+        let bytes = encode_to_bytes(&report);
+        let back: LoadReport = decode_from_slice(&bytes).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(report.queue_depth(), 9);
+    }
+
+    #[test]
+    fn load_keys_are_distinct_per_node() {
+        assert_ne!(load_key(NodeId(0)), load_key(NodeId(1)));
+    }
+}

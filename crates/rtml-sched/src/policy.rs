@@ -1,0 +1,328 @@
+//! Global placement policies.
+//!
+//! The paper (§3.2.2): "Global schedulers can then assign tasks to local
+//! schedulers based on global information about factors including object
+//! locality and resource availability." [`PlacementPolicy::LocalityAware`]
+//! is that design; the alternatives are ablation baselines (experiment
+//! A2).
+
+use std::collections::HashMap;
+
+use rtml_common::ids::NodeId;
+use rtml_common::task::TaskSpec;
+use rtml_kv::ObjectTable;
+
+use crate::msg::LoadReport;
+
+/// How the global scheduler picks a node for a spilled task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Maximize the number of argument bytes already resident on the
+    /// chosen node; break ties by the shallowest queue. The paper's
+    /// design.
+    LocalityAware,
+    /// Pick the fitting node with the shallowest queue.
+    LeastLoaded,
+    /// Rotate over fitting nodes, ignoring load and locality.
+    RoundRobin,
+    /// Sample two fitting nodes, keep the less loaded ("power of two
+    /// choices") — a classic low-state alternative.
+    PowerOfTwo,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::LocalityAware
+    }
+}
+
+/// Mutable state a policy carries across decisions.
+#[derive(Debug, Default)]
+pub struct PolicyState {
+    /// Round-robin cursor.
+    pub cursor: usize,
+    /// Deterministic RNG state for sampling policies.
+    pub rng: u64,
+}
+
+impl PolicyState {
+    /// Creates state with a fixed seed for reproducible placements.
+    pub fn new(seed: u64) -> Self {
+        PolicyState {
+            cursor: 0,
+            rng: seed | 1,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+}
+
+impl PlacementPolicy {
+    /// Chooses a node for `spec` among `loads`, or `None` if no node's
+    /// total capacity fits the demand (the task must be parked until the
+    /// cluster changes).
+    pub fn place(
+        &self,
+        spec: &TaskSpec,
+        loads: &HashMap<NodeId, LoadReport>,
+        objects: &ObjectTable,
+        state: &mut PolicyState,
+    ) -> Option<NodeId> {
+        // Deterministic candidate order (HashMap iteration is not).
+        let mut fitting: Vec<&LoadReport> = loads
+            .values()
+            .filter(|l| l.total.fits(&spec.resources))
+            .collect();
+        fitting.sort_by_key(|l| l.node);
+        if fitting.is_empty() {
+            return None;
+        }
+
+        match self {
+            PlacementPolicy::LocalityAware => {
+                // Estimated placement cost per node: the bytes that would
+                // have to move there, plus a queue penalty that prices one
+                // queued task at QUEUE_PENALTY_BYTES of transfer. Small
+                // arguments therefore do not glue tasks to a busy node,
+                // while large ones do — "object locality and resource
+                // availability" (§3.2.2) in one scalar.
+                const QUEUE_PENALTY_BYTES: u128 = 64 * 1024;
+                let mut local_bytes: HashMap<NodeId, u64> = HashMap::new();
+                let mut total_bytes: u64 = 0;
+                for dep in spec.dependencies() {
+                    if let Some(info) = objects.get(dep) {
+                        total_bytes += info.size;
+                        for node in &info.locations {
+                            *local_bytes.entry(*node).or_insert(0) += info.size;
+                        }
+                    }
+                }
+                fitting
+                    .iter()
+                    .min_by_key(|l| {
+                        let local = local_bytes.get(&l.node).copied().unwrap_or(0);
+                        let missing = total_bytes.saturating_sub(local) as u128;
+                        (
+                            missing + l.queue_depth() as u128 * QUEUE_PENALTY_BYTES,
+                            l.node,
+                        )
+                    })
+                    .map(|l| l.node)
+            }
+            PlacementPolicy::LeastLoaded => fitting
+                .iter()
+                .min_by_key(|l| (l.queue_depth(), l.node))
+                .map(|l| l.node),
+            PlacementPolicy::RoundRobin => {
+                let pick = fitting[state.cursor % fitting.len()].node;
+                state.cursor = state.cursor.wrapping_add(1);
+                Some(pick)
+            }
+            PlacementPolicy::PowerOfTwo => {
+                let a = (state.next_rand() as usize) % fitting.len();
+                let b = (state.next_rand() as usize) % fitting.len();
+                let (la, lb) = (fitting[a], fitting[b]);
+                Some(if la.queue_depth() <= lb.queue_depth() {
+                    la.node
+                } else {
+                    lb.node
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, FunctionId, TaskId};
+    use rtml_common::resources::Resources;
+    use rtml_common::task::ArgSpec;
+    use rtml_kv::KvStore;
+
+    fn load(node: u32, queue: u32, total: Resources) -> (NodeId, LoadReport) {
+        (
+            NodeId(node),
+            LoadReport {
+                node: NodeId(node),
+                ready: queue,
+                waiting: 0,
+                running: 0,
+                idle_workers: 1,
+                available: total.clone(),
+                total,
+                at_nanos: 0,
+            },
+        )
+    }
+
+    fn cpu_task(args: Vec<ArgSpec>) -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        TaskSpec::simple(root.child(0), FunctionId::from_name("f"), args)
+    }
+
+    #[test]
+    fn no_fitting_node_parks() {
+        let loads: HashMap<_, _> = [load(0, 0, Resources::cpu(4.0))].into_iter().collect();
+        let objects = ObjectTable::new(KvStore::new(1));
+        let mut spec = cpu_task(vec![]);
+        spec.resources = Resources::gpu(1.0);
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            None
+        );
+    }
+
+    #[test]
+    fn least_loaded_picks_shallowest() {
+        let loads: HashMap<_, _> = [
+            load(0, 5, Resources::cpu(4.0)),
+            load(1, 1, Resources::cpu(4.0)),
+            load(2, 3, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let objects = ObjectTable::new(KvStore::new(1));
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LeastLoaded.place(&cpu_task(vec![]), &loads, &objects, &mut state),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn locality_beats_load() {
+        let kv = KvStore::new(1);
+        let objects = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let dep = root.child(9).return_object(0);
+        // A large argument lives on busy node 0.
+        objects.add_location(dep, NodeId(0), 1_000_000);
+
+        let loads: HashMap<_, _> = [
+            load(0, 10, Resources::cpu(4.0)),
+            load(1, 0, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            Some(NodeId(0))
+        );
+        // Without the dependency, the same policy prefers the idle node.
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&cpu_task(vec![]), &loads, &objects, &mut state),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn locality_only_considers_fitting_nodes() {
+        let kv = KvStore::new(1);
+        let objects = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let dep = root.child(9).return_object(0);
+        // The data is on a CPU-only node, but the task needs a GPU.
+        objects.add_location(dep, NodeId(0), 1_000_000);
+        let loads: HashMap<_, _> = [
+            load(0, 0, Resources::cpu(4.0)),
+            load(1, 0, Resources::new(4.0, 1.0)),
+        ]
+        .into_iter()
+        .collect();
+        let mut spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
+        spec.resources = Resources::gpu(1.0);
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let loads: HashMap<_, _> = [
+            load(0, 0, Resources::cpu(4.0)),
+            load(1, 0, Resources::cpu(4.0)),
+            load(2, 0, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let objects = ObjectTable::new(KvStore::new(1));
+        let mut state = PolicyState::new(1);
+        let picks: Vec<_> = (0..6)
+            .map(|_| {
+                PlacementPolicy::RoundRobin
+                    .place(&cpu_task(vec![]), &loads, &objects, &mut state)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(0),
+                NodeId(1),
+                NodeId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn power_of_two_prefers_less_loaded_on_average() {
+        let loads: HashMap<_, _> = [
+            load(0, 100, Resources::cpu(4.0)),
+            load(1, 0, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let objects = ObjectTable::new(KvStore::new(1));
+        let mut state = PolicyState::new(42);
+        let mut node1_picks = 0;
+        for _ in 0..100 {
+            if PlacementPolicy::PowerOfTwo
+                .place(&cpu_task(vec![]), &loads, &objects, &mut state)
+                .unwrap()
+                == NodeId(1)
+            {
+                node1_picks += 1;
+            }
+        }
+        // Picks node 1 unless both samples land on node 0 (~25%).
+        assert!(node1_picks > 60, "node1_picks={node1_picks}");
+    }
+
+    #[test]
+    fn placement_is_deterministic_given_state() {
+        let loads: HashMap<_, _> = [
+            load(0, 1, Resources::cpu(4.0)),
+            load(1, 2, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let objects = ObjectTable::new(KvStore::new(1));
+        let a = PlacementPolicy::LocalityAware.place(
+            &cpu_task(vec![]),
+            &loads,
+            &objects,
+            &mut PolicyState::new(7),
+        );
+        let b = PlacementPolicy::LocalityAware.place(
+            &cpu_task(vec![]),
+            &loads,
+            &objects,
+            &mut PolicyState::new(7),
+        );
+        assert_eq!(a, b);
+    }
+}

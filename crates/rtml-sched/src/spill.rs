@@ -1,0 +1,118 @@
+//! Spillover policies: when does a local scheduler hand a task to the
+//! global scheduler?
+//!
+//! The paper (§3.2.2): "Workers submit tasks to their local schedulers
+//! which decide to either assign the tasks to other workers on the same
+//! physical node or to 'spill over' the tasks to a global scheduler."
+//! The decision rule is the knob experiment E8 turns: always spilling
+//! recovers a fully-centralized scheduler (the Dask/CIEL architecture the
+//! paper critiques); never spilling is pure node-local execution; the
+//! hybrid threshold is the paper's proposal.
+
+use rtml_common::resources::Resources;
+use rtml_common::task::TaskSpec;
+
+/// The spillover decision rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpillMode {
+    /// Spill when the local backlog of runnable tasks exceeds
+    /// `queue_threshold` (the paper's hybrid design).
+    Hybrid {
+        /// Maximum runnable backlog kept locally.
+        queue_threshold: usize,
+    },
+    /// Spill every task: a fully-centralized scheduler (baseline for E8).
+    AlwaysSpill,
+    /// Keep every feasible task local: no load sharing (baseline for E8).
+    NeverSpill,
+}
+
+impl Default for SpillMode {
+    fn default() -> Self {
+        SpillMode::Hybrid { queue_threshold: 8 }
+    }
+}
+
+impl SpillMode {
+    /// Decides whether `spec` should spill to the global scheduler.
+    ///
+    /// Regardless of mode, a task whose demand can **never** be satisfied
+    /// by this node (demand exceeds total capacity, e.g. a GPU task on a
+    /// CPU-only node) must spill — only the global scheduler can see a
+    /// node that fits it (R4 heterogeneity).
+    pub fn should_spill(
+        &self,
+        spec: &TaskSpec,
+        ready_backlog: usize,
+        node_total: &Resources,
+    ) -> bool {
+        if !node_total.fits(&spec.resources) {
+            return true;
+        }
+        match self {
+            SpillMode::Hybrid { queue_threshold } => ready_backlog > *queue_threshold,
+            SpillMode::AlwaysSpill => true,
+            SpillMode::NeverSpill => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, FunctionId, TaskId};
+
+    fn spec(resources: Resources) -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let mut s = TaskSpec::simple(root.child(0), FunctionId::from_name("f"), vec![]);
+        s.resources = resources;
+        s
+    }
+
+    #[test]
+    fn infeasible_always_spills() {
+        let node = Resources::cpu(4.0); // no GPU
+        let gpu_task = spec(Resources::gpu(1.0));
+        for mode in [
+            SpillMode::Hybrid {
+                queue_threshold: 100,
+            },
+            SpillMode::AlwaysSpill,
+            SpillMode::NeverSpill,
+        ] {
+            assert!(mode.should_spill(&gpu_task, 0, &node), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_spills_past_threshold() {
+        let node = Resources::cpu(4.0);
+        let task = spec(Resources::cpu(1.0));
+        let mode = SpillMode::Hybrid { queue_threshold: 3 };
+        assert!(!mode.should_spill(&task, 0, &node));
+        assert!(!mode.should_spill(&task, 3, &node));
+        assert!(mode.should_spill(&task, 4, &node));
+    }
+
+    #[test]
+    fn always_spill_spills_feasible_tasks() {
+        let node = Resources::cpu(4.0);
+        let task = spec(Resources::cpu(1.0));
+        assert!(SpillMode::AlwaysSpill.should_spill(&task, 0, &node));
+    }
+
+    #[test]
+    fn never_spill_keeps_feasible_tasks() {
+        let node = Resources::cpu(4.0);
+        let task = spec(Resources::cpu(1.0));
+        assert!(!SpillMode::NeverSpill.should_spill(&task, 10_000, &node));
+    }
+
+    #[test]
+    fn default_is_hybrid() {
+        assert_eq!(
+            SpillMode::default(),
+            SpillMode::Hybrid { queue_threshold: 8 }
+        );
+    }
+}

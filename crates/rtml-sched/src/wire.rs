@@ -1,0 +1,133 @@
+//! Scheduler messages that cross node boundaries (over the fabric).
+
+use rtml_common::codec::{Codec, Reader, Writer};
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::NodeId;
+use rtml_common::task::TaskSpec;
+
+use crate::msg::LoadReport;
+
+/// Fabric-borne scheduler protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedWire {
+    /// Local → global: "this task exceeds my capacity or backlog".
+    Spill(TaskSpec),
+    /// Global → local: "run this task on your node". `hops` counts
+    /// placement attempts, bounding spill/place ping-pong.
+    Place {
+        /// The task being placed.
+        spec: TaskSpec,
+        /// Number of global placements so far.
+        hops: u32,
+    },
+    /// Local → global: periodic load report.
+    Load(LoadReport),
+    /// A node joined or recovered; `sched_address` is the raw fabric
+    /// address of its local scheduler.
+    NodeUp {
+        /// The node.
+        node: NodeId,
+        /// Raw fabric address ([`rtml_net::NetAddress::as_u64`]).
+        sched_address: u64,
+    },
+    /// A node left the cluster (failure injection or shutdown).
+    NodeDown {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl Codec for SchedWire {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SchedWire::Spill(spec) => {
+                w.put_u8(0);
+                spec.encode(w);
+            }
+            SchedWire::Place { spec, hops } => {
+                w.put_u8(1);
+                spec.encode(w);
+                w.put_u32(*hops);
+            }
+            SchedWire::Load(report) => {
+                w.put_u8(2);
+                report.encode(w);
+            }
+            SchedWire::NodeUp {
+                node,
+                sched_address,
+            } => {
+                w.put_u8(3);
+                node.encode(w);
+                w.put_u64(*sched_address);
+            }
+            SchedWire::NodeDown { node } => {
+                w.put_u8(4);
+                node.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => SchedWire::Spill(TaskSpec::decode(r)?),
+            1 => SchedWire::Place {
+                spec: TaskSpec::decode(r)?,
+                hops: r.take_u32()?,
+            },
+            2 => SchedWire::Load(LoadReport::decode(r)?),
+            3 => SchedWire::NodeUp {
+                node: NodeId::decode(r)?,
+                sched_address: r.take_u64()?,
+            },
+            4 => SchedWire::NodeDown {
+                node: NodeId::decode(r)?,
+            },
+            other => return Err(Error::Codec(format!("invalid SchedWire tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+    use rtml_common::ids::{DriverId, FunctionId, TaskId};
+    use rtml_common::resources::Resources;
+
+    fn spec() -> TaskSpec {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        TaskSpec::simple(root.child(0), FunctionId::from_name("f"), vec![])
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let report = LoadReport {
+            node: NodeId(1),
+            ready: 1,
+            waiting: 0,
+            running: 2,
+            idle_workers: 3,
+            available: Resources::cpu(2.0),
+            total: Resources::cpu(4.0),
+            at_nanos: 7,
+        };
+        for msg in [
+            SchedWire::Spill(spec()),
+            SchedWire::Place {
+                spec: spec(),
+                hops: 2,
+            },
+            SchedWire::Load(report),
+            SchedWire::NodeUp {
+                node: NodeId(5),
+                sched_address: 99,
+            },
+            SchedWire::NodeDown { node: NodeId(5) },
+        ] {
+            let bytes = encode_to_bytes(&msg);
+            let back: SchedWire = decode_from_slice(&bytes).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+}

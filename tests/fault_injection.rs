@@ -1,0 +1,196 @@
+//! Failure-matrix tests: the R6 story under adversarial timing.
+
+use std::time::Duration;
+
+use rtml::common::error::Error;
+use rtml::prelude::*;
+
+#[test]
+fn chain_survives_mid_chain_node_loss() {
+    // A dependency chain computed across two nodes; killing the node
+    // holding intermediate results forces recursive reconstruction.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::Hybrid { queue_threshold: 0 }, // spread aggressively
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let inc = cluster.register_fn1("inc_chain", |x: i64| Ok(x + 1));
+    let driver = cluster.driver();
+    let mut fut = driver.submit1(&inc, 0).unwrap();
+    for _ in 0..9 {
+        fut = driver.submit1(&inc, &fut).unwrap();
+    }
+    assert_eq!(driver.get(&fut).unwrap(), 10);
+    // Now lose node 1 (and whatever intermediates it held).
+    cluster.kill_node(NodeId(1)).unwrap();
+    // The chain result must still be obtainable: local copy or replay.
+    assert_eq!(driver.get(&fut).unwrap(), 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn repeated_worker_kills_do_not_lose_work() {
+    let cluster = Cluster::start(ClusterConfig::local(1, 3)).unwrap();
+    let slow = cluster.register_fn1("slow_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(100));
+        Ok(x * 2)
+    });
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..6).map(|i| driver.submit1(&slow, i).unwrap()).collect();
+    // Kill two of the three workers while work is in flight.
+    std::thread::sleep(Duration::from_millis(30));
+    let _ = cluster.kill_worker(WorkerId::new(NodeId(0), 0));
+    std::thread::sleep(Duration::from_millis(10));
+    let _ = cluster.kill_worker(WorkerId::new(NodeId(0), 1));
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 2
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn kill_all_but_one_node_still_completes() {
+    let cluster = Cluster::start(ClusterConfig::local(3, 2)).unwrap();
+    let f = cluster.register_fn1("compute_fi", |x: i64| Ok(x * x));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..12).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    cluster.kill_node(NodeId(1)).unwrap();
+    cluster.kill_node(NodeId(2)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(driver.get(fut).unwrap(), (i * i) as i64);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn restarted_node_accepts_new_work() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let f = cluster.register_fn1("echo_fi", |x: i64| Ok(x));
+    let driver = cluster.driver();
+    let config = cluster.node_config(NodeId(1)).unwrap();
+    cluster.kill_node(NodeId(1)).unwrap();
+    cluster.restart_node(NodeId(1), config).unwrap();
+    // Flood enough work that the restarted node must participate.
+    let futs: Vec<_> = (0..40).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(driver.get(fut).unwrap(), i as i64);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn double_kill_same_node_errors() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    cluster.kill_node(NodeId(1)).unwrap();
+    assert_eq!(
+        cluster.kill_node(NodeId(1)),
+        Err(Error::NodeDown(NodeId(1)))
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn restart_alive_node_errors() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let err = cluster
+        .restart_node(NodeId(1), NodeConfig::cpu_only(2))
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidArgument(_)));
+    cluster.shutdown();
+}
+
+#[test]
+fn reconstruction_counter_reflects_replays() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
+    let f = cluster.register_fn1("count_fi", |x: i64| Ok(x + 100));
+    let driver = cluster.driver();
+
+    // Pin all results to node 1 by flooding node 0's queue? Simpler:
+    // run work, kill node 1, and count that any replays that happened
+    // are reported.
+    let futs: Vec<_> = (0..10).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    let before = cluster.reconstructions();
+    cluster.kill_node(NodeId(1)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(driver.get(fut).unwrap(), i as i64 + 100);
+    }
+    let after = cluster.reconstructions();
+    assert!(after >= before);
+    cluster.shutdown();
+}
+
+#[test]
+fn failure_during_nested_fanout_recovers() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 3)).unwrap();
+    let leaf = cluster.register_fn1("leaf_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(20));
+        Ok(x)
+    });
+    let fanout = cluster.register_fn1_ctx("fanout_fi", move |ctx, n: i64| {
+        let futs: Vec<_> = (0..n).map(|i| ctx.submit1(&leaf, i).unwrap()).collect();
+        let mut sum = 0;
+        for fut in &futs {
+            sum += ctx.get(fut)?;
+        }
+        Ok(sum)
+    });
+    let driver = cluster.driver();
+    let fut = driver.submit1(&fanout, 10).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    // Kill a worker on node 1 that is likely running leaves.
+    let _ = cluster.kill_worker(WorkerId::new(NodeId(1), 0));
+    assert_eq!(driver.get(&fut).unwrap(), 45);
+    cluster.shutdown();
+}
+
+#[test]
+fn transient_partition_heals_without_losing_values() {
+    // Results spread to node 1, then the 0↔1 link partitions. Fetches
+    // fail (and may trigger precautionary replays); once the partition
+    // heals every value is delivered intact — no hangs, no corruption.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::Hybrid { queue_threshold: 0 },
+        fetch_timeout: Duration::from_millis(200),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let f = cluster.register_fn1("part_fi", |x: i64| Ok(x + 7));
+    let driver = cluster.driver();
+
+    // Run enough tasks that some results live on node 1.
+    let futs: Vec<_> = (0..8).map(|i| driver.submit1(&f, i).unwrap()).collect();
+    let (ready, _) = driver.wait(&futs, 8, Duration::from_secs(30));
+    assert_eq!(ready.len(), 8);
+
+    let fabric = driver.services().fabric.clone();
+    fabric.partition(NodeId(0), NodeId(1));
+    let healer = std::thread::spawn({
+        let fabric = fabric.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(800));
+            fabric.heal(NodeId(0), NodeId(1));
+        }
+    });
+    // Gets issued during the partition must resolve (locally replayed
+    // values or post-heal fetches) and must be correct.
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 + 7,
+            "future {i}"
+        );
+    }
+    healer.join().unwrap();
+    cluster.shutdown();
+}

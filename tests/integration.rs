@@ -1,0 +1,254 @@
+//! Cross-crate integration tests: the full stack exercised through the
+//! facade, combining workloads, scheduling modes, and the control plane.
+
+use std::time::Duration;
+
+use rtml::baselines::{BspConfig, BspEngine, SerialEngine};
+use rtml::prelude::*;
+use rtml::workloads::{mcts, rl, rnn, sensors};
+
+#[test]
+fn rl_serial_bsp_rtml_same_answer() {
+    let config = rl::RlConfig {
+        rollouts: 6,
+        frames_per_task: 4,
+        frame_cost: Duration::from_micros(300),
+        iterations: 3,
+        policy_kernel_cost: Duration::from_millis(1),
+        ..rl::RlConfig::default()
+    };
+    let serial = rl::run_serial(&config);
+
+    let engine = BspEngine::new(BspConfig {
+        workers: 4,
+        per_task_overhead: Duration::from_micros(200),
+        per_stage_overhead: Duration::from_millis(1),
+    });
+    let bsp = rl::run_engine(&config, &engine);
+
+    let cluster = Cluster::start(ClusterConfig::local(2, 3)).unwrap();
+    let funcs = rl::RlFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let rtml = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+    cluster.shutdown();
+
+    assert_eq!(serial.checksum, bsp.checksum);
+    assert_eq!(serial.checksum, rtml.checksum);
+    assert_eq!(serial.total_reward_bits, bsp.total_reward_bits);
+    assert_eq!(serial.total_reward_bits, rtml.total_reward_bits);
+}
+
+#[test]
+fn rnn_all_engines_same_checksum_on_gpu_cluster() {
+    let config = rnn::RnnConfig {
+        layers: 3,
+        timesteps: 6,
+        base_cell_cost: Duration::from_micros(500),
+        ..rnn::RnnConfig::default()
+    };
+    let serial = rnn::run_serial(&config);
+    let bsp = rnn::run_bsp(&config, &SerialEngine);
+    let cluster = Cluster::start(ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(2).with_gpus(1.0),
+            NodeConfig::cpu_only(2),
+        ],
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let funcs = rnn::RnnFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let rtml = rnn::run_rtml(&config, &driver, &funcs).unwrap();
+    cluster.shutdown();
+    assert_eq!(serial.checksum, bsp.checksum);
+    assert_eq!(serial.checksum, rtml.checksum);
+}
+
+#[test]
+fn sensors_stream_beats_batch_on_makespan() {
+    let config = sensors::SensorConfig {
+        sensors: 4,
+        base_cost: Duration::from_millis(2),
+        fuse_cost: Duration::from_micros(200),
+        windows: 6,
+        ..sensors::SensorConfig::default()
+    };
+    let bsp = sensors::run_bsp(&config, &SerialEngine);
+    let cluster = Cluster::start(ClusterConfig::local(2, 4)).unwrap();
+    let funcs = sensors::SensorFuncs::register(&cluster, config.fuse_cost);
+    let driver = cluster.driver();
+    let streamed = sensors::run_rtml(&config, &driver, &funcs).unwrap();
+    cluster.shutdown();
+    assert_eq!(bsp.checksum, streamed.checksum);
+    // Parallel streaming must finish the whole stream faster than
+    // strictly-serial batch processing.
+    assert!(
+        streamed.wall < bsp.wall,
+        "stream {:?} !< batch {:?}",
+        streamed.wall,
+        bsp.wall
+    );
+}
+
+#[test]
+fn mcts_survives_worker_failure() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 3)).unwrap();
+    let funcs = mcts::MctsFuncs::register(&cluster);
+    let config = mcts::MctsConfig {
+        frame_cost: Duration::from_millis(2),
+        budget: 24,
+        parallelism: 6,
+        ..mcts::MctsConfig::default()
+    };
+    // Kill a worker while the search is running; lineage replay must
+    // keep the budget accounting exact.
+    let driver = cluster.driver();
+    let result = std::thread::scope(|scope| {
+        let search = scope.spawn(|| mcts::run_rtml(&config, &driver, &funcs));
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = cluster.kill_worker(WorkerId::new(NodeId(1), 0));
+        search.join().unwrap().unwrap()
+    });
+    assert_eq!(result.simulations, 24);
+    cluster.shutdown();
+}
+
+#[test]
+fn centralized_vs_hybrid_spill_modes_run_same_workload() {
+    for spill in [
+        SpillMode::AlwaysSpill,
+        SpillMode::NeverSpill,
+        SpillMode::Hybrid { queue_threshold: 2 },
+    ] {
+        let cluster = Cluster::start(ClusterConfig::local(2, 2).with_spill(spill.clone())).unwrap();
+        let f = cluster.register_fn1("echo_mode", |x: i64| Ok(x));
+        let driver = cluster.driver();
+        let futs: Vec<_> = (0..20).map(|i| driver.submit1(&f, i).unwrap()).collect();
+        for (i, fut) in futs.iter().enumerate() {
+            assert_eq!(driver.get(fut).unwrap(), i as i64, "mode {spill:?}");
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn placement_policies_run_same_workload() {
+    for policy in [
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::PowerOfTwo,
+    ] {
+        let mut config = ClusterConfig::local(3, 2).with_spill(SpillMode::AlwaysSpill);
+        config.placement = policy;
+        let cluster = Cluster::start(config).unwrap();
+        let f = cluster.register_fn1("echo_policy", |x: i64| Ok(x * 3));
+        let driver = cluster.driver();
+        let futs: Vec<_> = (0..15).map(|i| driver.submit1(&f, i).unwrap()).collect();
+        for (i, fut) in futs.iter().enumerate() {
+            assert_eq!(driver.get(fut).unwrap(), i as i64 * 3, "policy {policy:?}");
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn control_plane_sharding_preserves_semantics() {
+    for shards in [1usize, 4, 16] {
+        let cluster = Cluster::start(ClusterConfig::local(2, 2).with_kv_shards(shards)).unwrap();
+        let f = cluster.register_fn2("mul", |a: i64, b: i64| Ok(a * b));
+        let driver = cluster.driver();
+        let x = driver.submit2(&f, 6, 7).unwrap();
+        let y = driver.submit2(&f, &x, 2i64).unwrap();
+        assert_eq!(driver.get(&y).unwrap(), 84, "shards {shards}");
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn event_log_disabled_still_works() {
+    let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
+    let f = cluster.register_fn1("noop", |x: u64| Ok(x));
+    let driver = cluster.driver();
+    let fut = driver.submit1(&f, 1u64).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 1);
+    // No events recorded.
+    assert!(cluster.profile().tasks.is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn deeply_nested_dynamic_graph() {
+    // A task that recursively spawns children (R3) down to depth 5.
+    let cluster = Cluster::start(ClusterConfig::local(2, 4)).unwrap();
+    let leaf = cluster.register_fn1("leafd", |x: i64| Ok(x + 1));
+    fn register_level(
+        cluster: &Cluster,
+        level: usize,
+        inner: rtml::runtime::Func1<i64, i64>,
+    ) -> rtml::runtime::Func1<i64, i64> {
+        cluster.register_fn1_ctx(&format!("level{level}"), move |ctx, x: i64| {
+            let child = ctx.submit1(&inner, x)?;
+            let v = ctx.get(&child)?;
+            Ok(v * 2)
+        })
+    }
+    let mut f = leaf;
+    for level in 0..5 {
+        f = register_level(&cluster, level, f);
+    }
+    let driver = cluster.driver();
+    let fut = driver.submit1(&f, 0).unwrap();
+    // ((((0+1)*2)*2)*2)*2)*2 = 32.
+    assert_eq!(driver.get(&fut).unwrap(), 32);
+    cluster.shutdown();
+}
+
+#[test]
+fn replicated_control_plane_survives_failover() {
+    use bytes::Bytes;
+    let kv = rtml::kv::ReplicatedKv::new(4);
+    for i in 0..100u64 {
+        kv.set(
+            Bytes::from(format!("key{i}")),
+            Bytes::from(i.to_le_bytes().to_vec()),
+        );
+    }
+    kv.fail_primary();
+    for i in 0..100u64 {
+        let v = kv.get(format!("key{i}").as_bytes()).unwrap();
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&v);
+        assert_eq!(u64::from_le_bytes(arr), i);
+    }
+}
+
+#[test]
+fn wait_pipelining_beats_batching_with_stragglers() {
+    let cluster = Cluster::start(ClusterConfig::local(2, 4)).unwrap();
+    let funcs = rl::RlFuncs::register(&cluster);
+    let driver = cluster.driver();
+    let config = rl::RlConfig {
+        rollouts: 8,
+        frames_per_task: 5,
+        frame_cost: Duration::from_millis(1),
+        policy_kernel_cost: Duration::from_millis(4),
+        gpu_speedup: 1.0,
+        straggler_every: 8,
+        straggler_factor: 10.0,
+        ..rl::RlConfig::default()
+    };
+    let (batched_value, batched_wall) =
+        rl::run_rtml_batched(&config, &driver, &funcs, false).unwrap();
+    let (pipelined_value, pipelined_wall) =
+        rl::run_rtml_pipelined(&config, &driver, &funcs, false).unwrap();
+    cluster.shutdown();
+    assert_eq!(batched_value.to_bits(), pipelined_value.to_bits());
+    // With one 10x straggler, overlapping scoring with the straggler's
+    // tail should win. Allow slack for scheduling noise but require a
+    // real improvement.
+    assert!(
+        pipelined_wall < batched_wall,
+        "pipelined {pipelined_wall:?} !< batched {batched_wall:?}"
+    );
+}

@@ -1,0 +1,308 @@
+//! Property-based tests (proptest) on the substrate invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use rtml::common::codec::{decode_from_slice, encode_to_bytes};
+use rtml::common::ids::FunctionId;
+use rtml::common::ids::{DriverId, NodeId, ObjectId, TaskId, UniqueId};
+use rtml::common::resources::Resources;
+use rtml::common::task::{ArgSpec, TaskSpec, TaskState};
+use rtml::kv::KvStore;
+use rtml::store::{ObjectStore, StoreConfig};
+
+fn obj(i: u64) -> ObjectId {
+    TaskId::driver_root(DriverId::from_index(9))
+        .child(i)
+        .return_object(0)
+}
+
+proptest! {
+    // ---- codec round-trips -----------------------------------------
+
+    #[test]
+    fn codec_u64_round_trips(v in any::<u64>()) {
+        let bytes = encode_to_bytes(&v);
+        prop_assert_eq!(decode_from_slice::<u64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_i64_round_trips(v in any::<i64>()) {
+        let bytes = encode_to_bytes(&v);
+        prop_assert_eq!(decode_from_slice::<i64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_f64_round_trips_bitwise(v in any::<f64>()) {
+        let bytes = encode_to_bytes(&v);
+        let back = decode_from_slice::<f64>(&bytes).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn codec_string_round_trips(v in ".{0,64}") {
+        let owned = v.to_string();
+        let bytes = encode_to_bytes(&owned);
+        prop_assert_eq!(decode_from_slice::<String>(&bytes).unwrap(), owned);
+    }
+
+    #[test]
+    fn codec_vec_round_trips(v in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let bytes = encode_to_bytes(&v);
+        prop_assert_eq!(decode_from_slice::<Vec<u32>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_nested_round_trips(
+        v in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<f32>(), 0..8)),
+            0..16,
+        )
+    ) {
+        let bytes = encode_to_bytes(&v);
+        let back: Vec<(u64, Vec<f32>)> = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in back.iter().zip(&v) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.len(), b.1.len());
+            for (x, y) in a.1.iter().zip(&b.1) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn codec_option_round_trips(v in proptest::option::of(any::<i32>())) {
+        let bytes = encode_to_bytes(&v);
+        prop_assert_eq!(decode_from_slice::<Option<i32>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_rejects_truncation(v in proptest::collection::vec(any::<u64>(), 1..16)) {
+        let bytes = encode_to_bytes(&v);
+        // Any strict prefix must fail to decode.
+        let cut = bytes.len() / 2;
+        if cut < bytes.len() {
+            prop_assert!(decode_from_slice::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    // ---- identifier discipline --------------------------------------
+
+    #[test]
+    fn distinct_counters_distinct_tasks(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        prop_assert_ne!(root.child(a), root.child(b));
+    }
+
+    #[test]
+    fn distinct_returns_distinct_objects(idx in 0u32..1000) {
+        let task = TaskId::driver_root(DriverId::from_index(0)).child(0);
+        prop_assert_ne!(task.return_object(idx), task.return_object(idx + 1));
+    }
+
+    #[test]
+    fn id_derivation_is_pure(counter in any::<u64>()) {
+        let root = TaskId::driver_root(DriverId::from_index(3));
+        prop_assert_eq!(root.child(counter), root.child(counter));
+        prop_assert_eq!(
+            root.child(counter).return_object(0),
+            root.child(counter).return_object(0)
+        );
+    }
+
+    #[test]
+    fn buckets_are_stable_and_in_range(raw in any::<u128>(), shards in 1usize..64) {
+        let id = UniqueId::from_u128(raw);
+        let b = id.bucket(shards);
+        prop_assert!(b < shards);
+        prop_assert_eq!(b, id.bucket(shards));
+    }
+
+    // ---- resource arithmetic ----------------------------------------
+
+    #[test]
+    fn resources_add_sub_inverse(
+        c1 in 0.0f64..64.0, g1 in 0.0f64..8.0,
+        c2 in 0.0f64..64.0, g2 in 0.0f64..8.0,
+    ) {
+        let a = Resources::new(c1, g1);
+        let b = Resources::new(c2, g2);
+        let sum = a.add(&b);
+        prop_assert!(sum.fits(&a));
+        prop_assert!(sum.fits(&b));
+        let back = sum.checked_sub(&b).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn fits_is_antisymmetric_unless_equal(
+        c1 in 0.0f64..8.0, c2 in 0.0f64..8.0,
+    ) {
+        let a = Resources::cpu(c1);
+        let b = Resources::cpu(c2);
+        if a.fits(&b) && b.fits(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn resources_codec_round_trips(
+        c in 0.0f64..128.0, g in 0.0f64..16.0, custom in 0.0f64..4.0,
+    ) {
+        let r = Resources::new(c, g).with_custom("x", custom);
+        let bytes = encode_to_bytes(&r);
+        prop_assert_eq!(decode_from_slice::<Resources>(&bytes).unwrap(), r);
+    }
+
+    // ---- task specs --------------------------------------------------
+
+    #[test]
+    fn task_spec_round_trips(
+        n_args in 0usize..6,
+        num_returns in 1u32..4,
+        attempt in 0u32..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let root = TaskId::driver_root(DriverId::from_index(1));
+        let args: Vec<ArgSpec> = (0..n_args)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ArgSpec::Value(Bytes::from(payload.clone()))
+                } else {
+                    ArgSpec::ObjectRef(root.child(i as u64).return_object(0))
+                }
+            })
+            .collect();
+        let spec = TaskSpec {
+            task_id: root.child(99),
+            function: FunctionId::from_name("f"),
+            args,
+            num_returns,
+            resources: Resources::cpu(1.0),
+            submitter_node: NodeId(2),
+            attempt,
+            actor: None,
+        };
+        let bytes = encode_to_bytes(&spec);
+        prop_assert_eq!(decode_from_slice::<TaskSpec>(&bytes).unwrap(), spec);
+    }
+
+    #[test]
+    fn task_state_round_trips(tag in 0u8..7) {
+        let state = match tag {
+            0 => TaskState::Submitted,
+            1 => TaskState::Queued(NodeId(3)),
+            2 => TaskState::Spilled,
+            3 => TaskState::Running(rtml::common::ids::WorkerId::new(NodeId(1), 2)),
+            4 => TaskState::Finished,
+            5 => TaskState::Failed("msg".into()),
+            _ => TaskState::Lost,
+        };
+        let bytes = encode_to_bytes(&state);
+        prop_assert_eq!(decode_from_slice::<TaskState>(&bytes).unwrap(), state);
+    }
+
+    // ---- KV store ----------------------------------------------------
+
+    #[test]
+    fn kv_last_write_wins(
+        writes in proptest::collection::vec((0u8..16, any::<u64>()), 1..64),
+        shards in 1usize..8,
+    ) {
+        let kv = KvStore::new(shards);
+        let mut expected = std::collections::HashMap::new();
+        for (key, value) in &writes {
+            let k = Bytes::from(vec![*key]);
+            kv.set(k.clone(), Bytes::from(value.to_le_bytes().to_vec()));
+            expected.insert(*key, *value);
+        }
+        for (key, value) in expected {
+            let got = kv.get(&[key]).unwrap();
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(&got);
+            prop_assert_eq!(u64::from_le_bytes(arr), value);
+        }
+    }
+
+    #[test]
+    fn kv_log_preserves_order(records in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let kv = KvStore::new(4);
+        let key = Bytes::from_static(b"log");
+        for r in &records {
+            kv.append(key.clone(), Bytes::from(r.to_le_bytes().to_vec()));
+        }
+        let read: Vec<u32> = kv
+            .read_log(&key)
+            .iter()
+            .map(|b| {
+                let mut arr = [0u8; 4];
+                arr.copy_from_slice(b);
+                u32::from_le_bytes(arr)
+            })
+            .collect();
+        prop_assert_eq!(read, records);
+    }
+
+    // ---- object store -------------------------------------------------
+
+    #[test]
+    fn store_never_exceeds_capacity(
+        sizes in proptest::collection::vec(1usize..64, 1..32),
+        capacity in 64u64..256,
+    ) {
+        let store = ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: capacity,
+        });
+        for (i, size) in sizes.iter().enumerate() {
+            let _ = store.put(obj(i as u64), Bytes::from(vec![0u8; *size]));
+            prop_assert!(store.used_bytes() <= capacity,
+                "used {} > cap {}", store.used_bytes(), capacity);
+        }
+    }
+
+    #[test]
+    fn store_get_returns_exact_bytes(
+        entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..16),
+    ) {
+        let store = ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+        });
+        for (i, data) in entries.iter().enumerate() {
+            store.put(obj(i as u64), Bytes::from(data.clone())).unwrap();
+        }
+        for (i, data) in entries.iter().enumerate() {
+            prop_assert_eq!(&store.get(obj(i as u64)).unwrap()[..], &data[..]);
+        }
+    }
+
+    #[test]
+    fn store_accounting_balances_after_deletes(
+        sizes in proptest::collection::vec(1usize..128, 1..16),
+    ) {
+        let store = ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+        });
+        for (i, size) in sizes.iter().enumerate() {
+            store.put(obj(i as u64), Bytes::from(vec![1u8; *size])).unwrap();
+        }
+        for i in 0..sizes.len() {
+            store.delete(obj(i as u64));
+        }
+        prop_assert_eq!(store.used_bytes(), 0);
+        prop_assert_eq!(store.len(), 0);
+    }
+}
+
+// Deterministic-work purity, outside proptest for clarity.
+#[test]
+fn deterministic_work_is_a_pure_function() {
+    use rtml::common::time::deterministic_work;
+    for seed in 0..64u64 {
+        assert_eq!(deterministic_work(seed, 100), deterministic_work(seed, 100));
+    }
+}
