@@ -3,7 +3,8 @@
 //!
 //! # Programming model (paper §3.1, items 1–5)
 //!
-//! 1. **Task creation is non-blocking** — [`Driver::submit1`] and friends
+//! 1. **Task creation is non-blocking** — [`Caller::submit1`] (on
+//!    [`Driver`] via deref) and friends
 //!    return an [`ObjectRef`] future immediately.
 //! 2. **Arbitrary functions are remote tasks** — any function registered
 //!    with the cluster can be submitted with values *or futures* as

@@ -391,6 +391,18 @@ mod tests {
         spec
     }
 
+    fn wait_counter(counter: &rtml_common::metrics::Counter, expected: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while counter.get() != expected {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "counter stuck at {} (expected {expected})",
+                counter.get()
+            );
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn places_on_least_loaded() {
         let mut r = rig(PlacementPolicy::LeastLoaded);
@@ -400,8 +412,11 @@ mod tests {
         spill(&r, &busy, task(0, Resources::cpu(1.0)));
         let placed = expect_place(&idle);
         assert_eq!(placed.task_id, task(0, Resources::cpu(1.0)).task_id);
-        assert_eq!(r.handle.stats().spills.get(), 1);
-        assert_eq!(r.handle.stats().placements.get(), 1);
+        // With zero fabric latency, delivery is synchronous inside the
+        // scheduler's send: observing the Place does not order-after the
+        // scheduler's own counter updates, so give them a bounded wait.
+        wait_counter(&r.handle.stats().spills, 1);
+        wait_counter(&r.handle.stats().placements, 1);
         r.handle.shutdown();
     }
 

@@ -68,10 +68,7 @@ fn replay_after_node_loss_is_bit_exact() {
     let control = rnn::run_serial(&rnn_config);
 
     let cluster = Cluster::start(ClusterConfig {
-        nodes: vec![
-            NodeConfig::cpu_only(2),
-            NodeConfig::cpu_only(2),
-        ],
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
         spill: SpillMode::Hybrid { queue_threshold: 0 },
         ..ClusterConfig::default()
     })

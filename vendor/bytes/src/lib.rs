@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes) crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal, API-compatible subset of the crates it depends on (see
+//! `vendor/README.md`). This crate provides [`Bytes`]: a cheaply cloneable,
+//! immutable, contiguous byte buffer. Cloning is a reference-count bump, so
+//! handing a sealed object to another worker never copies the payload —
+//! exactly the property the object store relies on.
+//!
+//! Only the surface the workspace uses is implemented: construction
+//! (`new` / `from_static` / `copy_from_slice` / `From` impls), `Deref` to
+//! `[u8]`, and the comparison/hashing traits needed to key maps by `Bytes`.
+//! `BytesMut`, `Buf`, and `BufMut` are intentionally absent.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+///
+/// Static slices are stored without allocation; owned data is shared behind
+/// an [`Arc`], so `clone` is O(1) and never copies the payload.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(data)),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Bytes {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+// Hashes as a plain byte slice so `HashMap<Bytes, _>` lookups can go
+// through `Borrow<[u8]>` with a consistent hash.
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b == b'"' || b == b'\\' {
+                write!(f, "\\{}", b as char)?;
+            } else if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn static_does_not_allocate_and_compares() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s, b"hello"[..]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn map_lookup_via_borrow() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(Bytes::from(vec![9u8, 9]), 42);
+        assert_eq!(map.get(&[9u8, 9][..]), Some(&42));
+    }
+
+    #[test]
+    fn from_array_and_string() {
+        assert_eq!(Bytes::from(7u64.to_le_bytes()).len(), 8);
+        assert_eq!(Bytes::from(String::from("ab")), b"ab"[..]);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\x00")), "b\"a\\x00\"");
+    }
+}

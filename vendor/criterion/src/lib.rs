@@ -1,0 +1,328 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace's benches use: benchmark groups with
+//! `sample_size` / `measurement_time` / `warm_up_time` / `throughput`
+//! configuration, `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! straightforward warm-up pass followed by timed samples; results print
+//! mean and min/max per benchmark. There is no statistical regression
+//! analysis, HTML report, or command-line filtering.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group, reported alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id; lets `bench_function` accept
+/// both string names and [`BenchmarkId`]s, as in real criterion.
+pub trait IntoBenchmarkId {
+    /// The `group/name` string used in reports.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    config: Config,
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a warm-up phase, then timed samples until
+    /// either `sample_size` samples are collected or the measurement-time
+    /// budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        // Warm-up: also estimates the per-iteration cost so each timed
+        // sample can batch enough iterations to out-resolve the clock.
+        let mut warm_iters: u32 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        let batch = if per_iter < Duration::from_micros(5) {
+            (Duration::from_micros(50).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u32
+        } else {
+            1
+        };
+
+        let budget_deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+            if Instant::now() >= budget_deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            config: self.config,
+        };
+        f(&mut bencher);
+        self.report(&id.into_id(), &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            config: self.config,
+        };
+        f(&mut bencher, input);
+        self.report(&id.into_id(), &bencher.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id:<28} (no samples)", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let mut line = format!(
+            "{}/{id:<28} time: [{} {} {}]",
+            self.name,
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| count as f64 / mean.as_secs_f64();
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.1} MiB/s",
+                        per_sec(n) / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group. (Reports are printed as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Formats a duration with an auto-selected unit, criterion-style.
+fn fmt_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op for CLI compatibility with real criterion.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            config: Config::default(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Criterion {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group declared with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

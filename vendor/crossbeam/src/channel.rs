@@ -1,0 +1,730 @@
+//! Unbounded MPMC channels with disconnect detection and selection.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent message back, matching crossbeam.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: Send> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the timeout elapsed.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Select::select_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectTimeoutError;
+
+impl fmt::Display for SelectTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("selection timed out")
+    }
+}
+
+impl std::error::Error for SelectTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// A wakeup token shared between a selector and the channels it watches.
+/// Sends and disconnects set the flag and notify, so a selector blocked on
+/// several channels wakes as soon as any of them has something to report.
+pub struct Signal {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Signal {
+    fn new() -> Signal {
+        Signal {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let mut flag = self.flag.lock().unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    fn clear(&self) {
+        *self.flag.lock().unwrap_or_else(PoisonError::into_inner) = false;
+    }
+
+    /// Blocks until the flag is set or `deadline` passes (never, if `None`).
+    fn wait(&self, deadline: Option<Instant>) {
+        let mut flag = self.flag.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*flag {
+            match deadline {
+                None => {
+                    flag = self.cv.wait(flag).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return;
+                    }
+                    flag = self
+                        .cv
+                        .wait_timeout(flag, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    /// Signals of selectors currently parked on this channel.
+    watchers: Mutex<Vec<Arc<Signal>>>,
+}
+
+impl<T> Chan<T> {
+    fn notify_watchers(&self) {
+        let watchers = self.watchers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in watchers.iter() {
+            w.notify();
+        }
+    }
+}
+
+/// The sending half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of an unbounded channel. Cloneable.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cv: Condvar::new(),
+        watchers: Mutex::new(Vec::new()),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, failing if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        {
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            self.chan.cv.notify_one();
+        }
+        self.chan.notify_watchers();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            // Disconnect: wake everything so blocked receivers see it.
+            self.chan.cv.notify_all();
+            self.chan.notify_watchers();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`Receiver::recv`], but gives up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            st = self
+                .chan
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Pops a message if one is immediately available.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(msg) = st.queue.pop_front() {
+            Ok(msg)
+        } else if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator over received messages; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// A non-blocking iterator draining currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Blocking message iterator; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Non-blocking draining iterator; see [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// A channel endpoint that a selector can park on: readiness is "a message
+/// is queued or the channel is disconnected".
+pub trait SelectTarget {
+    /// Whether a `recv` on this channel would complete without blocking.
+    fn ready(&self) -> bool;
+    /// Registers a selector's wakeup signal.
+    fn watch(&self, signal: &Arc<Signal>);
+    /// Removes a previously registered signal.
+    fn unwatch(&self, signal: &Arc<Signal>);
+}
+
+impl<T> SelectTarget for Receiver<T> {
+    fn ready(&self) -> bool {
+        let st = self
+            .chan
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        !st.queue.is_empty() || st.senders == 0
+    }
+
+    fn watch(&self, signal: &Arc<Signal>) {
+        self.chan
+            .watchers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(signal));
+    }
+
+    fn unwatch(&self, signal: &Arc<Signal>) {
+        self.chan
+            .watchers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|w| !Arc::ptr_eq(w, signal));
+    }
+}
+
+/// Blocks until one of `targets` is ready, returning its index, or `None`
+/// if `timeout` elapses first. With `timeout == None`, blocks indefinitely.
+///
+/// This is the engine behind both [`select!`] and [`Select`]. Readiness is
+/// level-triggered: registration happens before the first readiness sweep,
+/// so a send racing with registration cannot be lost.
+pub fn select_ready(targets: &[&dyn SelectTarget], timeout: Option<Duration>) -> Option<usize> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    // Fast path: something is already ready.
+    for (i, t) in targets.iter().enumerate() {
+        if t.ready() {
+            return Some(i);
+        }
+    }
+    let signal = Arc::new(Signal::new());
+    for t in targets {
+        t.watch(&signal);
+    }
+    let result = loop {
+        signal.clear();
+        let mut found = None;
+        for (i, t) in targets.iter().enumerate() {
+            if t.ready() {
+                found = Some(i);
+                break;
+            }
+        }
+        if found.is_some() {
+            break found;
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                break None;
+            }
+        }
+        signal.wait(deadline);
+    };
+    for t in targets {
+        t.unwatch(&signal);
+    }
+    result
+}
+
+/// Dynamically-built selection over a runtime-known set of receivers.
+pub struct Select<'a> {
+    targets: Vec<&'a dyn SelectTarget>,
+}
+
+impl<'a> Select<'a> {
+    /// Creates an empty selection set.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Select<'a> {
+        Select {
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds a receive operation, returning its index.
+    pub fn recv<T>(&mut self, receiver: &'a Receiver<T>) -> usize {
+        self.targets.push(receiver);
+        self.targets.len() - 1
+    }
+
+    /// Blocks until an operation is ready.
+    pub fn select(&mut self) -> SelectedOperation<'a> {
+        let index = select_ready(&self.targets, None).expect("untimed select always resolves");
+        SelectedOperation {
+            index,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Blocks until an operation is ready or `timeout` elapses.
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation<'a>, SelectTimeoutError> {
+        match select_ready(&self.targets, Some(timeout)) {
+            Some(index) => Ok(SelectedOperation {
+                index,
+                _marker: std::marker::PhantomData,
+            }),
+            None => Err(SelectTimeoutError),
+        }
+    }
+}
+
+/// A ready operation produced by [`Select`]; complete it with
+/// [`SelectedOperation::recv`].
+pub struct SelectedOperation<'a> {
+    index: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl SelectedOperation<'_> {
+    /// Index of the ready operation, in registration order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the operation by receiving from `receiver`.
+    ///
+    /// Deviation from crossbeam: if another consumer drained the message
+    /// between readiness and this call (possible only with cloned
+    /// receivers), the lost race is reported as `Err(RecvError)` rather
+    /// than retried — indistinguishable from a disconnect. Callers that
+    /// share receivers across consumers and need to tell the two apart
+    /// should re-check with [`Receiver::try_recv`].
+    pub fn recv<T>(self, receiver: &Receiver<T>) -> Result<T, RecvError> {
+        match receiver.try_recv() {
+            Ok(msg) => Ok(msg),
+            Err(TryRecvError::Disconnected) | Err(TryRecvError::Empty) => Err(RecvError),
+        }
+    }
+}
+
+/// Blocking `recv` used by the [`select!`] macro once a channel has been
+/// chosen and there is no `default` arm. Level-triggered readiness plus a
+/// blocking recv matches crossbeam's committed operation for the
+/// single-consumer case; with cloned receivers a lost race blocks here
+/// until the next message or disconnect, which an untimed `select!`
+/// permits (the caller opted into unbounded blocking).
+#[doc(hidden)]
+pub fn select_recv<T>(receiver: &Receiver<T>) -> Result<T, RecvError> {
+    receiver.recv()
+}
+
+/// Deadline-bounded `recv` used by the [`select!`] macro when a
+/// `default(timeout)` arm exists: if another consumer stole the message
+/// that made the channel look ready, this returns `None` at the deadline
+/// so the macro can still fire the `default` arm instead of blocking past
+/// the caller's timeout.
+#[doc(hidden)]
+pub fn select_recv_until<T>(
+    receiver: &Receiver<T>,
+    deadline: Instant,
+) -> Option<Result<T, RecvError>> {
+    loop {
+        let now = Instant::now();
+        let Some(remaining) = deadline.checked_duration_since(now) else {
+            return match receiver.try_recv() {
+                Ok(msg) => Some(Ok(msg)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            };
+        };
+        match receiver.recv_timeout(remaining) {
+            Ok(msg) => return Some(Ok(msg)),
+            Err(RecvTimeoutError::Disconnected) => return Some(Err(RecvError)),
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+/// Selects over a fixed set of `recv` operations, with an optional
+/// `default(timeout)` arm, mirroring `crossbeam::channel::select!`.
+///
+/// Supported grammar (1–4 receive arms):
+///
+/// ```ignore
+/// select! {
+///     recv(rx_a) -> msg => expr_a,
+///     recv(rx_b) -> msg => expr_b,
+///     default(Duration::from_millis(5)) => expr_c,
+/// }
+/// ```
+#[macro_export]
+macro_rules! select {
+    ($($tokens:tt)*) => {
+        $crate::select_parse!(@acc [] $($tokens)*)
+    };
+}
+
+/// Implementation detail of [`select!`]; do not invoke directly.
+///
+/// Token-muncher that normalizes crossbeam's match-like arm grammar (block
+/// bodies may omit the separating comma) into `(rx, pat, body)` groups,
+/// then dispatches by arm count.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! select_parse {
+    // Terminal: all arms consumed, no default arm.
+    (@acc [$($arms:tt)*]) => {
+        $crate::select_expand!((none) $($arms)*)
+    };
+    // Terminal: trailing default(timeout) arm (block or expression body).
+    (@acc [$($arms:tt)*] default($timeout:expr) => $dbody:block $(,)?) => {
+        $crate::select_expand!((some $timeout, $dbody) $($arms)*)
+    };
+    (@acc [$($arms:tt)*] default($timeout:expr) => $dbody:expr $(,)?) => {
+        $crate::select_expand!((some $timeout, $dbody) $($arms)*)
+    };
+    // recv arm with block body; the comma is optional, match-style.
+    (@acc [$($arms:tt)*] recv($rx:expr) -> $pat:pat => $body:block $($rest:tt)*) => {
+        $crate::select_parse!(@acc [$($arms)* ($rx, $pat, $body)] $($rest)*)
+    };
+    // recv arm with expression body and trailing comma.
+    (@acc [$($arms:tt)*] recv($rx:expr) -> $pat:pat => $body:expr, $($rest:tt)*) => {
+        $crate::select_parse!(@acc [$($arms)* ($rx, $pat, $body)] $($rest)*)
+    };
+    // Final recv arm with expression body and no trailing comma.
+    (@acc [$($arms:tt)*] recv($rx:expr) -> $pat:pat => $body:expr) => {
+        $crate::select_parse!(@acc [$($arms)* ($rx, $pat, $body)])
+    };
+    // Comma after a block-bodied arm.
+    (@acc [$($arms:tt)*] , $($rest:tt)*) => {
+        $crate::select_parse!(@acc [$($arms)*] $($rest)*)
+    };
+}
+
+/// Implementation detail of [`select!`]; do not invoke directly.
+///
+/// The readiness wait happens inside [`select_ready`], which contains no
+/// user code, and arm bodies expand inline — so a `break` / `continue` /
+/// `return` inside an arm targets the caller's own enclosing construct,
+/// exactly as with crossbeam's macro.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! select_expand {
+    // ---- one arm -------------------------------------------------------
+    ($mode:tt ($rx0:expr, $pat0:pat, $body0:tt)) => {
+        $crate::select_emit! {
+            $mode
+            [($rx0, $pat0, $body0, __sel_rx0, 0usize)]
+        }
+    };
+    // ---- two arms ------------------------------------------------------
+    ($mode:tt ($rx0:expr, $pat0:pat, $body0:tt) ($rx1:expr, $pat1:pat, $body1:tt)) => {
+        $crate::select_emit! {
+            $mode
+            [($rx0, $pat0, $body0, __sel_rx0, 0usize)
+             ($rx1, $pat1, $body1, __sel_rx1, 1usize)]
+        }
+    };
+    // ---- three arms ----------------------------------------------------
+    ($mode:tt ($rx0:expr, $pat0:pat, $body0:tt) ($rx1:expr, $pat1:pat, $body1:tt)
+              ($rx2:expr, $pat2:pat, $body2:tt)) => {
+        $crate::select_emit! {
+            $mode
+            [($rx0, $pat0, $body0, __sel_rx0, 0usize)
+             ($rx1, $pat1, $body1, __sel_rx1, 1usize)
+             ($rx2, $pat2, $body2, __sel_rx2, 2usize)]
+        }
+    };
+    // ---- four arms -----------------------------------------------------
+    ($mode:tt ($rx0:expr, $pat0:pat, $body0:tt) ($rx1:expr, $pat1:pat, $body1:tt)
+              ($rx2:expr, $pat2:pat, $body2:tt) ($rx3:expr, $pat3:pat, $body3:tt)) => {
+        $crate::select_emit! {
+            $mode
+            [($rx0, $pat0, $body0, __sel_rx0, 0usize)
+             ($rx1, $pat1, $body1, __sel_rx1, 1usize)
+             ($rx2, $pat2, $body2, __sel_rx2, 2usize)
+             ($rx3, $pat3, $body3, __sel_rx3, 3usize)]
+        }
+    };
+}
+
+/// Implementation detail of [`select!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! select_emit {
+    ((none) [$(($rx:expr, $pat:pat, $body:tt, $name:ident, $idx:expr))+]) => {{
+        // The annotation deref-coerces, so `recv(...)` accepts both
+        // `Receiver<T>` and `&Receiver<T>` operands.
+        $(let $name: &$crate::channel::Receiver<_> = &$rx;)+
+        let __sel_idx = $crate::channel::select_ready(
+            &[$($name as &dyn $crate::channel::SelectTarget),+],
+            ::core::option::Option::None,
+        ).expect("untimed select always resolves");
+        match __sel_idx {
+            $($idx => {
+                let $pat = $crate::channel::select_recv($name);
+                $body
+            })+
+            _ => ::core::unreachable!("select index out of range"),
+        }
+    }};
+    ((some $timeout:expr, $dbody:tt) [$(($rx:expr, $pat:pat, $body:tt, $name:ident, $idx:expr))+]) => {{
+        $(let $name: &$crate::channel::Receiver<_> = &$rx;)+
+        let __sel_timeout = $timeout;
+        let __sel_deadline = ::std::time::Instant::now() + __sel_timeout;
+        let __sel_idx = $crate::channel::select_ready(
+            &[$($name as &dyn $crate::channel::SelectTarget),+],
+            ::core::option::Option::Some(__sel_timeout),
+        );
+        match __sel_idx {
+            $(::core::option::Option::Some($idx) => {
+                // Deadline-bounded: if another consumer stole the message
+                // (cloned receivers), fall through to the default arm at
+                // the caller's timeout instead of blocking indefinitely.
+                match $crate::channel::select_recv_until($name, __sel_deadline) {
+                    ::core::option::Option::Some(__sel_res) => {
+                        let $pat = __sel_res;
+                        $body
+                    }
+                    ::core::option::Option::None => $dbody,
+                }
+            })+
+            ::core::option::Option::None => $dbody,
+            _ => ::core::unreachable!("select index out of range"),
+        }
+    }};
+}
+
+// `crossbeam::channel::select!` must resolve: re-export the crate-root
+// macro (where `#[macro_export]` places it) under this module.
+pub use crate::select;

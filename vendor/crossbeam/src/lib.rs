@@ -1,0 +1,147 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate (see `vendor/README.md`).
+//!
+//! Implements the [`channel`] module surface the workspace uses: unbounded
+//! MPMC channels with disconnect detection, `recv_timeout`, the [`select!`]
+//! macro, and the dynamic [`channel::Select`] builder. Channels are a
+//! `Mutex<VecDeque>` plus condition variable; cross-channel selection works
+//! by registering a shared [`channel::Signal`] with every involved channel
+//! so a send (or disconnect) on any of them wakes the selector.
+
+pub mod channel;
+
+#[cfg(test)]
+mod tests {
+    use crate::channel::{unbounded, RecvTimeoutError, Select};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_when_senders_dropped() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_when_receivers_dropped() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn recv_wakes_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn select_macro_picks_ready_channel() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx1.send(5).unwrap();
+        let got = crate::channel::select! {
+            recv(rx1) -> msg => msg.unwrap(),
+            recv(rx2) -> msg => msg.unwrap() + 100,
+        };
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn select_macro_default_fires_on_timeout() {
+        let (_tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let start = Instant::now();
+        let got = crate::channel::select! {
+            recv(rx1) -> _msg => 1,
+            recv(rx2) -> _msg => 2,
+            default(Duration::from_millis(20)) => 3,
+        };
+        assert_eq!(got, 3);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn select_macro_sees_disconnect() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        drop(tx1);
+        let got = crate::channel::select! {
+            recv(rx1) -> msg => msg.is_err(),
+            recv(rx2) -> _msg => false,
+        };
+        assert!(got);
+    }
+
+    #[test]
+    fn select_macro_wakes_on_late_send() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx1.send(9).unwrap();
+        });
+        let got = crate::channel::select! {
+            recv(rx1) -> msg => msg.unwrap(),
+            recv(rx2) -> _msg => 0,
+        };
+        assert_eq!(got, 9);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dynamic_select_timeout_and_ready() {
+        let (tx, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        sel.recv(&rx2);
+        assert!(sel.select_timeout(Duration::from_millis(10)).is_err());
+        tx.send(3).unwrap();
+        let op = sel.select_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx1), Ok(3));
+    }
+
+    #[test]
+    fn three_way_select_with_default() {
+        let (_t1, r1) = unbounded::<u32>();
+        let (t2, r2) = unbounded::<u32>();
+        let (_t3, r3) = unbounded::<u32>();
+        t2.send(2).unwrap();
+        let got = crate::channel::select! {
+            recv(r1) -> _m => 1,
+            recv(r2) -> m => m.unwrap(),
+            recv(r3) -> _m => 3,
+            default(Duration::from_millis(5)) => 0,
+        };
+        assert_eq!(got, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro over `fn name(arg in strategy, ...) { body }`,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! - strategies: `any::<T>()` for primitive types, integer and float
+//!   ranges, tuples, [`collection::vec`], [`option::of`], and simple
+//!   `".{lo,hi}"` string patterns.
+//!
+//! Generation is deterministic: the RNG is seeded from the test's name, so
+//! a failure reproduces on every run. There is no shrinking — the failing
+//! case is printed as-is — and regex string strategies support only the
+//! `.{lo,hi}` shape the workspace uses (anything else falls back to a
+//! short arbitrary string).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Generates `None` roughly one time in five, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs each contained test function against many generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+///         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left != *__right,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrips_through_le_bytes(v in any::<u64>()) {
+            prop_assert_eq!(u64::from_le_bytes(v.to_le_bytes()), v);
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_length_bounds(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn full_width_signed_range_does_not_overflow(
+            wide in i64::MIN..i64::MAX,
+            narrow in -100i8..100,
+        ) {
+            prop_assert!(wide < i64::MAX);
+            prop_assert!((-100..100).contains(&narrow));
+        }
+
+        #[test]
+        fn assume_discards_cases(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn tuples_and_options_generate(
+            pair in (0u8..4, any::<u16>()),
+            opt in crate::option::of(1u32..5),
+        ) {
+            prop_assert!(pair.0 < 4);
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn string_pattern_length_bounds(s in ".{0,16}") {
+            prop_assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::for_test("seed");
+        let mut b = TestRng::for_test("seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run("always_fails", |rng| {
+            let v = crate::strategy::Strategy::generate(&crate::strategy::any::<u64>(), rng);
+            let _ = v;
+            Err(TestCaseError::fail("forced".to_string()))
+        });
+    }
+}

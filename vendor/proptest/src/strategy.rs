@@ -1,0 +1,267 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// A strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    // Bias toward boundary values occasionally; they are
+                    // where most arithmetic and codec bugs live.
+                    if rng.one_in(16) {
+                        match rng.below(3) {
+                            0 => 0 as $ty,
+                            1 => <$ty>::MAX,
+                            _ => <$ty>::MIN,
+                        }
+                    } else {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        if rng.one_in(16) {
+            match rng.below(3) {
+                0 => 0,
+                1 => u128::MAX,
+                _ => u64::MAX as u128,
+            }
+        } else {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 0
+    }
+}
+
+// Floats generate from raw bits, so NaNs, infinities, and subnormals all
+// occur — bitwise round-trip properties need them.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    if rng.one_in(16) {
+                        if rng.below(2) == 0 { self.start } else { self.end - 1 }
+                    } else {
+                        self.start + rng.below(span) as $ty
+                    }
+                }
+            }
+        )+
+    };
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_signed {
+    ($(($ty:ty, $uty:ty)),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Two's-complement span: exact even for the full-width
+                    // range (e.g. i64::MIN..i64::MAX), where a signed
+                    // subtraction would overflow.
+                    let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                    if rng.one_in(16) {
+                        if rng.below(2) == 0 { self.start } else { self.end - 1 }
+                    } else {
+                        let offset = rng.below(span) as $uty;
+                        (self.start as $uty).wrapping_add(offset) as $ty
+                    }
+                }
+            }
+        )+
+    };
+}
+
+range_strategy_signed!((i8, u8), (i16, u16), (i32, u32), (i64, u64), (isize, usize));
+
+macro_rules! range_strategy_float {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    if rng.one_in(16) {
+                        self.start
+                    } else {
+                        self.start + (rng.unit_f64() as $ty) * (self.end - self.start)
+                    }
+                }
+            }
+        )+
+    };
+}
+
+range_strategy_float!(f32, f64);
+
+/// String strategy from a pattern literal. Real proptest compiles the full
+/// regex; this stand-in supports the `.{lo,hi}` shape (a string of `lo..=hi`
+/// arbitrary non-newline chars). Any other pattern produces a short
+/// arbitrary string, which keeps unknown patterns sound if over-broad.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+/// Parses `".{lo,hi}"`, the one regex shape the workspace uses.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// An arbitrary non-newline char: mostly printable ASCII, with a tail of
+/// multi-byte code points to exercise UTF-8 handling.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    if rng.one_in(4) {
+        // Any valid scalar value except surrogates and newline.
+        loop {
+            let c = rng.below(0x11_0000) as u32;
+            if let Some(c) = char::from_u32(c) {
+                if c != '\n' {
+                    return c;
+                }
+            }
+        }
+    } else {
+        (0x20 + rng.below(0x5f) as u8) as char
+    }
+}
+
+/// Strategy for `Vec`s; see [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = Strategy::generate(&self.len, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option`s; see [`crate::option::of`].
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.one_in(5) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);

@@ -1,0 +1,110 @@
+//! Deterministic case runner and RNG.
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's precondition (`prop_assume!`) did not hold; try another.
+    Reject,
+    /// A property assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion with an explanatory message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError::Fail(message)
+    }
+
+    /// A discarded case.
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// A small, fast, deterministic RNG (splitmix64). Seeded from the test
+/// name so every run regenerates identical cases.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test's name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, mixed so similar names diverge.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True one time in `n` (used for edge-case biasing).
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
+
+/// Number of generated cases per property. Overridable via the
+/// `PROPTEST_CASES` environment variable, as with real proptest.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: generates cases, applies the body, panics with the
+/// case number and message on the first failure. Rejected cases
+/// (`prop_assume!`) do not count toward the case total; an excessive
+/// rejection rate aborts the test, mirroring real proptest.
+pub fn run<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let total = cases();
+    let mut rng = TestRng::for_test(name);
+    let mut rejected: u32 = 0;
+    let max_rejects = total.saturating_mul(64).max(1024);
+    let mut case: u32 = 0;
+    while case < total {
+        match property(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property {name}: too many rejected cases \
+                         ({rejected} rejects for {case} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("property failed: {name} (case {case} of {total})\n{message}");
+            }
+        }
+    }
+}
