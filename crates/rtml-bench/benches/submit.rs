@@ -1,0 +1,44 @@
+//! Criterion bench: submit→execute round-trip rate per batch size.
+//!
+//! Complements `exp_submit_throughput` (which isolates the submission
+//! and ingest layers and writes JSON) with criterion's statistical
+//! machinery over the full cycle: submit a batch, wait for every result.
+//! Draining each iteration keeps the scheduler queue depth flat so
+//! iterations are comparable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rtml_runtime::{Cluster, ClusterConfig};
+
+fn bench_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submit_batch_roundtrip");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    for batch in [1usize, 16, 256] {
+        let cluster =
+            Cluster::start(ClusterConfig::local(1, 2).with_event_log_retention(4096)).unwrap();
+        let nop = cluster.register_fn1(&format!("nop_submit_{batch}"), |x: u64| Ok(x));
+        let driver = cluster.driver();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let futs = if batch == 1 {
+                    vec![driver.submit1(&nop, 0u64).unwrap()]
+                } else {
+                    driver.submit_batch(&nop, 0..batch as u64).unwrap()
+                };
+                let (ready, _) = driver.wait(&futs, futs.len(), Duration::from_secs(60));
+                assert_eq!(ready.len(), batch);
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_submit);
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! E10 — submission throughput vs batch size (R2).
+//!
+//! The paper's headline requirement is *millions of fine-grained tasks
+//! per second*; every per-task cost on the submit→ingest path (channel
+//! sends, control-plane lock round trips, event-log appends, fabric
+//! frames) caps that rate. This experiment measures, per batch size in
+//! {1, 16, 256, 4096}:
+//!
+//! - **tasks/sec**: wall-clock rate from first submit until the local
+//!   scheduler has queued the whole budget. Batch size 1 is the classic
+//!   one-message-per-task path (`submit_raw`), larger sizes the batched
+//!   path (`submit_raw_batch`) with group-committed control-plane
+//!   writes and one scheduler message per batch.
+//! - **kv locks/task**: control-plane lock acquisitions per task (from
+//!   shard counters) — the structural quantity group commit amortizes,
+//!   independent of how fast this particular machine encodes records.
+//! - **sched msgs**: scheduler mailbox messages sent for the budget.
+//!
+//! Every task is gated on a dependency that never seals, so the
+//! measurement isolates the submission and ingest layers from task
+//! execution (identical in both paths and not what batching changes).
+//! Spillover is disabled: this is a single-node submission benchmark,
+//! not a load-balancing one.
+//!
+//! Run: `cargo run -p rtml-bench --bin exp_submit_throughput --release`
+//!
+//! Results are also written to `BENCH_submit_throughput.json` so CI can
+//! track regressions mechanically. `RTML_SUBMIT_TASKS` overrides the
+//! per-size task budget (default 16384) — CI smoke runs use a small
+//! value. Note on wall-clock speedup: it reflects how much of a
+//! machine's per-task cost is per-message overhead; on a single shared
+//! core (no cross-thread contention, slow per-record encode) it is far
+//! smaller than on multi-core hosts where every per-task message also
+//! pays wake-ups and cache-line bouncing.
+
+use std::time::{Duration, Instant};
+
+use rtml_bench::print_table;
+use rtml_common::ids::{DriverId, TaskId};
+use rtml_common::resources::Resources;
+use rtml_common::task::{ArgSpec, TaskState};
+use rtml_runtime::{Cluster, ClusterConfig, TaskRequest};
+use rtml_sched::SpillMode;
+
+const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
+const DEFAULT_TASKS_PER_SIZE: usize = 16_384;
+
+struct Measurement {
+    batch: usize,
+    total: usize,
+    elapsed: Duration,
+    rate: f64,
+    kv_locks_per_task: f64,
+    sched_msgs: usize,
+}
+
+fn main() {
+    let tasks_per_size: usize = std::env::var("RTML_SUBMIT_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TASKS_PER_SIZE);
+
+    let measured: Vec<Measurement> = BATCH_SIZES
+        .iter()
+        .map(|&batch| measure(batch, tasks_per_size))
+        .collect();
+
+    let base_rate = measured[0].rate;
+    let base_locks = measured[0].kv_locks_per_task;
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            vec![
+                m.batch.to_string(),
+                m.total.to_string(),
+                format!("{:.2} ms", m.elapsed.as_secs_f64() * 1e3),
+                format!("{:.0}", m.rate),
+                format!("{:.1}x", m.rate / base_rate),
+                format!("{:.2}", m.kv_locks_per_task),
+                m.sched_msgs.to_string(),
+            ]
+        })
+        .collect();
+
+    print_table(
+        "E10: submission throughput vs batch size (R2)",
+        &[
+            "batch",
+            "tasks",
+            "submit+ingest",
+            "tasks/sec",
+            "vs batch=1",
+            "kv locks/task",
+            "sched msgs",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(time from first submit until the local scheduler has queued every\n task; execution is gated out so both paths do identical downstream\n work. kv locks/task counts control-plane lock round trips — the\n per-task cost group commit turns into a per-batch cost)"
+    );
+
+    let json = render_json(tasks_per_size, &measured);
+    let path = "BENCH_submit_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    if let Some(m256) = measured.iter().find(|m| m.batch == 256) {
+        println!(
+            "batch=256 vs batch=1: {:.1}x tasks/sec, {:.0}x fewer kv lock round trips, {:.0}x fewer scheduler messages",
+            m256.rate / base_rate,
+            base_locks / m256.kv_locks_per_task.max(f64::EPSILON),
+            measured[0].sched_msgs as f64 / m256.sched_msgs as f64,
+        );
+    }
+}
+
+/// Runs one batch size on a fresh cluster so queue depths start
+/// identical. Event logging stays ON (it is part of the per-task cost
+/// story); the retention cap keeps the run's control-plane memory
+/// bounded.
+fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
+    let cluster = Cluster::start(
+        ClusterConfig {
+            spill: SpillMode::NeverSpill,
+            ..ClusterConfig::local(1, 2)
+        }
+        .with_event_log_retention(4096),
+    )
+    .unwrap();
+    let gated = cluster.register_fn2("gated_submit", |x: u64, _gate: u64| Ok(x));
+    let driver = cluster.driver();
+
+    // A dependency that never seals: every task waits on it, so nothing
+    // executes and the measurement covers submit + scheduler ingest.
+    let never = TaskId::driver_root(DriverId::from_index(u64::MAX))
+        .child(0)
+        .return_object(0);
+    let request = |i: u64| TaskRequest {
+        function: gated.id(),
+        args: vec![
+            ArgSpec::Value(rtml_common::codec::encode_to_bytes(&i)),
+            ArgSpec::ObjectRef(never),
+        ],
+        num_returns: 1,
+        resources: Resources::cpu(1.0),
+    };
+
+    // Round the budget up to whole batches.
+    let batches = tasks_per_size.div_ceil(batch);
+    let total = batches * batch;
+
+    let locks_before = driver.services().kv.stats().total_locks();
+    let start = Instant::now();
+    let mut last_returns = Vec::new();
+    if batch == 1 {
+        for i in 0..total as u64 {
+            let r = request(i);
+            last_returns = driver
+                .submit_raw(r.function, r.args, r.num_returns, r.resources)
+                .unwrap();
+        }
+    } else {
+        for b in 0..batches as u64 {
+            let base = b * batch as u64;
+            let requests: Vec<TaskRequest> = (base..base + batch as u64).map(request).collect();
+            let mut results = driver.submit_raw_batch(requests).unwrap();
+            last_returns = results.pop().unwrap();
+        }
+    }
+    // The scheduler drains its mailbox in order: once the final task is
+    // queued, the whole budget has been ingested. The object table maps
+    // the last return future back to its producing task.
+    let last_task = driver
+        .services()
+        .objects
+        .get(last_returns[0])
+        .and_then(|info| info.producer)
+        .expect("last return declared at submission");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match driver.services().tasks.get_state(last_task) {
+            Some(TaskState::Queued(_)) => break,
+            _ => {
+                assert!(Instant::now() < deadline, "ingest never completed");
+                // Sleep, don't spin: on small machines a hot poll loop
+                // steals the very cycles the scheduler needs to ingest.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let locks = driver.services().kv.stats().total_locks() - locks_before;
+    cluster.shutdown();
+    Measurement {
+        batch,
+        total,
+        elapsed,
+        rate: total as f64 / elapsed.as_secs_f64(),
+        kv_locks_per_task: locks as f64 / total as f64,
+        sched_msgs: batches,
+    }
+}
+
+/// Hand-rolled JSON: two decimal places, stable key order, no deps.
+fn render_json(tasks_per_size: usize, measured: &[Measurement]) -> String {
+    let base_rate = measured[0].rate;
+    let field = |f: &dyn Fn(&Measurement) -> String| -> String {
+        measured
+            .iter()
+            .map(|m| format!("\"{}\": {}", m.batch, f(m)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"tasks_per_size\": {tasks_per_size},\n"));
+    out.push_str("  \"batch_sizes\": [");
+    out.push_str(
+        &measured
+            .iter()
+            .map(|m| m.batch.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("],\n  \"tasks_per_sec\": {");
+    out.push_str(&field(&|m| format!("{:.2}", m.rate)));
+    out.push_str("},\n  \"speedup_vs_batch_1\": {");
+    out.push_str(&field(&|m| format!("{:.2}", m.rate / base_rate)));
+    out.push_str("},\n  \"kv_locks_per_task\": {");
+    out.push_str(&field(&|m| format!("{:.3}", m.kv_locks_per_task)));
+    out.push_str("},\n  \"sched_messages\": {");
+    out.push_str(&field(&|m| m.sched_msgs.to_string()));
+    out.push_str("}\n}\n");
+    out
+}

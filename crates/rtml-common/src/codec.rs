@@ -232,8 +232,12 @@ pub trait Codec: Sized {
 }
 
 /// Encodes a value into a freshly allocated [`Bytes`].
+///
+/// Pre-allocates a cache-line-ish buffer: control-plane records (task
+/// states, object infos, events, small specs) almost all fit, turning
+/// the encode into a single allocation instead of a doubling series.
 pub fn encode_to_bytes<T: Codec>(value: &T) -> Bytes {
-    let mut w = Writer::new();
+    let mut w = Writer::with_capacity(64);
     value.encode(&mut w);
     w.into_bytes()
 }

@@ -7,7 +7,8 @@
 //! different shards are concurrent — this is precisely the scaling story
 //! of the paper's §3.2.1.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hasher};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -15,17 +16,63 @@ use parking_lot::Mutex;
 
 use rtml_common::metrics::Counter;
 
+/// FNV-1a/64 over `bytes`, continuing from `state` (seed with
+/// [`FNV_OFFSET`]). Shared by shard-interior maps and the façade's
+/// shard routing so the two can never drift apart. Control-plane keys
+/// are fixed-format identifiers (mostly already-hashed 128-bit ids),
+/// not attacker-chosen strings, so trading SipHash's flood resistance
+/// for speed is safe here — and every point operation pays this hash
+/// several times (routing + map + subscriber lookup), putting it on
+/// the submit hot path.
+pub(crate) fn fnv1a_64(state: u64, bytes: &[u8]) -> u64 {
+    let mut state = state;
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// FNV-1a/64 offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a_64(self.0, bytes);
+    }
+}
+
+#[derive(Clone, Default)]
+struct FnvBuild;
+
+impl BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+type FnvMap<V> = HashMap<Bytes, V, FnvBuild>;
+
 /// Interior state of one shard.
 #[derive(Default)]
 struct ShardState {
     /// Point values.
-    map: HashMap<Bytes, Bytes>,
+    map: FnvMap<Bytes>,
     /// Append-only logs, kept separate from point values so that appends
-    /// do not rewrite history.
-    logs: HashMap<Bytes, Vec<Bytes>>,
+    /// do not rewrite history. Stored as deques so a bounded log can
+    /// drop its oldest records in O(1) (ring-buffer retention).
+    logs: FnvMap<VecDeque<Bytes>>,
     /// Per-key subscriber channels. Senders that fail (receiver dropped)
     /// are pruned on the next notification.
-    subs: HashMap<Bytes, Vec<Sender<Bytes>>>,
+    subs: FnvMap<Vec<Sender<Bytes>>>,
 }
 
 /// One independent shard of the control plane.
@@ -33,7 +80,13 @@ struct ShardState {
 pub struct Shard {
     state: Mutex<ShardState>,
     /// Operations served (reads + writes), for throughput experiments.
+    /// A batched call counts once per record it touches.
     pub ops: Counter,
+    /// Lock acquisitions performed. The group-commit story in one
+    /// number: a batched call acquires the lock once however many
+    /// records it carries, so `ops / locks` is the effective commit
+    /// batch size.
+    pub locks: Counter,
 }
 
 impl Shard {
@@ -45,21 +98,76 @@ impl Shard {
     /// Point read.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         self.ops.inc();
+        self.locks.inc();
         self.state.lock().map.get(key).cloned()
     }
 
     /// Point write; notifies subscribers with the new value.
     pub fn set(&self, key: Bytes, value: Bytes) {
         self.ops.inc();
+        self.locks.inc();
         let mut st = self.state.lock();
         st.map.insert(key.clone(), value.clone());
         Self::notify(&mut st, &key, &value);
+    }
+
+    /// Group-committed point writes: all entries land (and notify) under
+    /// a single lock acquisition. The batch is one linearization point —
+    /// readers observe either none or all of it per shard.
+    pub fn set_many(&self, entries: Vec<(Bytes, Bytes)>) {
+        if entries.is_empty() {
+            return;
+        }
+        self.ops.add(entries.len() as u64);
+        self.locks.inc();
+        let mut st = self.state.lock();
+        for (key, value) in entries {
+            st.map.insert(key.clone(), value.clone());
+            Self::notify(&mut st, &key, &value);
+        }
+    }
+
+    /// Batched point reads under a single lock acquisition. Results are
+    /// positional: `out[i]` corresponds to `keys[i]`.
+    pub fn get_many(&self, keys: &[Bytes]) -> Vec<Option<Bytes>> {
+        self.ops.add(keys.len() as u64);
+        self.locks.inc();
+        let st = self.state.lock();
+        keys.iter().map(|k| st.map.get(k).cloned()).collect()
+    }
+
+    /// Batched read-modify-writes under a single lock acquisition. Each
+    /// closure sees the current value of its key; returning `None`
+    /// deletes. Semantics per entry match [`Shard::update`].
+    pub fn update_many<F>(&self, entries: Vec<(Bytes, F)>)
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        if entries.is_empty() {
+            return;
+        }
+        self.ops.add(entries.len() as u64);
+        self.locks.inc();
+        let mut st = self.state.lock();
+        for (key, f) in entries {
+            let current = st.map.get(&key);
+            match f(current) {
+                Some(new) => {
+                    st.map.insert(key.clone(), new.clone());
+                    Self::notify(&mut st, &key, &new);
+                }
+                None => {
+                    st.map.remove(&key);
+                }
+            }
+        }
     }
 
     /// Writes only if the key is vacant. Returns whether the write
     /// happened.
     pub fn set_if_absent(&self, key: Bytes, value: Bytes) -> bool {
         self.ops.inc();
+        self.locks.inc();
         let mut st = self.state.lock();
         if st.map.contains_key(&key) {
             return false;
@@ -78,6 +186,7 @@ impl Shard {
         F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
     {
         self.ops.inc();
+        self.locks.inc();
         let mut st = self.state.lock();
         let current = st.map.get(&key);
         match f(current) {
@@ -96,27 +205,67 @@ impl Shard {
     /// Deletes a key. Returns whether it existed.
     pub fn delete(&self, key: &[u8]) -> bool {
         self.ops.inc();
+        self.locks.inc();
         self.state.lock().map.remove(key).is_some()
     }
 
     /// Appends a record to the log at `key`; notifies subscribers with the
     /// record.
     pub fn append(&self, key: Bytes, record: Bytes) {
-        self.ops.inc();
+        self.append_many(key, vec![record], None);
+    }
+
+    /// Group-committed log appends: all `records` land on the log at
+    /// `key` (and notify) under a single lock acquisition. When
+    /// `retention` is set the log behaves as a ring buffer bounded to
+    /// that many records; the records dropped from the front to enforce
+    /// the cap are returned (popping is O(1) per record).
+    pub fn append_many(
+        &self,
+        key: Bytes,
+        records: Vec<Bytes>,
+        retention: Option<usize>,
+    ) -> Vec<Bytes> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        self.ops.add(records.len() as u64);
+        self.locks.inc();
         let mut st = self.state.lock();
-        st.logs.entry(key.clone()).or_default().push(record.clone());
-        Self::notify(&mut st, &key, &record);
+        let mut dropped = Vec::new();
+        {
+            let log = st.logs.entry(key.clone()).or_default();
+            for record in &records {
+                log.push_back(record.clone());
+            }
+            if let Some(cap) = retention {
+                let cap = cap.max(1);
+                while log.len() > cap {
+                    dropped.push(log.pop_front().expect("len checked"));
+                }
+            }
+        }
+        for record in &records {
+            Self::notify(&mut st, &key, record);
+        }
+        dropped
     }
 
     /// Reads the full log at `key`.
     pub fn read_log(&self, key: &[u8]) -> Vec<Bytes> {
         self.ops.inc();
-        self.state.lock().logs.get(key).cloned().unwrap_or_default()
+        self.locks.inc();
+        self.state
+            .lock()
+            .logs
+            .get(key)
+            .map(|log| log.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Length of the log at `key`.
     pub fn log_len(&self, key: &[u8]) -> usize {
-        self.state.lock().logs.get(key).map_or(0, Vec::len)
+        self.state.lock().logs.get(key).map_or(0, VecDeque::len)
     }
 
     /// Subscribes to a key: returns the current point value and a channel
@@ -124,6 +273,7 @@ impl Shard {
     /// a writer cannot slip between the read and the registration.
     pub fn subscribe(&self, key: Bytes) -> (Option<Bytes>, Receiver<Bytes>) {
         self.ops.inc();
+        self.locks.inc();
         let (tx, rx) = unbounded();
         let mut st = self.state.lock();
         let current = st.map.get(&key).cloned();
@@ -135,6 +285,7 @@ impl Shard {
     /// for offline tooling (profilers, debuggers), not the data path.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.ops.inc();
+        self.locks.inc();
         self.state
             .lock()
             .map
@@ -147,12 +298,13 @@ impl Shard {
     /// Logs whose keys start with `prefix`, concatenated per key.
     pub fn scan_logs_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Vec<Bytes>)> {
         self.ops.inc();
+        self.locks.inc();
         self.state
             .lock()
             .logs
             .iter()
             .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
             .collect()
     }
 
@@ -173,7 +325,7 @@ impl Shard {
             st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             st.logs
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
                 .collect(),
         )
     }
@@ -182,10 +334,19 @@ impl Shard {
     pub fn restore(&self, map: Vec<(Bytes, Bytes)>, logs: Vec<(Bytes, Vec<Bytes>)>) {
         let mut st = self.state.lock();
         st.map = map.into_iter().collect();
-        st.logs = logs.into_iter().collect();
+        st.logs = logs
+            .into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect();
     }
 
     fn notify(st: &mut ShardState, key: &Bytes, value: &Bytes) {
+        // Fast path: most shards have no subscribers most of the time
+        // (subscriptions are per blocked `get`/resolver); skip the
+        // per-write hash lookup entirely then.
+        if st.subs.is_empty() {
+            return;
+        }
         if let Some(senders) = st.subs.get_mut(key) {
             senders.retain(|tx| tx.send(value.clone()).is_ok());
             if senders.is_empty() {
@@ -309,6 +470,63 @@ mod tests {
         t.restore(map, logs);
         assert_eq!(t.get(b"k".as_ref()), Some(b("v")));
         assert_eq!(t.read_log(b"log".as_ref()), vec![b("r")]);
+    }
+
+    #[test]
+    fn set_many_commits_all_and_notifies() {
+        let s = Shard::new();
+        let (_cur, rx) = s.subscribe(b("k1"));
+        s.set_many(vec![(b("k1"), b("v1")), (b("k2"), b("v2"))]);
+        assert_eq!(s.get(b"k1".as_ref()), Some(b("v1")));
+        assert_eq!(s.get(b"k2".as_ref()), Some(b("v2")));
+        assert_eq!(rx.recv().unwrap(), b("v1"));
+    }
+
+    #[test]
+    fn get_many_is_positional() {
+        let s = Shard::new();
+        s.set(b("a"), b("1"));
+        s.set(b("c"), b("3"));
+        let got = s.get_many(&[b("a"), b("b"), b("c")]);
+        assert_eq!(got, vec![Some(b("1")), None, Some(b("3"))]);
+    }
+
+    #[test]
+    fn update_many_applies_per_key() {
+        let s = Shard::new();
+        s.set(b("n"), Bytes::from(vec![1]));
+        let bump: fn(Option<&Bytes>) -> Option<Bytes> = |cur| {
+            let mut v = cur.map(|b| b.to_vec()).unwrap_or_else(|| vec![8]);
+            v[0] += 1;
+            Some(Bytes::from(v))
+        };
+        s.update_many(vec![(b("n"), bump), (b("m"), bump)]);
+        assert_eq!(s.get(b"n".as_ref()), Some(Bytes::from(vec![2])));
+        assert_eq!(s.get(b"m".as_ref()), Some(Bytes::from(vec![9])));
+    }
+
+    #[test]
+    fn append_many_is_ordered_and_notifies() {
+        let s = Shard::new();
+        let (_cur, rx) = s.subscribe(b("log"));
+        let dropped = s.append_many(b("log"), vec![b("r1"), b("r2"), b("r3")], None);
+        assert!(dropped.is_empty());
+        assert_eq!(s.read_log(b"log".as_ref()), vec![b("r1"), b("r2"), b("r3")]);
+        assert_eq!(rx.recv().unwrap(), b("r1"));
+        assert_eq!(rx.recv().unwrap(), b("r2"));
+    }
+
+    #[test]
+    fn bounded_append_drops_oldest() {
+        let s = Shard::new();
+        s.append_many(b("log"), vec![b("r1"), b("r2")], Some(4));
+        let dropped = s.append_many(b("log"), vec![b("r3"), b("r4"), b("r5")], Some(4));
+        assert_eq!(dropped, vec![b("r1")]);
+        assert_eq!(
+            s.read_log(b"log".as_ref()),
+            vec![b("r2"), b("r3"), b("r4"), b("r5")]
+        );
+        assert_eq!(s.log_len(b"log".as_ref()), 4);
     }
 
     #[test]

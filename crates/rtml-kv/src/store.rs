@@ -5,9 +5,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
-use rtml_common::ids::UniqueId;
-
-use crate::shard::Shard;
+use crate::shard::{fnv1a_64, Shard, FNV_OFFSET};
 
 /// A hash-sharded, in-memory control-plane store with pub-sub.
 ///
@@ -22,12 +20,21 @@ pub struct KvStore {
 pub struct KvStats {
     /// Per-shard operation counts, indexed by shard.
     pub ops_per_shard: Vec<u64>,
+    /// Per-shard lock acquisitions. Group-committed batches acquire
+    /// once per shard per batch, so `total_ops / total_locks` is the
+    /// effective commit batch size.
+    pub locks_per_shard: Vec<u64>,
 }
 
 impl KvStats {
     /// Total operations across all shards.
     pub fn total_ops(&self) -> u64 {
         self.ops_per_shard.iter().sum()
+    }
+
+    /// Total lock acquisitions across all shards.
+    pub fn total_locks(&self) -> u64 {
+        self.locks_per_shard.iter().sum()
     }
 
     /// Ratio of the busiest shard to the mean — 1.0 is perfectly balanced.
@@ -57,13 +64,16 @@ impl KvStore {
     }
 
     fn shard_for(&self, key: &[u8]) -> &Shard {
-        let idx = UniqueId::hash_bytes(key).bucket(self.shards.len());
-        &self.shards[idx]
+        &self.shards[self.shard_index(key)]
     }
 
     /// Shard index a key routes to (exposed for balance diagnostics).
+    /// FNV-1a/64 (shared with the shard-interior maps): a cheap 64-bit
+    /// mix routes the fixed-format control-plane keys uniformly at a
+    /// fraction of a 128-bit hash's cost, once per operation on the
+    /// submit hot path.
     pub fn shard_index(&self, key: &[u8]) -> usize {
-        UniqueId::hash_bytes(key).bucket(self.shards.len())
+        (fnv1a_64(FNV_OFFSET, key) % self.shards.len() as u64) as usize
     }
 
     /// Point read.
@@ -74,6 +84,72 @@ impl KvStore {
     /// Point write with subscriber notification.
     pub fn set(&self, key: Bytes, value: Bytes) {
         self.shard_for(&key).set(key.clone(), value);
+    }
+
+    /// Group-committed point writes. Entries are routed to their shards
+    /// and each shard's portion lands under a single lock acquisition —
+    /// a batch of N writes costs at most `num_shards` lock round trips
+    /// instead of N.
+    pub fn set_many(&self, entries: Vec<(Bytes, Bytes)>) {
+        if entries.len() <= 1 {
+            for (key, value) in entries {
+                self.set(key, value);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(Bytes, Bytes)>> = vec![Vec::new(); self.shards.len()];
+        for (key, value) in entries {
+            buckets[self.shard_index(&key)].push((key, value));
+        }
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shards[idx].set_many(bucket);
+            }
+        }
+    }
+
+    /// Batched point reads, one lock acquisition per touched shard.
+    /// Results are positional: `out[i]` corresponds to `keys[i]`.
+    pub fn get_many(&self, keys: &[Bytes]) -> Vec<Option<Bytes>> {
+        if keys.len() <= 1 {
+            return keys.iter().map(|k| self.get(k)).collect();
+        }
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            buckets[self.shard_index(key)].push(i);
+        }
+        let mut out = vec![None; keys.len()];
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let shard_keys: Vec<Bytes> = bucket.iter().map(|i| keys[*i].clone()).collect();
+            for (i, value) in bucket
+                .into_iter()
+                .zip(self.shards[idx].get_many(&shard_keys))
+            {
+                out[i] = value;
+            }
+        }
+        out
+    }
+
+    /// Batched read-modify-writes, one lock acquisition per touched
+    /// shard. Per-entry semantics match [`KvStore::update`].
+    pub fn update_many<F>(&self, entries: Vec<(Bytes, F)>)
+    where
+        F: FnOnce(Option<&Bytes>) -> Option<Bytes>,
+    {
+        let mut buckets: Vec<Vec<(Bytes, F)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (key, f) in entries {
+            buckets[self.shard_index(&key)].push((key, f));
+        }
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shards[idx].update_many(bucket);
+            }
+        }
     }
 
     /// Writes only if vacant; returns whether the write happened.
@@ -97,6 +173,20 @@ impl KvStore {
     /// Appends to the log at `key`.
     pub fn append(&self, key: Bytes, record: Bytes) {
         self.shard_for(&key).append(key.clone(), record);
+    }
+
+    /// Group-committed log appends: all records land on `key`'s log
+    /// under one shard lock acquisition. With `retention` set the log is
+    /// a ring buffer bounded to that many records; the records dropped
+    /// from the front to enforce the cap are returned.
+    pub fn append_many(
+        &self,
+        key: Bytes,
+        records: Vec<Bytes>,
+        retention: Option<usize>,
+    ) -> Vec<Bytes> {
+        self.shard_for(&key)
+            .append_many(key.clone(), records, retention)
     }
 
     /// Reads the full log at `key`.
@@ -147,6 +237,7 @@ impl KvStore {
     pub fn stats(&self) -> KvStats {
         KvStats {
             ops_per_shard: self.shards.iter().map(|s| s.ops.get()).collect(),
+            locks_per_shard: self.shards.iter().map(|s| s.locks.get()).collect(),
         }
     }
 
@@ -252,6 +343,58 @@ mod tests {
         let mut a = [0u8; 8];
         a.copy_from_slice(&kv.get(&k).unwrap());
         assert_eq!(u64::from_le_bytes(a), 8000);
+    }
+
+    #[test]
+    fn set_many_and_get_many_round_trip_across_shards() {
+        let kv = KvStore::new(4);
+        let entries: Vec<(Bytes, Bytes)> = (0..100)
+            .map(|i| (key(i), Bytes::from(format!("v{i}"))))
+            .collect();
+        kv.set_many(entries);
+        let keys: Vec<Bytes> = (0..110).map(key).collect();
+        let got = kv.get_many(&keys);
+        for (i, value) in got.iter().enumerate() {
+            if i < 100 {
+                assert_eq!(value.as_deref(), Some(format!("v{i}").as_bytes()));
+            } else {
+                assert!(value.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn update_many_spans_shards() {
+        let kv = KvStore::new(4);
+        for i in 0..20 {
+            kv.set(key(i), Bytes::from(vec![i as u8]));
+        }
+        let entries: Vec<(Bytes, _)> = (0..20)
+            .map(|i| {
+                (key(i), move |cur: Option<&Bytes>| {
+                    let mut v = cur.unwrap().to_vec();
+                    v[0] += 1;
+                    Some(Bytes::from(v))
+                })
+            })
+            .collect();
+        kv.update_many(entries);
+        for i in 0..20 {
+            assert_eq!(kv.get(&key(i)), Some(Bytes::from(vec![i as u8 + 1])));
+        }
+    }
+
+    #[test]
+    fn append_many_with_retention_through_facade() {
+        let kv = KvStore::new(4);
+        let k = Bytes::from_static(b"log");
+        let records: Vec<Bytes> = (0..10u8).map(|i| Bytes::from(vec![i])).collect();
+        let dropped = kv.append_many(k.clone(), records, Some(6));
+        assert_eq!(dropped.len(), 4);
+        assert_eq!(&dropped[0][..], &[0u8]);
+        let log = kv.read_log(&k);
+        assert_eq!(log.len(), 6);
+        assert_eq!(&log[0][..], &[4u8]);
     }
 
     #[test]

@@ -6,14 +6,23 @@
 //! timeline without touching the data path. Appends go to a key derived
 //! from the emitting node and component, so high-rate logging scales with
 //! the shard count like every other control-plane write.
+//!
+//! Two throughput provisions keep logging off the hot path's back:
+//! batched submission appends a whole batch of events with one shard
+//! lock acquisition ([`EventLog::append_many`]), and a configurable
+//! **retention cap** turns each stream into a ring buffer so sustained
+//! throughput runs do not grow control-plane memory without bound. The
+//! number of records dropped to enforce the cap is counted and exposed,
+//! so profiling output can state when its view is partial.
 
 use std::sync::Arc;
 
 use bytes::Bytes;
 
-use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::codec::{decode_from_slice, Codec, Reader, Writer};
 use rtml_common::event::{Component, Event};
 use rtml_common::ids::NodeId;
+use rtml_common::metrics::Counter;
 
 use crate::store::KvStore;
 
@@ -24,23 +33,61 @@ const PREFIX: &[u8] = b"ev:";
 pub struct EventLog {
     kv: Arc<KvStore>,
     enabled: bool,
+    /// Maximum records kept per (node, component) stream; `None` means
+    /// unbounded (the seed behaviour).
+    retention: Option<usize>,
+    /// Records dropped across all streams to enforce the retention cap.
+    /// Shared across clones so every handle reports the same total.
+    dropped: Arc<Counter>,
 }
 
 impl EventLog {
-    /// Creates an enabled event log over `kv`.
+    /// Creates an enabled, unbounded event log over `kv`.
     pub fn new(kv: Arc<KvStore>) -> Self {
-        EventLog { kv, enabled: true }
+        EventLog {
+            kv,
+            enabled: true,
+            retention: None,
+            dropped: Arc::new(Counter::new()),
+        }
     }
 
     /// Creates a disabled log: appends become no-ops. Used by benchmarks
     /// that want to exclude logging cost from a measurement.
     pub fn disabled(kv: Arc<KvStore>) -> Self {
-        EventLog { kv, enabled: false }
+        EventLog {
+            kv,
+            enabled: false,
+            retention: None,
+            dropped: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Bounds every stream to at most `cap` records, ring-buffer style:
+    /// the oldest records are dropped as new ones land, and the events
+    /// they contained are counted in [`EventLog::dropped_count`]. A
+    /// record is one `append` (one event) or one `append_many` frame
+    /// (a batch), so memory per stream is bounded by `cap` x the
+    /// largest batch. `None` removes the bound.
+    pub fn with_retention(mut self, cap: Option<usize>) -> Self {
+        self.retention = cap;
+        self
     }
 
     /// Whether appends are recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The per-stream retention cap, if any.
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
+    }
+
+    /// Total records dropped to enforce the retention cap, across all
+    /// streams and all clones of this handle.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.get()
     }
 
     fn key(node: NodeId, component: Component) -> Bytes {
@@ -58,13 +105,65 @@ impl EventLog {
         Bytes::from(v)
     }
 
-    /// Appends an event attributed to `node`.
+    /// Appends an event attributed to `node` (a frame of one).
     pub fn append(&self, node: NodeId, event: Event) {
         if !self.enabled {
             return;
         }
-        self.kv
-            .append(Self::key(node, event.component), encode_to_bytes(&event));
+        self.append_frame(
+            Self::key(node, event.component),
+            std::slice::from_ref(&event),
+        );
+    }
+
+    /// Group-commits a batch of events attributed to `node`: events for
+    /// the same component are encoded into **one frame record** and land
+    /// on their stream with one shard lock acquisition — the per-event
+    /// cost of logging a batch submission collapses into a shared buffer
+    /// append. Readers decode frames transparently.
+    pub fn append_many(&self, node: NodeId, events: Vec<Event>) {
+        if !self.enabled || events.is_empty() {
+            return;
+        }
+        // Batches are almost always single-component (one submitter);
+        // frame runs of equal components so mixed batches still commit
+        // in per-stream order.
+        let mut run_start = 0;
+        for i in 1..=events.len() {
+            if i == events.len() || events[i].component != events[run_start].component {
+                let component = events[run_start].component;
+                self.append_frame(Self::key(node, component), &events[run_start..i]);
+                run_start = i;
+            }
+        }
+    }
+
+    /// Encodes `events` as one length-prefixed frame record and appends
+    /// it, charging any records the retention cap evicted to the dropped
+    /// counter (by their event counts, read from the frame headers).
+    fn append_frame(&self, key: Bytes, events: &[Event]) {
+        let mut w = Writer::with_capacity(24 * events.len() + 4);
+        w.put_varint(events.len() as u64);
+        for event in events {
+            event.encode(&mut w);
+        }
+        let evicted = self
+            .kv
+            .append_many(key, vec![w.into_bytes()], self.retention);
+        if !evicted.is_empty() {
+            let events: u64 = evicted.iter().map(|r| Self::frame_len(r) as u64).sum();
+            self.dropped.add(events);
+        }
+    }
+
+    /// Number of events in an encoded frame (its leading varint).
+    fn frame_len(record: &[u8]) -> usize {
+        Reader::new(record).take_varint().unwrap_or(0) as usize
+    }
+
+    /// Decodes a frame record into its events.
+    fn decode_frame(record: &[u8]) -> Vec<Event> {
+        decode_from_slice::<Vec<Event>>(record).unwrap_or_default()
     }
 
     /// Reads all events from one (node, component) stream, in append
@@ -73,7 +172,7 @@ impl EventLog {
         self.kv
             .read_log(&Self::key(node, component))
             .iter()
-            .filter_map(|b| decode_from_slice(b).ok())
+            .flat_map(|b| Self::decode_frame(b))
             .collect()
     }
 
@@ -84,7 +183,7 @@ impl EventLog {
             .scan_logs_prefix(PREFIX)
             .into_iter()
             .flat_map(|(_k, records)| records)
-            .filter_map(|b| decode_from_slice(&b).ok())
+            .flat_map(|b| Self::decode_frame(&b))
             .collect();
         events.sort_by_key(|e| e.at_nanos);
         events
@@ -95,7 +194,8 @@ impl EventLog {
         self.kv
             .scan_logs_prefix(PREFIX)
             .iter()
-            .map(|(_k, records)| records.len())
+            .flat_map(|(_k, records)| records.iter())
+            .map(|b| Self::frame_len(b))
             .sum()
     }
 
@@ -156,6 +256,57 @@ mod tests {
         let log = EventLog::disabled(kv);
         assert!(!log.is_enabled());
         log.append(NodeId(0), ev(Component::Worker, 1));
+        log.append_many(NodeId(0), vec![ev(Component::Worker, 2)]);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn append_many_preserves_order_and_components() {
+        let kv = KvStore::new(4);
+        let log = EventLog::new(kv);
+        log.append_many(
+            NodeId(0),
+            vec![
+                ev(Component::Driver, 1),
+                ev(Component::Driver, 2),
+                ev(Component::Worker, 3),
+                ev(Component::Driver, 4),
+            ],
+        );
+        let driver: Vec<u64> = log
+            .read(NodeId(0), Component::Driver)
+            .iter()
+            .map(|e| e.at_nanos)
+            .collect();
+        assert_eq!(driver, vec![1, 2, 4]);
+        assert_eq!(log.read(NodeId(0), Component::Worker).len(), 1);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn retention_caps_streams_and_counts_drops() {
+        let kv = KvStore::new(4);
+        let log = EventLog::new(kv).with_retention(Some(5));
+        assert_eq!(log.retention(), Some(5));
+        for i in 0..12 {
+            log.append(NodeId(0), ev(Component::Worker, i));
+        }
+        let events = log.read(NodeId(0), Component::Worker);
+        assert_eq!(events.len(), 5);
+        // The survivors are the newest five, in order.
+        let times: Vec<u64> = events.iter().map(|e| e.at_nanos).collect();
+        assert_eq!(times, vec![7, 8, 9, 10, 11]);
+        assert_eq!(log.dropped_count(), 7);
+        // Clones share the drop counter. A batch lands as one frame
+        // record, so it evicts one single-event record here.
+        let clone = log.clone();
+        clone.append_many(
+            NodeId(0),
+            (12..15).map(|i| ev(Component::Worker, i)).collect(),
+        );
+        assert_eq!(log.dropped_count(), 8);
+        let events = log.read(NodeId(0), Component::Worker);
+        assert_eq!(events.len(), 7); // 4 surviving singles + 3 framed
+        assert_eq!(events.last().unwrap().at_nanos, 14);
     }
 }

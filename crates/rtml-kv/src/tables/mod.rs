@@ -13,12 +13,16 @@ pub mod task_table;
 use bytes::Bytes;
 use rtml_common::ids::UniqueId;
 
-/// Builds a namespaced key: `prefix ++ id_bytes`.
+/// Builds a namespaced key: `prefix ++ id_bytes`. Assembled on the
+/// stack — with prefixes of at most 8 bytes the key fits `Bytes`'
+/// inline representation, making key construction allocation-free on
+/// the submission hot path.
 pub(crate) fn id_key(prefix: &[u8], id: UniqueId) -> Bytes {
-    let mut v = Vec::with_capacity(prefix.len() + 16);
-    v.extend_from_slice(prefix);
-    v.extend_from_slice(&id.as_u128().to_le_bytes());
-    Bytes::from(v)
+    debug_assert!(prefix.len() <= 8, "table prefix too long for stack key");
+    let mut buf = [0u8; 24];
+    buf[..prefix.len()].copy_from_slice(prefix);
+    buf[prefix.len()..prefix.len() + 16].copy_from_slice(&id.as_u128().to_le_bytes());
+    Bytes::copy_from_slice(&buf[..prefix.len() + 16])
 }
 
 /// Inverse of [`id_key`]: recovers the ID from a namespaced key.

@@ -81,23 +81,41 @@ impl ObjectTable {
     /// Keeps an existing record's locations if the object was already
     /// declared (reconstruction re-declares).
     pub fn declare(&self, object: ObjectId, producer: Option<TaskId>) {
-        self.kv.update(Self::key(object), |cur| {
-            if let Some(bytes) = cur {
-                // Preserve existing info; only fill in a missing producer.
-                if let Ok(mut info) = decode_from_slice::<ObjectInfo>(bytes) {
-                    if info.producer.is_none() {
-                        info.producer = producer;
-                    }
-                    return Some(encode_to_bytes(&info));
-                }
-            }
-            Some(encode_to_bytes(&ObjectInfo {
-                size: 0,
-                sealed: false,
-                producer,
-                locations: Vec::new(),
-            }))
-        });
+        // Preserves existing info; only fills in a missing producer
+        // (reconstruction re-declares). Shares the batched update logic.
+        self.declare_many(&[(object, producer)]);
+    }
+
+    /// Batched [`ObjectTable::declare`]: declares every `(object,
+    /// producer)` pair with one lock acquisition per touched shard
+    /// instead of one per object. This is the object-table half of the
+    /// batched-submission group commit.
+    pub fn declare_many(&self, entries: &[(ObjectId, Option<TaskId>)]) {
+        self.kv.update_many(
+            entries
+                .iter()
+                .map(|(object, producer)| {
+                    let producer = *producer;
+                    let update = move |cur: Option<&Bytes>| {
+                        if let Some(bytes) = cur {
+                            if let Ok(mut info) = decode_from_slice::<ObjectInfo>(bytes) {
+                                if info.producer.is_none() {
+                                    info.producer = producer;
+                                }
+                                return Some(encode_to_bytes(&info));
+                            }
+                        }
+                        Some(encode_to_bytes(&ObjectInfo {
+                            size: 0,
+                            sealed: false,
+                            producer,
+                            locations: Vec::new(),
+                        }))
+                    };
+                    (Self::key(*object), update)
+                })
+                .collect(),
+        );
     }
 
     /// Records that `node` now holds a sealed copy of `object` of `size`
@@ -260,6 +278,30 @@ mod tests {
         let info = table.get(obj).unwrap();
         assert_eq!(info.locations, vec![NodeId(3)]);
         assert_eq!(info.producer, Some(task));
+    }
+
+    #[test]
+    fn declare_many_matches_single_declares() {
+        let kv = KvStore::new(4);
+        let table = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let entries: Vec<(ObjectId, Option<TaskId>)> = (0..12)
+            .map(|i| {
+                let task = root.child(i);
+                (task.return_object(0), Some(task))
+            })
+            .collect();
+        // One object already sealed before the batch declaration: its
+        // locations must survive and its producer must be filled in.
+        table.add_location(entries[3].0, NodeId(5), 32);
+        table.declare_many(&entries);
+        for (object, producer) in &entries {
+            let info = table.get(*object).unwrap();
+            assert_eq!(info.producer, *producer);
+        }
+        let sealed = table.get(entries[3].0).unwrap();
+        assert_eq!(sealed.locations, vec![NodeId(5)]);
+        assert!(sealed.sealed);
     }
 
     #[test]

@@ -53,9 +53,58 @@ impl TaskTable {
         decode_from_slice(&bytes).ok()
     }
 
+    /// Group-commits a batch of task submissions: every spec is recorded
+    /// durably first, then every task transitions to `state`. Each phase
+    /// is one [`KvStore::set_many`] (at most one lock acquisition per
+    /// shard), so a batch of N submissions is not N spec locks + N state
+    /// locks. The spec phase completes before any state becomes visible,
+    /// preserving the "durable lineage first" submission invariant.
+    pub fn record_many(&self, specs: &[TaskSpec], state: &TaskState) {
+        if specs.is_empty() {
+            return;
+        }
+        self.kv.set_many(
+            specs
+                .iter()
+                .map(|spec| (Self::spec_key(spec.task_id), encode_to_bytes(spec)))
+                .collect(),
+        );
+        let encoded = encode_to_bytes(state);
+        self.kv.set_many(
+            specs
+                .iter()
+                .map(|spec| (Self::state_key(spec.task_id), encoded.clone()))
+                .collect(),
+        );
+    }
+
     /// Transitions a task's state; notifies state subscribers.
     pub fn set_state(&self, task: TaskId, state: &TaskState) {
         self.kv.set(Self::state_key(task), encode_to_bytes(state));
+    }
+
+    /// Transitions many tasks to the same state with one group-committed
+    /// write (the batch-ingest path in the local scheduler).
+    pub fn set_states_many(&self, tasks: &[TaskId], state: &TaskState) {
+        let encoded = encode_to_bytes(state);
+        self.kv.set_many(
+            tasks
+                .iter()
+                .map(|task| (Self::state_key(*task), encoded.clone()))
+                .collect(),
+        );
+    }
+
+    /// Batched state reads (positional). The batch-submission replay
+    /// check uses this so a batch costs one lock per shard, not one per
+    /// task.
+    pub fn get_states_many(&self, tasks: &[TaskId]) -> Vec<Option<TaskState>> {
+        let keys: Vec<Bytes> = tasks.iter().map(|task| Self::state_key(*task)).collect();
+        self.kv
+            .get_many(&keys)
+            .into_iter()
+            .map(|bytes| bytes.and_then(|b| decode_from_slice(&b).ok()))
+            .collect()
     }
 
     /// Reads a task's state.
@@ -203,6 +252,31 @@ mod tests {
             stream.recv_timeout(Duration::from_secs(5)),
             Some(TaskState::Finished)
         );
+    }
+
+    #[test]
+    fn record_many_commits_specs_and_states() {
+        let kv = KvStore::new(4);
+        let table = TaskTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let specs: Vec<TaskSpec> = (0..10)
+            .map(|i| TaskSpec::simple(root.child(i), FunctionId::from_name("f"), vec![]))
+            .collect();
+        table.record_many(&specs, &TaskState::Submitted);
+        for spec in &specs {
+            assert_eq!(table.get_spec(spec.task_id), Some(spec.clone()));
+            assert_eq!(table.get_state(spec.task_id), Some(TaskState::Submitted));
+        }
+        let ids: Vec<TaskId> = specs.iter().map(|s| s.task_id).collect();
+        table.set_states_many(&ids, &TaskState::Queued(NodeId(1)));
+        let states = table.get_states_many(&ids);
+        assert!(states
+            .iter()
+            .all(|s| *s == Some(TaskState::Queued(NodeId(1)))));
+        // Unknown tasks read back as None, positionally.
+        let mixed = table.get_states_many(&[ids[0], root.child(999)]);
+        assert_eq!(mixed[0], Some(TaskState::Queued(NodeId(1))));
+        assert_eq!(mixed[1], None);
     }
 
     #[test]

@@ -91,13 +91,21 @@ pub struct FabricStats {
     pub dropped: Counter,
     /// Total payload bytes accepted.
     pub bytes: Counter,
+    /// Messages that crossed the wire inside a coalesced frame (a
+    /// [`Fabric::send_batch`] of more than one payload): they shared one
+    /// propagation-delay sample instead of paying per-message latency.
+    pub coalesced: Counter,
 }
 
+/// One scheduled wire crossing: a frame of one or more messages to the
+/// same destination that share a single delay sample. Batched sends are
+/// the fabric-level face of the end-to-end batching discipline — N
+/// queued messages to one destination cost one hop, not N.
 struct PendingDelivery {
     due: Instant,
     seq: u64,
     to: NetAddress,
-    delivery: Delivery,
+    frames: Vec<Delivery>,
 }
 
 impl PartialEq for PendingDelivery {
@@ -216,6 +224,24 @@ impl Fabric {
     /// Returns [`Error::Disconnected`] if either address is unregistered.
     /// Partitioned messages are silently dropped, like a real network.
     pub fn send(&self, from: NetAddress, to: NetAddress, payload: Bytes) -> Result<()> {
+        self.send_frames(from, to, vec![payload])
+    }
+
+    /// Sends several payloads from `from` to `to` as **one coalesced
+    /// frame**: the whole group pays a single propagation-delay sample
+    /// (plus the bandwidth term for its total size) and arrives
+    /// together, in order. The receiver still observes one [`Delivery`]
+    /// per payload — coalescing changes when messages cross the wire,
+    /// not how they are consumed.
+    ///
+    /// This preserves per-hop latency semantics: a batch costs exactly
+    /// what one message costs in latency, which is the point — queued
+    /// messages to the same destination should share hops.
+    pub fn send_batch(&self, from: NetAddress, to: NetAddress, payloads: Vec<Bytes>) -> Result<()> {
+        self.send_frames(from, to, payloads)
+    }
+
+    fn send_frames(&self, from: NetAddress, to: NetAddress, payloads: Vec<Bytes>) -> Result<()> {
         let mut routing = self.routing.lock();
         let (from_node, _) = *routing
             .endpoints
@@ -227,31 +253,39 @@ impl Fabric {
             .cloned()
             .ok_or(Error::Disconnected("fabric receiver"))?;
 
-        self.stats.sent.inc();
-        self.stats.bytes.add(payload.len() as u64);
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        let count = payloads.len() as u64;
+        let total_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+        self.stats.sent.add(count);
+        self.stats.bytes.add(total_bytes);
+        if count > 1 {
+            self.stats.coalesced.add(count);
+        }
 
         if routing.partitions.contains(&(from_node, to_node)) {
-            self.stats.dropped.inc();
+            self.stats.dropped.add(count);
             return Ok(());
         }
 
-        let delivery = Delivery {
-            from,
-            payload,
-            sent_at_nanos: rtml_common::time::now_nanos(),
-        };
+        let sent_at_nanos = rtml_common::time::now_nanos();
+        let frames: Vec<Delivery> = payloads
+            .into_iter()
+            .map(|payload| Delivery {
+                from,
+                payload,
+                sent_at_nanos,
+            })
+            .collect();
 
         if from_node == to_node {
             drop(routing);
-            if tx.send(delivery).is_ok() {
-                self.stats.delivered.inc();
-            } else {
-                self.stats.dropped.inc();
-            }
+            self.deliver_frames(&tx, frames);
             return Ok(());
         }
 
-        // Cross-node: compute the delay.
+        // Cross-node: one delay sample for the whole frame.
         routing.jitter_state = routing
             .jitter_state
             .wrapping_mul(6364136223846793005)
@@ -264,18 +298,13 @@ impl Fabric {
         let mut delay = self.config.latency.sample(entropy);
         if let Some(bw) = self.config.bandwidth_bytes_per_sec {
             if bw > 0 {
-                let xfer_nanos =
-                    (delivery.payload.len() as u128 * 1_000_000_000u128 / bw as u128) as u64;
+                let xfer_nanos = (total_bytes as u128 * 1_000_000_000u128 / bw as u128) as u64;
                 delay += Duration::from_nanos(xfer_nanos);
             }
         }
 
         if delay.is_zero() {
-            if tx.send(delivery).is_ok() {
-                self.stats.delivered.inc();
-            } else {
-                self.stats.dropped.inc();
-            }
+            self.deliver_frames(&tx, frames);
             return Ok(());
         }
 
@@ -283,7 +312,7 @@ impl Fabric {
             due: Instant::now() + delay,
             seq,
             to,
-            delivery,
+            frames,
         };
         {
             let mut heap = self.queue.heap.lock();
@@ -291,6 +320,16 @@ impl Fabric {
         }
         self.queue.wakeup.notify_one();
         Ok(())
+    }
+
+    fn deliver_frames(&self, tx: &Sender<Delivery>, frames: Vec<Delivery>) {
+        for frame in frames {
+            if tx.send(frame).is_ok() {
+                self.stats.delivered.inc();
+            } else {
+                self.stats.dropped.inc();
+            }
+        }
     }
 
     fn pump_loop(queue: Arc<DelayQueue>, fabric: std::sync::Weak<Fabric>) {
@@ -316,16 +355,25 @@ impl Fabric {
                 let Some(fabric) = fabric.upgrade() else {
                     return;
                 };
+                // Resolve each destination mailbox once per flush: frames
+                // due together for the same endpoint share the lookup.
+                let mut resolved: HashMap<NetAddress, Option<Sender<Delivery>>> = HashMap::new();
                 for item in due_now {
-                    let tx = {
+                    let tx = resolved.entry(item.to).or_insert_with(|| {
                         let routing = fabric.routing.lock();
                         routing.endpoints.get(&item.to).map(|(_, tx)| tx.clone())
-                    };
+                    });
                     match tx {
-                        Some(tx) if tx.send(item.delivery).is_ok() => {
-                            fabric.stats.delivered.inc();
+                        Some(tx) => {
+                            for frame in item.frames {
+                                if tx.send(frame).is_ok() {
+                                    fabric.stats.delivered.inc();
+                                } else {
+                                    fabric.stats.dropped.inc();
+                                }
+                            }
                         }
-                        _ => fabric.stats.dropped.inc(),
+                        None => fabric.stats.dropped.add(item.frames.len() as u64),
                     }
                 }
                 continue;
@@ -450,6 +498,82 @@ mod tests {
         fabric.send(a.address(), b.address(), payload).unwrap();
         let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn batch_pays_one_latency_for_all_frames() {
+        let fabric = fabric_with_latency(20_000); // 20 ms
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        let payloads: Vec<Bytes> = (0..10u32)
+            .map(|i| Bytes::from(i.to_le_bytes().to_vec()))
+            .collect();
+        let start = Instant::now();
+        fabric
+            .send_batch(a.address(), b.address(), payloads)
+            .unwrap();
+        for i in 0..10u32 {
+            let msg = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+            let mut arr = [0u8; 4];
+            arr.copy_from_slice(&msg.payload);
+            assert_eq!(u32::from_le_bytes(arr), i);
+        }
+        let elapsed = start.elapsed();
+        // One hop, not ten: well under 10 x 20 ms.
+        assert!(elapsed >= Duration::from_millis(20));
+        assert!(elapsed < Duration::from_millis(100), "elapsed {elapsed:?}");
+        assert_eq!(fabric.stats.coalesced.get(), 10);
+        assert_eq!(fabric.stats.delivered.get(), 10);
+    }
+
+    #[test]
+    fn batch_bandwidth_term_uses_total_size() {
+        let fabric = Fabric::new(FabricConfig {
+            latency: LatencyModel::Zero,
+            bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
+            jitter_seed: 0,
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        // 5 x 10 KB at 1 MB/s = 50 ms for the whole frame.
+        let payloads: Vec<Bytes> = (0..5).map(|_| Bytes::from(vec![0u8; 10_000])).collect();
+        let start = Instant::now();
+        fabric
+            .send_batch(a.address(), b.address(), payloads)
+            .unwrap();
+        for _ in 0..5 {
+            let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn batch_to_partitioned_destination_drops_all() {
+        let fabric = fabric_with_latency(0);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric.partition(NodeId(0), NodeId(1));
+        fabric
+            .send_batch(
+                a.address(),
+                b.address(),
+                vec![Bytes::from_static(b"x"), Bytes::from_static(b"y")],
+            )
+            .unwrap();
+        assert!(b
+            .receiver()
+            .recv_timeout(Duration::from_millis(50))
+            .is_err());
+        assert_eq!(fabric.stats.dropped.get(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let fabric = fabric_with_latency(0);
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(0), "b");
+        fabric.send_batch(a.address(), b.address(), vec![]).unwrap();
+        assert_eq!(fabric.stats.sent.get(), 0);
     }
 
     #[test]

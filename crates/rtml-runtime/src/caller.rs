@@ -17,6 +17,7 @@ use rtml_common::event::{Component, Event, EventKind};
 use rtml_common::ids::{DriverId, FunctionId, NodeId, ObjectId, TaskId, WorkerId};
 use rtml_common::resources::Resources;
 use rtml_common::task::{ArgSpec, TaskSpec, TaskState};
+use rtml_common::time::now_nanos;
 
 use crate::envelope;
 use crate::fetch;
@@ -59,6 +60,21 @@ impl TaskOptions {
     pub fn resources(resources: Resources) -> Self {
         TaskOptions { resources }
     }
+}
+
+/// Raw parts of one task inside a [`Caller::submit_raw_batch`] — what
+/// [`Caller::submit_raw`] takes as separate arguments, as a value so
+/// batches can be built up front.
+#[derive(Clone, Debug)]
+pub struct TaskRequest {
+    /// Function to invoke.
+    pub function: FunctionId,
+    /// Arguments in positional order (inline values or futures).
+    pub args: Vec<ArgSpec>,
+    /// Number of return objects.
+    pub num_returns: u32,
+    /// Resource demand (admission + placement, R4).
+    pub resources: Resources,
 }
 
 struct CallerInner {
@@ -171,8 +187,8 @@ impl Caller {
     }
 
     /// Submits a task by raw parts. Returns the future(s) for its
-    /// returns. This is the non-blocking primitive behind all typed
-    /// wrappers (§3.1 item 1).
+    /// returns. Thin wrapper over [`Caller::submit_raw_batch`] — the
+    /// non-blocking primitive behind all typed wrappers (§3.1 item 1).
     pub fn submit_raw(
         &self,
         function: FunctionId,
@@ -180,83 +196,168 @@ impl Caller {
         num_returns: u32,
         resources: Resources,
     ) -> Result<Vec<ObjectId>> {
-        let inner = &self.inner;
-        let services = &inner.services;
-        if services.registry.get(function).is_none() {
-            return Err(Error::FunctionNotFound(function));
-        }
-        let counter = inner.child_counter.fetch_add(1, Ordering::Relaxed);
-        let task_id = inner.current_task.child(counter);
-        let return_ids: Vec<ObjectId> =
-            (0..num_returns).map(|i| task_id.return_object(i)).collect();
-
-        // Replay-aware submission: if this exact task already exists (we
-        // are a re-executed parent), do not double-submit unless its
-        // previous attempt was lost.
-        if let Some(state) = services.tasks.get_state(task_id) {
-            match state {
-                TaskState::Lost => {
-                    inner.recon.resubmit(task_id);
-                    return Ok(return_ids);
-                }
-                _ => return Ok(return_ids),
-            }
-        }
-
-        let spec = TaskSpec {
-            task_id,
+        let mut results = self.submit_raw_batch(vec![TaskRequest {
             function,
             args,
             num_returns,
             resources,
-            submitter_node: inner.home,
-            attempt: 0,
-            actor: None,
+        }])?;
+        Ok(results.pop().expect("one request in, one result out"))
+    }
+
+    /// Submits a batch of tasks by raw parts, amortizing every per-task
+    /// cost of the submit path over the batch: one child-counter
+    /// reservation, one replay-check read sweep, group-committed task
+    /// table / object table / event log writes, and one scheduler
+    /// message. Task and object IDs are **bit-identical** to the ones
+    /// the equivalent sequence of [`Caller::submit_raw`] calls would
+    /// produce — batching changes costs, not identity — so lineage
+    /// replay is oblivious to how work was submitted.
+    ///
+    /// Returns one `Vec<ObjectId>` of return futures per request, in
+    /// request order.
+    pub fn submit_raw_batch(&self, requests: Vec<TaskRequest>) -> Result<Vec<Vec<ObjectId>>> {
+        let inner = &self.inner;
+        let services = &inner.services;
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        for request in &requests {
+            if services.registry.get(request.function).is_none() {
+                return Err(Error::FunctionNotFound(request.function));
+            }
+        }
+        let count = requests.len() as u64;
+        let base = inner.child_counter.fetch_add(count, Ordering::Relaxed);
+        let task_ids: Vec<TaskId> = (0..count)
+            .map(|i| inner.current_task.child(base + i))
+            .collect();
+
+        // Replay-aware submission, batched: if a task already exists (we
+        // are a re-executed parent), do not double-submit unless its
+        // previous attempt was lost. Only worker contexts can be
+        // re-executed — a driver root never replays its submission loop
+        // and hands out fresh counters for life, so the read sweep would
+        // be pure per-task overhead on the driver hot path.
+        let states = if inner.component == Component::Driver {
+            vec![None; task_ids.len()]
+        } else {
+            services.tasks.get_states_many(&task_ids)
         };
 
-        // Admission control: a demand no node can ever satisfy fails
-        // fast with sealed error envelopes (consumers see the error
-        // rather than hanging).
-        if !services.cluster_fits(&spec.resources) {
-            let message = format!(
-                "task {task_id} is unschedulable: demand {} exceeds every node",
-                spec.resources
-            );
-            services.tasks.put_spec(&spec);
-            services
-                .tasks
-                .set_state(task_id, &TaskState::Failed(message.clone()));
-            for ret in &return_ids {
-                services.objects.declare(*ret, Some(task_id));
-            }
-            if let Some(store) = services
-                .store(inner.home)
-                .or_else(|| services.any_alive().and_then(|n| services.store(n)))
-            {
-                let bytes = envelope::seal_error(&message);
-                for ret in &return_ids {
-                    if store.put(*ret, bytes.clone()).is_ok() {
-                        services
-                            .objects
-                            .add_location(*ret, store.node(), bytes.len() as u64);
-                    }
+        let mut results: Vec<Vec<ObjectId>> = Vec::with_capacity(requests.len());
+        let mut fresh: Vec<TaskSpec> = Vec::with_capacity(requests.len());
+        let mut declares: Vec<(ObjectId, Option<TaskId>)> = Vec::with_capacity(requests.len());
+        let mut unschedulable: Vec<(TaskSpec, Vec<ObjectId>)> = Vec::new();
+        // Admission-control cache: batches overwhelmingly share one
+        // resource vector, so check the cluster once per distinct demand
+        // instead of once per task.
+        let mut fits_cache: Option<(Resources, bool)> = None;
+        for ((request, task_id), state) in requests.into_iter().zip(&task_ids).zip(states) {
+            let task_id = *task_id;
+            let return_ids: Vec<ObjectId> = (0..request.num_returns)
+                .map(|i| task_id.return_object(i))
+                .collect();
+            if let Some(state) = state {
+                if state == TaskState::Lost {
+                    inner.recon.resubmit(task_id);
                 }
+                results.push(return_ids);
+                continue;
             }
-            return Ok(return_ids);
+            let spec = TaskSpec {
+                task_id,
+                function: request.function,
+                args: request.args,
+                num_returns: request.num_returns,
+                resources: request.resources,
+                submitter_node: inner.home,
+                attempt: 0,
+                actor: None,
+            };
+            // Admission control: a demand no node can ever satisfy fails
+            // fast with sealed error envelopes (consumers see the error
+            // rather than hanging).
+            let fits = match &fits_cache {
+                Some((resources, fits)) if *resources == spec.resources => *fits,
+                _ => {
+                    let fits = services.cluster_fits(&spec.resources);
+                    fits_cache = Some((spec.resources.clone(), fits));
+                    fits
+                }
+            };
+            if !fits {
+                unschedulable.push((spec, return_ids.clone()));
+                results.push(return_ids);
+                continue;
+            }
+            for ret in &return_ids {
+                declares.push((*ret, Some(task_id)));
+            }
+            results.push(return_ids);
+            fresh.push(spec);
         }
 
-        // Durable lineage first, then visibility, then routing.
+        for (spec, return_ids) in unschedulable {
+            self.seal_unschedulable(spec, &return_ids);
+        }
+        if fresh.is_empty() {
+            return Ok(results);
+        }
+
+        // Durable lineage first, then visibility, then routing — each
+        // phase one group-committed control-plane call for the whole
+        // batch. Nothing can observe these tasks until the final routing
+        // send, so the inter-phase windows are private to this call.
+        services.tasks.record_many(&fresh, &TaskState::Submitted);
+        services.objects.declare_many(&declares);
+        let at_nanos = now_nanos();
+        services.events.append_many(
+            inner.home,
+            fresh
+                .iter()
+                .map(|spec| Event {
+                    at_nanos,
+                    component: inner.component,
+                    kind: EventKind::TaskSubmitted { task: spec.task_id },
+                })
+                .collect(),
+        );
+        services.submit_batch_to(inner.home, fresh)?;
+        Ok(results)
+    }
+
+    /// Fails a permanently unschedulable task fast: durable spec +
+    /// `Failed` state, declared returns, and sealed error envelopes so
+    /// consumers see the error rather than hanging.
+    fn seal_unschedulable(&self, spec: TaskSpec, return_ids: &[ObjectId]) {
+        let inner = &self.inner;
+        let services = &inner.services;
+        let task_id = spec.task_id;
+        let message = format!(
+            "task {task_id} is unschedulable: demand {} exceeds every node",
+            spec.resources
+        );
         services.tasks.put_spec(&spec);
-        for ret in &return_ids {
+        services
+            .tasks
+            .set_state(task_id, &TaskState::Failed(message.clone()));
+        for ret in return_ids {
             services.objects.declare(*ret, Some(task_id));
         }
-        services.tasks.set_state(task_id, &TaskState::Submitted);
-        services.events.append(
-            inner.home,
-            Event::now(inner.component, EventKind::TaskSubmitted { task: task_id }),
-        );
-        services.submit_to(inner.home, spec)?;
-        Ok(return_ids)
+        if let Some(store) = services
+            .store(inner.home)
+            .or_else(|| services.any_alive().and_then(|n| services.store(n)))
+        {
+            let bytes = envelope::seal_error(&message);
+            for ret in return_ids {
+                if store.put(*ret, bytes.clone()).is_ok() {
+                    services
+                        .objects
+                        .add_location(*ret, store.node(), bytes.len() as u64);
+                }
+            }
+        }
     }
 
     /// Stores a value directly into the local object store and returns a
@@ -397,6 +498,67 @@ macro_rules! submit_arity {
     };
 }
 
+impl Caller {
+    /// Submits `args.len()` invocations of `f` as **one batch**: one
+    /// scheduler message and group-committed control-plane writes for
+    /// the whole set, instead of per-task channel sends, table writes,
+    /// and log appends. The returned futures (and the underlying
+    /// task/object IDs) are bit-identical to what the equivalent
+    /// [`Caller::submit1`] loop would produce.
+    pub fn submit_batch<A: Codec + 'static, R: Codec + 'static>(
+        &self,
+        f: &Func1<A, R>,
+        args: impl IntoIterator<Item = impl IntoArg<A>>,
+    ) -> Result<Vec<ObjectRef<R>>> {
+        self.submit_batch_opts(f, args, TaskOptions::default())
+    }
+
+    /// Same, with explicit [`TaskOptions`] (resources) applied to every
+    /// task in the batch.
+    pub fn submit_batch_opts<A: Codec + 'static, R: Codec + 'static>(
+        &self,
+        f: &Func1<A, R>,
+        args: impl IntoIterator<Item = impl IntoArg<A>>,
+        opts: TaskOptions,
+    ) -> Result<Vec<ObjectRef<R>>> {
+        let requests: Vec<TaskRequest> = args
+            .into_iter()
+            .map(|a| TaskRequest {
+                function: f.id(),
+                args: vec![a.into_arg()],
+                num_returns: 1,
+                resources: opts.resources.clone(),
+            })
+            .collect();
+        let results = self.submit_raw_batch(requests)?;
+        Ok(results
+            .into_iter()
+            .map(|ids| ObjectRef::typed(ids[0]))
+            .collect())
+    }
+
+    /// Submits `count` invocations of a nullary task as one batch.
+    pub fn submit_batch0<R: Codec + 'static>(
+        &self,
+        f: &Func0<R>,
+        count: usize,
+    ) -> Result<Vec<ObjectRef<R>>> {
+        let requests: Vec<TaskRequest> = (0..count)
+            .map(|_| TaskRequest {
+                function: f.id(),
+                args: Vec::new(),
+                num_returns: 1,
+                resources: TaskOptions::default().resources,
+            })
+            .collect();
+        let results = self.submit_raw_batch(requests)?;
+        Ok(results
+            .into_iter()
+            .map(|ids| ObjectRef::typed(ids[0]))
+            .collect())
+    }
+}
+
 submit_arity!(
     /// Submits a nullary task; returns its future immediately.
     submit0, submit0_opts, Func0, []
@@ -444,6 +606,16 @@ impl Driver {
     /// This driver's identity.
     pub fn id(&self) -> DriverId {
         self.id
+    }
+
+    /// Submits many invocations of `f` (one per argument) as a single
+    /// batch — the driver-facing name for [`Caller::submit_batch`].
+    pub fn submit_many<A: Codec + 'static, R: Codec + 'static>(
+        &self,
+        f: &Func1<A, R>,
+        args: impl IntoIterator<Item = impl IntoArg<A>>,
+    ) -> Result<Vec<ObjectRef<R>>> {
+        self.caller.submit_batch(f, args)
     }
 }
 
@@ -547,6 +719,29 @@ mod tests {
                 )
                 .unwrap_err();
             assert!(matches!(err, Error::FunctionNotFound(_)));
+        });
+    }
+
+    #[test]
+    fn submit_batch_with_unknown_function_errors_before_ids_are_consumed() {
+        test_support::with_detached_context(|ctx| {
+            let requests: Vec<TaskRequest> = (0..3)
+                .map(|_| TaskRequest {
+                    function: FunctionId::from_name("nope"),
+                    args: vec![],
+                    num_returns: 1,
+                    resources: Resources::cpu(1.0),
+                })
+                .collect();
+            let err = ctx.submit_raw_batch(requests).unwrap_err();
+            assert!(matches!(err, Error::FunctionNotFound(_)));
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        test_support::with_detached_context(|ctx| {
+            assert_eq!(ctx.submit_raw_batch(vec![]).unwrap(), Vec::<Vec<_>>::new());
         });
     }
 

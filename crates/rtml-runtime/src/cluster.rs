@@ -50,6 +50,11 @@ pub struct ClusterConfig {
     pub placement: PlacementPolicy,
     /// Whether to record events (R7). Benchmarks may disable it.
     pub event_logging: bool,
+    /// Retention cap per event-log stream (`None` = unbounded). With a
+    /// cap, each stream is a ring buffer: long throughput runs stop
+    /// growing control-plane memory, profiling keeps working over the
+    /// retained window, and the number of dropped records is reported.
+    pub event_log_retention: Option<usize>,
     /// Fetch timeout for dependency resolution.
     pub fetch_timeout: Duration,
     /// Default deadline for blocking `get`s.
@@ -73,6 +78,7 @@ impl Default for ClusterConfig {
             spill: SpillMode::default(),
             placement: PlacementPolicy::LocalityAware,
             event_logging: true,
+            event_log_retention: None,
             fetch_timeout: Duration::from_secs(2),
             default_get_timeout: Duration::from_secs(30),
             load_interval: Duration::from_millis(1),
@@ -118,6 +124,12 @@ impl ClusterConfig {
         self.event_logging = false;
         self
     }
+
+    /// Bounds each event-log stream to `cap` records builder-style.
+    pub fn with_event_log_retention(mut self, cap: usize) -> Self {
+        self.event_log_retention = Some(cap);
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -150,6 +162,7 @@ impl Cluster {
             RuntimeTuning {
                 fetch_timeout: config.fetch_timeout,
                 default_get_timeout: config.default_get_timeout,
+                event_log_retention: config.event_log_retention,
             },
         );
         let recon = ReconstructionManager::new(services.clone());

@@ -57,7 +57,7 @@ pub mod tools;
 pub mod worker;
 
 pub use actors::ActorHandle;
-pub use caller::{Caller, Driver, TaskContext, TaskOptions};
+pub use caller::{Caller, Driver, TaskContext, TaskOptions, TaskRequest};
 pub use cluster::{Cluster, ClusterConfig};
 pub use envelope::Envelope;
 pub use lineage::ReconstructionManager;

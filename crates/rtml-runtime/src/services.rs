@@ -25,6 +25,10 @@ pub struct RuntimeTuning {
     pub fetch_timeout: Duration,
     /// Default deadline for blocking `get`s.
     pub default_get_timeout: Duration,
+    /// Retention cap per event-log stream (`None` = unbounded). Bounds
+    /// control-plane memory on sustained throughput runs; dropped
+    /// records are counted on the [`EventLog`].
+    pub event_log_retention: Option<usize>,
 }
 
 impl Default for RuntimeTuning {
@@ -32,6 +36,7 @@ impl Default for RuntimeTuning {
         RuntimeTuning {
             fetch_timeout: Duration::from_secs(2),
             default_get_timeout: Duration::from_secs(30),
+            event_log_retention: None,
         }
     }
 }
@@ -76,7 +81,7 @@ impl Services {
     ) -> Arc<Self> {
         let kv = KvStore::new(kv_shards);
         let events = if event_logging {
-            EventLog::new(kv.clone())
+            EventLog::new(kv.clone()).with_retention(tuning.event_log_retention)
         } else {
             EventLog::disabled(kv.clone())
         };
@@ -133,6 +138,24 @@ impl Services {
         target
             .send(LocalMsg::Submit {
                 spec,
+                via_global: false,
+            })
+            .map_err(|_| Error::Disconnected("local scheduler"))
+    }
+
+    /// Sends a whole batch of tasks to `node`'s local scheduler as one
+    /// message — the routing half of the batched hot path. Falls back to
+    /// any alive node when the target is gone, like
+    /// [`Services::submit_to`].
+    pub fn submit_batch_to(&self, node: NodeId, specs: Vec<TaskSpec>) -> Result<()> {
+        let router = self.router.read();
+        let target = router
+            .get(&node)
+            .or_else(|| self.lowest_alive_locked(&router))
+            .ok_or(Error::ShuttingDown)?;
+        target
+            .send(LocalMsg::SubmitBatch {
+                specs,
                 via_global: false,
             })
             .map_err(|_| Error::Disconnected("local scheduler"))

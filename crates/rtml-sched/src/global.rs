@@ -12,7 +12,7 @@
 //! node is down) are **parked** and retried whenever the cluster view
 //! changes (new load report, node up).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -131,8 +131,8 @@ impl GlobalScheduler {
                     objects,
                     events,
                     address,
-                    loads: HashMap::new(),
-                    scheds: HashMap::new(),
+                    loads: BTreeMap::new(),
+                    scheds: BTreeMap::new(),
                     parked: VecDeque::new(),
                     policy_state: PolicyState::new(0x5eed),
                     stats: stats2,
@@ -156,8 +156,11 @@ struct GlobalCore {
     objects: ObjectTable,
     events: EventLog,
     address: NetAddress,
-    loads: HashMap<NodeId, LoadReport>,
-    scheds: HashMap<NodeId, NetAddress>,
+    // Ordered maps: placement iterates these, and `HashMap`'s per-process
+    // random iteration order would make tie-breaks (and therefore task
+    // placement) irreproducible across runs.
+    loads: BTreeMap<NodeId, LoadReport>,
+    scheds: BTreeMap<NodeId, NetAddress>,
     parked: VecDeque<(TaskSpec, u32)>,
     policy_state: PolicyState,
     stats: std::sync::Arc<GlobalStats>,
@@ -185,10 +188,17 @@ impl GlobalCore {
                 self.stats.spills.inc();
                 self.place(spec, 0);
             }
+            Ok(SchedWire::SpillBatch(specs)) => {
+                self.stats.spills.add(specs.len() as u64);
+                self.place_batch(specs, 0);
+            }
             Ok(SchedWire::Place { spec, hops }) => {
                 // A local scheduler bounced a placement (stale capacity);
                 // try again with the hop count preserved.
                 self.place(spec, hops);
+            }
+            Ok(SchedWire::PlaceBatch { specs, hops }) => {
+                self.place_batch(specs, hops);
             }
             Ok(SchedWire::Load(report)) => {
                 self.loads.insert(report.node, report);
@@ -214,57 +224,102 @@ impl GlobalCore {
     }
 
     fn place(&mut self, spec: TaskSpec, hops: u32) {
+        self.place_batch(vec![spec], hops);
+    }
+
+    /// Places a batch of tasks with one cluster-view snapshot, then
+    /// coalesces all placements destined for the same node into a single
+    /// `PlaceBatch` frame — a spilled burst pays one fabric hop per
+    /// destination instead of one per task.
+    fn place_batch(&mut self, specs: Vec<TaskSpec>, hops: u32) {
+        if specs.is_empty() {
+            return;
+        }
         if hops >= MAX_HOPS {
-            self.park(spec, hops);
+            for spec in specs {
+                self.park(spec, hops);
+            }
             return;
         }
         // Only consider nodes whose scheduler we can actually reach.
-        let candidates: HashMap<NodeId, LoadReport> = self
+        // Optimistic queue-depth bumps go to both this snapshot (so the
+        // batch itself spreads out) and the live view (so the next burst
+        // does too, until fresh load reports land).
+        let mut candidates: BTreeMap<NodeId, LoadReport> = self
             .loads
             .iter()
             .filter(|(n, _)| self.scheds.contains_key(n))
             .map(|(n, l)| (*n, l.clone()))
             .collect();
-        let choice =
-            self.config
-                .policy
-                .place(&spec, &candidates, &self.objects, &mut self.policy_state);
-        match choice {
-            Some(node) => {
-                let target = self.scheds[&node];
-                self.events.append(
-                    self.config.host_node,
-                    Event::now(
-                        Component::GlobalScheduler,
-                        EventKind::TaskPlaced {
+        let mut groups: BTreeMap<NodeId, Vec<TaskSpec>> = BTreeMap::new();
+        let at_nanos = rtml_common::time::now_nanos();
+        let mut events = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let choice =
+                self.config
+                    .policy
+                    .place(&spec, &candidates, &self.objects, &mut self.policy_state);
+            match choice {
+                Some(node) => {
+                    events.push(Event {
+                        at_nanos,
+                        component: Component::GlobalScheduler,
+                        kind: EventKind::TaskPlaced {
                             task: spec.task_id,
                             node,
                         },
-                    ),
-                );
-                // Optimistically bump the cached queue depth so a burst of
-                // spills spreads out instead of dog-piling one node.
-                if let Some(load) = self.loads.get_mut(&node) {
-                    load.ready += 1;
+                    });
+                    if let Some(load) = candidates.get_mut(&node) {
+                        load.ready += 1;
+                    }
+                    if let Some(load) = self.loads.get_mut(&node) {
+                        load.ready += 1;
+                    }
+                    groups.entry(node).or_default().push(spec);
                 }
-                let msg = SchedWire::Place {
-                    spec,
-                    hops: hops + 1,
-                };
-                if self
-                    .fabric
-                    .send(self.address, target, encode_to_bytes(&msg))
-                    .is_ok()
-                {
-                    self.stats.placements.inc();
-                } else if let SchedWire::Place { spec, hops } = msg {
-                    // The node vanished mid-send; forget it and park.
-                    self.scheds.remove(&node);
-                    self.loads.remove(&node);
+                None => self.park(spec, hops),
+            }
+        }
+        self.events.append_many(self.config.host_node, events);
+        for (node, group) in groups {
+            let Some(target) = self.scheds.get(&node).copied() else {
+                for spec in group {
                     self.park(spec, hops);
                 }
+                continue;
+            };
+            let count = group.len() as u64;
+            let msg = if count == 1 {
+                SchedWire::Place {
+                    spec: group.into_iter().next().expect("len checked"),
+                    hops: hops + 1,
+                }
+            } else {
+                SchedWire::PlaceBatch {
+                    specs: group,
+                    hops: hops + 1,
+                }
+            };
+            if self
+                .fabric
+                .send(self.address, target, encode_to_bytes(&msg))
+                .is_ok()
+            {
+                self.stats.placements.add(count);
+            } else {
+                // The node vanished mid-send; forget it and park.
+                self.scheds.remove(&node);
+                self.loads.remove(&node);
+                match msg {
+                    SchedWire::Place { spec, hops } => self.park(spec, hops),
+                    SchedWire::PlaceBatch { specs, hops } => {
+                        for spec in specs {
+                            self.park(spec, hops);
+                        }
+                    }
+                    _ => unreachable!("constructed above"),
+                }
             }
-            None => self.park(spec, hops),
         }
     }
 
@@ -486,6 +541,52 @@ mod tests {
         // Node 1 is gone; the busier node 2 must receive the task.
         let placed = expect_place(&n2);
         assert_eq!(placed.resources, Resources::cpu(1.0));
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn spill_batch_is_placed_in_coalesced_frames() {
+        let mut r = rig(PlacementPolicy::LeastLoaded);
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let n2 = fake_node(&r, NodeId(2), 0, Resources::cpu(4.0));
+        std::thread::sleep(Duration::from_millis(20));
+        let specs: Vec<TaskSpec> = (0..10).map(|i| task(i, Resources::cpu(1.0))).collect();
+        r.fabric
+            .send(
+                n1.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::SpillBatch(specs)),
+            )
+            .unwrap();
+        // All ten tasks arrive, spread over both nodes, and the whole
+        // batch crosses the fabric in at most one frame per node.
+        let mut placed = 0;
+        let mut frames = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while placed < 10 {
+            assert!(std::time::Instant::now() < deadline, "placed {placed}/10");
+            for endpoint in [&n1, &n2] {
+                while let Ok(d) = endpoint.receiver().try_recv() {
+                    match decode_from_slice::<SchedWire>(&d.payload) {
+                        Ok(SchedWire::PlaceBatch { specs, hops }) => {
+                            assert_eq!(hops, 1);
+                            placed += specs.len();
+                            frames += 1;
+                        }
+                        Ok(SchedWire::Place { .. }) => {
+                            placed += 1;
+                            frames += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(placed, 10);
+        assert!(frames <= 2, "expected coalesced frames, got {frames}");
+        assert_eq!(r.handle.stats().spills.get(), 10);
+        assert_eq!(r.handle.stats().placements.get(), 10);
         r.handle.shutdown();
     }
 

@@ -20,7 +20,7 @@
 //! arrive over the fabric; spill decisions follow the configured
 //! [`SpillMode`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -130,6 +130,15 @@ impl LocalSchedulerHandle {
         });
     }
 
+    /// Submits a whole batch of tasks from this node as **one** mailbox
+    /// message — the entry point of the batched hot path.
+    pub fn submit_batch(&self, specs: Vec<TaskSpec>) {
+        let _ = self.tx.send(LocalMsg::SubmitBatch {
+            specs,
+            via_global: false,
+        });
+    }
+
     /// Requests shutdown and joins the scheduler thread.
     pub fn shutdown(&mut self) {
         let _ = self.tx.send(LocalMsg::Shutdown);
@@ -182,7 +191,7 @@ impl LocalScheduler {
                     waiting: HashMap::new(),
                     watchers: HashMap::new(),
                     resolving: HashSet::new(),
-                    running: HashMap::new(),
+                    running: BTreeMap::new(),
                     released: HashSet::new(),
                     spawn_pending: false,
                     load_dirty: true,
@@ -229,7 +238,11 @@ struct Core {
     watchers: HashMap<ObjectId, Vec<TaskId>>,
     /// objects with an active resolver thread.
     resolving: HashSet<ObjectId>,
-    running: HashMap<TaskId, (WorkerId, Resources)>,
+    /// Ordered by task ID so iteration (e.g. collecting the tasks lost
+    /// with a dead worker) is reproducible across runs — `HashMap`
+    /// iteration order is seeded per process and would make failure
+    /// handling order (and thus the event log) nondeterministic.
+    running: BTreeMap<TaskId, (WorkerId, Resources)>,
     /// Tasks whose grant has been released because they are blocked in
     /// `get`/`wait`.
     released: HashSet<TaskId>,
@@ -279,17 +292,30 @@ impl Core {
             node: self.config.node,
             sched_address: self.address.as_u64(),
         };
-        let _ = self.services.fabric.send(
+        let report = self.load_report();
+        self.services
+            .kv
+            .set(load_key(self.config.node), encode_to_bytes(&report));
+        // NodeUp and the first load report travel as one coalesced
+        // frame: the global scheduler learns reachability and capacity
+        // together (one hop), so the formation barrier never observes a
+        // node that is reachable but loadless.
+        let _ = self.services.fabric.send_batch(
             self.address,
             self.services.global_address,
-            encode_to_bytes(&up),
+            vec![
+                encode_to_bytes(&up),
+                encode_to_bytes(&SchedWire::Load(report)),
+            ],
         );
-        self.publish_load();
+        self.load_dirty = false;
+        self.last_load = Instant::now();
     }
 
     fn on_local(&mut self, msg: LocalMsg) {
         match msg {
             LocalMsg::Submit { spec, via_global } => self.on_submit(spec, via_global),
+            LocalMsg::SubmitBatch { specs, via_global } => self.on_submit_batch(specs, via_global),
             LocalMsg::ObjectSealed(object) => self.on_sealed(object),
             LocalMsg::WorkerDone { worker, task } => self.on_worker_done(worker, task),
             LocalMsg::AddWorker(handle) => self.add_worker(handle),
@@ -303,11 +329,13 @@ impl Core {
     fn on_net(&mut self, payload: bytes::Bytes) {
         match decode_from_slice::<SchedWire>(&payload) {
             Ok(SchedWire::Place { spec, hops: _ }) => self.on_submit(spec, true),
+            Ok(SchedWire::PlaceBatch { specs, hops: _ }) => self.on_submit_batch(specs, true),
             Ok(SchedWire::Spill(spec)) => {
                 // Misdirected spill (we are not a global scheduler);
                 // treat as a local submission rather than dropping work.
                 self.on_submit(spec, false)
             }
+            Ok(SchedWire::SpillBatch(specs)) => self.on_submit_batch(specs, false),
             Ok(_) | Err(_) => {}
         }
     }
@@ -364,72 +392,118 @@ impl Core {
         self.load_dirty = true;
     }
 
+    /// Single-task ingest: a batch of one.
     fn on_submit(&mut self, spec: TaskSpec, via_global: bool) {
-        let node = self.config.node;
-        let backlog = self.ready.len();
-
-        let must_spill = if via_global {
-            // The global scheduler placed us; only bounce if the demand
-            // truly can never fit (stale capacity information).
-            !self.config.total_resources.fits(&spec.resources)
-        } else {
-            self.config
-                .spill
-                .should_spill(&spec, backlog, &self.config.total_resources)
-        };
-        if must_spill {
-            self.spill(spec);
-            return;
-        }
-
-        self.services
-            .tasks
-            .set_state(spec.task_id, &TaskState::Queued(node));
-        self.services.events.append(
-            node,
-            Event::now(
-                Component::LocalScheduler,
-                EventKind::TaskQueuedLocal {
-                    task: spec.task_id,
-                    node,
-                },
-            ),
-        );
-
-        // Dependency gating: distinct objects not yet in the local store.
-        let missing: HashSet<ObjectId> = spec
-            .dependencies()
-            .filter(|o| !self.services.store.contains(*o))
-            .collect();
-        if missing.is_empty() {
-            self.ready.push_back(spec);
-        } else {
-            let count = missing.len();
-            for object in missing {
-                self.watchers.entry(object).or_default().push(spec.task_id);
-                self.ensure_resolver(object);
-            }
-            self.waiting.insert(spec.task_id, (spec, count));
-        }
-        self.load_dirty = true;
+        self.on_submit_batch(vec![spec], via_global);
     }
 
-    fn spill(&mut self, spec: TaskSpec) {
+    /// Batch ingest: the same decisions as N sequential single
+    /// submissions, but with one spill/dependency scan over the batch,
+    /// one group-committed state write, one event-log append, and (when
+    /// tasks must travel) one fabric frame — per-task costs become
+    /// per-batch costs (R2).
+    ///
+    /// `via_global` marks placements made by the global scheduler,
+    /// which must not spill again (except when the node genuinely can
+    /// never satisfy the demand — stale capacity information).
+    fn on_submit_batch(&mut self, specs: Vec<TaskSpec>, via_global: bool) {
         let node = self.config.node;
+        // Single pass: spill decision plus dependency gating. `backlog`
+        // advances as runnable tasks are accepted, so the spill rule
+        // sees exactly the queue depths a sequential loop would.
+        let mut backlog = self.ready.len();
+        let mut accepted: Vec<(TaskSpec, HashSet<ObjectId>)> = Vec::with_capacity(specs.len());
+        let mut spilled: Vec<TaskSpec> = Vec::new();
+        for spec in specs {
+            let must_spill = if via_global {
+                !self.config.total_resources.fits(&spec.resources)
+            } else {
+                self.config
+                    .spill
+                    .should_spill(&spec, backlog, &self.config.total_resources)
+            };
+            if must_spill {
+                spilled.push(spec);
+                continue;
+            }
+            let missing: HashSet<ObjectId> = spec
+                .dependencies()
+                .filter(|o| !self.services.store.contains(*o))
+                .collect();
+            if missing.is_empty() {
+                backlog += 1;
+            }
+            accepted.push((spec, missing));
+        }
+
+        if !accepted.is_empty() {
+            let ids: Vec<TaskId> = accepted.iter().map(|(s, _)| s.task_id).collect();
+            self.services
+                .tasks
+                .set_states_many(&ids, &TaskState::Queued(node));
+            let at_nanos = rtml_common::time::now_nanos();
+            self.services.events.append_many(
+                node,
+                accepted
+                    .iter()
+                    .map(|(s, _)| Event {
+                        at_nanos,
+                        component: Component::LocalScheduler,
+                        kind: EventKind::TaskQueuedLocal {
+                            task: s.task_id,
+                            node,
+                        },
+                    })
+                    .collect(),
+            );
+            for (spec, missing) in accepted {
+                if missing.is_empty() {
+                    self.ready.push_back(spec);
+                } else {
+                    let count = missing.len();
+                    for object in missing {
+                        self.watchers.entry(object).or_default().push(spec.task_id);
+                        self.ensure_resolver(object);
+                    }
+                    self.waiting.insert(spec.task_id, (spec, count));
+                }
+            }
+            self.load_dirty = true;
+        }
+        if !spilled.is_empty() {
+            self.spill_batch(spilled);
+        }
+    }
+
+    /// Forwards a whole batch of spilling tasks to the global scheduler
+    /// as one frame (`Spill` for a single task, `SpillBatch` otherwise):
+    /// one state group commit, one event append, one fabric hop.
+    fn spill_batch(&mut self, specs: Vec<TaskSpec>) {
+        let node = self.config.node;
+        let ids: Vec<TaskId> = specs.iter().map(|s| s.task_id).collect();
         self.services
             .tasks
-            .set_state(spec.task_id, &TaskState::Spilled);
-        self.services.events.append(
+            .set_states_many(&ids, &TaskState::Spilled);
+        let at_nanos = rtml_common::time::now_nanos();
+        self.services.events.append_many(
             node,
-            Event::now(
-                Component::LocalScheduler,
-                EventKind::TaskSpilled {
-                    task: spec.task_id,
-                    from: node,
-                },
-            ),
+            specs
+                .iter()
+                .map(|s| Event {
+                    at_nanos,
+                    component: Component::LocalScheduler,
+                    kind: EventKind::TaskSpilled {
+                        task: s.task_id,
+                        from: node,
+                    },
+                })
+                .collect(),
         );
-        let msg = SchedWire::Spill(spec.clone());
+        let msg = if specs.len() == 1 {
+            SchedWire::Spill(specs[0].clone())
+        } else {
+            SchedWire::SpillBatch(specs.clone())
+        };
         if self
             .services
             .fabric
@@ -440,17 +514,19 @@ impl Core {
             )
             .is_err()
         {
-            // No global scheduler (shutdown race). Keep the work if we
-            // possibly can rather than losing it.
-            if self.config.total_resources.fits(&spec.resources) {
-                self.services
-                    .tasks
-                    .set_state(spec.task_id, &TaskState::Queued(node));
-                self.ready.push_back(spec);
-            } else {
-                self.services
-                    .tasks
-                    .set_state(spec.task_id, &TaskState::Lost);
+            // No global scheduler (shutdown race). Keep whatever work
+            // this node can possibly run rather than losing it.
+            for spec in specs {
+                if self.config.total_resources.fits(&spec.resources) {
+                    self.services
+                        .tasks
+                        .set_state(spec.task_id, &TaskState::Queued(node));
+                    self.ready.push_back(spec);
+                } else {
+                    self.services
+                        .tasks
+                        .set_state(spec.task_id, &TaskState::Lost);
+                }
             }
         }
         self.load_dirty = true;
@@ -545,8 +621,8 @@ impl Core {
         }
     }
 
-    fn publish_load(&mut self) {
-        let report = LoadReport {
+    fn load_report(&self) -> LoadReport {
+        LoadReport {
             node: self.config.node,
             ready: self.ready.len() as u32,
             waiting: self.waiting.len() as u32,
@@ -555,7 +631,11 @@ impl Core {
             available: self.config.total_resources.saturating_sub(&self.in_use),
             total: self.config.total_resources.clone(),
             at_nanos: rtml_common::time::now_nanos(),
-        };
+        }
+    }
+
+    fn publish_load(&mut self) {
+        let report = self.load_report();
         self.services
             .kv
             .set(load_key(self.config.node), encode_to_bytes(&report));
@@ -755,6 +835,116 @@ mod tests {
             r.services.tasks.get_state(spec.task_id),
             Some(TaskState::Queued(NodeId(0)))
         );
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn batch_submit_queues_every_task() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(8.0),
+            spill: SpillMode::NeverSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        let specs: Vec<TaskSpec> = (0..6).map(|i| spec_with(vec![], i)).collect();
+        r.handle.submit_batch(specs.clone());
+        // One worker: the first dispatches, the rest queue.
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, specs[0].task_id);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let all_queued = specs
+                .iter()
+                .all(|s| matches!(r.services.tasks.get_state(s.task_id), Some(TaskState::Queued(n)) if n == NodeId(0)));
+            if all_queued {
+                break;
+            }
+            assert!(Instant::now() < deadline, "batch not fully queued");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn batch_with_dependencies_gates_like_single_submits() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(99)
+            .return_object(0);
+        let blocked = spec_with(vec![ArgSpec::ObjectRef(dep)], 0);
+        let runnable = spec_with(vec![], 1);
+        r.handle
+            .submit_batch(vec![blocked.clone(), runnable.clone()]);
+        // The dependency-free task dispatches; the gated one waits.
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, runnable.task_id);
+        assert!(r.worker_rx.recv_timeout(Duration::from_millis(80)).is_err());
+        // Free the worker, then seal the dependency.
+        r.handle
+            .sender()
+            .send(LocalMsg::WorkerDone {
+                worker: r.worker_id,
+                task: runnable.task_id,
+            })
+            .unwrap();
+        r.services.store.put(dep, Bytes::from_static(b"v")).unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, blocked.task_id);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn batch_spillover_travels_as_one_frame() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::Hybrid { queue_threshold: 1 },
+            ..LocalSchedulerConfig::default()
+        });
+        let specs: Vec<TaskSpec> = (0..8).map(|i| spec_with(vec![], i)).collect();
+        r.handle.submit_batch(specs);
+        // The overflow beyond the threshold arrives as one SpillBatch.
+        let spilled = loop {
+            let d = r
+                .global_endpoint
+                .receiver()
+                .recv_timeout(Duration::from_secs(5))
+                .expect("spill batch");
+            match decode_from_slice::<SchedWire>(&d.payload).unwrap() {
+                SchedWire::SpillBatch(specs) => break specs,
+                _ => continue, // loads, node-up
+            }
+        };
+        assert!(spilled.len() > 1, "expected a multi-task spill batch");
+        for spec in &spilled {
+            assert_eq!(
+                r.services.tasks.get_state(spec.task_id),
+                Some(TaskState::Spilled)
+            );
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn place_batch_from_global_does_not_respill() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::AlwaysSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        let specs: Vec<TaskSpec> = (0..3).map(|i| spec_with(vec![], i)).collect();
+        let place = SchedWire::PlaceBatch {
+            specs: specs.clone(),
+            hops: 1,
+        };
+        r.services
+            .fabric
+            .send(
+                r.global_endpoint.address(),
+                r.handle.address(),
+                encode_to_bytes(&place),
+            )
+            .unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, specs[0].task_id);
         r.handle.shutdown();
     }
 

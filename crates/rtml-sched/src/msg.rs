@@ -39,6 +39,16 @@ pub enum LocalMsg {
         /// Whether the global scheduler placed this task here.
         via_global: bool,
     },
+    /// A batch of task submissions ingested as one message: one channel
+    /// send, one spill/dependency scan, and group-committed control-plane
+    /// writes for the whole batch (the hot-path amortization behind R2's
+    /// millions of tasks per second).
+    SubmitBatch {
+        /// The tasks, in submission order.
+        specs: Vec<TaskSpec>,
+        /// Whether the global scheduler placed these tasks here.
+        via_global: bool,
+    },
     /// An object was sealed into this node's store (from a local worker,
     /// a completed fetch, or a reconstruction) — re-evaluate waiters.
     ObjectSealed(ObjectId),

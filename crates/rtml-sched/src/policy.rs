@@ -6,7 +6,7 @@
 //! is that design; the alternatives are ablation baselines (experiment
 //! A2).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rtml_common::ids::NodeId;
 use rtml_common::task::TaskSpec;
@@ -69,16 +69,16 @@ impl PlacementPolicy {
     pub fn place(
         &self,
         spec: &TaskSpec,
-        loads: &HashMap<NodeId, LoadReport>,
+        loads: &BTreeMap<NodeId, LoadReport>,
         objects: &ObjectTable,
         state: &mut PolicyState,
     ) -> Option<NodeId> {
-        // Deterministic candidate order (HashMap iteration is not).
-        let mut fitting: Vec<&LoadReport> = loads
+        // `BTreeMap` iterates in node order, so the candidate list — and
+        // therefore every tie-break below — is reproducible across runs.
+        let fitting: Vec<&LoadReport> = loads
             .values()
             .filter(|l| l.total.fits(&spec.resources))
             .collect();
-        fitting.sort_by_key(|l| l.node);
         if fitting.is_empty() {
             return None;
         }
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn no_fitting_node_parks() {
-        let loads: HashMap<_, _> = [load(0, 0, Resources::cpu(4.0))].into_iter().collect();
+        let loads: BTreeMap<_, _> = [load(0, 0, Resources::cpu(4.0))].into_iter().collect();
         let objects = ObjectTable::new(KvStore::new(1));
         let mut spec = cpu_task(vec![]);
         spec.resources = Resources::gpu(1.0);
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn least_loaded_picks_shallowest() {
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 5, Resources::cpu(4.0)),
             load(1, 1, Resources::cpu(4.0)),
             load(2, 3, Resources::cpu(4.0)),
@@ -205,7 +205,7 @@ mod tests {
         // A large argument lives on busy node 0.
         objects.add_location(dep, NodeId(0), 1_000_000);
 
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 10, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
         ]
@@ -232,7 +232,7 @@ mod tests {
         let dep = root.child(9).return_object(0);
         // The data is on a CPU-only node, but the task needs a GPU.
         objects.add_location(dep, NodeId(0), 1_000_000);
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 0, Resources::cpu(4.0)),
             load(1, 0, Resources::new(4.0, 1.0)),
         ]
@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 0, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
             load(2, 0, Resources::cpu(4.0)),
@@ -280,7 +280,7 @@ mod tests {
 
     #[test]
     fn power_of_two_prefers_less_loaded_on_average() {
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 100, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
         ]
@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_given_state() {
-        let loads: HashMap<_, _> = [
+        let loads: BTreeMap<_, _> = [
             load(0, 1, Resources::cpu(4.0)),
             load(1, 2, Resources::cpu(4.0)),
         ]

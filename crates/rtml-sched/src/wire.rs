@@ -35,6 +35,19 @@ pub enum SchedWire {
         /// The node.
         node: NodeId,
     },
+    /// Local → global: a whole batch of tasks exceeding local capacity
+    /// or backlog, forwarded as one length-prefixed frame so a burst
+    /// pays one fabric hop instead of one per task.
+    SpillBatch(Vec<TaskSpec>),
+    /// Global → local: a batch of placements onto one node, coalesced
+    /// into a single frame. `hops` counts global placements for every
+    /// task in the batch (they travelled together).
+    PlaceBatch {
+        /// The tasks being placed.
+        specs: Vec<TaskSpec>,
+        /// Number of global placements so far.
+        hops: u32,
+    },
 }
 
 impl Codec for SchedWire {
@@ -65,6 +78,15 @@ impl Codec for SchedWire {
                 w.put_u8(4);
                 node.encode(w);
             }
+            SchedWire::SpillBatch(specs) => {
+                w.put_u8(5);
+                specs.encode(w);
+            }
+            SchedWire::PlaceBatch { specs, hops } => {
+                w.put_u8(6);
+                specs.encode(w);
+                w.put_u32(*hops);
+            }
         }
     }
 
@@ -82,6 +104,11 @@ impl Codec for SchedWire {
             },
             4 => SchedWire::NodeDown {
                 node: NodeId::decode(r)?,
+            },
+            5 => SchedWire::SpillBatch(Vec::<TaskSpec>::decode(r)?),
+            6 => SchedWire::PlaceBatch {
+                specs: Vec::<TaskSpec>::decode(r)?,
+                hops: r.take_u32()?,
             },
             other => return Err(Error::Codec(format!("invalid SchedWire tag {other}"))),
         })
@@ -124,6 +151,12 @@ mod tests {
                 sched_address: 99,
             },
             SchedWire::NodeDown { node: NodeId(5) },
+            SchedWire::SpillBatch(vec![spec(), spec()]),
+            SchedWire::SpillBatch(vec![]),
+            SchedWire::PlaceBatch {
+                specs: vec![spec(), spec(), spec()],
+                hops: 3,
+            },
         ] {
             let bytes = encode_to_bytes(&msg);
             let back: SchedWire = decode_from_slice(&bytes).unwrap();

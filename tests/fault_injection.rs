@@ -154,6 +154,39 @@ fn failure_during_nested_fanout_recovers() {
 }
 
 #[test]
+fn batched_tasks_survive_node_loss_mid_batch() {
+    // A whole batch is submitted as one scheduler message and spread
+    // over two nodes; one node dies while the batch is in flight. Every
+    // future must still resolve to the right value via lineage
+    // reconstruction — batched tasks record the same durable specs as
+    // single ones, so replay is oblivious to how they were submitted.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::Hybrid { queue_threshold: 0 }, // spread aggressively
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).unwrap();
+    let slow = cluster.register_fn1("slow_batch_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(15));
+        Ok(x * 3)
+    });
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&slow, 0..24i64).unwrap();
+    // Let part of the batch land (some running, some queued on node 1),
+    // then kill node 1 mid-flight.
+    std::thread::sleep(Duration::from_millis(40));
+    cluster.kill_node(NodeId(1)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 3,
+            "future {i}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn transient_partition_heals_without_losing_values() {
     // Results spread to node 1, then the 0↔1 link partitions. Fetches
     // fail (and may trigger precautionary replays); once the partition

@@ -166,6 +166,62 @@ fn control_plane_sharding_preserves_semantics() {
 }
 
 #[test]
+fn batched_submission_runs_end_to_end_under_every_spill_mode() {
+    for spill in [
+        SpillMode::AlwaysSpill,
+        SpillMode::NeverSpill,
+        SpillMode::Hybrid { queue_threshold: 2 },
+    ] {
+        let cluster = Cluster::start(ClusterConfig::local(2, 2).with_spill(spill.clone())).unwrap();
+        let f = cluster.register_fn1("echo_batch_mode", |x: i64| Ok(x + 10));
+        let driver = cluster.driver();
+        let futs = driver.submit_many(&f, 0..20i64).unwrap();
+        for (i, fut) in futs.iter().enumerate() {
+            assert_eq!(driver.get(fut).unwrap(), i as i64 + 10, "mode {spill:?}");
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn event_log_retention_bounds_memory_and_profiling_survives() {
+    // A capped event log must stop growing, report what it dropped, and
+    // keep `cluster.profile()` working over the retained window.
+    let cluster = Cluster::start(ClusterConfig::local(1, 2).with_event_log_retention(64)).unwrap();
+    let f = cluster.register_fn1("noop_ret", |x: u64| Ok(x));
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&f, 0..50u64).unwrap();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    let events = driver.services().events.clone();
+    assert_eq!(events.retention(), Some(64));
+    // The profile still builds and sees recent tasks at the cap.
+    let report = cluster.profile();
+    assert!(!report.tasks.is_empty());
+    // Push far past the cap with single submissions (one record per
+    // event): every stream is a ring of at most 64 records, so the
+    // total is bounded by streams x cap no matter how many tasks ran.
+    for chunk in 0..20u64 {
+        let futs: Vec<_> = (0..100u64)
+            .map(|i| driver.submit1(&f, chunk * 100 + i).unwrap())
+            .collect();
+        let (ready, _) = driver.wait(&futs, futs.len(), Duration::from_secs(60));
+        assert_eq!(ready.len(), 100);
+    }
+    assert!(events.dropped_count() > 0, "expected dropped events");
+    // Generous bound: (node streams + global + supervisor) x cap.
+    assert!(
+        events.len() <= 64 * 12,
+        "log unbounded: {} events",
+        events.len()
+    );
+    let report = cluster.profile();
+    assert!(!report.tasks.is_empty());
+    cluster.shutdown();
+}
+
+#[test]
 fn event_log_disabled_still_works() {
     let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
     let f = cluster.register_fn1("noop", |x: u64| Ok(x));

@@ -9,6 +9,7 @@ use rtml::common::ids::{DriverId, NodeId, ObjectId, TaskId, UniqueId};
 use rtml::common::resources::Resources;
 use rtml::common::task::{ArgSpec, TaskSpec, TaskState};
 use rtml::kv::KvStore;
+use rtml::sched::SchedWire;
 use rtml::store::{ObjectStore, StoreConfig};
 
 fn obj(i: u64) -> ObjectId {
@@ -187,6 +188,51 @@ proptest! {
         };
         let bytes = encode_to_bytes(&spec);
         prop_assert_eq!(decode_from_slice::<TaskSpec>(&bytes).unwrap(), spec);
+    }
+
+    // ---- batch wire messages -----------------------------------------
+
+    #[test]
+    fn spec_batches_round_trip_on_the_wire(
+        n_specs in 0usize..24,
+        n_args in 0usize..4,
+        hops in 0u32..9,
+        payload in proptest::collection::vec(any::<u8>(), 0..16),
+        as_place in any::<bool>(),
+    ) {
+        let root = TaskId::driver_root(DriverId::from_index(2));
+        let specs: Vec<TaskSpec> = (0..n_specs)
+            .map(|i| {
+                let args: Vec<ArgSpec> = (0..n_args)
+                    .map(|j| {
+                        if j % 2 == 0 {
+                            ArgSpec::Value(Bytes::from(payload.clone()))
+                        } else {
+                            ArgSpec::ObjectRef(root.child(j as u64).return_object(0))
+                        }
+                    })
+                    .collect();
+                TaskSpec::simple(root.child(i as u64), FunctionId::from_name("f"), args)
+            })
+            .collect();
+        let msg = if as_place {
+            SchedWire::PlaceBatch { specs, hops }
+        } else {
+            SchedWire::SpillBatch(specs)
+        };
+        let bytes = encode_to_bytes(&msg);
+        prop_assert_eq!(decode_from_slice::<SchedWire>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn batch_wire_rejects_truncation(n_specs in 1usize..8) {
+        let root = TaskId::driver_root(DriverId::from_index(2));
+        let specs: Vec<TaskSpec> = (0..n_specs)
+            .map(|i| TaskSpec::simple(root.child(i as u64), FunctionId::from_name("f"), vec![]))
+            .collect();
+        let bytes = encode_to_bytes(&SchedWire::SpillBatch(specs));
+        // Any strict prefix must fail to decode.
+        prop_assert!(decode_from_slice::<SchedWire>(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

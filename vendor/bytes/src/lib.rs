@@ -27,10 +27,23 @@ pub struct Bytes {
     repr: Repr,
 }
 
+/// Payloads at or below this size are stored inline (no heap, no
+/// refcount). Control-plane keys and most record values (task states,
+/// object infos, events) fit, which makes their construction and clone
+/// allocation-free on the submission hot path.
+const INLINE_CAP: usize = 24;
+
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// Small-buffer optimization: length + bytes on the stack.
+    Inline(u8, [u8; INLINE_CAP]),
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: `From<Vec<u8>>` is the
+    // hot constructor (every codec encode and KV key build), and
+    // `Arc<[u8]>::from` would re-copy the payload into the Arc
+    // allocation. Moving the Vec keeps construction at one small
+    // allocation, at the price of one extra pointer hop on reads.
+    Shared(Arc<Vec<u8>>),
 }
 
 impl Bytes {
@@ -48,10 +61,23 @@ impl Bytes {
         }
     }
 
-    /// Copies `data` into a new shared buffer.
-    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+    fn inline(data: &[u8]) -> Bytes {
+        debug_assert!(data.len() <= INLINE_CAP);
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..data.len()].copy_from_slice(data);
         Bytes {
-            repr: Repr::Shared(Arc::from(data)),
+            repr: Repr::Inline(data.len() as u8, buf),
+        }
+    }
+
+    /// Copies `data` into a new buffer (inline when it fits).
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        if data.len() <= INLINE_CAP {
+            Bytes::inline(data)
+        } else {
+            Bytes {
+                repr: Repr::Shared(Arc::new(data.to_vec())),
+            }
         }
     }
 
@@ -69,6 +95,7 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
+            Repr::Inline(len, buf) => &buf[..*len as usize],
             Repr::Shared(s) => s,
         }
     }
@@ -107,17 +134,20 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes {
-            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+        if v.len() <= INLINE_CAP {
+            Bytes::inline(&v)
+        } else {
+            Bytes {
+                repr: Repr::Shared(Arc::new(v)),
+            }
         }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
-        Bytes {
-            repr: Repr::Shared(Arc::from(v)),
-        }
+        // `Vec::from(Box<[u8]>)` reuses the allocation; no copy.
+        Bytes::from(Vec::from(v))
     }
 }
 
@@ -219,10 +249,23 @@ mod tests {
 
     #[test]
     fn clone_shares_storage() {
-        let a = Bytes::from(vec![1u8, 2, 3]);
+        // Above the inline threshold: clones must share the heap buffer.
+        let a = Bytes::from(vec![7u8; INLINE_CAP + 1]);
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn small_payloads_are_inline() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        assert!(matches!(a.repr, Repr::Inline(3, _)));
+        assert_eq!(a, b"\x01\x02\x03"[..]);
+        let exact = Bytes::from(vec![9u8; INLINE_CAP]);
+        assert!(matches!(exact.repr, Repr::Inline(_, _)));
+        assert_eq!(exact.len(), INLINE_CAP);
+        let big = Bytes::copy_from_slice(&[1u8; INLINE_CAP + 1]);
+        assert!(matches!(big.repr, Repr::Shared(_)));
     }
 
     #[test]
