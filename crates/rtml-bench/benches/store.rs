@@ -27,6 +27,7 @@ fn bench_store(c: &mut Criterion) {
     let store = ObjectStore::new(StoreConfig {
         node: NodeId(0),
         capacity_bytes: 64 << 20,
+        ..StoreConfig::default()
     });
     let payload = Bytes::from(vec![7u8; 1024]);
     let mut i = 0u64;
@@ -54,10 +55,12 @@ fn bench_store(c: &mut Criterion) {
         let src = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 30,
+            ..StoreConfig::default()
         }));
         let dst = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(1),
             capacity_bytes: 1 << 30,
+            ..StoreConfig::default()
         }));
         let _svc0 = TransferService::spawn(fabric.clone(), src.clone(), &directory);
         let _svc1 = TransferService::spawn(fabric.clone(), dst.clone(), &directory);

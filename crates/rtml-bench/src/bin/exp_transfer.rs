@@ -1,0 +1,411 @@
+//! E11 — the batched, pipelined data plane (R4/R5).
+//!
+//! PR 2 made task *submission* pay per-batch costs; this experiment
+//! measures the same amortization on the *object* plane:
+//!
+//! - **Chunking**: an object larger than the chunk size crosses the
+//!   fabric as ⌈size/chunk⌉ frames streamed through the bandwidth model
+//!   (one propagation-delay sample per stream), not one monolithic
+//!   message. Reported as frames/object for chunk sizes × object sizes.
+//! - **Coalescing**: fetching K objects resident on one holder issues
+//!   **one** request frame and one reply stream, vs K of each for the
+//!   unbatched protocol.
+//! - **Single-flight**: N concurrent `get`s of the same object perform
+//!   exactly 1 transfer; the other N−1 join it.
+//! - **Prefetch**: with dispatch-time prefetch, a batch of tasks whose
+//!   dependencies live on another node pulls them as one coalesced
+//!   `FetchMany` per holder at queue time, so transfer overlaps
+//!   queueing; with prefetch off, every dependency is resolved by its
+//!   own reactive watcher (per-object request frames and threads).
+//!   Reported via `cluster.profile()`: dispatch-to-run latency p50,
+//!   request frames served, and prefetch hit rate.
+//!
+//! Run: `cargo run -p rtml-bench --bin exp_transfer --release`
+//!
+//! Results are also written to `BENCH_transfer.json` so CI can track
+//! regressions mechanically. `RTML_TRANSFER_OBJECTS` overrides the
+//! object count per matrix cell (default 64); CI smoke runs use a
+//! small value.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use rtml_bench::print_table;
+use rtml_common::ids::{DriverId, NodeId, ObjectId, TaskId};
+use rtml_common::resources::Resources;
+use rtml_common::task::ArgSpec;
+use rtml_net::{Fabric, FabricConfig, LatencyModel};
+use rtml_runtime::{Cluster, ClusterConfig, NodeConfig, TaskRequest};
+use rtml_sched::SpillMode;
+use rtml_store::{FetchAgent, ObjectStore, StoreConfig, TransferDirectory, TransferService};
+
+const CHUNK_SIZES: [u64; 2] = [16 * 1024, 256 * 1024];
+const OBJECT_SIZES: [usize; 2] = [4 * 1024, 1024 * 1024];
+const DEFAULT_OBJECTS: usize = 64;
+
+fn obj(i: u64) -> ObjectId {
+    TaskId::driver_root(DriverId::from_index(7))
+        .child(i)
+        .return_object(0)
+}
+
+struct Plane {
+    fabric: Arc<Fabric>,
+    src: Arc<ObjectStore>,
+    dst: Arc<ObjectStore>,
+    src_service: TransferService,
+    agent: FetchAgent,
+}
+
+/// Two stores, one holder-side service, one consumer-side agent, over a
+/// bandwidth-limited fabric — the raw data plane without schedulers.
+fn plane(chunk_bytes: u64) -> Plane {
+    let fabric = Fabric::new(FabricConfig {
+        latency: LatencyModel::Constant(Duration::from_micros(100)),
+        bandwidth_bytes_per_sec: Some(2 << 30), // 2 GiB/s
+        jitter_seed: 7,
+    });
+    let directory = TransferDirectory::new();
+    let src = Arc::new(ObjectStore::new(StoreConfig {
+        node: NodeId(0),
+        capacity_bytes: 1 << 30,
+        chunk_bytes,
+    }));
+    let dst = Arc::new(ObjectStore::new(StoreConfig {
+        node: NodeId(1),
+        capacity_bytes: 1 << 30,
+        chunk_bytes,
+    }));
+    let src_service = TransferService::spawn(fabric.clone(), src.clone(), &directory);
+    let agent = FetchAgent::spawn(fabric.clone(), dst.clone(), directory.clone());
+    Plane {
+        fabric,
+        src,
+        dst,
+        src_service,
+        agent,
+    }
+}
+
+struct MatrixCell {
+    chunk: u64,
+    size: usize,
+    objects: usize,
+    frames_per_object: f64,
+    expected_frames: u64,
+    objects_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+fn measure_matrix(objects: usize) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for &chunk in &CHUNK_SIZES {
+        for &size in &OBJECT_SIZES {
+            let p = plane(chunk);
+            let ids: Vec<ObjectId> = (0..objects as u64).map(obj).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                p.src
+                    .put(id, Bytes::from(vec![(i % 251) as u8; size]))
+                    .unwrap();
+            }
+            let start = Instant::now();
+            let results = p.agent.fetch_many(&ids, NodeId(0), Duration::from_secs(60));
+            let elapsed = start.elapsed();
+            assert!(results.iter().all(|r| r.is_ok()), "matrix fetch failed");
+            let served = p.src_service.stats().objects_served.get();
+            let chunks = p.src_service.stats().chunks_sent.get();
+            assert_eq!(p.fabric.stats.chunk_frames.get(), chunks);
+            cells.push(MatrixCell {
+                chunk,
+                size,
+                objects,
+                frames_per_object: chunks as f64 / served as f64,
+                expected_frames: (size as u64).div_ceil(chunk).max(1),
+                objects_per_sec: served as f64 / elapsed.as_secs_f64(),
+                mb_per_sec: (served as usize * size) as f64
+                    / (1 << 20) as f64
+                    / elapsed.as_secs_f64(),
+            });
+            assert!(p.dst.contains(ids[0]));
+        }
+    }
+    cells
+}
+
+struct Coalescing {
+    objects: usize,
+    request_frames: u64,
+    reply_chunk_frames: u64,
+}
+
+fn measure_coalescing(objects: usize) -> Coalescing {
+    let p = plane(256 * 1024);
+    let ids: Vec<ObjectId> = (0..objects as u64).map(obj).collect();
+    for &id in &ids {
+        p.src.put(id, Bytes::from(vec![5u8; 1024])).unwrap();
+    }
+    let results = p.agent.fetch_many(&ids, NodeId(0), Duration::from_secs(30));
+    assert!(results.iter().all(|r| r.is_ok()));
+    Coalescing {
+        objects,
+        request_frames: p.src_service.stats().requests.get(),
+        reply_chunk_frames: p.src_service.stats().chunks_sent.get(),
+    }
+}
+
+struct SingleFlight {
+    concurrent: usize,
+    transfers: u64,
+    duplicates_suppressed: u64,
+}
+
+fn measure_single_flight(concurrent: usize) -> SingleFlight {
+    let p = plane(256 * 1024);
+    p.src
+        .put(obj(0), Bytes::from(vec![9u8; 64 * 1024]))
+        .unwrap();
+    let agent = Arc::new(p.agent);
+    let mut handles = Vec::new();
+    for _ in 0..concurrent {
+        let agent = agent.clone();
+        handles.push(std::thread::spawn(move || {
+            agent
+                .fetch_one(obj(0), NodeId(0), Duration::from_secs(30))
+                .map(|(data, _)| data.len())
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap().unwrap(), 64 * 1024);
+    }
+    SingleFlight {
+        concurrent,
+        transfers: agent.stats().transfers.get(),
+        duplicates_suppressed: agent.stats().duplicates_suppressed.get(),
+    }
+}
+
+struct PrefetchRun {
+    prefetch: bool,
+    dispatch_p50_micros: u64,
+    dispatch_p99_micros: u64,
+    request_frames: u64,
+    prefetches_issued: usize,
+    prefetch_hit_rate: f64,
+}
+
+/// Tasks pinned to node 1 (custom resource) consuming objects resident
+/// on node 0: every dependency is remote, so the consuming scheduler's
+/// data plane does all the work while tasks queue behind one worker.
+fn measure_prefetch(prefetch: bool, tasks: usize, deps_per_task: usize) -> PrefetchRun {
+    let cluster = Cluster::start(ClusterConfig {
+        nodes: vec![
+            NodeConfig::cpu_only(1),
+            NodeConfig::cpu_only(1).with_custom("sink", 64.0),
+        ],
+        latency: LatencyModel::Constant(Duration::from_micros(300)),
+        bandwidth_bytes_per_sec: Some(1 << 30),
+        spill: SpillMode::AlwaysSpill,
+        prefetch,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let consume = cluster.register_fn1("consume", |xs: Bytes| Ok(xs.len() as u64));
+    let driver = cluster.driver();
+
+    // Seed the dependencies on node 0 (the driver's home store).
+    let payload = Bytes::from(vec![3u8; 16 * 1024]);
+    let deps: Vec<_> = (0..tasks * deps_per_task)
+        .map(|_| driver.put(&payload).unwrap())
+        .collect();
+
+    // One submission batch: each task consumes one distinct dependency
+    // group member; all must run on node 1 ("sink" resource).
+    let requests: Vec<TaskRequest> = (0..tasks)
+        .map(|t| TaskRequest {
+            function: consume.id(),
+            args: (0..deps_per_task)
+                .map(|d| ArgSpec::ObjectRef(deps[t * deps_per_task + d].id()))
+                .collect(),
+            num_returns: 1,
+            resources: Resources::cpu(1.0).with_custom("sink", 1.0),
+        })
+        .collect();
+    let futures = driver.submit_raw_batch(requests).unwrap();
+    for returns in &futures {
+        let value: u64 = driver
+            .get(&rtml_runtime::ObjectRef::typed(returns[0]))
+            .unwrap();
+        assert_eq!(value, payload.len() as u64);
+    }
+    let report = cluster.profile();
+    let dispatch = report.dispatch_latency().snapshot();
+    let run = PrefetchRun {
+        prefetch,
+        dispatch_p50_micros: dispatch.p50() / 1_000,
+        dispatch_p99_micros: dispatch.p99() / 1_000,
+        request_frames: report.transfer.requests_served,
+        prefetches_issued: report.prefetches_issued,
+        prefetch_hit_rate: report.prefetch_hit_rate(),
+    };
+    cluster.shutdown();
+    run
+}
+
+fn main() {
+    let objects: usize = std::env::var("RTML_TRANSFER_OBJECTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_OBJECTS);
+
+    // --- chunking matrix --------------------------------------------------
+    let cells = measure_matrix(objects);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{} KiB", c.chunk / 1024),
+                format!("{} KiB", c.size / 1024),
+                c.objects.to_string(),
+                format!("{:.0}", c.frames_per_object),
+                c.expected_frames.to_string(),
+                format!("{:.0}", c.objects_per_sec),
+                format!("{:.1}", c.mb_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        "E11a: chunked transfer (frames/object = ceil(size/chunk))",
+        &[
+            "chunk",
+            "object",
+            "objects",
+            "frames/obj",
+            "expected",
+            "objects/sec",
+            "MiB/sec",
+        ],
+        &rows,
+    );
+    for c in &cells {
+        assert_eq!(
+            c.frames_per_object, c.expected_frames as f64,
+            "chunk accounting mismatch"
+        );
+    }
+
+    // --- request coalescing ----------------------------------------------
+    let co = measure_coalescing(objects);
+    print_table(
+        "E11b: request coalescing (K objects, one holder)",
+        &["objects", "request frames", "vs unbatched", "reply frames"],
+        &[vec![
+            co.objects.to_string(),
+            co.request_frames.to_string(),
+            format!("{}x fewer", co.objects as u64 / co.request_frames),
+            co.reply_chunk_frames.to_string(),
+        ]],
+    );
+    assert_eq!(co.request_frames, 1, "K objects must cost one request");
+
+    // --- single flight ----------------------------------------------------
+    let sf = measure_single_flight(8);
+    print_table(
+        "E11c: single-flight (N concurrent gets, same object)",
+        &["concurrent gets", "transfers", "duplicates suppressed"],
+        &[vec![
+            sf.concurrent.to_string(),
+            sf.transfers.to_string(),
+            sf.duplicates_suppressed.to_string(),
+        ]],
+    );
+    assert_eq!(sf.transfers, 1, "concurrent gets must share one transfer");
+
+    // --- prefetch ---------------------------------------------------------
+    let tasks = (objects / 4).clamp(4, 16);
+    let on = measure_prefetch(true, tasks, 8);
+    let off = measure_prefetch(false, tasks, 8);
+    let rows: Vec<Vec<String>> = [&on, &off]
+        .iter()
+        .map(|r| {
+            vec![
+                if r.prefetch { "on" } else { "off" }.to_string(),
+                format!("{} µs", r.dispatch_p50_micros),
+                format!("{} µs", r.dispatch_p99_micros),
+                r.request_frames.to_string(),
+                r.prefetches_issued.to_string(),
+                format!("{:.2}", r.prefetch_hit_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        "E11d: dispatch-time prefetch (remote-dependency tasks)",
+        &[
+            "prefetch",
+            "dispatch p50",
+            "dispatch p99",
+            "request frames",
+            "issued",
+            "hit rate",
+        ],
+        &rows,
+    );
+    assert!(
+        on.request_frames < off.request_frames,
+        "prefetch must coalesce request frames ({} vs {})",
+        on.request_frames,
+        off.request_frames,
+    );
+    println!(
+        "\n(prefetch pulls a batch's dependencies as one FetchMany per holder\n at queue time — {}x fewer request frames than the reactive per-object\n baseline — and overlaps transfer with queueing; hit rate is the share\n of prefetched objects whose transfer landed on the requesting node)",
+        off.request_frames / on.request_frames.max(1),
+    );
+
+    let json = render_json(objects, &cells, &co, &sf, &on, &off);
+    let path = "BENCH_transfer.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON: stable key order, no deps.
+fn render_json(
+    objects: usize,
+    cells: &[MatrixCell],
+    co: &Coalescing,
+    sf: &SingleFlight,
+    on: &PrefetchRun,
+    off: &PrefetchRun,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"objects_per_cell\": {objects},\n"));
+    out.push_str("  \"chunking\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"chunk_bytes\": {}, \"object_bytes\": {}, \"frames_per_object\": {:.0}, \"objects_per_sec\": {:.2}, \"mib_per_sec\": {:.2}}}{}\n",
+            c.chunk,
+            c.size,
+            c.frames_per_object,
+            c.objects_per_sec,
+            c.mb_per_sec,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"coalescing\": {{\"objects\": {}, \"request_frames\": {}}},\n",
+        co.objects, co.request_frames
+    ));
+    out.push_str(&format!(
+        "  \"single_flight\": {{\"concurrent\": {}, \"transfers\": {}, \"duplicates_suppressed\": {}}},\n",
+        sf.concurrent, sf.transfers, sf.duplicates_suppressed
+    ));
+    out.push_str(&format!(
+        "  \"prefetch\": {{\"on\": {{\"dispatch_p50_micros\": {}, \"request_frames\": {}, \"hit_rate\": {:.3}}}, \"off\": {{\"dispatch_p50_micros\": {}, \"request_frames\": {}}}}}\n",
+        on.dispatch_p50_micros, on.request_frames, on.prefetch_hit_rate,
+        off.dispatch_p50_micros, off.request_frames,
+    ));
+    out.push_str("}\n");
+    out
+}

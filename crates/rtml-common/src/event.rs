@@ -88,6 +88,11 @@ pub enum EventKind {
         from: NodeId,
         to: NodeId,
     },
+    /// A local scheduler proactively requested an object at task-queue
+    /// time, overlapping the transfer with queueing (dispatch-time
+    /// prefetch). A subsequent `ObjectSealed` on the same node is a
+    /// prefetch hit.
+    PrefetchIssued { object: ObjectId, node: NodeId },
     /// A cross-node object transfer completed.
     TransferFinished {
         object: ObjectId,
@@ -133,6 +138,7 @@ impl EventKind {
             EventKind::ObjectSealed { .. } => "object_sealed",
             EventKind::ObjectEvicted { .. } => "object_evicted",
             EventKind::TransferStarted { .. } => "transfer_started",
+            EventKind::PrefetchIssued { .. } => "prefetch_issued",
             EventKind::TransferFinished { .. } => "transfer_finished",
             EventKind::WorkerLost { .. } => "worker_lost",
             EventKind::NodeLost { .. } => "node_lost",
@@ -223,6 +229,11 @@ impl Codec for EventKind {
                 w.put_u8(14);
                 node.encode(w);
             }
+            EventKind::PrefetchIssued { object, node } => {
+                w.put_u8(15);
+                object.encode(w);
+                node.encode(w);
+            }
         }
     }
 
@@ -286,6 +297,10 @@ impl Codec for EventKind {
                 node: NodeId::decode(r)?,
             },
             14 => EventKind::NodeRestarted {
+                node: NodeId::decode(r)?,
+            },
+            15 => EventKind::PrefetchIssued {
+                object: ObjectId::decode(r)?,
                 node: NodeId::decode(r)?,
             },
             other => return Err(Error::Codec(format!("invalid EventKind tag {other}"))),
@@ -385,6 +400,7 @@ mod tests {
             EventKind::WorkerLost { worker: wk },
             EventKind::NodeLost { node: n },
             EventKind::NodeRestarted { node: n },
+            EventKind::PrefetchIssued { object: o, node: n },
         ];
         for kind in kinds {
             let ev = Event {

@@ -38,6 +38,17 @@ impl ObjectInfo {
     pub fn is_available(&self) -> bool {
         self.sealed && !self.locations.is_empty()
     }
+
+    /// The holder a consumer on `local` should pull from: the
+    /// lowest-numbered node with a sealed copy, excluding `local`
+    /// itself. Deterministic, so concurrent consumers group their
+    /// fetches identically.
+    pub fn fetch_holder(&self, local: NodeId) -> Option<NodeId> {
+        if !self.is_available() {
+            return None;
+        }
+        self.locations.iter().copied().filter(|n| *n != local).min()
+    }
 }
 
 impl Codec for ObjectInfo {
@@ -122,40 +133,84 @@ impl ObjectTable {
     /// bytes. Notifies subscribers (this is the wake-up edge for blocked
     /// `get`s and `wait`s).
     pub fn add_location(&self, object: ObjectId, node: NodeId, size: u64) {
-        self.kv.update(Self::key(object), |cur| {
-            let mut info = cur
-                .and_then(|b| decode_from_slice::<ObjectInfo>(b).ok())
-                .unwrap_or(ObjectInfo {
-                    size: 0,
-                    sealed: false,
-                    producer: None,
-                    locations: Vec::new(),
-                });
-            info.sealed = true;
-            info.size = size;
-            if !info.locations.contains(&node) {
-                info.locations.push(node);
-            }
-            Some(encode_to_bytes(&info))
-        });
+        self.add_location_many(&[(object, size)], node);
+    }
+
+    /// Batched [`ObjectTable::add_location`]: records that `node` holds
+    /// sealed copies of every `(object, size)` pair, one lock
+    /// acquisition per touched shard instead of one per object — the
+    /// object-table half of a multi-object fetch completion.
+    pub fn add_location_many(&self, entries: &[(ObjectId, u64)], node: NodeId) {
+        self.kv.update_many(
+            entries
+                .iter()
+                .map(|(object, size)| {
+                    let size = *size;
+                    let update = move |cur: Option<&Bytes>| {
+                        let mut info = cur
+                            .and_then(|b| decode_from_slice::<ObjectInfo>(b).ok())
+                            .unwrap_or(ObjectInfo {
+                                size: 0,
+                                sealed: false,
+                                producer: None,
+                                locations: Vec::new(),
+                            });
+                        info.sealed = true;
+                        info.size = size;
+                        if !info.locations.contains(&node) {
+                            info.locations.push(node);
+                        }
+                        Some(encode_to_bytes(&info))
+                    };
+                    (Self::key(*object), update)
+                })
+                .collect(),
+        );
     }
 
     /// Records that `node` no longer holds `object` (eviction or node
     /// failure). The record itself persists — the lineage must survive the
     /// last copy so reconstruction can find the producer.
     pub fn remove_location(&self, object: ObjectId, node: NodeId) {
-        self.kv.update(Self::key(object), |cur| {
-            let bytes = cur?;
-            let mut info = decode_from_slice::<ObjectInfo>(bytes).ok()?;
-            info.locations.retain(|n| *n != node);
-            Some(encode_to_bytes(&info))
-        });
+        self.remove_location_many(&[object], node);
+    }
+
+    /// Batched [`ObjectTable::remove_location`]: drops `node` from every
+    /// listed object's location set as one group commit — the shape of
+    /// an eviction sweep or a node death.
+    pub fn remove_location_many(&self, objects: &[ObjectId], node: NodeId) {
+        self.kv.update_many(
+            objects
+                .iter()
+                .map(|object| {
+                    let update = move |cur: Option<&Bytes>| {
+                        let bytes = cur?;
+                        let mut info = decode_from_slice::<ObjectInfo>(bytes).ok()?;
+                        info.locations.retain(|n| *n != node);
+                        Some(encode_to_bytes(&info))
+                    };
+                    (Self::key(*object), update)
+                })
+                .collect(),
+        );
     }
 
     /// Reads the record for `object`.
     pub fn get(&self, object: ObjectId) -> Option<ObjectInfo> {
         let bytes = self.kv.get(&Self::key(object))?;
         decode_from_slice(&bytes).ok()
+    }
+
+    /// Batched point reads: `out[i]` is the record for `objects[i]`,
+    /// with one lock acquisition per touched shard. This is the sweep
+    /// `wait` and `get_many` run per readiness check.
+    pub fn get_many(&self, objects: &[ObjectId]) -> Vec<Option<ObjectInfo>> {
+        let keys: Vec<Bytes> = objects.iter().map(|o| Self::key(*o)).collect();
+        self.kv
+            .get_many(&keys)
+            .into_iter()
+            .map(|b| b.and_then(|b| decode_from_slice(&b).ok()))
+            .collect()
     }
 
     /// Subscribes to the record: current value plus a decoded update
@@ -302,6 +357,55 @@ mod tests {
         let sealed = table.get(entries[3].0).unwrap();
         assert_eq!(sealed.locations, vec![NodeId(5)]);
         assert!(sealed.sealed);
+    }
+
+    #[test]
+    fn add_and_remove_location_many_match_singles() {
+        let kv = KvStore::new(4);
+        let table = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let entries: Vec<(ObjectId, u64)> = (0..12)
+            .map(|i| (root.child(i).return_object(0), 8 + i))
+            .collect();
+        table.add_location_many(&entries, NodeId(2));
+        for (object, size) in &entries {
+            let info = table.get(*object).unwrap();
+            assert!(info.sealed);
+            assert_eq!(info.size, *size);
+            assert_eq!(info.locations, vec![NodeId(2)]);
+        }
+        let objects: Vec<ObjectId> = entries.iter().map(|(o, _)| *o).collect();
+        table.remove_location_many(&objects[..6], NodeId(2));
+        for (i, object) in objects.iter().enumerate() {
+            let info = table.get(*object).unwrap();
+            if i < 6 {
+                assert!(info.locations.is_empty());
+                assert!(info.sealed, "lineage record must survive the last copy");
+            } else {
+                assert_eq!(info.locations, vec![NodeId(2)]);
+            }
+        }
+    }
+
+    #[test]
+    fn get_many_is_positional_across_shards() {
+        let kv = KvStore::new(4);
+        let table = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let objects: Vec<ObjectId> = (0..20).map(|i| root.child(i).return_object(0)).collect();
+        for (i, object) in objects.iter().enumerate() {
+            if i % 2 == 0 {
+                table.add_location(*object, NodeId(1), i as u64);
+            }
+        }
+        let infos = table.get_many(&objects);
+        for (i, info) in infos.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(info.as_ref().unwrap().size, i as u64);
+            } else {
+                assert!(info.is_none());
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,28 @@ impl Endpoint {
     }
 }
 
+/// An endpoint registration scoped to a guard: dropping the guard
+/// unregisters the endpoint from its fabric. See
+/// [`Fabric::register_guarded`].
+pub struct EndpointGuard {
+    endpoint: Endpoint,
+    fabric: Arc<Fabric>,
+}
+
+impl std::ops::Deref for EndpointGuard {
+    type Target = Endpoint;
+
+    fn deref(&self) -> &Endpoint {
+        &self.endpoint
+    }
+}
+
+impl Drop for EndpointGuard {
+    fn drop(&mut self) {
+        self.fabric.unregister(self.endpoint.address());
+    }
+}
+
 /// Counters describing fabric traffic.
 #[derive(Debug, Default)]
 pub struct FabricStats {
@@ -95,6 +117,22 @@ pub struct FabricStats {
     /// [`Fabric::send_batch`] of more than one payload): they shared one
     /// propagation-delay sample instead of paying per-message latency.
     pub coalesced: Counter,
+    /// Frames that crossed the wire as part of a chunked stream (a
+    /// [`Fabric::send_chunks`] call): pieces of one logical transfer
+    /// that pipelined over the link — one propagation-delay sample, the
+    /// bandwidth term for the stream's total size.
+    pub chunk_frames: Counter,
+}
+
+/// How a group of payloads entered the fabric, for stats attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameKind {
+    /// A plain single-message `send`.
+    Single,
+    /// Distinct messages coalesced to share a hop (`send_batch`).
+    Batch,
+    /// Pieces of one streamed transfer (`send_chunks`).
+    Chunked,
 }
 
 /// One scheduled wire crossing: a frame of one or more messages to the
@@ -189,6 +227,24 @@ impl Fabric {
         Endpoint { address, node, rx }
     }
 
+    /// Registers an endpoint whose registration is scoped to the returned
+    /// guard: dropping the guard unregisters it unconditionally, on every
+    /// exit path. Short-lived endpoints must use this — a `register`
+    /// paired with a manual `unregister` leaks the mailbox on any early
+    /// return between the two.
+    pub fn register_guarded(self: &Arc<Self>, node: NodeId, name: &str) -> EndpointGuard {
+        EndpointGuard {
+            endpoint: self.register(node, name),
+            fabric: self.clone(),
+        }
+    }
+
+    /// Number of endpoints currently registered. Leak detector for tests:
+    /// transient protocol exchanges must leave this unchanged.
+    pub fn endpoint_count(&self) -> usize {
+        self.routing.lock().endpoints.len()
+    }
+
     /// Removes an endpoint (its mailbox closes; queued messages to it are
     /// dropped at delivery time).
     pub fn unregister(&self, address: NetAddress) {
@@ -224,7 +280,7 @@ impl Fabric {
     /// Returns [`Error::Disconnected`] if either address is unregistered.
     /// Partitioned messages are silently dropped, like a real network.
     pub fn send(&self, from: NetAddress, to: NetAddress, payload: Bytes) -> Result<()> {
-        self.send_frames(from, to, vec![payload])
+        self.send_frames(from, to, vec![payload], FrameKind::Single)
     }
 
     /// Sends several payloads from `from` to `to` as **one coalesced
@@ -238,10 +294,28 @@ impl Fabric {
     /// what one message costs in latency, which is the point — queued
     /// messages to the same destination should share hops.
     pub fn send_batch(&self, from: NetAddress, to: NetAddress, payloads: Vec<Bytes>) -> Result<()> {
-        self.send_frames(from, to, payloads)
+        self.send_frames(from, to, payloads, FrameKind::Batch)
     }
 
-    fn send_frames(&self, from: NetAddress, to: NetAddress, payloads: Vec<Bytes>) -> Result<()> {
+    /// Sends the pieces of **one logical transfer** (e.g. a chunked
+    /// object) as a pipelined stream: like [`Fabric::send_batch`], the
+    /// stream pays a single propagation-delay sample plus the bandwidth
+    /// term for its total size, and the receiver observes one
+    /// [`Delivery`] per chunk, in order. Counted separately
+    /// ([`FabricStats::chunk_frames`]) so experiments can distinguish
+    /// "messages that shared a hop" from "frames of one streamed
+    /// object".
+    pub fn send_chunks(&self, from: NetAddress, to: NetAddress, chunks: Vec<Bytes>) -> Result<()> {
+        self.send_frames(from, to, chunks, FrameKind::Chunked)
+    }
+
+    fn send_frames(
+        &self,
+        from: NetAddress,
+        to: NetAddress,
+        payloads: Vec<Bytes>,
+        kind: FrameKind,
+    ) -> Result<()> {
         let mut routing = self.routing.lock();
         let (from_node, _) = *routing
             .endpoints
@@ -260,8 +334,10 @@ impl Fabric {
         let total_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
         self.stats.sent.add(count);
         self.stats.bytes.add(total_bytes);
-        if count > 1 {
-            self.stats.coalesced.add(count);
+        match kind {
+            FrameKind::Batch if count > 1 => self.stats.coalesced.add(count),
+            FrameKind::Chunked => self.stats.chunk_frames.add(count),
+            _ => {}
         }
 
         if routing.partitions.contains(&(from_node, to_node)) {
@@ -574,6 +650,47 @@ mod tests {
         let b = fabric.register(NodeId(0), "b");
         fabric.send_batch(a.address(), b.address(), vec![]).unwrap();
         assert_eq!(fabric.stats.sent.get(), 0);
+    }
+
+    #[test]
+    fn chunk_stream_pays_one_latency_and_counts_chunk_frames() {
+        let fabric = fabric_with_latency(20_000); // 20 ms
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        let chunks: Vec<Bytes> = (0..8).map(|_| Bytes::from(vec![0u8; 64])).collect();
+        let start = Instant::now();
+        fabric
+            .send_chunks(a.address(), b.address(), chunks)
+            .unwrap();
+        for _ in 0..8 {
+            let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(20));
+        assert!(elapsed < Duration::from_millis(100), "elapsed {elapsed:?}");
+        assert_eq!(fabric.stats.chunk_frames.get(), 8);
+        assert_eq!(fabric.stats.coalesced.get(), 0);
+    }
+
+    #[test]
+    fn endpoint_guard_unregisters_on_drop() {
+        let fabric = fabric_with_latency(0);
+        let base = fabric.endpoint_count();
+        {
+            let guard = fabric.register_guarded(NodeId(0), "ephemeral");
+            assert_eq!(fabric.endpoint_count(), base + 1);
+            // The guard is a usable endpoint.
+            let a = fabric.register(NodeId(0), "a");
+            fabric
+                .send(a.address(), guard.address(), Bytes::from_static(b"x"))
+                .unwrap();
+            assert!(guard
+                .receiver()
+                .recv_timeout(Duration::from_secs(1))
+                .is_ok());
+            fabric.unregister(a.address());
+        }
+        assert_eq!(fabric.endpoint_count(), base);
     }
 
     #[test]

@@ -422,6 +422,54 @@ impl Caller {
         envelope::open_value(&bytes, producer)
     }
 
+    /// Blocks until **every** future's value is available, and returns
+    /// the values in input order (duplicates allowed).
+    ///
+    /// The batched `get`: local hits resolve immediately; the distinct
+    /// missing objects are grouped by holder and each group is pulled as
+    /// **one** coalesced `FetchMany` request (answered by one chunked
+    /// reply stream), instead of one blocking round trip per object.
+    /// Objects the fast path cannot deliver fall back to the plain
+    /// `get` path per object — including lineage reconstruction (R6) —
+    /// exactly as [`Caller::get`] would.
+    pub fn get_many<T: Codec>(&self, futs: &[ObjectRef<T>]) -> Result<Vec<T>> {
+        self.get_many_timeout(futs, self.inner.services.tuning.default_get_timeout)
+    }
+
+    /// [`Caller::get_many`] with an explicit deadline.
+    pub fn get_many_timeout<T: Codec>(
+        &self,
+        futs: &[ObjectRef<T>],
+        timeout: Duration,
+    ) -> Result<Vec<T>> {
+        let ids: Vec<ObjectId> = futs.iter().map(|f| f.id()).collect();
+        let all_bytes = self.get_many_raw(&ids, timeout)?;
+        // Producer attribution for error envelopes: one batched sweep.
+        let infos = self.inner.services.objects.get_many(&ids);
+        all_bytes
+            .iter()
+            .zip(infos)
+            .map(|(bytes, info)| {
+                let producer = info.and_then(|i| i.producer).unwrap_or(TaskId::NIL);
+                envelope::open_value(bytes, producer)
+            })
+            .collect()
+    }
+
+    /// Raw batched `get`: sealed envelope bytes of many objects by ID,
+    /// in input order.
+    pub fn get_many_raw(&self, ids: &[ObjectId], timeout: Duration) -> Result<Vec<bytes::Bytes>> {
+        let deadline = Instant::now() + timeout;
+        let _guard = BlockGuard::enter(&self.inner);
+        fetch::ensure_local_many(
+            &self.inner.services,
+            &self.inner.recon,
+            self.inner.home,
+            ids,
+            deadline,
+        )
+    }
+
     /// Raw `get`: sealed envelope bytes of an object by ID.
     pub fn get_raw(&self, object: ObjectId, timeout: Duration) -> Result<bytes::Bytes> {
         let deadline = Instant::now() + timeout;
@@ -616,6 +664,13 @@ impl Driver {
         args: impl IntoIterator<Item = impl IntoArg<A>>,
     ) -> Result<Vec<ObjectRef<R>>> {
         self.caller.submit_batch(f, args)
+    }
+
+    /// Blocks on many futures at once, fetching the missing ones with
+    /// one coalesced request per holding node — the batched counterpart
+    /// of [`Caller::get`]; see [`Caller::get_many`].
+    pub fn get_many<T: Codec>(&self, futs: &[ObjectRef<T>]) -> Result<Vec<T>> {
+        self.caller.get_many(futs)
     }
 }
 

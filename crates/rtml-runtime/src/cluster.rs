@@ -59,6 +59,17 @@ pub struct ClusterConfig {
     pub fetch_timeout: Duration,
     /// Default deadline for blocking `get`s.
     pub default_get_timeout: Duration,
+    /// Maximum payload bytes per transfer frame: objects larger than
+    /// this cross the fabric as ⌈size/chunk⌉ frames streamed through
+    /// the bandwidth model (one propagation-delay sample per stream)
+    /// instead of one monolithic message.
+    pub transfer_chunk_bytes: u64,
+    /// Dispatch-time prefetch: local schedulers proactively pull queued
+    /// tasks' missing dependencies (one coalesced `FetchMany` per
+    /// holder) so transfer overlaps queueing. Changes only *when* bytes
+    /// move, never what runs — ids, placements, and results are
+    /// bit-identical with it on or off.
+    pub prefetch: bool,
     /// Load-report publication interval.
     pub load_interval: Duration,
     /// Seed for randomized placement policies.
@@ -81,6 +92,8 @@ impl Default for ClusterConfig {
             event_log_retention: None,
             fetch_timeout: Duration::from_secs(2),
             default_get_timeout: Duration::from_secs(30),
+            transfer_chunk_bytes: rtml_store::DEFAULT_CHUNK_BYTES,
+            prefetch: true,
             load_interval: Duration::from_millis(1),
             seed: 0x5eed,
             global_host: 0,
@@ -128,6 +141,18 @@ impl ClusterConfig {
     /// Bounds each event-log stream to `cap` records builder-style.
     pub fn with_event_log_retention(mut self, cap: usize) -> Self {
         self.event_log_retention = Some(cap);
+        self
+    }
+
+    /// Sets the transfer chunk size builder-style.
+    pub fn with_transfer_chunk_bytes(mut self, bytes: u64) -> Self {
+        self.transfer_chunk_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables dispatch-time prefetch builder-style.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
         self
     }
 }
@@ -182,6 +207,8 @@ impl Cluster {
             spill: config.spill.clone(),
             fetch_timeout: config.fetch_timeout,
             load_interval: config.load_interval,
+            transfer_chunk_bytes: config.transfer_chunk_bytes,
+            prefetch: config.prefetch,
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {
@@ -310,16 +337,19 @@ impl Cluster {
             }
         }
 
-        // Tell the global scheduler via an ephemeral endpoint.
+        // Tell the global scheduler via an ephemeral, RAII-guarded
+        // endpoint (unregistered on every exit path).
         if let Some(global) = self.global.lock().as_ref() {
             let from_node = self.services.any_alive().unwrap_or(NodeId(0));
-            let endpoint = self.services.fabric.register(from_node, "node-down");
+            let endpoint = self
+                .services
+                .fabric
+                .register_guarded(from_node, "node-down");
             let _ = self.services.fabric.send(
                 endpoint.address(),
                 global.address(),
                 rtml_common::codec::encode_to_bytes(&SchedWire::NodeDown { node }),
             );
-            self.services.fabric.unregister(endpoint.address());
         }
         Ok(())
     }
@@ -360,9 +390,27 @@ impl Cluster {
         self.nodes.lock().get(&node).map(|n| n.config().clone())
     }
 
-    /// Builds a profiling report from the event log (R7).
+    /// Builds a profiling report from the event log (R7), merged with
+    /// the live data-plane counters (transfer services and fetch agents
+    /// across all alive nodes).
     pub fn profile(&self) -> ProfileReport {
-        ProfileReport::from_events(&self.services.events.read_all())
+        let mut report = ProfileReport::from_events(&self.services.events.read_all());
+        let nodes = self.nodes.lock();
+        for runtime in nodes.values() {
+            let t = runtime.transfer_stats();
+            report.transfer.requests_served += t.requests.get();
+            report.transfer.objects_served += t.objects_served.get();
+            report.transfer.misses += t.misses.get();
+            report.transfer.decode_errors += t.decode_errors.get();
+            report.transfer.send_failures += t.send_failures.get();
+            report.transfer.chunks_sent += t.chunks_sent.get();
+            let f = runtime.fetch_stats();
+            report.transfer.fetches += f.transfers.get();
+            report.transfer.duplicate_fetches_suppressed += f.duplicates_suppressed.get();
+            report.transfer.chunks_received += f.chunks_received.get();
+            report.transfer.fetch_timeouts += f.timeouts.get();
+        }
+        report
     }
 
     /// Spawns a stateful actor on `node` (an extension beyond the paper's

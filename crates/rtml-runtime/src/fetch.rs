@@ -1,13 +1,24 @@
-//! Blocking object access: the machinery behind `get` and `wait`.
+//! Blocking object access: the machinery behind `get`, `get_many`, and
+//! `wait`.
 //!
 //! [`ensure_local`] implements the paper's `get` semantics: return the
 //! value as soon as a copy is in the caller's local store, transparently
 //! pulling remote copies over the fabric, and invoking lineage
-//! reconstruction when every copy has been lost (R6). [`wait_ready`]
-//! implements `wait` (§3.1 item 5): completion-based readiness with a
-//! count and a timeout, the primitive that lets applications trade
-//! stragglers for latency (R1).
+//! reconstruction when every copy has been lost (R6). [`ensure_local_many`]
+//! is its batched form: missing objects are grouped by holder and each
+//! group travels as **one** coalesced `FetchMany` request (answered by
+//! one chunked reply stream), falling back to the per-object path — and
+//! thus to reconstruction — for anything the fast path cannot deliver.
+//! [`wait_ready`] implements `wait` (§3.1 item 5): completion-based
+//! readiness with a count and a timeout, the primitive that lets
+//! applications trade stragglers for latency (R1); its readiness sweep
+//! reads the object table in one batched `get_many` per pass.
+//!
+//! All remote pulls go through the node's persistent
+//! [`rtml_store::FetchAgent`], so concurrent `get`s of the same object
+//! from any thread on the node are single-flighted into one transfer.
 
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,7 +27,6 @@ use bytes::Bytes;
 use rtml_common::codec::decode_from_slice;
 use rtml_common::error::{Error, Result};
 use rtml_common::ids::{NodeId, ObjectId};
-use rtml_store::fetch_object;
 
 use crate::lineage::ReconstructionManager;
 use crate::services::Services;
@@ -30,7 +40,7 @@ const POLL_SLICE: Duration = Duration::from_millis(10);
 ///
 /// Resolution order:
 /// 1. local store hit;
-/// 2. remote copy exists → pull it through the transfer service (and
+/// 2. remote copy exists → pull it through the node's fetch agent (and
 ///    record the new location);
 /// 3. no copy exists → ask the reconstruction manager to replay lineage,
 ///    then keep waiting for the replayed task to seal the object.
@@ -45,6 +55,7 @@ pub fn ensure_local(
     if let Some(bytes) = store.get(object) {
         return Ok(bytes);
     }
+    let agent = services.fetch_agent(node).ok_or(Error::NodeDown(node))?;
 
     let local_rx = store.subscribe_local(object);
     let (mut pending_info, stream) = services.objects.subscribe(object);
@@ -65,31 +76,26 @@ pub fn ensure_local(
                 if !holders.is_empty() {
                     let mut fetched = None;
                     for holder in &holders {
-                        match fetch_object(
-                            &services.fabric,
-                            &services.directory,
-                            &store,
-                            object,
+                        let (_, result) = rtml_sched::fetch_group_commit(
+                            &services.objects,
+                            &agent,
+                            &[object],
                             *holder,
+                            node,
                             services.tuning.fetch_timeout,
-                        ) {
-                            Ok(result) => {
-                                fetched = Some(result);
+                        )
+                        .pop()
+                        .expect("one object in, one result out");
+                        match result {
+                            Ok((bytes, _)) => {
+                                fetched = Some(bytes);
                                 break;
                             }
                             Err(_) => continue,
                         }
                     }
                     match fetched {
-                        Some((bytes, outcome)) => {
-                            services
-                                .objects
-                                .add_location(object, node, bytes.len() as u64);
-                            for evicted in outcome.evicted {
-                                services.objects.remove_location(evicted, node);
-                            }
-                            return Ok(bytes);
-                        }
+                        Some(bytes) => return Ok(bytes),
                         None => {
                             // Every listed holder is unreachable
                             // (partition or silent death): replay the
@@ -130,13 +136,94 @@ pub fn ensure_local(
     }
 }
 
+/// Blocks until every object in `ids` is present in `node`'s store;
+/// returns their sealed bytes in input order (duplicates allowed).
+///
+/// The batched form of [`ensure_local`]: local hits resolve first, then
+/// the distinct missing objects are grouped by holder (lowest-numbered
+/// holder per object, for reproducible grouping) and each group is
+/// pulled as **one** `FetchMany` — one request frame and one chunked
+/// reply stream per holder instead of one round trip per object, with
+/// location updates group-committed. Objects the fast path cannot
+/// deliver (unlocated, holder died mid-transfer, store pressure) fall
+/// back to [`ensure_local`] individually, which handles retries against
+/// other holders and lineage reconstruction exactly as a plain `get`.
+pub fn ensure_local_many(
+    services: &Services,
+    recon: &ReconstructionManager,
+    node: NodeId,
+    ids: &[ObjectId],
+    deadline: Instant,
+) -> Result<Vec<Bytes>> {
+    let store = services.store(node).ok_or(Error::NodeDown(node))?;
+    let agent = services.fetch_agent(node).ok_or(Error::NodeDown(node))?;
+    let mut out: Vec<Option<Bytes>> = ids.iter().map(|id| store.get(*id)).collect();
+
+    // Distinct missing objects, in first-appearance order.
+    let mut missing: Vec<ObjectId> = Vec::new();
+    let mut missing_seen: HashSet<ObjectId> = HashSet::new();
+    for (i, id) in ids.iter().enumerate() {
+        if out[i].is_none() && missing_seen.insert(*id) {
+            missing.push(*id);
+        }
+    }
+
+    if !missing.is_empty() {
+        // One batched table sweep locates every missing object.
+        let infos = services.objects.get_many(&missing);
+        let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+        for (id, info) in missing.iter().zip(infos) {
+            if let Some(holder) = info.and_then(|i| i.fetch_holder(node)) {
+                groups.entry(holder).or_default().push(*id);
+            }
+        }
+        let mut fetched: BTreeMap<ObjectId, Bytes> = BTreeMap::new();
+        for (holder, group) in groups {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let timeout = services.tuning.fetch_timeout.min(remaining);
+            if timeout.is_zero() {
+                break;
+            }
+            for (id, result) in rtml_sched::fetch_group_commit(
+                &services.objects,
+                &agent,
+                &group,
+                holder,
+                node,
+                timeout,
+            ) {
+                if let Ok((bytes, _)) = result {
+                    fetched.insert(id, bytes);
+                }
+            }
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if out[i].is_none() {
+                if let Some(bytes) = fetched.get(id) {
+                    out[i] = Some(bytes.clone());
+                }
+            }
+        }
+    }
+
+    // Stragglers take the patient per-object path (other holders,
+    // reconstruction, waiting on the producer).
+    for (i, id) in ids.iter().enumerate() {
+        if out[i].is_none() {
+            out[i] = Some(ensure_local(services, recon, node, *id, deadline)?);
+        }
+    }
+    Ok(out.into_iter().map(|b| b.expect("filled above")).collect())
+}
+
 /// Blocks until at least `num_ready` of `ids` are complete (their objects
 /// sealed anywhere, including error seals) or `timeout` elapses. Returns
 /// `(ready, pending)` preserving input order.
 ///
 /// Matches the paper's `wait`: "returns the subset of futures whose tasks
 /// have completed when the timeout occurs or the requested number have
-/// completed."
+/// completed." Each readiness pass over the batch is one group-committed
+/// object-table read sweep, not one point read per object.
 pub fn wait_ready(
     services: &Services,
     recon: &ReconstructionManager,
@@ -159,29 +246,43 @@ pub fn wait_ready(
     // once and was later evicted still counts (its task completed; the
     // value is reconstructible on demand). Matches §3.1 item 5: "the
     // subset of futures whose tasks have completed".
-    let is_ready = |id: ObjectId| -> bool {
-        if let Some(store) = &store {
-            if store.contains(id) {
-                return true;
-            }
-        }
-        services.objects.get(id).is_some_and(|info| info.sealed)
+    let sweep = |ids: &[ObjectId]| -> Vec<bool> {
+        let infos = services.objects.get_many(ids);
+        ids.iter()
+            .zip(infos)
+            .map(|(id, info)| {
+                if let Some(store) = &store {
+                    if store.contains(*id) {
+                        return true;
+                    }
+                }
+                info.is_some_and(|info| info.sealed)
+            })
+            .collect()
     };
 
     // Nudge reconstruction once for anything that looks lost; the manager
     // no-ops for in-flight producers.
-    for id in ids {
-        if !is_ready(*id) {
+    for (id, ready) in ids.iter().zip(sweep(ids)) {
+        if !ready {
             recon.handle_missing(*id);
         }
     }
 
     loop {
-        let ready_count = ids.iter().filter(|id| is_ready(**id)).count();
+        let readiness = sweep(ids);
+        let ready_count = readiness.iter().filter(|r| **r).count();
         let now = Instant::now();
         if ready_count >= num_ready || now >= deadline {
-            let (ready, pending): (Vec<ObjectId>, Vec<ObjectId>) =
-                ids.iter().partition(|id| is_ready(**id));
+            let mut ready = Vec::with_capacity(ready_count);
+            let mut pending = Vec::with_capacity(ids.len() - ready_count);
+            for (id, is_ready) in ids.iter().zip(readiness) {
+                if is_ready {
+                    ready.push(*id);
+                } else {
+                    pending.push(*id);
+                }
+            }
             return (ready, pending);
         }
 

@@ -63,6 +63,6 @@ pub use envelope::Envelope;
 pub use lineage::ReconstructionManager;
 pub use node::NodeConfig;
 pub use object_ref::{IntoArg, ObjectRef};
-pub use profiling::{ProfileReport, TaskProfile};
+pub use profiling::{ProfileReport, TaskProfile, TransferPlaneStats};
 pub use registry::{Func0, Func1, Func2, Func3, Func4, FunctionRegistry};
 pub use services::Services;

@@ -13,7 +13,7 @@ use rtml_sched::{
     LocalMsg, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices, SpillMode,
     WorkerCommand, WorkerHandle,
 };
-use rtml_store::{ObjectStore, StoreConfig, TransferService};
+use rtml_store::{FetchAgent, ObjectStore, StoreConfig, TransferService};
 
 use crate::lineage::ReconstructionManager;
 use crate::services::Services;
@@ -93,6 +93,10 @@ pub struct NodeTuning {
     pub fetch_timeout: std::time::Duration,
     /// Load-report publication interval.
     pub load_interval: std::time::Duration,
+    /// Maximum payload bytes per transfer frame (object chunking).
+    pub transfer_chunk_bytes: u64,
+    /// Dispatch-time prefetch of queued tasks' missing dependencies.
+    pub prefetch: bool,
 }
 
 /// A live node: all per-node components plus their control handles.
@@ -103,6 +107,7 @@ pub struct NodeRuntime {
     pub store: Arc<ObjectStore>,
     config: NodeConfig,
     transfer: TransferService,
+    agent: Arc<FetchAgent>,
     sched: LocalSchedulerHandle,
     /// Shared with the pool-manager thread, which appends on-demand
     /// workers (nested-task deadlock avoidance).
@@ -123,9 +128,15 @@ impl NodeRuntime {
         let store = Arc::new(ObjectStore::new(StoreConfig {
             node,
             capacity_bytes: config.store_capacity,
+            chunk_bytes: tuning.transfer_chunk_bytes,
         }));
         let transfer =
             TransferService::spawn(services.fabric.clone(), store.clone(), &services.directory);
+        let agent = Arc::new(FetchAgent::spawn(
+            services.fabric.clone(),
+            store.clone(),
+            services.directory.clone(),
+        ));
 
         // Worker channels first: the scheduler needs the handles.
         let mut worker_channels = Vec::new();
@@ -153,6 +164,7 @@ impl NodeRuntime {
             fabric: services.fabric.clone(),
             directory: services.directory.clone(),
             store: store.clone(),
+            agent: agent.clone(),
             global_address,
             reconstruct: recon_hook,
             request_worker,
@@ -164,6 +176,7 @@ impl NodeRuntime {
                 spill: tuning.spill.clone(),
                 fetch_timeout: tuning.fetch_timeout,
                 load_interval: tuning.load_interval,
+                prefetch: tuning.prefetch,
             },
             sched_services,
             handles,
@@ -226,6 +239,7 @@ impl NodeRuntime {
         services.attach_node(
             node,
             store.clone(),
+            agent.clone(),
             sched.sender(),
             config.total_resources(),
         );
@@ -235,6 +249,7 @@ impl NodeRuntime {
             store,
             config,
             transfer,
+            agent,
             sched,
             workers,
         }
@@ -243,6 +258,16 @@ impl NodeRuntime {
     /// The node's static configuration (used for restarts).
     pub fn config(&self) -> &NodeConfig {
         &self.config
+    }
+
+    /// The node's transfer-service (server-side) counters.
+    pub fn transfer_stats(&self) -> &Arc<rtml_store::TransferStats> {
+        self.transfer.stats()
+    }
+
+    /// The node's fetch-agent (client-side) counters.
+    pub fn fetch_stats(&self) -> &rtml_store::FetchStats {
+        self.agent.stats()
     }
 
     /// Kills one worker: crash semantics (in-flight task effects
@@ -275,11 +300,12 @@ impl NodeRuntime {
         }
         let mut this = self;
         this.sched.shutdown();
-        // Drop the store contents and erase locations from the table.
-        for object in this.store.clear() {
-            services.objects.remove_location(object, this.node);
-        }
+        // Drop the store contents and erase their locations from the
+        // table as one group commit.
+        let dropped = this.store.clear();
+        services.objects.remove_location_many(&dropped, this.node);
         services.directory.remove(this.node);
+        this.agent.shutdown();
         this.transfer.shutdown();
         services.events.append(
             this.node,
@@ -301,6 +327,7 @@ impl NodeRuntime {
             runtime.join();
         }
         services.directory.remove(self.node);
+        self.agent.shutdown();
         self.transfer.shutdown();
     }
 }

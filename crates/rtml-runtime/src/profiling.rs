@@ -45,6 +45,46 @@ impl TaskProfile {
     pub fn scheduling_latency_nanos(&self) -> Option<u64> {
         Some(self.started?.saturating_sub(self.submitted?))
     }
+
+    /// Queue→start (dispatch-to-run) latency: how long the task sat on
+    /// its local scheduler between being queued and starting on a
+    /// worker. For tasks with remote dependencies this includes the
+    /// transfer wait — the quantity dispatch-time prefetch shrinks by
+    /// overlapping transfer with queueing.
+    pub fn dispatch_latency_nanos(&self) -> Option<u64> {
+        Some(self.started?.saturating_sub(self.queued?))
+    }
+}
+
+/// Aggregated live data-plane counters (transfer services + fetch
+/// agents across all alive nodes), attached by
+/// [`crate::Cluster::profile`]. Zero when a report is built from raw
+/// events alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransferPlaneStats {
+    /// Request frames served by transfer services (each may name many
+    /// objects — compare with `objects_served` for the coalescing
+    /// factor).
+    pub requests_served: u64,
+    /// Objects served (found and streamed back).
+    pub objects_served: u64,
+    /// Requested objects the holder no longer had.
+    pub misses: u64,
+    /// Undecodable or misrouted frames observed by services.
+    pub decode_errors: u64,
+    /// Reply streams the fabric refused (requester gone).
+    pub send_failures: u64,
+    /// Chunk frames emitted by services.
+    pub chunks_sent: u64,
+    /// Distinct transfers started by fetch agents.
+    pub fetches: u64,
+    /// Fetches answered by joining an in-flight transfer instead of
+    /// issuing a duplicate request (single-flight suppression).
+    pub duplicate_fetches_suppressed: u64,
+    /// Chunk frames received by fetch agents.
+    pub chunks_received: u64,
+    /// Fetch waits that gave up before completion.
+    pub fetch_timeouts: u64,
 }
 
 /// A digest of one run's event log.
@@ -62,6 +102,14 @@ pub struct ProfileReport {
     pub workers_lost: usize,
     /// Nodes lost.
     pub nodes_lost: usize,
+    /// Dependencies proactively requested at task-queue time.
+    pub prefetches_issued: usize,
+    /// Prefetched dependencies that subsequently arrived on the
+    /// requesting node (the transfer completed).
+    pub prefetch_hits: usize,
+    /// Live data-plane counters (populated by
+    /// [`crate::Cluster::profile`]; zero for raw event folds).
+    pub transfer: TransferPlaneStats,
 }
 
 impl ProfileReport {
@@ -69,11 +117,24 @@ impl ProfileReport {
     pub fn from_events(events: &[Event]) -> ProfileReport {
         let mut by_task: HashMap<TaskId, TaskProfile> = HashMap::new();
         let mut report = ProfileReport::default();
+        let mut prefetched: std::collections::HashSet<(
+            rtml_common::ids::ObjectId,
+            rtml_common::ids::NodeId,
+        )> = std::collections::HashSet::new();
         for event in events {
             match &event.kind {
                 EventKind::ObjectSealed { .. } => report.seals += 1,
                 EventKind::ObjectEvicted { .. } => report.evictions += 1,
-                EventKind::TransferFinished { .. } => report.transfers += 1,
+                EventKind::TransferFinished { object, to, .. } => {
+                    report.transfers += 1;
+                    if prefetched.remove(&(*object, *to)) {
+                        report.prefetch_hits += 1;
+                    }
+                }
+                EventKind::PrefetchIssued { object, node } => {
+                    report.prefetches_issued += 1;
+                    prefetched.insert((*object, *node));
+                }
                 EventKind::WorkerLost { .. } => report.workers_lost += 1,
                 EventKind::NodeLost { .. } => report.nodes_lost += 1,
                 _ => {}
@@ -124,6 +185,27 @@ impl ProfileReport {
         hist
     }
 
+    /// Histogram of queue→start (dispatch-to-run) latency — the window
+    /// dispatch-time prefetch shrinks for remote-dependency tasks.
+    pub fn dispatch_latency(&self) -> Histogram {
+        let hist = Histogram::new();
+        for task in &self.tasks {
+            if let Some(nanos) = task.dispatch_latency_nanos() {
+                hist.record(nanos);
+            }
+        }
+        hist
+    }
+
+    /// Fraction of issued prefetches whose transfer completed on the
+    /// requesting node (1.0 when every prefetch landed).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            return 0.0;
+        }
+        self.prefetch_hits as f64 / self.prefetches_issued as f64
+    }
+
     /// Number of tasks that took the spill path.
     pub fn spilled_count(&self) -> usize {
         self.tasks.iter().filter(|t| t.spilled).count()
@@ -141,6 +223,7 @@ impl ProfileReport {
             "tasks: {} ({} spilled, {} failed)\n\
              scheduling latency: p50 {} / p99 {} / max {}\n\
              objects sealed: {}, transfers: {}, evictions: {}\n\
+             prefetch: {} issued, {} hits; duplicates suppressed: {}\n\
              failures injected: {} workers, {} nodes",
             self.tasks.len(),
             self.spilled_count(),
@@ -151,6 +234,9 @@ impl ProfileReport {
             self.seals,
             self.transfers,
             self.evictions,
+            self.prefetches_issued,
+            self.prefetch_hits,
+            self.transfer.duplicate_fetches_suppressed,
             self.workers_lost,
             self.nodes_lost,
         )
@@ -272,6 +358,64 @@ mod tests {
         assert!(json.starts_with('['), "{json}");
         assert!(json.ends_with(']'));
         assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn prefetch_events_fold_into_hit_counts() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let o1 = root.child(0).return_object(0);
+        let o2 = root.child(1).return_object(0);
+        let n = NodeId(2);
+        let events = vec![
+            Event {
+                at_nanos: 1,
+                component: Component::LocalScheduler,
+                kind: EventKind::PrefetchIssued {
+                    object: o1,
+                    node: n,
+                },
+            },
+            Event {
+                at_nanos: 2,
+                component: Component::LocalScheduler,
+                kind: EventKind::PrefetchIssued {
+                    object: o2,
+                    node: n,
+                },
+            },
+            // o1 lands on the requesting node; o2's transfer completes
+            // on a different node (not a hit for n).
+            Event {
+                at_nanos: 3,
+                component: Component::ObjectStore,
+                kind: EventKind::TransferFinished {
+                    object: o1,
+                    to: n,
+                    micros: 5,
+                },
+            },
+            Event {
+                at_nanos: 4,
+                component: Component::ObjectStore,
+                kind: EventKind::TransferFinished {
+                    object: o2,
+                    to: NodeId(9),
+                    micros: 5,
+                },
+            },
+        ];
+        let report = ProfileReport::from_events(&events);
+        assert_eq!(report.prefetches_issued, 2);
+        assert_eq!(report.prefetch_hits, 1);
+        assert!((report.prefetch_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(report.transfers, 2);
+    }
+
+    #[test]
+    fn dispatch_latency_measures_queue_to_start() {
+        let report = ProfileReport::from_events(&task_events());
+        assert_eq!(report.tasks[0].dispatch_latency_nanos(), Some(50));
+        assert_eq!(report.dispatch_latency().count(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rtml_common::task::TaskSpec;
 use rtml_kv::{EventLog, FunctionTable, KvStore, ObjectTable, TaskTable};
 use rtml_net::{Fabric, FabricConfig};
 use rtml_sched::LocalMsg;
-use rtml_store::{ObjectStore, TransferDirectory};
+use rtml_store::{FetchAgent, ObjectStore, TransferDirectory};
 
 use crate::registry::FunctionRegistry;
 
@@ -68,6 +68,7 @@ pub struct Services {
     pub tuning: RuntimeTuning,
     router: RwLock<HashMap<NodeId, Sender<LocalMsg>>>,
     stores: RwLock<HashMap<NodeId, Arc<ObjectStore>>>,
+    agents: RwLock<HashMap<NodeId, Arc<FetchAgent>>>,
     node_totals: RwLock<HashMap<NodeId, Resources>>,
 }
 
@@ -96,20 +97,24 @@ impl Services {
             tuning,
             router: RwLock::new(HashMap::new()),
             stores: RwLock::new(HashMap::new()),
+            agents: RwLock::new(HashMap::new()),
             node_totals: RwLock::new(HashMap::new()),
             kv,
         })
     }
 
-    /// Registers a live node's store, scheduler channel, and capacity.
+    /// Registers a live node's store, fetch agent, scheduler channel,
+    /// and capacity.
     pub fn attach_node(
         &self,
         node: NodeId,
         store: Arc<ObjectStore>,
+        agent: Arc<FetchAgent>,
         sched: Sender<LocalMsg>,
         total: Resources,
     ) {
         self.stores.write().insert(node, store);
+        self.agents.write().insert(node, agent);
         self.router.write().insert(node, sched);
         self.node_totals.write().insert(node, total);
     }
@@ -117,6 +122,7 @@ impl Services {
     /// Removes a node from the routing maps (kill or shutdown).
     pub fn detach_node(&self, node: NodeId) {
         self.stores.write().remove(&node);
+        self.agents.write().remove(&node);
         self.router.write().remove(&node);
         self.node_totals.write().remove(&node);
     }
@@ -124,6 +130,12 @@ impl Services {
     /// The node's object store, if the node is alive.
     pub fn store(&self, node: NodeId) -> Option<Arc<ObjectStore>> {
         self.stores.read().get(&node).cloned()
+    }
+
+    /// The node's fetch agent (persistent, single-flighting transfer
+    /// client), if the node is alive.
+    pub fn fetch_agent(&self, node: NodeId) -> Option<Arc<FetchAgent>> {
+        self.agents.read().get(&node).cloned()
     }
 
     /// Sends a task to `node`'s local scheduler. Falls back to any alive
@@ -207,32 +219,50 @@ mod tests {
         Services::create(2, FabricConfig::default(), true, RuntimeTuning::default())
     }
 
+    fn store_and_agent(
+        sv: &Services,
+        node: NodeId,
+    ) -> (Arc<ObjectStore>, Arc<rtml_store::FetchAgent>) {
+        let store = Arc::new(ObjectStore::new(StoreConfig {
+            node,
+            ..StoreConfig::default()
+        }));
+        let agent = Arc::new(rtml_store::FetchAgent::spawn(
+            sv.fabric.clone(),
+            store.clone(),
+            sv.directory.clone(),
+        ));
+        (store, agent)
+    }
+
     #[test]
     fn attach_detach_lifecycle() {
         let sv = services();
         assert_eq!(sv.any_alive(), None);
         assert!(!sv.cluster_fits(&Resources::cpu(1.0)));
 
-        let store = Arc::new(ObjectStore::new(StoreConfig::default()));
+        let (store, agent) = store_and_agent(&sv, NodeId(3));
         let (tx, _rx) = unbounded();
-        sv.attach_node(NodeId(3), store, tx, Resources::cpu(4.0));
+        sv.attach_node(NodeId(3), store, agent, tx, Resources::cpu(4.0));
         assert_eq!(sv.any_alive(), Some(NodeId(3)));
         assert!(sv.cluster_fits(&Resources::cpu(4.0)));
         assert!(!sv.cluster_fits(&Resources::gpu(1.0)));
         assert!(sv.store(NodeId(3)).is_some());
+        assert!(sv.fetch_agent(NodeId(3)).is_some());
         assert_eq!(sv.alive_nodes(), vec![NodeId(3)]);
 
         sv.detach_node(NodeId(3));
         assert_eq!(sv.any_alive(), None);
         assert!(sv.store(NodeId(3)).is_none());
+        assert!(sv.fetch_agent(NodeId(3)).is_none());
     }
 
     #[test]
     fn submit_falls_back_to_alive_node() {
         let sv = services();
-        let store = Arc::new(ObjectStore::new(StoreConfig::default()));
+        let (store, agent) = store_and_agent(&sv, NodeId(0));
         let (tx, rx) = unbounded();
-        sv.attach_node(NodeId(0), store, tx, Resources::cpu(4.0));
+        sv.attach_node(NodeId(0), store, agent, tx, Resources::cpu(4.0));
 
         use rtml_common::ids::{DriverId, FunctionId, TaskId};
         let root = TaskId::driver_root(DriverId::from_index(0));

@@ -203,14 +203,17 @@ fn fail_task(
     message: &str,
     worker: WorkerId,
 ) {
+    // State first, then the seals: the seals are what unblock
+    // consumers, so anything they (or tools) read afterwards must
+    // already say Failed.
+    services
+        .tasks
+        .set_state(spec.task_id, &TaskState::Failed(message.to_string()));
     let bytes = envelope::seal_error(message);
     for i in 0..spec.num_returns {
         let object = spec.task_id.return_object(i);
         seal(services, node, object, bytes.clone());
     }
-    services
-        .tasks
-        .set_state(spec.task_id, &TaskState::Failed(message.to_string()));
     services.events.append(
         node,
         Event::now(
@@ -237,17 +240,26 @@ fn seal(
     match store.put(object, bytes) {
         Ok(outcome) => {
             services.objects.add_location(object, node, len);
-            for evicted in outcome.evicted {
-                services.objects.remove_location(evicted, node);
-                services.events.append(
+            if !outcome.evicted.is_empty() {
+                // The whole eviction sweep drops as one group commit.
+                services
+                    .objects
+                    .remove_location_many(&outcome.evicted, node);
+                let at_nanos = rtml_common::time::now_nanos();
+                services.events.append_many(
                     node,
-                    Event::now(
-                        Component::ObjectStore,
-                        EventKind::ObjectEvicted {
-                            object: evicted,
-                            node,
-                        },
-                    ),
+                    outcome
+                        .evicted
+                        .iter()
+                        .map(|evicted| Event {
+                            at_nanos,
+                            component: Component::ObjectStore,
+                            kind: EventKind::ObjectEvicted {
+                                object: *evicted,
+                                node,
+                            },
+                        })
+                        .collect(),
                 );
             }
             services.events.append(
@@ -270,7 +282,11 @@ fn seal(
     }
 }
 
-/// Resolves argument bytes, propagating upstream errors.
+/// Resolves argument bytes, propagating upstream errors. All `ObjectRef`
+/// arguments resolve through one batched [`fetch::ensure_local_many`]:
+/// by dispatch time they are normally local (the scheduler gated on
+/// arrival and prefetched), and any that slipped away (eviction race)
+/// are re-fetched grouped by holder instead of one round trip each.
 fn resolve_args(
     services: &Arc<Services>,
     recon: &Arc<ReconstructionManager>,
@@ -278,22 +294,39 @@ fn resolve_args(
     spec: &TaskSpec,
 ) -> Result<Vec<Bytes>> {
     let deadline = Instant::now() + services.tuning.default_get_timeout;
+    let refs: Vec<rtml_common::ids::ObjectId> = spec
+        .args
+        .iter()
+        .filter_map(|arg| match arg {
+            ArgSpec::ObjectRef(object) => Some(*object),
+            ArgSpec::Value(_) => None,
+        })
+        .collect();
+    let resolved = if refs.is_empty() {
+        Vec::new()
+    } else {
+        fetch::ensure_local_many(services, recon, id.node, &refs, deadline).map_err(|e| {
+            Error::TaskFailed {
+                task: spec.task_id,
+                message: format!("failed to resolve arguments: {e}"),
+            }
+        })?
+    };
+    let producers = services.objects.get_many(&refs);
+
     let mut raw = Vec::with_capacity(spec.args.len());
+    let mut next_ref = 0usize;
     for arg in &spec.args {
         match arg {
             ArgSpec::Value(bytes) => raw.push(bytes.clone()),
-            ArgSpec::ObjectRef(object) => {
-                let bytes = fetch::ensure_local(services, recon, id.node, *object, deadline)
-                    .map_err(|e| Error::TaskFailed {
-                        task: spec.task_id,
-                        message: format!("failed to resolve argument {object}: {e}"),
-                    })?;
-                let producer = services
-                    .objects
-                    .get(*object)
+            ArgSpec::ObjectRef(_) => {
+                let bytes = &resolved[next_ref];
+                let producer = producers[next_ref]
+                    .as_ref()
                     .and_then(|i| i.producer)
                     .unwrap_or(rtml_common::ids::TaskId::NIL);
-                let value = Envelope::open(&bytes)?.into_value_bytes(producer)?;
+                next_ref += 1;
+                let value = Envelope::open(bytes)?.into_value_bytes(producer)?;
                 raw.push(value);
             }
         }

@@ -26,6 +26,86 @@ fn submit_and_get_round_trip() {
 }
 
 #[test]
+fn get_many_returns_values_in_order_with_duplicates() {
+    let cluster = small_cluster();
+    let square = cluster.register_fn1("gm_square", |x: i64| Ok(x * x));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..16)
+        .map(|i| driver.submit1(&square, i).unwrap())
+        .collect();
+    // Input order preserved, duplicates allowed.
+    let mut query = futs.clone();
+    query.push(futs[3].clone());
+    query.push(futs[3].clone());
+    let values = driver.get_many(&query).unwrap();
+    let expect: Vec<i64> = (0..16).map(|i| i * i).chain([9, 9]).collect();
+    assert_eq!(values, expect);
+    cluster.shutdown();
+}
+
+#[test]
+fn get_many_matches_get_loop_across_nodes() {
+    // Values produced across a multi-node cluster: get_many must agree
+    // with a plain get loop (it only batches how bytes move).
+    let cluster = Cluster::start(
+        ClusterConfig::local(3, 2).with_latency(LatencyModel::Constant(Duration::from_micros(200))),
+    )
+    .unwrap();
+    let triple = cluster.register_fn1("gm_triple", |x: i64| Ok(x * 3));
+    let driver = cluster.driver();
+    let futs: Vec<_> = (0..24)
+        .map(|i| driver.submit1(&triple, i).unwrap())
+        .collect();
+    let batched = driver.get_many(&futs).unwrap();
+    let looped: Vec<i64> = futs.iter().map(|f| driver.get(f).unwrap()).collect();
+    assert_eq!(batched, looped);
+    cluster.shutdown();
+}
+
+#[test]
+fn get_many_propagates_task_errors() {
+    let cluster = small_cluster();
+    let ok = cluster.register_fn1("gm_ok", |x: i64| Ok(x));
+    let boom = cluster.register_fn0("gm_boom", || -> rtml_common::error::Result<i64> {
+        Err(Error::InvalidArgument("nope".into()))
+    });
+    let driver = cluster.driver();
+    let good = driver.submit1(&ok, 5).unwrap();
+    let bad = driver.submit0(&boom).unwrap();
+    let err = driver.get_many(&[good, bad]).unwrap_err();
+    assert!(matches!(err, Error::TaskFailed { .. }), "{err:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn profile_reports_prefetches_and_suppressed_duplicates() {
+    // Remote-dependency tasks on a latency fabric: the consuming node's
+    // scheduler must prefetch the dependencies while tasks queue, and
+    // the profile must surface the counters.
+    let cluster = Cluster::start(
+        ClusterConfig::local(2, 1).with_latency(LatencyModel::Constant(Duration::from_micros(500))),
+    )
+    .unwrap();
+    let pass = cluster.register_fn1("pf_pass", |x: i64| Ok(x));
+    let driver = cluster.driver();
+    // Produce values (resident wherever their tasks ran), then force
+    // consumers that need them as remote dependencies via fan-in.
+    let sources: Vec<_> = (0..8).map(|i| driver.submit1(&pass, i).unwrap()).collect();
+    let sinks: Vec<_> = sources
+        .iter()
+        .map(|s| driver.submit1(&pass, s).unwrap())
+        .collect();
+    let values = driver.get_many(&sinks).unwrap();
+    assert_eq!(values, (0..8).collect::<Vec<i64>>());
+    let report = cluster.profile();
+    // Transfers implies the data plane moved objects; any prefetch that
+    // was issued must be visible, with hits bounded by issues.
+    assert!(report.prefetch_hits <= report.prefetches_issued);
+    assert!(report.prefetch_hit_rate() <= 1.0);
+    cluster.shutdown();
+}
+
+#[test]
 fn futures_compose_into_dags() {
     let cluster = small_cluster();
     let add = cluster.register_fn2("add", |a: i64, b: i64| Ok(a + b));

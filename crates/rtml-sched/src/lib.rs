@@ -34,7 +34,9 @@ pub mod spill;
 pub mod wire;
 
 pub use global::{GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle};
-pub use local::{LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices};
+pub use local::{
+    fetch_group_commit, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices,
+};
 pub use msg::{LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
 pub use policy::PlacementPolicy;
 pub use spill::SpillMode;

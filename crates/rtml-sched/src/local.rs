@@ -33,7 +33,7 @@ use rtml_common::resources::Resources;
 use rtml_common::task::{TaskSpec, TaskState};
 use rtml_kv::{EventLog, KvStore, ObjectTable, TaskTable};
 use rtml_net::{Fabric, NetAddress};
-use rtml_store::{fetch_object, ObjectStore, TransferDirectory};
+use rtml_store::{FetchAgent, ObjectStore, TransferDirectory};
 
 use crate::msg::{load_key, LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
 use crate::spill::SpillMode;
@@ -52,6 +52,14 @@ pub struct LocalSchedulerConfig {
     pub fetch_timeout: Duration,
     /// Minimum interval between load publications.
     pub load_interval: Duration,
+    /// Dispatch-time prefetch: when a batch of tasks is queued, the
+    /// scheduler groups their missing-but-located dependencies by
+    /// holder and issues one coalesced `FetchMany` per holder
+    /// immediately, so transfer overlaps queueing. When off, every
+    /// missing object is resolved reactively by its own watcher.
+    /// Prefetch changes *when bytes move*, never what runs: dispatch is
+    /// gated on arrival either way, and ids/placements are identical.
+    pub prefetch: bool,
 }
 
 impl Default for LocalSchedulerConfig {
@@ -62,6 +70,7 @@ impl Default for LocalSchedulerConfig {
             spill: SpillMode::default(),
             fetch_timeout: Duration::from_secs(2),
             load_interval: Duration::from_millis(1),
+            prefetch: true,
         }
     }
 }
@@ -84,6 +93,9 @@ pub struct SchedServices {
     pub directory: Arc<TransferDirectory>,
     /// This node's object store.
     pub store: Arc<ObjectStore>,
+    /// This node's fetch client: persistent endpoint, coalesced
+    /// multi-object requests, single-flighted duplicates.
+    pub agent: Arc<FetchAgent>,
     /// Fabric address of the global scheduler.
     pub global_address: NetAddress,
     /// Runtime hook invoked when a watched object appears to be lost
@@ -191,6 +203,7 @@ impl LocalScheduler {
                     waiting: HashMap::new(),
                     watchers: HashMap::new(),
                     resolving: HashSet::new(),
+                    task_pins: HashMap::new(),
                     running: BTreeMap::new(),
                     released: HashSet::new(),
                     spawn_pending: false,
@@ -236,8 +249,13 @@ struct Core {
     waiting: HashMap<TaskId, (TaskSpec, usize)>,
     /// missing object → tasks waiting on it.
     watchers: HashMap<ObjectId, Vec<TaskId>>,
-    /// objects with an active resolver thread.
+    /// objects with an active resolver (a prefetch in flight or a
+    /// watcher thread).
     resolving: HashSet<ObjectId>,
+    /// Dependencies pinned on behalf of a task from the moment they
+    /// arrive until the task completes, so LRU eviction cannot drop a
+    /// fetched/prefetched argument between arrival and execution.
+    task_pins: HashMap<TaskId, Vec<ObjectId>>,
     /// Ordered by task ID so iteration (e.g. collecting the tasks lost
     /// with a dead worker) is reproducible across runs — `HashMap`
     /// iteration order is seeded per process and would make failure
@@ -383,6 +401,7 @@ impl Core {
             if !self.released.remove(&task) {
                 self.in_use = self.in_use.saturating_sub(&grant);
             }
+            self.release_pins(task);
             self.services.tasks.set_state(task, &TaskState::Lost);
         }
         self.services.events.append(
@@ -456,6 +475,12 @@ impl Core {
                     })
                     .collect(),
             );
+            // Gate each task on its dependencies, collecting the batch's
+            // distinct unresolved objects so the whole set resolves as
+            // one prefetch pass (one FetchMany per holder) instead of
+            // one reactive watcher per object.
+            let mut unresolved: Vec<ObjectId> = Vec::new();
+            let mut unresolved_seen: HashSet<ObjectId> = HashSet::new();
             for (spec, missing) in accepted {
                 if missing.is_empty() {
                     self.ready.push_back(spec);
@@ -463,16 +488,97 @@ impl Core {
                     let count = missing.len();
                     for object in missing {
                         self.watchers.entry(object).or_default().push(spec.task_id);
-                        self.ensure_resolver(object);
+                        if !self.resolving.contains(&object)
+                            && !self.services.store.contains(object)
+                            && unresolved_seen.insert(object)
+                        {
+                            unresolved.push(object);
+                        }
                     }
                     self.waiting.insert(spec.task_id, (spec, count));
                 }
+            }
+            if !unresolved.is_empty() {
+                self.resolve_missing(unresolved);
             }
             self.load_dirty = true;
         }
         if !spilled.is_empty() {
             self.spill_batch(spilled);
         }
+    }
+
+    /// Starts resolution for a batch's distinct missing dependencies.
+    ///
+    /// With prefetch on, objects the table already locates are grouped
+    /// by holder and requested **now**, while their tasks are still
+    /// queued — one coalesced `FetchMany` per holder, transfer
+    /// overlapped with queueing, dispatch still gated on arrival.
+    /// Objects with no live copy (producer still running, or lost) get
+    /// the patient per-object watcher, which also triggers lineage
+    /// reconstruction. With prefetch off, everything takes the watcher
+    /// path — the reactive, per-object baseline.
+    fn resolve_missing(&mut self, objects: Vec<ObjectId>) {
+        for object in &objects {
+            self.resolving.insert(*object);
+        }
+        if !self.config.prefetch {
+            for object in objects {
+                self.spawn_watcher(object);
+            }
+            return;
+        }
+        let me = self.config.node;
+        let infos = self.services.objects.get_many(&objects);
+        let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+        let mut unlocated: Vec<ObjectId> = Vec::new();
+        for (object, info) in objects.into_iter().zip(infos) {
+            match info.and_then(|i| i.fetch_holder(me)) {
+                Some(holder) => groups.entry(holder).or_default().push(object),
+                None => unlocated.push(object),
+            }
+        }
+        if !groups.is_empty() {
+            let at_nanos = rtml_common::time::now_nanos();
+            self.services.events.append_many(
+                me,
+                groups
+                    .values()
+                    .flatten()
+                    .map(|object| Event {
+                        at_nanos,
+                        component: Component::LocalScheduler,
+                        kind: EventKind::PrefetchIssued {
+                            object: *object,
+                            node: me,
+                        },
+                    })
+                    .collect(),
+            );
+        }
+        for (holder, group) in groups {
+            let services = self.services.clone();
+            let fetch_timeout = self.config.fetch_timeout;
+            std::thread::Builder::new()
+                .name(format!("rtml-prefetch-{me}"))
+                .spawn(move || prefetch_group(services, group, holder, me, fetch_timeout))
+                .expect("spawn prefetch");
+        }
+        for object in unlocated {
+            self.spawn_watcher(object);
+        }
+    }
+
+    /// Spawns the per-object watcher thread. The caller is responsible
+    /// for the `resolving` bookkeeping.
+    fn spawn_watcher(&self, object: ObjectId) {
+        let services = self.services.clone();
+        let node = self.config.node;
+        let fetch_timeout = self.config.fetch_timeout;
+        std::thread::Builder::new()
+            .name(format!("rtml-resolver-{node}"))
+            .spawn(move || resolve_object(services, object, node, fetch_timeout))
+            .expect("spawn resolver");
     }
 
     /// Forwards a whole batch of spilling tasks to the global scheduler
@@ -532,20 +638,6 @@ impl Core {
         self.load_dirty = true;
     }
 
-    fn ensure_resolver(&mut self, object: ObjectId) {
-        if self.resolving.contains(&object) || self.services.store.contains(object) {
-            return;
-        }
-        self.resolving.insert(object);
-        let services = self.services.clone();
-        let node = self.config.node;
-        let fetch_timeout = self.config.fetch_timeout;
-        std::thread::Builder::new()
-            .name(format!("rtml-resolver-{node}"))
-            .spawn(move || resolve_object(services, object, node, fetch_timeout))
-            .expect("spawn resolver");
-    }
-
     fn on_sealed(&mut self, object: ObjectId) {
         self.resolving.remove(&object);
         let Some(tasks) = self.watchers.remove(&object) else {
@@ -553,6 +645,13 @@ impl Core {
         };
         for task in tasks {
             if let Some((_, missing)) = self.waiting.get_mut(&task) {
+                // Pin the arrived dependency on this task's behalf: LRU
+                // eviction must not drop a fetched/prefetched argument
+                // between arrival and execution. Released at
+                // completion ([`Core::release_pins`]).
+                if self.services.store.pin(object) {
+                    self.task_pins.entry(task).or_default().push(object);
+                }
                 *missing -= 1;
                 if *missing == 0 {
                     let (spec, _) = self.waiting.remove(&task).expect("present");
@@ -563,6 +662,15 @@ impl Core {
         self.load_dirty = true;
     }
 
+    /// Releases every dependency pin held on `task`'s behalf.
+    fn release_pins(&mut self, task: TaskId) {
+        if let Some(objects) = self.task_pins.remove(&task) {
+            for object in objects {
+                self.services.store.unpin(object);
+            }
+        }
+    }
+
     fn on_worker_done(&mut self, worker: WorkerId, task: TaskId) {
         if let Some((granted_worker, grant)) = self.running.remove(&task) {
             debug_assert_eq!(granted_worker, worker, "completion from wrong worker");
@@ -570,6 +678,7 @@ impl Core {
                 self.in_use = self.in_use.saturating_sub(&grant);
             }
         }
+        self.release_pins(task);
         if self.workers.contains_key(&worker) {
             self.idle.push_back(worker);
         }
@@ -649,6 +758,111 @@ impl Core {
     }
 }
 
+/// Fetches one holder's group of prefetched objects through the node's
+/// [`FetchAgent`]: a single coalesced `FetchMany` request, one chunked
+/// reply stream, group-committed location updates. Objects the fast
+/// path cannot deliver (holder died, miss, timeout) fall back to the
+/// patient per-object watcher so retry and lineage reconstruction still
+/// happen.
+fn prefetch_group(
+    services: SchedServices,
+    objects: Vec<ObjectId>,
+    holder: NodeId,
+    me: NodeId,
+    fetch_timeout: Duration,
+) {
+    let started = Instant::now();
+    let results = fetch_group_commit(
+        &services.objects,
+        &services.agent,
+        &objects,
+        holder,
+        me,
+        fetch_timeout,
+    );
+    let micros = started.elapsed().as_micros() as u64;
+    let at_nanos = rtml_common::time::now_nanos();
+    let mut events = Vec::new();
+    let mut failed = Vec::new();
+    for (object, result) in results {
+        match result {
+            // Only fetches that actually sealed new bytes here are
+            // transfers; local hits and joins of another caller's
+            // in-flight transfer moved nothing over the wire.
+            Ok((_, outcome)) if outcome.inserted => {
+                events.push(Event {
+                    at_nanos,
+                    component: Component::ObjectStore,
+                    kind: EventKind::TransferStarted {
+                        object,
+                        from: holder,
+                        to: me,
+                    },
+                });
+                events.push(Event {
+                    at_nanos,
+                    component: Component::ObjectStore,
+                    kind: EventKind::TransferFinished {
+                        object,
+                        to: me,
+                        micros,
+                    },
+                });
+            }
+            Ok(_) => {}
+            Err(_) => failed.push(object),
+        }
+    }
+    if !events.is_empty() {
+        services.events.append_many(me, events);
+    }
+    for object in failed {
+        let services = services.clone();
+        std::thread::Builder::new()
+            .name(format!("rtml-resolver-{me}"))
+            .spawn(move || resolve_object(services, object, me, fetch_timeout))
+            .expect("spawn resolver");
+    }
+}
+
+/// Fetches one holder's group of objects through `agent` and commits
+/// the outcome to the object table as group commits: one
+/// `add_location_many` for everything now local, one deduplicated
+/// `remove_location_many` for the eviction fallout. Returns the
+/// per-object results in group order. This is the one fetch-and-commit
+/// choreography shared by the scheduler's dispatch-time prefetch and
+/// the runtime's batched `get_many`.
+pub fn fetch_group_commit(
+    objects: &ObjectTable,
+    agent: &FetchAgent,
+    group: &[ObjectId],
+    holder: NodeId,
+    me: NodeId,
+    timeout: Duration,
+) -> Vec<(
+    ObjectId,
+    rtml_common::error::Result<(bytes::Bytes, rtml_store::PutOutcome)>,
+)> {
+    let results = agent.fetch_many(group, holder, timeout);
+    let mut located: Vec<(ObjectId, u64)> = Vec::new();
+    let mut evicted_all: Vec<ObjectId> = Vec::new();
+    for (object, result) in group.iter().zip(&results) {
+        if let Ok((data, outcome)) = result {
+            located.push((*object, data.len() as u64));
+            evicted_all.extend(outcome.evicted.iter().copied());
+        }
+    }
+    if !located.is_empty() {
+        objects.add_location_many(&located, me);
+    }
+    if !evicted_all.is_empty() {
+        evicted_all.sort();
+        evicted_all.dedup();
+        objects.remove_location_many(&evicted_all, me);
+    }
+    group.iter().copied().zip(results).collect()
+}
+
 /// Watches one missing object until it is sealed into the local store.
 ///
 /// Runs on its own short-lived thread. Terminates when the object becomes
@@ -664,44 +878,50 @@ fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_t
         let info = pending_info.take().or_else(|| services.objects.get(object));
         if let Some(info) = info {
             if info.is_available() {
-                let holder = info.locations.iter().copied().find(|n| *n != me);
-                if let Some(holder) = holder {
-                    services.events.append(
-                        me,
-                        Event::now(
-                            Component::ObjectStore,
-                            EventKind::TransferStarted {
-                                object,
-                                from: holder,
-                                to: me,
-                            },
-                        ),
-                    );
+                if let Some(holder) = info.fetch_holder(me) {
                     let started = Instant::now();
-                    match fetch_object(
-                        &services.fabric,
-                        &services.directory,
-                        &services.store,
-                        object,
+                    let (_, result) = fetch_group_commit(
+                        &services.objects,
+                        &services.agent,
+                        &[object],
                         holder,
+                        me,
                         fetch_timeout,
-                    ) {
-                        Ok((data, outcome)) => {
-                            services.objects.add_location(object, me, data.len() as u64);
-                            for evicted in outcome.evicted {
-                                services.objects.remove_location(evicted, me);
+                    )
+                    .pop()
+                    .expect("one object in, one result out");
+                    match result {
+                        Ok((_, outcome)) => {
+                            // Log the transfer only if this fetch sealed
+                            // new bytes (not a local hit or a join of an
+                            // in-flight transfer logged elsewhere).
+                            if outcome.inserted {
+                                let at_nanos = rtml_common::time::now_nanos();
+                                let micros = started.elapsed().as_micros() as u64;
+                                services.events.append_many(
+                                    me,
+                                    vec![
+                                        Event {
+                                            at_nanos,
+                                            component: Component::ObjectStore,
+                                            kind: EventKind::TransferStarted {
+                                                object,
+                                                from: holder,
+                                                to: me,
+                                            },
+                                        },
+                                        Event {
+                                            at_nanos,
+                                            component: Component::ObjectStore,
+                                            kind: EventKind::TransferFinished {
+                                                object,
+                                                to: me,
+                                                micros,
+                                            },
+                                        },
+                                    ],
+                                );
                             }
-                            services.events.append(
-                                me,
-                                Event::now(
-                                    Component::ObjectStore,
-                                    EventKind::TransferFinished {
-                                        object,
-                                        to: me,
-                                        micros: started.elapsed().as_micros() as u64,
-                                    },
-                                ),
-                            );
                             return;
                         }
                         Err(_) => {
@@ -768,8 +988,14 @@ mod tests {
         let store = Arc::new(ObjectStore::new(StoreConfig {
             node: config.node,
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         }));
         let transfer = TransferService::spawn(fabric.clone(), store.clone(), &directory);
+        let agent = Arc::new(FetchAgent::spawn(
+            fabric.clone(),
+            store.clone(),
+            directory.clone(),
+        ));
         let global_endpoint = fabric.register(NodeId(1000), "fake-global");
         let services = SchedServices {
             kv: kv.clone(),
@@ -779,6 +1005,7 @@ mod tests {
             fabric,
             directory,
             store,
+            agent,
             global_address: global_endpoint.address(),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
@@ -1165,13 +1392,20 @@ mod tests {
         let store0 = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         }));
         let store7 = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(7),
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         }));
         let _t0 = TransferService::spawn(fabric.clone(), store0.clone(), &directory);
         let _t7 = TransferService::spawn(fabric.clone(), store7.clone(), &directory);
+        let agent = Arc::new(FetchAgent::spawn(
+            fabric.clone(),
+            store0.clone(),
+            directory.clone(),
+        ));
         let global = fabric.register(NodeId(1000), "fake-global");
         let objects = ObjectTable::new(kv.clone());
         let services = SchedServices {
@@ -1182,6 +1416,7 @@ mod tests {
             fabric,
             directory,
             store: store0.clone(),
+            agent,
             global_address: global.address(),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
@@ -1213,6 +1448,187 @@ mod tests {
         handle.shutdown();
     }
 
+    struct RemoteDepRig {
+        services: SchedServices,
+        store_local: Arc<ObjectStore>,
+        store_remote: Arc<ObjectStore>,
+        remote_service: TransferService,
+        worker_rx: Receiver<WorkerCommand>,
+        worker_id: WorkerId,
+        handle: LocalSchedulerHandle,
+        _local_service: TransferService,
+        _global: rtml_net::Endpoint,
+    }
+
+    /// A node-0 scheduler plus a remote node-7 store holding
+    /// dependencies, with configurable prefetch and local capacity.
+    fn remote_dep_rig(prefetch: bool, local_capacity: u64) -> RemoteDepRig {
+        let kv = KvStore::new(2);
+        let fabric = Fabric::new(FabricConfig::default());
+        let directory = TransferDirectory::new();
+        let store_local = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: local_capacity,
+            ..StoreConfig::default()
+        }));
+        let store_remote = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(7),
+            capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
+        }));
+        let local_service = TransferService::spawn(fabric.clone(), store_local.clone(), &directory);
+        let remote_service =
+            TransferService::spawn(fabric.clone(), store_remote.clone(), &directory);
+        let agent = Arc::new(FetchAgent::spawn(
+            fabric.clone(),
+            store_local.clone(),
+            directory.clone(),
+        ));
+        let global = fabric.register(NodeId(1000), "fake-global");
+        let services = SchedServices {
+            kv: kv.clone(),
+            objects: ObjectTable::new(kv.clone()),
+            tasks: TaskTable::new(kv.clone()),
+            events: EventLog::new(kv.clone()),
+            fabric,
+            directory,
+            store: store_local.clone(),
+            agent,
+            global_address: global.address(),
+            reconstruct: Arc::new(|_| {}),
+            request_worker: Arc::new(|| {}),
+        };
+        let (worker_tx, worker_rx) = unbounded();
+        let worker_id = WorkerId::new(NodeId(0), 0);
+        let handle = LocalScheduler::spawn(
+            LocalSchedulerConfig {
+                prefetch,
+                ..LocalSchedulerConfig::default()
+            },
+            services.clone(),
+            vec![WorkerHandle {
+                id: worker_id,
+                tx: worker_tx,
+            }],
+        );
+        RemoteDepRig {
+            services,
+            store_local,
+            store_remote,
+            remote_service,
+            worker_rx,
+            worker_id,
+            handle,
+            _local_service: local_service,
+            _global: global,
+        }
+    }
+
+    #[test]
+    fn prefetch_coalesces_batch_dependencies_into_one_request() {
+        let mut r = remote_dep_rig(true, 1 << 20);
+        let deps: Vec<ObjectId> = (0..8)
+            .map(|i| {
+                TaskId::driver_root(DriverId::from_index(0))
+                    .child(100 + i)
+                    .return_object(0)
+            })
+            .collect();
+        for (i, &dep) in deps.iter().enumerate() {
+            r.store_remote
+                .put(dep, Bytes::from(vec![i as u8; 32]))
+                .unwrap();
+            r.services.objects.add_location(dep, NodeId(7), 32);
+        }
+        let args: Vec<ArgSpec> = deps.iter().map(|d| ArgSpec::ObjectRef(*d)).collect();
+        let spec = spec_with(args, 0);
+        r.handle.submit(spec.clone());
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        // All 8 dependencies crossed as ONE coalesced request frame.
+        assert_eq!(r.remote_service.stats().requests.get(), 1);
+        assert_eq!(r.remote_service.stats().objects_served.get(), 8);
+        for dep in &deps {
+            assert!(r.store_local.contains(*dep));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn prefetch_off_falls_back_to_per_object_watchers() {
+        let mut r = remote_dep_rig(false, 1 << 20);
+        let deps: Vec<ObjectId> = (0..4)
+            .map(|i| {
+                TaskId::driver_root(DriverId::from_index(0))
+                    .child(200 + i)
+                    .return_object(0)
+            })
+            .collect();
+        for &dep in &deps {
+            r.store_remote.put(dep, Bytes::from(vec![1u8; 16])).unwrap();
+            r.services.objects.add_location(dep, NodeId(7), 16);
+        }
+        let args: Vec<ArgSpec> = deps.iter().map(|d| ArgSpec::ObjectRef(*d)).collect();
+        let spec = spec_with(args, 0);
+        r.handle.submit(spec.clone());
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        // The reactive baseline pays one request frame per object.
+        assert_eq!(r.remote_service.stats().requests.get(), 4);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn arrived_dependencies_stay_pinned_until_task_completes() {
+        // Local store fits ~4 x 64B. The fetched dependency must survive
+        // eviction pressure while its task is queued/running, and become
+        // evictable once the task completes.
+        let mut r = remote_dep_rig(true, 256);
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(300)
+            .return_object(0);
+        r.store_remote.put(dep, Bytes::from(vec![9u8; 64])).unwrap();
+        r.services.objects.add_location(dep, NodeId(7), 64);
+        let spec = spec_with(vec![ArgSpec::ObjectRef(dep)], 0);
+        r.handle.submit(spec.clone());
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        // The task is running; its argument is pinned. A put that would
+        // need the whole store must fail rather than evict it.
+        let filler = |i: u64| {
+            TaskId::driver_root(DriverId::from_index(9))
+                .child(i)
+                .return_object(0)
+        };
+        let err = r
+            .store_local
+            .put(filler(0), Bytes::from(vec![0u8; 250]))
+            .unwrap_err();
+        assert!(matches!(err, rtml_common::error::Error::StoreFull { .. }));
+        assert!(r.store_local.contains(dep), "pinned argument was evicted");
+        // Completion releases the pin; now the same put evicts it.
+        r.handle
+            .sender()
+            .send(LocalMsg::WorkerDone {
+                worker: r.worker_id,
+                task: spec.task_id,
+            })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if r.store_local
+                .put(filler(1), Bytes::from(vec![0u8; 250]))
+                .is_ok()
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "pin never released");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!r.store_local.contains(dep));
+        r.handle.shutdown();
+    }
+
     #[test]
     fn resolver_triggers_reconstruction_for_lost_object() {
         let kv = KvStore::new(2);
@@ -1221,8 +1637,14 @@ mod tests {
         let store = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         }));
         let _t = TransferService::spawn(fabric.clone(), store.clone(), &directory);
+        let agent = Arc::new(FetchAgent::spawn(
+            fabric.clone(),
+            store.clone(),
+            directory.clone(),
+        ));
         let global = fabric.register(NodeId(1000), "fake-global");
         let objects = ObjectTable::new(kv.clone());
         let (hook_tx, hook_rx) = unbounded();
@@ -1234,6 +1656,7 @@ mod tests {
             fabric,
             directory,
             store,
+            agent,
             global_address: global.address(),
             reconstruct: Arc::new(move |obj| {
                 let _ = hook_tx.send(obj);

@@ -21,11 +21,17 @@
 //!
 //! Cross-node movement lives in [`transfer`]: a per-node
 //! [`transfer::TransferService`] answers object requests over the
-//! simulated fabric, and [`transfer::fetch_object`] pulls a remote object
-//! into the local store, paying the fabric's latency/bandwidth costs.
+//! simulated fabric — chunking large objects into size-capped frames
+//! ([`StoreConfig::chunk_bytes`]) and coalescing multi-object requests
+//! into one reply stream — while a per-node [`transfer::FetchAgent`]
+//! issues requests from one persistent endpoint, reassembles chunks,
+//! and single-flights concurrent fetches of the same object. The
+//! standalone [`transfer::fetch_object`] remains for one-shot use.
 
 pub mod store;
 pub mod transfer;
 
-pub use store::{ObjectStore, PutOutcome, StoreConfig, StoreStats};
-pub use transfer::{fetch_object, TransferDirectory, TransferService};
+pub use store::{ObjectStore, PutOutcome, StoreConfig, StoreStats, DEFAULT_CHUNK_BYTES};
+pub use transfer::{
+    fetch_object, FetchAgent, FetchStats, TransferDirectory, TransferService, TransferStats,
+};

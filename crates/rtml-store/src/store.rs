@@ -17,13 +17,22 @@ pub struct StoreConfig {
     pub node: NodeId,
     /// Capacity in bytes; puts beyond this evict or fail.
     pub capacity_bytes: u64,
+    /// Maximum payload bytes per transfer frame: objects larger than
+    /// this leave the node's [`crate::TransferService`] as
+    /// ⌈size/chunk⌉ frames streamed through the fabric's bandwidth
+    /// model instead of one monolithic message. Clamped to ≥ 1.
+    pub chunk_bytes: u64,
 }
+
+/// Default transfer chunk size (256 KiB).
+pub const DEFAULT_CHUNK_BYTES: u64 = 256 * 1024;
 
 impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
             node: NodeId(0),
             capacity_bytes: 512 * 1024 * 1024,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
         }
     }
 }
@@ -95,6 +104,11 @@ impl ObjectStore {
     /// Store capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.config.capacity_bytes
+    }
+
+    /// Transfer chunk size for objects leaving this store (≥ 1).
+    pub fn chunk_bytes(&self) -> u64 {
+        self.config.chunk_bytes.max(1)
     }
 
     /// Bytes currently held.
@@ -328,6 +342,7 @@ mod tests {
         ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: capacity,
+            ..StoreConfig::default()
         })
     }
 

@@ -1,24 +1,45 @@
-//! Cross-node object transfer over the simulated fabric.
+//! Cross-node object transfer over the simulated fabric — the batched,
+//! pipelined data plane.
 //!
-//! Each node runs a [`TransferService`] thread that answers object
-//! requests from its local store. A consumer missing an object calls
-//! [`fetch_object`], which sends a request to the holder's service and
-//! blocks until the payload arrives (paying the fabric's latency and
-//! bandwidth costs), then seals the object into the local store.
+//! Each node runs two persistent components:
 //!
-//! The wire protocol is two message types, encoded with the rtml codec:
-//! `Request { object, reply_to }` and `Response { object, payload? }`.
+//! - a [`TransferService`] (server side) that answers object requests
+//!   from its local store, **chunking** large objects into size-capped
+//!   frames ([`crate::StoreConfig::chunk_bytes`]) streamed through the
+//!   fabric's bandwidth model, and **coalescing** a request for K
+//!   objects into one reply stream;
+//! - a [`FetchAgent`] (client side) with one persistent reply endpoint
+//!   for the node's entire lifetime. [`FetchAgent::fetch_many`] groups K
+//!   objects into a single request frame per holder and
+//!   **single-flights** concurrent fetches of the same object: the
+//!   second caller waits on the in-flight transfer instead of issuing a
+//!   duplicate.
+//!
+//! The wire protocol is three message types, encoded with the rtml
+//! codec: `Request { objects, reply_to }`, `Chunk { object, index,
+//! total, payload }`, and `Missing { object }`. A response to a
+//! K-object request is one [`rtml_net::Fabric::send_chunks`] stream:
+//! a single propagation-delay sample plus the bandwidth term for the
+//! total size, delivered as ⌈size/chunk⌉ frames per object and
+//! reassembled at the receiver.
+//!
+//! [`fetch_object`] remains as the standalone one-shot form (tests,
+//! benches): it registers an ephemeral reply endpoint whose
+//! registration is scoped to an RAII guard, so it cannot leak on any
+//! exit path.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 
 use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
 use rtml_common::error::{Error, Result};
 use rtml_common::ids::{NodeId, ObjectId};
+use rtml_common::metrics::Counter;
 use rtml_net::{Fabric, NetAddress};
 
 use crate::store::{ObjectStore, PutOutcome};
@@ -26,28 +47,49 @@ use crate::store::{ObjectStore, PutOutcome};
 /// Transfer wire messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum TransferMsg {
-    /// "Send me `object`; reply to this address."
-    Request { object: ObjectId, reply_to: u64 },
-    /// The payload, or `None` if the holder no longer has the object
-    /// (evicted or crashed between lookup and request).
-    Response {
-        object: ObjectId,
-        payload: Option<Bytes>,
+    /// "Send me these objects; reply to this address." K objects from
+    /// one holder travel as one request frame.
+    Request {
+        objects: Vec<ObjectId>,
+        reply_to: u64,
     },
+    /// One size-capped piece of an object's payload. `total` is the
+    /// number of chunks the object was split into; the receiver
+    /// reassembles once all have arrived.
+    Chunk {
+        object: ObjectId,
+        index: u32,
+        total: u32,
+        payload: Bytes,
+    },
+    /// The holder no longer has the object (evicted or crashed between
+    /// lookup and request).
+    Missing { object: ObjectId },
 }
 
 impl Codec for TransferMsg {
     fn encode(&self, w: &mut Writer) {
         match self {
-            TransferMsg::Request { object, reply_to } => {
+            TransferMsg::Request { objects, reply_to } => {
                 w.put_u8(0);
-                object.encode(w);
+                objects.encode(w);
                 w.put_u64(*reply_to);
             }
-            TransferMsg::Response { object, payload } => {
+            TransferMsg::Chunk {
+                object,
+                index,
+                total,
+                payload,
+            } => {
                 w.put_u8(1);
                 object.encode(w);
+                w.put_u32(*index);
+                w.put_u32(*total);
                 payload.encode(w);
+            }
+            TransferMsg::Missing { object } => {
+                w.put_u8(2);
+                object.encode(w);
             }
         }
     }
@@ -55,16 +97,37 @@ impl Codec for TransferMsg {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(match r.take_u8()? {
             0 => TransferMsg::Request {
-                object: ObjectId::decode(r)?,
+                objects: Vec::<ObjectId>::decode(r)?,
                 reply_to: r.take_u64()?,
             },
-            1 => TransferMsg::Response {
+            1 => TransferMsg::Chunk {
                 object: ObjectId::decode(r)?,
-                payload: Option::<Bytes>::decode(r)?,
+                index: r.take_u32()?,
+                total: r.take_u32()?,
+                payload: Bytes::decode(r)?,
+            },
+            2 => TransferMsg::Missing {
+                object: ObjectId::decode(r)?,
             },
             other => return Err(Error::Codec(format!("invalid TransferMsg tag {other}"))),
         })
     }
+}
+
+/// Encodes a `TransferMsg::Chunk` frame directly from a payload slice,
+/// skipping the intermediate `Bytes` a literal `TransferMsg` value would
+/// force (one memcpy instead of two on the serving hot path). Must stay
+/// byte-identical to `TransferMsg::Chunk`'s `Codec::encode`; a test
+/// asserts the equivalence.
+fn encode_chunk_frame(object: ObjectId, index: u32, total: u32, payload: &[u8]) -> Bytes {
+    // Tag + object id + two u32s + varint length prefix.
+    let mut w = Writer::with_capacity(1 + 16 + 4 + 4 + 10 + payload.len());
+    w.put_u8(1);
+    object.encode(&mut w);
+    w.put_u32(index);
+    w.put_u32(total);
+    w.put_bytes(payload);
+    w.into_bytes()
 }
 
 /// Maps each node to its transfer-service fabric address. Shared by all
@@ -96,11 +159,29 @@ impl TransferDirectory {
     }
 }
 
+/// Server-side transfer counters, one set per [`TransferService`].
+#[derive(Debug, Default)]
+pub struct TransferStats {
+    /// Request frames served (each may name many objects).
+    pub requests: Counter,
+    /// Objects served (payload found and streamed back).
+    pub objects_served: Counter,
+    /// Requested objects the store no longer had.
+    pub misses: Counter,
+    /// Undecodable or misrouted frames received.
+    pub decode_errors: Counter,
+    /// Reply streams the fabric refused (requester gone).
+    pub send_failures: Counter,
+    /// Chunk frames emitted.
+    pub chunks_sent: Counter,
+}
+
 /// Per-node server answering transfer requests from the local store.
 pub struct TransferService {
     handle: Option<std::thread::JoinHandle<()>>,
     address: NetAddress,
     fabric: Arc<Fabric>,
+    stats: Arc<TransferStats>,
 }
 
 impl TransferService {
@@ -115,23 +196,69 @@ impl TransferService {
         let endpoint = fabric.register(node, "transfer");
         let address = endpoint.address();
         directory.insert(node, address);
+        let stats = Arc::new(TransferStats::default());
+        let stats2 = stats.clone();
         let fabric2 = fabric.clone();
         let handle = std::thread::Builder::new()
             .name(format!("rtml-transfer-{node}"))
             .spawn(move || {
                 while let Ok(delivery) = endpoint.receiver().recv() {
-                    let Ok(msg) = decode_from_slice::<TransferMsg>(&delivery.payload) else {
+                    let msg = match decode_from_slice::<TransferMsg>(&delivery.payload) {
+                        Ok(msg) => msg,
+                        Err(_) => {
+                            stats2.decode_errors.inc();
+                            continue;
+                        }
+                    };
+                    let TransferMsg::Request { objects, reply_to } = msg else {
+                        // Chunk/Missing frames belong to agents, not
+                        // services; count the misroute rather than
+                        // dropping it silently.
+                        stats2.decode_errors.inc();
                         continue;
                     };
-                    if let TransferMsg::Request { object, reply_to } = msg {
-                        let payload = store.get(object);
-                        let response = TransferMsg::Response { object, payload };
-                        // Best-effort: the requester may have timed out.
-                        let _ = fabric2.send(
-                            address,
-                            NetAddress::from_u64(reply_to),
-                            encode_to_bytes(&response),
-                        );
+                    stats2.requests.inc();
+                    let chunk_bytes = store.chunk_bytes() as usize;
+                    // One reply stream for the whole request: all chunks
+                    // of all objects share a single propagation-delay
+                    // sample and pay bandwidth on their total size.
+                    let mut frames = Vec::new();
+                    for object in objects {
+                        // Pin across lookup + snapshot so a concurrent
+                        // put's LRU sweep cannot evict the object
+                        // between "decide to serve" and "copy bytes".
+                        let pinned = store.pin(object);
+                        match store.get(object) {
+                            Some(data) => {
+                                stats2.objects_served.inc();
+                                let data = data.as_slice();
+                                let total = (data.len().div_ceil(chunk_bytes)).max(1) as u32;
+                                for index in 0..total {
+                                    let a = index as usize * chunk_bytes;
+                                    let b = (a + chunk_bytes).min(data.len());
+                                    frames.push(encode_chunk_frame(
+                                        object,
+                                        index,
+                                        total,
+                                        &data[a..b],
+                                    ));
+                                    stats2.chunks_sent.inc();
+                                }
+                            }
+                            None => {
+                                stats2.misses.inc();
+                                frames.push(encode_to_bytes(&TransferMsg::Missing { object }));
+                            }
+                        }
+                        if pinned {
+                            store.unpin(object);
+                        }
+                    }
+                    if fabric2
+                        .send_chunks(address, NetAddress::from_u64(reply_to), frames)
+                        .is_err()
+                    {
+                        stats2.send_failures.inc();
                     }
                 }
             })
@@ -140,12 +267,18 @@ impl TransferService {
             handle: Some(handle),
             address,
             fabric,
+            stats,
         }
     }
 
     /// The service's fabric address.
     pub fn address(&self) -> NetAddress {
         self.address
+    }
+
+    /// The service's counters (shared with its thread).
+    pub fn stats(&self) -> &Arc<TransferStats> {
+        &self.stats
     }
 
     /// Stops the service (unregisters its endpoint; the thread exits when
@@ -164,7 +297,345 @@ impl Drop for TransferService {
     }
 }
 
+/// Client-side transfer counters, one set per [`FetchAgent`].
+#[derive(Debug, Default)]
+pub struct FetchStats {
+    /// Distinct transfers started (one per object actually requested).
+    pub transfers: Counter,
+    /// Request frames sent (each may name many objects).
+    pub requests_sent: Counter,
+    /// Fetches answered by joining an in-flight transfer instead of
+    /// issuing a duplicate request.
+    pub duplicates_suppressed: Counter,
+    /// Chunk frames received.
+    pub chunks_received: Counter,
+    /// Objects fully reassembled and sealed locally.
+    pub objects_fetched: Counter,
+    /// `Missing` answers (holder no longer had the object).
+    pub misses: Counter,
+    /// Waits that gave up before the transfer completed.
+    pub timeouts: Counter,
+    /// Undecodable or misrouted frames received.
+    pub decode_errors: Counter,
+}
+
+/// How long an unsolicited (orphan) reassembly buffer is retained.
+const ORPHAN_TTL: Duration = Duration::from_secs(5);
+
+struct InFlight {
+    waiters: Vec<Sender<Result<(Bytes, PutOutcome)>>>,
+    chunks: Vec<Option<Bytes>>,
+    received: u32,
+    expires_at: Instant,
+}
+
+struct AgentInner {
+    fabric: Arc<Fabric>,
+    store: Arc<ObjectStore>,
+    directory: Arc<TransferDirectory>,
+    address: NetAddress,
+    in_flight: Mutex<HashMap<ObjectId, InFlight>>,
+    stats: FetchStats,
+}
+
+/// Per-node fetch client: one persistent reply endpoint, coalesced
+/// multi-object requests, chunk reassembly, and single-flighted
+/// concurrent fetches. This replaces the ephemeral-endpoint-per-fetch
+/// protocol: steady-state fetching registers **zero** new fabric
+/// endpoints.
+pub struct FetchAgent {
+    inner: Arc<AgentInner>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl FetchAgent {
+    /// Spawns the agent's receive thread for `store`.
+    pub fn spawn(
+        fabric: Arc<Fabric>,
+        store: Arc<ObjectStore>,
+        directory: Arc<TransferDirectory>,
+    ) -> FetchAgent {
+        let node = store.node();
+        let endpoint = fabric.register(node, "fetch-agent");
+        let inner = Arc::new(AgentInner {
+            address: endpoint.address(),
+            fabric,
+            store,
+            directory,
+            in_flight: Mutex::new(HashMap::new()),
+            stats: FetchStats::default(),
+        });
+        let inner2 = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rtml-fetch-{node}"))
+            .spawn(move || agent_loop(inner2, endpoint))
+            .expect("spawn fetch agent");
+        FetchAgent {
+            inner,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// The agent's counters.
+    pub fn stats(&self) -> &FetchStats {
+        &self.inner.stats
+    }
+
+    /// The agent's persistent reply address.
+    pub fn address(&self) -> NetAddress {
+        self.inner.address
+    }
+
+    /// Number of transfers currently tracked (in flight, or stranded and
+    /// awaiting the reap in the next `fetch_many`).
+    pub fn in_flight_len(&self) -> usize {
+        self.inner.in_flight.lock().len()
+    }
+
+    /// Pulls one object from `holder` into the local store; see
+    /// [`FetchAgent::fetch_many`].
+    pub fn fetch_one(
+        &self,
+        object: ObjectId,
+        holder: NodeId,
+        timeout: Duration,
+    ) -> Result<(Bytes, PutOutcome)> {
+        self.fetch_many(&[object], holder, timeout)
+            .pop()
+            .expect("one object in, one result out")
+    }
+
+    /// Pulls `objects` from `holder` into the local store, blocking up
+    /// to `timeout`. Returns one result per input position, in order.
+    ///
+    /// All objects that actually need requesting travel as **one**
+    /// request frame; the holder answers with one chunked reply stream.
+    /// Objects already local resolve immediately; objects already in
+    /// flight (from any caller on this node) join the existing transfer
+    /// instead of issuing a duplicate.
+    pub fn fetch_many(
+        &self,
+        objects: &[ObjectId],
+        holder: NodeId,
+        timeout: Duration,
+    ) -> Vec<Result<(Bytes, PutOutcome)>> {
+        let inner = &self.inner;
+        let Some(remote) = inner.directory.lookup(holder) else {
+            return objects
+                .iter()
+                .map(|_| Err(Error::NodeDown(holder)))
+                .collect();
+        };
+        let deadline = Instant::now() + timeout;
+        let mut results: Vec<Option<Result<(Bytes, PutOutcome)>>> = vec![None; objects.len()];
+        let mut receivers: Vec<Option<Receiver<Result<(Bytes, PutOutcome)>>>> =
+            Vec::with_capacity(objects.len());
+        receivers.resize_with(objects.len(), || None);
+        let mut to_request: Vec<ObjectId> = Vec::new();
+        let mut requested: HashSet<ObjectId> = HashSet::new();
+        {
+            let mut fl = inner.in_flight.lock();
+            let now = Instant::now();
+            // Reap transfers that died without an answer (holder gone
+            // mid-stream, dropped partition traffic): entries past their
+            // deadline plus a grace period will never complete, and
+            // nothing else removes them once their waiters time out.
+            fl.retain(|_, entry| now < entry.expires_at + ORPHAN_TTL);
+            for (i, &object) in objects.iter().enumerate() {
+                if let Some(bytes) = inner.store.get(object) {
+                    results[i] = Some(Ok((
+                        bytes,
+                        PutOutcome {
+                            inserted: false,
+                            evicted: Vec::new(),
+                        },
+                    )));
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                match fl.get_mut(&object) {
+                    Some(entry) if entry.expires_at > now => {
+                        // Single flight: join the in-flight transfer.
+                        entry.waiters.push(tx);
+                        inner.stats.duplicates_suppressed.inc();
+                    }
+                    Some(entry) => {
+                        // The previous request apparently got lost
+                        // (partition, dead holder): refresh and
+                        // re-request, keeping earlier waiters attached.
+                        entry.waiters.push(tx);
+                        entry.expires_at = deadline;
+                        if requested.insert(object) {
+                            to_request.push(object);
+                        }
+                    }
+                    None => {
+                        fl.insert(
+                            object,
+                            InFlight {
+                                waiters: vec![tx],
+                                chunks: Vec::new(),
+                                received: 0,
+                                expires_at: deadline,
+                            },
+                        );
+                        if requested.insert(object) {
+                            to_request.push(object);
+                        }
+                        inner.stats.transfers.inc();
+                    }
+                }
+                receivers[i] = Some(rx);
+            }
+        }
+
+        if !to_request.is_empty() {
+            inner.stats.requests_sent.inc();
+            let request = TransferMsg::Request {
+                objects: to_request.clone(),
+                reply_to: inner.address.as_u64(),
+            };
+            if inner
+                .fabric
+                .send(inner.address, remote, encode_to_bytes(&request))
+                .is_err()
+            {
+                // The holder's endpoint is gone: fail everything we just
+                // put in flight toward it.
+                let mut fl = inner.in_flight.lock();
+                for object in to_request {
+                    if let Some(entry) = fl.remove(&object) {
+                        for w in entry.waiters {
+                            let _ = w.send(Err(Error::NodeDown(holder)));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let Some(rx) = rx else { continue };
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            results[i] = Some(match rx.recv_timeout(remaining) {
+                Ok(result) => result,
+                Err(_) => {
+                    inner.stats.timeouts.inc();
+                    Err(Error::Timeout)
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every position filled"))
+            .collect()
+    }
+
+    /// Stops the agent (unregisters its endpoint and joins the thread).
+    pub fn shutdown(&self) {
+        self.inner.fabric.unregister(self.inner.address);
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FetchAgent {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn agent_loop(inner: Arc<AgentInner>, endpoint: rtml_net::Endpoint) {
+    while let Ok(delivery) = endpoint.receiver().recv() {
+        let msg = match decode_from_slice::<TransferMsg>(&delivery.payload) {
+            Ok(msg) => msg,
+            Err(_) => {
+                inner.stats.decode_errors.inc();
+                continue;
+            }
+        };
+        match msg {
+            TransferMsg::Chunk {
+                object,
+                index,
+                total,
+                payload,
+            } => {
+                inner.stats.chunks_received.inc();
+                let total = total.max(1) as usize;
+                let index = index as usize;
+                if index >= total {
+                    inner.stats.decode_errors.inc();
+                    continue;
+                }
+                let mut fl = inner.in_flight.lock();
+                let entry = fl.entry(object).or_insert_with(|| InFlight {
+                    // Unsolicited data (a request we gave up on): still
+                    // reassemble — sealing the bytes is useful work.
+                    waiters: Vec::new(),
+                    chunks: Vec::new(),
+                    received: 0,
+                    expires_at: Instant::now() + ORPHAN_TTL,
+                });
+                if entry.chunks.len() != total {
+                    entry.chunks = vec![None; total];
+                    entry.received = 0;
+                }
+                if entry.chunks[index].is_none() {
+                    entry.chunks[index] = Some(payload);
+                    entry.received += 1;
+                }
+                if entry.received as usize == total {
+                    let entry = fl.remove(&object).expect("entry present");
+                    // Seal while still holding the in-flight lock: a
+                    // concurrent fetch_many either finds this entry or
+                    // finds the object in the store — never neither.
+                    let size = entry
+                        .chunks
+                        .iter()
+                        .map(|c| c.as_ref().expect("all chunks received").len())
+                        .sum();
+                    let mut buf = Vec::with_capacity(size);
+                    for chunk in &entry.chunks {
+                        buf.extend_from_slice(chunk.as_ref().expect("all chunks received"));
+                    }
+                    let bytes = Bytes::from(buf);
+                    match inner.store.put(object, bytes.clone()) {
+                        Ok(outcome) => {
+                            inner.stats.objects_fetched.inc();
+                            for w in &entry.waiters {
+                                let _ = w.send(Ok((bytes.clone(), outcome.clone())));
+                            }
+                        }
+                        Err(err) => {
+                            for w in &entry.waiters {
+                                let _ = w.send(Err(err.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            TransferMsg::Missing { object } => {
+                inner.stats.misses.inc();
+                if let Some(entry) = inner.in_flight.lock().remove(&object) {
+                    for w in entry.waiters {
+                        let _ = w.send(Err(Error::ObjectNotFound(object)));
+                    }
+                }
+            }
+            TransferMsg::Request { .. } => inner.stats.decode_errors.inc(),
+        }
+    }
+}
+
 /// Pulls `object` from `holder` into `local`, blocking up to `timeout`.
+///
+/// The standalone one-shot form of the protocol (tests, benches): it
+/// registers an **ephemeral** reply endpoint scoped to an RAII guard —
+/// unregistration is unconditional on every exit path, so repeated
+/// calls leave the fabric's endpoint table exactly as they found it.
+/// Runtime components use the per-node [`FetchAgent`] instead, which
+/// keeps one persistent endpoint and single-flights duplicates.
 ///
 /// On success the object is sealed into `local`; the outcome reports any
 /// evictions the insertion caused. Fails with [`Error::ObjectNotFound`] if
@@ -179,40 +650,63 @@ pub fn fetch_object(
     timeout: Duration,
 ) -> Result<(Bytes, PutOutcome)> {
     let remote = directory.lookup(holder).ok_or(Error::NodeDown(holder))?;
-    // Ephemeral reply endpoint for this fetch.
-    let reply = fabric.register(local.node(), "fetch-reply");
+    // Ephemeral reply endpoint for this fetch; the guard unregisters it
+    // no matter how this function returns.
+    let reply = fabric.register_guarded(local.node(), "fetch-reply");
     let request = TransferMsg::Request {
-        object,
+        objects: vec![object],
         reply_to: reply.address().as_u64(),
     };
     fabric.send(reply.address(), remote, encode_to_bytes(&request))?;
 
-    let deadline = std::time::Instant::now() + timeout;
-    let result = loop {
-        let now = std::time::Instant::now();
+    let deadline = Instant::now() + timeout;
+    let mut chunks: Vec<Option<Bytes>> = Vec::new();
+    let mut received = 0usize;
+    let data = loop {
+        let now = Instant::now();
         if now >= deadline {
-            break Err(Error::Timeout);
+            return Err(Error::Timeout);
         }
-        match reply.receiver().recv_timeout(deadline - now) {
-            Ok(delivery) => {
-                match decode_from_slice::<TransferMsg>(&delivery.payload) {
-                    Ok(TransferMsg::Response {
-                        object: got,
-                        payload,
-                    }) if got == object => match payload {
-                        Some(data) => break Ok(data),
-                        None => break Err(Error::ObjectNotFound(object)),
-                    },
-                    // Stale or foreign frame; keep waiting.
-                    _ => continue,
+        let Ok(delivery) = reply.receiver().recv_timeout(deadline - now) else {
+            return Err(Error::Timeout);
+        };
+        match decode_from_slice::<TransferMsg>(&delivery.payload) {
+            Ok(TransferMsg::Chunk {
+                object: got,
+                index,
+                total,
+                payload,
+            }) if got == object => {
+                let total = total.max(1) as usize;
+                let index = index as usize;
+                if index >= total {
+                    continue;
+                }
+                if chunks.len() != total {
+                    chunks = vec![None; total];
+                    received = 0;
+                }
+                if chunks[index].is_none() {
+                    chunks[index] = Some(payload);
+                    received += 1;
+                }
+                if received == total {
+                    let mut buf =
+                        Vec::with_capacity(chunks.iter().map(|c| c.as_ref().unwrap().len()).sum());
+                    for chunk in &chunks {
+                        buf.extend_from_slice(chunk.as_ref().unwrap());
+                    }
+                    break Bytes::from(buf);
                 }
             }
-            Err(_) => break Err(Error::Timeout),
+            Ok(TransferMsg::Missing { object: got }) if got == object => {
+                return Err(Error::ObjectNotFound(object));
+            }
+            // Stale or foreign frame; keep waiting.
+            _ => continue,
         }
     };
-    fabric.unregister(reply.address());
 
-    let data = result?;
     let outcome = local.put(object, data.clone())?;
     Ok((data, outcome))
 }
@@ -240,6 +734,20 @@ mod tests {
         TransferService,
         TransferService,
     ) {
+        setup_chunked(latency_micros, crate::store::DEFAULT_CHUNK_BYTES)
+    }
+
+    fn setup_chunked(
+        latency_micros: u64,
+        chunk_bytes: u64,
+    ) -> (
+        Arc<Fabric>,
+        Arc<TransferDirectory>,
+        Arc<ObjectStore>,
+        Arc<ObjectStore>,
+        TransferService,
+        TransferService,
+    ) {
         let fabric = Fabric::new(FabricConfig {
             latency: LatencyModel::Constant(Duration::from_micros(latency_micros)),
             ..FabricConfig::default()
@@ -248,10 +756,12 @@ mod tests {
         let store0 = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 20,
+            chunk_bytes,
         }));
         let store1 = Arc::new(ObjectStore::new(StoreConfig {
             node: NodeId(1),
             capacity_bytes: 1 << 20,
+            chunk_bytes,
         }));
         let svc0 = TransferService::spawn(fabric.clone(), store0.clone(), &directory);
         let svc1 = TransferService::spawn(fabric.clone(), store1.clone(), &directory);
@@ -262,17 +772,16 @@ mod tests {
     fn transfer_msg_round_trips() {
         let msgs = vec![
             TransferMsg::Request {
-                object: obj(1),
+                objects: vec![obj(1), obj(2), obj(3)],
                 reply_to: 42,
             },
-            TransferMsg::Response {
+            TransferMsg::Chunk {
                 object: obj(1),
-                payload: Some(Bytes::from_static(b"data")),
+                index: 2,
+                total: 7,
+                payload: Bytes::from_static(b"data"),
             },
-            TransferMsg::Response {
-                object: obj(2),
-                payload: None,
-            },
+            TransferMsg::Missing { object: obj(2) },
         ];
         for msg in msgs {
             let bytes = encode_to_bytes(&msg);
@@ -303,7 +812,7 @@ mod tests {
 
     #[test]
     fn fetch_missing_object_errors() {
-        let (fabric, directory, _store0, store1, _s0, _s1) = setup(0);
+        let (fabric, directory, _store0, store1, s0, _s1) = setup(0);
         let err = fetch_object(
             &fabric,
             &directory,
@@ -314,6 +823,7 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, Error::ObjectNotFound(obj(9)));
+        assert_eq!(s0.stats().misses.get(), 1);
     }
 
     #[test]
@@ -367,29 +877,260 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_fetches_of_same_object() {
-        let (fabric, directory, store0, store1, _s0, _s1) = setup(100);
+    fn ephemeral_fetch_endpoints_never_leak() {
+        // Regression for the fetch-reply endpoint leak: success, miss,
+        // and timeout paths must all leave the endpoint table unchanged.
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(0);
+        store0.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let base = fabric.endpoint_count();
+        for _ in 0..16 {
+            fetch_object(
+                &fabric,
+                &directory,
+                &store1,
+                obj(1),
+                NodeId(0),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            store1.delete(obj(1));
+            let _ = fetch_object(
+                &fabric,
+                &directory,
+                &store1,
+                obj(9),
+                NodeId(0),
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        }
+        fabric.partition(NodeId(0), NodeId(1));
+        let _ = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_millis(20),
+        )
+        .unwrap_err();
+        assert_eq!(fabric.endpoint_count(), base);
+    }
+
+    #[test]
+    fn large_object_moves_as_ceil_size_over_chunk_frames() {
+        // 1000 bytes at 256-byte chunks = 4 frames.
+        let (fabric, directory, store0, store1, s0, _s1) = setup_chunked(100, 256);
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        store0.put(obj(1), Bytes::from(payload.clone())).unwrap();
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        let (data, _) = agent
+            .fetch_one(obj(1), NodeId(0), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(data.as_slice(), &payload[..]);
+        assert_eq!(s0.stats().chunks_sent.get(), 4);
+        assert_eq!(agent.stats().chunks_received.get(), 4);
+        assert_eq!(fabric.stats.chunk_frames.get(), 4);
+    }
+
+    #[test]
+    fn fetch_many_coalesces_one_request_frame_per_holder() {
+        let (fabric, directory, store0, store1, s0, _s1) = setup(100);
+        let objects: Vec<ObjectId> = (0..16).map(obj).collect();
+        for (i, &o) in objects.iter().enumerate() {
+            store0.put(o, Bytes::from(vec![i as u8; 64])).unwrap();
+        }
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        let results = agent.fetch_many(&objects, NodeId(0), Duration::from_secs(5));
+        for (i, result) in results.iter().enumerate() {
+            let (data, _) = result.as_ref().unwrap();
+            assert_eq!(data.as_slice(), &[i as u8; 64][..]);
+        }
+        // 16 objects, one request frame, one reply stream.
+        assert_eq!(s0.stats().requests.get(), 1);
+        assert_eq!(agent.stats().requests_sent.get(), 1);
+        assert_eq!(s0.stats().objects_served.get(), 16);
+    }
+
+    #[test]
+    fn concurrent_fetches_of_same_object_single_flight() {
+        let (fabric, directory, store0, store1, s0, _s1) = setup(2_000);
         store0.put(obj(1), Bytes::from(vec![7u8; 256])).unwrap();
+        let agent = Arc::new(FetchAgent::spawn(
+            fabric.clone(),
+            store1.clone(),
+            directory.clone(),
+        ));
         let mut handles = Vec::new();
-        for _ in 0..4 {
-            let fabric = fabric.clone();
-            let directory = directory.clone();
-            let store1 = store1.clone();
+        for _ in 0..8 {
+            let agent = agent.clone();
             handles.push(std::thread::spawn(move || {
-                fetch_object(
-                    &fabric,
-                    &directory,
-                    &store1,
-                    obj(1),
-                    NodeId(0),
-                    Duration::from_secs(5),
-                )
-                .map(|(data, _)| data.len())
+                agent
+                    .fetch_one(obj(1), NodeId(0), Duration::from_secs(5))
+                    .map(|(data, _)| data.len())
             }));
         }
         for h in handles {
             assert_eq!(h.join().unwrap().unwrap(), 256);
         }
         assert!(store1.contains(obj(1)));
+        // Exactly one transfer crossed the wire; callers beyond the
+        // first either joined it or hit the store.
+        assert_eq!(s0.stats().requests.get(), 1);
+        assert_eq!(s0.stats().objects_served.get(), 1);
+        assert_eq!(agent.stats().transfers.get(), 1);
+    }
+
+    #[test]
+    fn fetch_many_with_duplicates_issues_one_transfer_per_distinct_object() {
+        let (fabric, directory, store0, store1, s0, _s1) = setup(100);
+        store0.put(obj(1), Bytes::from_static(b"a")).unwrap();
+        store0.put(obj(2), Bytes::from_static(b"bb")).unwrap();
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        let ids = vec![obj(1), obj(2), obj(1), obj(2), obj(1)];
+        let results = agent.fetch_many(&ids, NodeId(0), Duration::from_secs(5));
+        let lens: Vec<usize> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().0.len())
+            .collect();
+        assert_eq!(lens, vec![1, 2, 1, 2, 1]);
+        assert_eq!(agent.stats().transfers.get(), 2);
+        assert_eq!(agent.stats().duplicates_suppressed.get(), 3);
+        assert_eq!(s0.stats().objects_served.get(), 2);
+    }
+
+    #[test]
+    fn agent_fetch_of_local_object_is_immediate() {
+        let (fabric, directory, _store0, store1, s0, _s1) = setup(50_000);
+        store1.put(obj(1), Bytes::from_static(b"here")).unwrap();
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        let start = Instant::now();
+        let (data, outcome) = agent
+            .fetch_one(obj(1), NodeId(0), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&data[..], b"here");
+        assert!(!outcome.inserted);
+        assert!(start.elapsed() < Duration::from_millis(40));
+        assert_eq!(s0.stats().requests.get(), 0);
+    }
+
+    #[test]
+    fn agent_reports_missing_and_unknown_holder() {
+        let (fabric, directory, _store0, store1, _s0, _s1) = setup(0);
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        assert_eq!(
+            agent
+                .fetch_one(obj(9), NodeId(0), Duration::from_secs(5))
+                .unwrap_err(),
+            Error::ObjectNotFound(obj(9))
+        );
+        assert_eq!(agent.stats().misses.get(), 1);
+        assert_eq!(
+            agent
+                .fetch_one(obj(9), NodeId(42), Duration::from_secs(1))
+                .unwrap_err(),
+            Error::NodeDown(NodeId(42))
+        );
+    }
+
+    #[test]
+    fn agent_times_out_under_partition_then_recovers() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(0);
+        store0.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        fabric.partition(NodeId(0), NodeId(1));
+        assert_eq!(
+            agent
+                .fetch_one(obj(1), NodeId(0), Duration::from_millis(40))
+                .unwrap_err(),
+            Error::Timeout
+        );
+        assert_eq!(agent.stats().timeouts.get(), 1);
+        // The dead transfer stays tracked until completion or reap.
+        assert_eq!(agent.in_flight_len(), 1);
+        fabric.heal(NodeId(0), NodeId(1));
+        // The expired in-flight entry must be re-requested, not joined.
+        let (data, _) = agent
+            .fetch_one(obj(1), NodeId(0), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&data[..], b"x");
+        // Completion removes the entry; nothing lingers.
+        assert_eq!(agent.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn chunk_frame_encoding_matches_codec() {
+        let payload: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+        let direct = encode_chunk_frame(obj(3), 2, 7, &payload);
+        let via_codec = encode_to_bytes(&TransferMsg::Chunk {
+            object: obj(3),
+            index: 2,
+            total: 7,
+            payload: Bytes::from(payload),
+        });
+        assert_eq!(direct, via_codec);
+    }
+
+    #[test]
+    fn agent_uses_one_persistent_endpoint_across_fetches() {
+        let (fabric, directory, store0, store1, _s0, _s1) = setup(0);
+        let agent = FetchAgent::spawn(fabric.clone(), store1.clone(), directory.clone());
+        let base = fabric.endpoint_count();
+        for i in 0..32 {
+            store0.put(obj(i), Bytes::from_static(b"x")).unwrap();
+            agent
+                .fetch_one(obj(i), NodeId(0), Duration::from_secs(5))
+                .unwrap();
+        }
+        assert_eq!(fabric.endpoint_count(), base);
+        agent.shutdown();
+        assert_eq!(fabric.endpoint_count(), base - 1);
+    }
+
+    #[test]
+    fn service_counts_decode_errors_and_stays_alive() {
+        let (fabric, directory, store0, store1, s0, _s1) = setup(0);
+        store0.put(obj(1), Bytes::from_static(b"x")).unwrap();
+        let remote = directory.lookup(NodeId(0)).unwrap();
+        let probe = fabric.register_guarded(NodeId(1), "probe");
+        fabric
+            .send(probe.address(), remote, Bytes::from_static(b"\xff garbage"))
+            .unwrap();
+        // The service must survive garbage and keep serving.
+        let (data, _) = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(&data[..], b"x");
+        assert_eq!(s0.stats().decode_errors.get(), 1);
+    }
+
+    #[test]
+    fn holder_pins_object_while_serving() {
+        // A store at capacity: serving a request must not let the served
+        // object be evicted out from under the snapshot. We exercise the
+        // pin bracket directly through a serve while the store is full.
+        let (fabric, directory, store0, store1, _s0, _s1) = setup_chunked(0, 64);
+        let payload = Bytes::from(vec![9u8; 512]);
+        store0.put(obj(1), payload.clone()).unwrap();
+        let (data, _) = fetch_object(
+            &fabric,
+            &directory,
+            &store1,
+            obj(1),
+            NodeId(0),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(data, payload);
+        // The pin was released after the serve: the object is evictable
+        // again under pressure.
+        store0.put(obj(2), Bytes::from(vec![1u8; 1 << 20])).unwrap();
+        assert!(!store0.contains(obj(1)));
     }
 }

@@ -31,6 +31,35 @@ fn identical_clusters_produce_identical_results() {
 }
 
 #[test]
+fn prefetch_changes_when_bytes_move_never_what_runs() {
+    // The same workload with dispatch-time prefetch on vs off must
+    // produce bit-identical checksums: prefetch only overlaps transfer
+    // with queueing, it never changes ids, placements, or results.
+    let config = RlConfig {
+        rollouts: 6,
+        frames_per_task: 4,
+        frame_cost: Duration::ZERO,
+        iterations: 3,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = |prefetch: bool| {
+        let cluster = Cluster::start(
+            ClusterConfig::local(2, 3)
+                .with_latency(LatencyModel::Constant(Duration::from_micros(200)))
+                .with_prefetch(prefetch),
+        )
+        .unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        cluster.shutdown();
+        (result.checksum, result.total_reward_bits)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
 fn resubmitting_the_same_structure_reuses_results() {
     // Deterministic task IDs mean a re-executed parent's submissions
     // are recognized: the children do not run twice.

@@ -301,6 +301,7 @@ proptest! {
         let store = ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: capacity,
+            ..StoreConfig::default()
         });
         for (i, size) in sizes.iter().enumerate() {
             let _ = store.put(obj(i as u64), Bytes::from(vec![0u8; *size]));
@@ -316,6 +317,7 @@ proptest! {
         let store = ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         });
         for (i, data) in entries.iter().enumerate() {
             store.put(obj(i as u64), Bytes::from(data.clone())).unwrap();
@@ -332,6 +334,7 @@ proptest! {
         let store = ObjectStore::new(StoreConfig {
             node: NodeId(0),
             capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
         });
         for (i, size) in sizes.iter().enumerate() {
             store.put(obj(i as u64), Bytes::from(vec![1u8; *size])).unwrap();
@@ -341,6 +344,54 @@ proptest! {
         }
         prop_assert_eq!(store.used_bytes(), 0);
         prop_assert_eq!(store.len(), 0);
+    }
+
+    // ---- transfer plane ----------------------------------------------
+
+    #[test]
+    fn fetch_many_single_flights_duplicates(
+        picks in proptest::collection::vec(0u64..6, 1..24),
+    ) {
+        use rtml::net::{Fabric, FabricConfig};
+        use rtml::store::{FetchAgent, TransferDirectory, TransferService};
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let fabric = Fabric::new(FabricConfig::default());
+        let directory = TransferDirectory::new();
+        let src = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(0),
+            capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
+        }));
+        let dst = Arc::new(ObjectStore::new(StoreConfig {
+            node: NodeId(1),
+            capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
+        }));
+        let _src_svc = TransferService::spawn(fabric.clone(), src.clone(), &directory);
+        let _dst_svc = TransferService::spawn(fabric.clone(), dst.clone(), &directory);
+        let agent = FetchAgent::spawn(fabric.clone(), dst.clone(), directory.clone());
+
+        let distinct: BTreeSet<u64> = picks.iter().copied().collect();
+        for &d in &distinct {
+            src.put(obj(d), Bytes::from(vec![d as u8; d as usize + 1])).unwrap();
+        }
+        let ids: Vec<ObjectId> = picks.iter().map(|&p| obj(p)).collect();
+        let results = agent.fetch_many(&ids, NodeId(0), Duration::from_secs(5));
+        for (&pick, result) in picks.iter().zip(&results) {
+            let (data, _) = result.as_ref().unwrap();
+            prop_assert_eq!(data.len(), pick as usize + 1);
+        }
+        // A get_many of K objects with duplicates performs at most one
+        // in-flight transfer per distinct object — exactly one here,
+        // since none were local beforehand.
+        prop_assert_eq!(agent.stats().transfers.get() as usize, distinct.len());
+        prop_assert_eq!(
+            agent.stats().duplicates_suppressed.get() as usize,
+            picks.len() - distinct.len()
+        );
     }
 }
 
