@@ -78,7 +78,7 @@ fn bench_store(c: &mut Criterion) {
                         &directory,
                         &dst,
                         object(9),
-                        NodeId(0),
+                        &[NodeId(0)],
                         Duration::from_secs(5),
                     )
                     .unwrap()

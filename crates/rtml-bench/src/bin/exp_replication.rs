@@ -1,0 +1,338 @@
+//! E12 — the replication plane: hot-object fan-in spread (R1/R2).
+//!
+//! The workload the paper motivates (a broadcast policy, shared RNN
+//! weights) makes one object hot: K nodes all read it, and every remote
+//! read funnels to the producing node's egress link. This experiment
+//! measures that hot-spot and the replication plane's answer:
+//!
+//! - **Off**: every round, all reader nodes pull the hot object from
+//!   its single producer; transfers serialize on the producer's egress
+//!   bandwidth, so fetch latency grows with reader count.
+//! - **On**: per-node demand counters cross
+//!   `ReplicationPolicy::read_threshold` after the first round, the
+//!   producer's `ReplicationAgent` pulls the object onto
+//!   `max_replicas` additional holders (chunked `FetchMany`,
+//!   group-committed locations), and subsequent readers spread across
+//!   the holder set via the deterministic rendezvous ranking.
+//!
+//! Self-asserted structural wins: with replication on, ≥ 2 holders
+//! serve the measured reads and no holder serves more than
+//! `MAX_HOLDER_SHARE` of them; measured fetch p50 improves vs off; and
+//! the fetched bytes are checksum-identical in both modes (replication
+//! changes where copies live, never values).
+//!
+//! Run: `cargo run -p rtml-bench --bin exp_replication --release`
+//!
+//! Results land in `BENCH_replication.json`. `RTML_REPLICATION_ROUNDS`
+//! overrides the measured round count (CI smoke uses a small value).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use rtml_bench::print_table;
+use rtml_common::ids::NodeId;
+use rtml_net::LatencyModel;
+use rtml_runtime::{Cluster, ClusterConfig, NodeConfig};
+use rtml_store::ReplicationPolicy;
+
+/// Reader nodes (plus one producer node).
+const READERS: usize = 8;
+/// Hot-object payload size.
+const OBJECT_BYTES: usize = 1 << 20; // 1 MiB
+/// Producer egress bandwidth: 1 MiB costs ~4 ms to serialize, so
+/// fan-in queueing dominates scheduling noise.
+const BANDWIDTH: u64 = 256 << 20; // 256 MiB/s
+/// Highest fraction of measured reads one holder may serve (on).
+const MAX_HOLDER_SHARE: f64 = 0.8;
+const DEFAULT_ROUNDS: usize = 6;
+
+fn fnv(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+struct RunResult {
+    replication: bool,
+    holders: Vec<NodeId>,
+    per_holder: BTreeMap<NodeId, u64>,
+    latencies_us: Vec<u64>,
+    checksum: u64,
+    replicas_created: u64,
+    egress_wait_ms: u64,
+}
+
+impl RunResult {
+    fn percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    fn max_share(&self) -> f64 {
+        let total: u64 = self.per_holder.values().sum();
+        let max = self.per_holder.values().copied().max().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        max as f64 / total as f64
+    }
+}
+
+fn run(replication_on: bool, rounds: usize) -> RunResult {
+    // Threshold at half the reader count: demand decays by half on
+    // every sweep it stays cold, so with a sweep interval comparable to
+    // one read round the priming round's READERS reads cross the
+    // threshold even if a sweep boundary splits them.
+    let policy = if replication_on {
+        ReplicationPolicy {
+            enabled: true,
+            read_threshold: (READERS / 2) as u64,
+            max_replicas: 2,
+            sweep_interval: Duration::from_millis(25),
+        }
+    } else {
+        ReplicationPolicy::disabled()
+    };
+    let cluster = Cluster::start(
+        ClusterConfig {
+            nodes: (0..READERS + 1).map(|_| NodeConfig::cpu_only(1)).collect(),
+            bandwidth_bytes_per_sec: Some(BANDWIDTH),
+            ..ClusterConfig::default()
+        }
+        .with_latency(LatencyModel::Constant(Duration::from_micros(200)))
+        .with_replication(policy),
+    )
+    .unwrap();
+    let services = cluster.services().clone();
+    let driver = cluster.driver();
+    // The hot object, sealed on the driver's home node (node 0): the
+    // broadcast policy every reader wants.
+    let payload: Vec<u8> = (0..OBJECT_BYTES).map(|i| (i % 251) as u8).collect();
+    let hot = driver.put(&payload).unwrap().id();
+    // Canonical sealed bytes: every fetched copy, from any holder, in
+    // either mode, must hash to exactly this.
+    let expect = fnv(
+        &driver.get_raw(hot, Duration::from_secs(5)).unwrap(),
+        0xcbf2_9ce4_8422_2325,
+    );
+
+    let fetch_round = |measure: bool| -> Vec<(NodeId, NodeId, u64, u64)> {
+        // Stable view for the whole round: holders from the table,
+        // readers = every other alive node.
+        let info = services.objects.get(hot).expect("hot object declared");
+        let readers: Vec<NodeId> = services
+            .alive_nodes()
+            .into_iter()
+            .filter(|n| !info.locations.contains(n))
+            .collect();
+        let handles: Vec<_> = readers
+            .into_iter()
+            .map(|reader| {
+                let services = services.clone();
+                let info = info.clone();
+                std::thread::spawn(move || {
+                    let src = info.holders_ranked(hot, reader)[0];
+                    let agent = services.fetch_agent(reader).expect("reader alive");
+                    let start = Instant::now();
+                    let result = agent
+                        .fetch_many(&[hot], src, Duration::from_secs(30))
+                        .pop()
+                        .expect("one object in, one result out");
+                    let (bytes, _) = result.expect("hot object fetch");
+                    let micros = start.elapsed().as_micros() as u64;
+                    (reader, src, micros, fnv(&bytes, 0xcbf2_9ce4_8422_2325))
+                })
+            })
+            .collect();
+        let samples: Vec<(NodeId, NodeId, u64, u64)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Clean up transient reader copies (holders keep theirs) so the
+        // next round fetches again — the steady stream of new readers a
+        // real workload would supply.
+        let holders_now = services.objects.get(hot).expect("still declared").locations;
+        for (reader, _, _, _) in &samples {
+            if !holders_now.contains(reader) {
+                if let Some(store) = services.store(*reader) {
+                    store.delete(hot);
+                }
+            }
+        }
+        let _ = measure;
+        samples
+    };
+
+    // Round 0 primes demand (READERS remote reads at the producer).
+    fetch_round(false);
+    if replication_on {
+        // Wait for the plane: producer's agent must place its replicas.
+        let want = 1 + 2;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let locations = services.objects.get(hot).expect("declared").locations;
+            if locations.len() >= want {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "replication never happened: locations {locations:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let mut per_holder: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut latencies_us = Vec::new();
+    for _ in 0..rounds {
+        for (_, src, micros, sum) in fetch_round(true) {
+            // Value integrity: every copy, from any holder, is the
+            // original payload bit for bit.
+            assert_eq!(sum, expect, "holder {src} served corrupt bytes");
+            *per_holder.entry(src).or_insert(0) += 1;
+            latencies_us.push(micros);
+        }
+    }
+
+    let mut holders = services.objects.get(hot).expect("declared").locations;
+    holders.sort();
+    let report = cluster.profile();
+    let egress_wait_ms = services.fabric.stats.egress_wait_nanos.get() / 1_000_000;
+    cluster.shutdown();
+    RunResult {
+        replication: replication_on,
+        holders,
+        per_holder,
+        latencies_us,
+        checksum: expect,
+        replicas_created: report.replication.replicas_created,
+        egress_wait_ms,
+    }
+}
+
+fn main() {
+    let rounds: usize = std::env::var("RTML_REPLICATION_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROUNDS);
+
+    let off = run(false, rounds);
+    let on = run(true, rounds);
+
+    let rows: Vec<Vec<String>> = [&off, &on]
+        .iter()
+        .map(|r| {
+            vec![
+                if r.replication { "on" } else { "off" }.to_string(),
+                r.holders.len().to_string(),
+                r.per_holder.len().to_string(),
+                format!("{:.2}", r.max_share()),
+                format!("{} µs", r.percentile(0.5)),
+                format!("{} µs", r.percentile(0.99)),
+                r.replicas_created.to_string(),
+                format!("{} ms", r.egress_wait_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E12: hot-object replication ({READERS} readers, {} KiB object, {} rounds)",
+            OBJECT_BYTES / 1024,
+            rounds
+        ),
+        &[
+            "replication",
+            "holders",
+            "holders used",
+            "max share",
+            "fetch p50",
+            "fetch p99",
+            "replicas",
+            "egress wait",
+        ],
+        &rows,
+    );
+
+    // Structural self-asserts (the acceptance criteria).
+    assert_eq!(
+        off.checksum, on.checksum,
+        "replication must not change fetched values"
+    );
+    assert!(
+        on.holders.len() >= 3,
+        "expected producer + 2 replicas, got {:?}",
+        on.holders
+    );
+    assert!(
+        on.per_holder.len() >= 2,
+        "reads must spread across >= 2 holders: {:?}",
+        on.per_holder
+    );
+    assert!(
+        on.max_share() <= MAX_HOLDER_SHARE,
+        "one holder served {:.2} of reads (> {MAX_HOLDER_SHARE}): {:?}",
+        on.max_share(),
+        on.per_holder
+    );
+    assert_eq!(
+        off.per_holder.len(),
+        1,
+        "with replication off every read funnels to the producer"
+    );
+    assert!(
+        on.percentile(0.5) < off.percentile(0.5),
+        "spread reads must beat the single-holder funnel (p50 {} µs vs {} µs)",
+        on.percentile(0.5),
+        off.percentile(0.5),
+    );
+    println!(
+        "\n(replication detected the hot object from per-object read demand and\n placed {} replicas; {} readers then spread across {} holders — max\n holder share {:.2} — cutting fetch p50 {} µs -> {} µs; with it off, all\n reads serialized on the producer's egress link, {} ms of queueing)",
+        on.replicas_created,
+        READERS,
+        on.per_holder.len(),
+        on.max_share(),
+        off.percentile(0.5),
+        on.percentile(0.5),
+        off.egress_wait_ms,
+    );
+
+    let json = render_json(rounds, &off, &on);
+    let path = "BENCH_replication.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON: stable key order, no deps.
+fn render_json(rounds: usize, off: &RunResult, on: &RunResult) -> String {
+    let side = |r: &RunResult| {
+        let per_holder: Vec<String> = r
+            .per_holder
+            .iter()
+            .map(|(n, c)| format!("\"{n}\": {c}"))
+            .collect();
+        format!(
+            "{{\"holders\": {}, \"holders_used\": {}, \"max_share\": {:.3}, \"fetch_p50_micros\": {}, \"fetch_p99_micros\": {}, \"replicas_created\": {}, \"egress_wait_ms\": {}, \"per_holder\": {{{}}}}}",
+            r.holders.len(),
+            r.per_holder.len(),
+            r.max_share(),
+            r.percentile(0.5),
+            r.percentile(0.99),
+            r.replicas_created,
+            r.egress_wait_ms,
+            per_holder.join(", "),
+        )
+    };
+    format!(
+        "{{\n  \"readers\": {READERS},\n  \"rounds\": {rounds},\n  \"object_bytes\": {OBJECT_BYTES},\n  \"checksums_match\": {},\n  \"off\": {},\n  \"on\": {}\n}}\n",
+        off.checksum == on.checksum,
+        side(off),
+        side(on),
+    )
+}

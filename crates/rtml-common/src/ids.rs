@@ -308,6 +308,56 @@ impl Codec for WorkerId {
     }
 }
 
+/// Salt for rendezvous ranking used by replica *placement* (choosing which
+/// nodes receive copies of a hot object). Distinct from the read-side salt
+/// space (reader node indices, which are small), so the two rankings are
+/// independent hash families.
+pub const REPLICA_PLACEMENT_SALT: u64 = 0x7265_706c_6963_6121; // "replica!"
+
+/// Rendezvous (highest-random-weight) score of `node` for `(object, salt)`.
+///
+/// 64-bit FNV-1a over the object id, the salt, and the node index. Stable
+/// across runs, platforms, and processes — the property both sides of the
+/// replication plane need: every reader computes the same holder ranking
+/// for the same table state, and every agent computes the same placement.
+pub fn rendezvous_score(object: ObjectId, salt: u64, node: NodeId) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut buf = [0u8; 16 + 8 + 4];
+    buf[..16].copy_from_slice(&object.unique().as_u128().to_le_bytes());
+    buf[16..24].copy_from_slice(&salt.to_le_bytes());
+    buf[24..].copy_from_slice(&node.0.to_le_bytes());
+    let mut state = OFFSET;
+    for &b in &buf {
+        state ^= b as u64;
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+/// Ranks `nodes` by descending rendezvous score for `(object, salt)`,
+/// breaking score ties by node id so the order is total.
+///
+/// Two uses share this helper: a reader (salt = its node index) ranking an
+/// object's holders, so K readers of one object fan out across replicas
+/// instead of funnelling to one node; and the replication agent (salt =
+/// [`REPLICA_PLACEMENT_SALT`]) ranking candidate nodes for new replicas,
+/// so different hot objects replicate onto different nodes. Input order
+/// does not matter.
+pub fn rendezvous_rank(
+    object: ObjectId,
+    salt: u64,
+    nodes: impl IntoIterator<Item = NodeId>,
+) -> Vec<NodeId> {
+    let mut scored: Vec<(u64, NodeId)> = nodes
+        .into_iter()
+        .map(|n| (rendezvous_score(object, salt, n), n))
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.dedup_by_key(|(_, n)| *n);
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

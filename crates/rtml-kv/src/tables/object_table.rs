@@ -12,7 +12,7 @@ use crossbeam::channel::Receiver;
 
 use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
 use rtml_common::error::Result;
-use rtml_common::ids::{NodeId, ObjectId, TaskId};
+use rtml_common::ids::{rendezvous_rank, NodeId, ObjectId, TaskId};
 
 use crate::store::KvStore;
 
@@ -39,15 +39,31 @@ impl ObjectInfo {
         self.sealed && !self.locations.is_empty()
     }
 
-    /// The holder a consumer on `local` should pull from: the
-    /// lowest-numbered node with a sealed copy, excluding `local`
-    /// itself. Deterministic, so concurrent consumers group their
-    /// fetches identically.
-    pub fn fetch_holder(&self, local: NodeId) -> Option<NodeId> {
+    /// The holder a consumer on `local` should pull `object` from: the
+    /// top of [`ObjectInfo::holders_ranked`]. Deterministic per
+    /// `(object, local)`, so concurrent consumers on one node group
+    /// their fetches identically — while *different* reader nodes of a
+    /// multi-holder (replicated) object fan out across holders instead
+    /// of all funnelling to one.
+    pub fn fetch_holder(&self, object: ObjectId, local: NodeId) -> Option<NodeId> {
+        self.holders_ranked(object, local).into_iter().next()
+    }
+
+    /// Every holder of a sealed copy (excluding `local`), ranked by the
+    /// shared rendezvous hash of `(object, reader)`: the first entry is
+    /// the holder `local` should pull from, and the rest are the retry
+    /// order when holders turn out to be dead or partitioned. With a
+    /// single remote holder this degenerates to exactly the pre-
+    /// replication choice.
+    pub fn holders_ranked(&self, object: ObjectId, local: NodeId) -> Vec<NodeId> {
         if !self.is_available() {
-            return None;
+            return Vec::new();
         }
-        self.locations.iter().copied().filter(|n| *n != local).min()
+        rendezvous_rank(
+            object,
+            local.0 as u64,
+            self.locations.iter().copied().filter(|n| *n != local),
+        )
     }
 }
 
@@ -406,6 +422,42 @@ mod tests {
                 assert!(info.is_none());
             }
         }
+    }
+
+    #[test]
+    fn holders_ranked_excludes_local_and_spreads_readers() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, _) = ids();
+        for node in [NodeId(1), NodeId(2), NodeId(3)] {
+            table.add_location(obj, node, 8);
+        }
+        let info = table.get(obj).unwrap();
+        // A holder never fetches from itself.
+        for reader in [NodeId(1), NodeId(2), NodeId(3)] {
+            let ranked = info.holders_ranked(obj, reader);
+            assert_eq!(ranked.len(), 2);
+            assert!(!ranked.contains(&reader));
+            // Deterministic per (object, reader).
+            assert_eq!(ranked, info.holders_ranked(obj, reader));
+        }
+        // Distinct readers spread over the holder set instead of all
+        // funnelling to one node.
+        let picks: std::collections::HashSet<NodeId> = (10..40)
+            .map(|reader| info.fetch_holder(obj, NodeId(reader)).unwrap())
+            .collect();
+        assert!(picks.len() >= 2, "no spread: {picks:?}");
+    }
+
+    #[test]
+    fn holders_ranked_is_empty_until_sealed() {
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.declare(obj, Some(task));
+        let info = table.get(obj).unwrap();
+        assert!(info.holders_ranked(obj, NodeId(5)).is_empty());
+        assert_eq!(info.fetch_holder(obj, NodeId(5)), None);
     }
 
     #[test]

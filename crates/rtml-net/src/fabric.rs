@@ -122,6 +122,12 @@ pub struct FabricStats {
     /// that pipelined over the link — one propagation-delay sample, the
     /// bandwidth term for the stream's total size.
     pub chunk_frames: Counter,
+    /// Total nanoseconds frames spent queued behind earlier traffic on
+    /// their source node's egress link (only accrues when a bandwidth is
+    /// configured). This is the fan-in hot-spot signal: K concurrent
+    /// reads of one object from one holder serialize on that holder's
+    /// link, and this counter is where the waiting shows up.
+    pub egress_wait_nanos: Counter,
 }
 
 /// How a group of payloads entered the fabric, for stats attribution.
@@ -171,6 +177,11 @@ struct Routing {
     next_address: u64,
     next_seq: u64,
     jitter_state: u64,
+    /// Per-node egress link occupancy: the instant each node's outbound
+    /// link finishes serializing everything already accepted. Only
+    /// maintained when a bandwidth is configured — with infinite
+    /// bandwidth frames never contend and the map stays empty.
+    egress_busy: HashMap<NodeId, Instant>,
 }
 
 struct DelayQueue {
@@ -369,23 +380,41 @@ impl Fabric {
         let entropy = routing.jitter_state;
         routing.next_seq += 1;
         let seq = routing.next_seq;
-        drop(routing);
 
-        let mut delay = self.config.latency.sample(entropy);
+        // Bandwidth models a *serialized* egress link, not just a
+        // size-proportional delay: a frame cannot start transmitting
+        // until everything the node already accepted has drained, so
+        // concurrent transfers out of one node queue behind each other.
+        // This is the fan-in hot-spot replication exists to spread —
+        // with infinite bandwidth the term (and the queueing) vanishes.
+        let now = Instant::now();
+        let mut departs = now;
         if let Some(bw) = self.config.bandwidth_bytes_per_sec {
             if bw > 0 {
                 let xfer_nanos = (total_bytes as u128 * 1_000_000_000u128 / bw as u128) as u64;
-                delay += Duration::from_nanos(xfer_nanos);
+                let link_free = routing
+                    .egress_busy
+                    .get(&from_node)
+                    .copied()
+                    .unwrap_or(now)
+                    .max(now);
+                self.stats
+                    .egress_wait_nanos
+                    .add(link_free.duration_since(now).as_nanos() as u64);
+                departs = link_free + Duration::from_nanos(xfer_nanos);
+                routing.egress_busy.insert(from_node, departs);
             }
         }
+        drop(routing);
 
-        if delay.is_zero() {
+        let due = departs + self.config.latency.sample(entropy);
+        if due <= now {
             self.deliver_frames(&tx, frames);
             return Ok(());
         }
 
         let pending = PendingDelivery {
-            due: Instant::now() + delay,
+            due,
             seq,
             to,
             frames,
@@ -621,6 +650,61 @@ mod tests {
             let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
         }
         assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn concurrent_transfers_serialize_on_source_egress() {
+        // 1 MB/s, two 50 KB sends back to back from one node: the second
+        // queues behind the first on the egress link, so the pair takes
+        // ~100 ms, not ~50 ms — the fan-in hot-spot the replication
+        // plane spreads.
+        let fabric = Fabric::new(FabricConfig {
+            latency: LatencyModel::Zero,
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            jitter_seed: 0,
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        let start = Instant::now();
+        for _ in 0..2 {
+            fabric
+                .send(a.address(), b.address(), Bytes::from(vec![0u8; 50_000]))
+                .unwrap();
+        }
+        for _ in 0..2 {
+            let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(95));
+        // The second frame's wait behind the first is accounted.
+        assert!(fabric.stats.egress_wait_nanos.get() >= 40_000_000);
+    }
+
+    #[test]
+    fn distinct_sources_do_not_contend() {
+        // The same two transfers from *different* nodes overlap: egress
+        // serialization is per source link, not global.
+        let fabric = Fabric::new(FabricConfig {
+            latency: LatencyModel::Zero,
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            jitter_seed: 0,
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let c = fabric.register(NodeId(2), "c");
+        let b = fabric.register(NodeId(1), "b");
+        let start = Instant::now();
+        fabric
+            .send(a.address(), b.address(), Bytes::from(vec![0u8; 50_000]))
+            .unwrap();
+        fabric
+            .send(c.address(), b.address(), Bytes::from(vec![0u8; 50_000]))
+            .unwrap();
+        for _ in 0..2 {
+            let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(45));
+        assert!(elapsed < Duration::from_millis(95), "elapsed {elapsed:?}");
+        assert_eq!(fabric.stats.egress_wait_nanos.get(), 0);
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub struct ClusterConfig {
     /// move, never what runs — ids, placements, and results are
     /// bit-identical with it on or off.
     pub prefetch: bool,
+    /// Hot-object replication plane: per-node agents watch per-object
+    /// remote-read demand and pull objects past
+    /// [`rtml_store::ReplicationPolicy::read_threshold`] onto up to
+    /// `max_replicas` additional holders, so K readers of a hot object
+    /// spread across holders instead of funnelling to the producer.
+    /// Like prefetch, replication changes only *where copies live*,
+    /// never values: checksums are identical with it on or off.
+    pub replication: rtml_store::ReplicationPolicy,
     /// Load-report publication interval.
     pub load_interval: Duration,
     /// Seed for randomized placement policies.
@@ -94,6 +102,7 @@ impl Default for ClusterConfig {
             default_get_timeout: Duration::from_secs(30),
             transfer_chunk_bytes: rtml_store::DEFAULT_CHUNK_BYTES,
             prefetch: true,
+            replication: rtml_store::ReplicationPolicy::default(),
             load_interval: Duration::from_millis(1),
             seed: 0x5eed,
             global_host: 0,
@@ -155,6 +164,12 @@ impl ClusterConfig {
         self.prefetch = prefetch;
         self
     }
+
+    /// Replaces the replication policy builder-style.
+    pub fn with_replication(mut self, replication: rtml_store::ReplicationPolicy) -> Self {
+        self.replication = replication;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -209,6 +224,7 @@ impl Cluster {
             load_interval: config.load_interval,
             transfer_chunk_bytes: config.transfer_chunk_bytes,
             prefetch: config.prefetch,
+            replication: config.replication.clone(),
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {
@@ -409,8 +425,26 @@ impl Cluster {
             report.transfer.duplicate_fetches_suppressed += f.duplicates_suppressed.get();
             report.transfer.chunks_received += f.chunks_received.get();
             report.transfer.fetch_timeouts += f.timeouts.get();
+            if let Some(r) = runtime.replication_stats() {
+                report.replication.sweeps += r.sweeps.get();
+                report.replication.hot_objects += r.hot_objects.get();
+                report.replication.replicas_created += r.replicas_created.get();
+                report.replication.failures += r.failures.get();
+            }
+            report.prefetch_skipped_capacity +=
+                runtime.sched_stats().prefetch_skipped_capacity.get();
         }
         report
+    }
+
+    /// One node's live transfer-service counters (per-holder serve and
+    /// demand numbers — what the replication experiments measure spread
+    /// with). `None` if the node is not alive.
+    pub fn node_transfer_stats(&self, node: NodeId) -> Option<Arc<rtml_store::TransferStats>> {
+        self.nodes
+            .lock()
+            .get(&node)
+            .map(|runtime| runtime.transfer_stats().clone())
     }
 
     /// Spawns a stateful actor on `node` (an extension beyond the paper's

@@ -67,12 +67,11 @@ pub fn ensure_local(
         let info = pending_info.take().or_else(|| services.objects.get(object));
         if let Some(info) = info {
             if info.is_available() {
-                let holders: Vec<_> = info
-                    .locations
-                    .iter()
-                    .copied()
-                    .filter(|n| *n != node)
-                    .collect();
+                // Rendezvous-ranked holders: the head is this reader's
+                // deterministic pick (different readers of a replicated
+                // object spread across holders), and the tail is the
+                // retry order when holders are dead or partitioned.
+                let holders = info.holders_ranked(object, node);
                 if !holders.is_empty() {
                     let mut fetched = None;
                     for holder in &holders {
@@ -140,8 +139,9 @@ pub fn ensure_local(
 /// returns their sealed bytes in input order (duplicates allowed).
 ///
 /// The batched form of [`ensure_local`]: local hits resolve first, then
-/// the distinct missing objects are grouped by holder (lowest-numbered
-/// holder per object, for reproducible grouping) and each group is
+/// the distinct missing objects are grouped by holder (rendezvous-ranked
+/// per `(object, reader)` — deterministic on one node, load-spread
+/// across reader nodes of a replicated object) and each group is
 /// pulled as **one** `FetchMany` — one request frame and one chunked
 /// reply stream per holder instead of one round trip per object, with
 /// location updates group-committed. Objects the fast path cannot
@@ -173,7 +173,7 @@ pub fn ensure_local_many(
         let infos = services.objects.get_many(&missing);
         let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
         for (id, info) in missing.iter().zip(infos) {
-            if let Some(holder) = info.and_then(|i| i.fetch_holder(node)) {
+            if let Some(holder) = info.and_then(|i| i.fetch_holder(*id, node)) {
                 groups.entry(holder).or_default().push(*id);
             }
         }

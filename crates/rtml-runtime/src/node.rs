@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Sender};
 
 use rtml_common::event::{Component, Event, EventKind};
+use rtml_common::ids::ObjectId;
 use rtml_common::ids::{NodeId, WorkerId};
 use rtml_common::resources::Resources;
 use rtml_net::NetAddress;
@@ -13,7 +14,10 @@ use rtml_sched::{
     LocalMsg, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices, SpillMode,
     WorkerCommand, WorkerHandle,
 };
-use rtml_store::{FetchAgent, ObjectStore, StoreConfig, TransferService};
+use rtml_store::{
+    FetchAgent, ObjectStore, ReplicaView, ReplicationAgent, ReplicationHooks, ReplicationPolicy,
+    StoreConfig, TransferService,
+};
 
 use crate::lineage::ReconstructionManager;
 use crate::services::Services;
@@ -97,6 +101,9 @@ pub struct NodeTuning {
     pub transfer_chunk_bytes: u64,
     /// Dispatch-time prefetch of queued tasks' missing dependencies.
     pub prefetch: bool,
+    /// Hot-object replication plane policy (see
+    /// [`rtml_store::replicate`]).
+    pub replication: ReplicationPolicy,
 }
 
 /// A live node: all per-node components plus their control handles.
@@ -108,6 +115,7 @@ pub struct NodeRuntime {
     config: NodeConfig,
     transfer: TransferService,
     agent: Arc<FetchAgent>,
+    replication: Option<ReplicationAgent>,
     sched: LocalSchedulerHandle,
     /// Shared with the pool-manager thread, which appends on-demand
     /// workers (nested-task deadlock avoidance).
@@ -130,13 +138,82 @@ impl NodeRuntime {
             capacity_bytes: config.store_capacity,
             chunk_bytes: tuning.transfer_chunk_bytes,
         }));
+        // The never-evict-the-last-sealed-copy guard: before the store
+        // preferentially drops a replica-marked entry it asks the object
+        // table whether another sealed holder exists. Captures only the
+        // table handle (never `Services`) — the store lives inside the
+        // services' node maps, so a `Services` capture would be a cycle.
+        let probe_objects = services.objects.clone();
+        store.set_replica_probe(Arc::new(move |object| {
+            probe_objects
+                .get(object)
+                .is_some_and(|info| info.sealed && info.locations.iter().any(|n| *n != node))
+        }));
         let transfer =
             TransferService::spawn(services.fabric.clone(), store.clone(), &services.directory);
+        services.attach_transfer_stats(node, transfer.stats().clone());
         let agent = Arc::new(FetchAgent::spawn(
             services.fabric.clone(),
             store.clone(),
             services.directory.clone(),
         ));
+
+        // The replication plane: a per-node agent that watches the
+        // demand this node's transfer service observes and pulls hot
+        // sealed objects onto additional holders through the targets'
+        // fetch agents (chunked FetchMany + group-committed locations).
+        let replication = if tuning.replication.enabled {
+            let lookup_objects = services.objects.clone();
+            let alive_services = services.clone();
+            let pull_services = services.clone();
+            let fetch_timeout = tuning.fetch_timeout;
+            let hooks = ReplicationHooks {
+                lookup: Arc::new(move |object| {
+                    lookup_objects.get(object).map(|info| ReplicaView {
+                        sealed: info.sealed,
+                        locations: info.locations,
+                    })
+                }),
+                alive_nodes: Arc::new(move || alive_services.alive_nodes()),
+                pull: Arc::new(move |object: ObjectId, target, from| {
+                    let Some(agent) = pull_services.fetch_agent(target) else {
+                        return false;
+                    };
+                    let (_, result) = rtml_sched::fetch_group_commit(
+                        &pull_services.objects,
+                        &agent,
+                        &[object],
+                        from,
+                        target,
+                        fetch_timeout,
+                    )
+                    .pop()
+                    .expect("one object in, one result out");
+                    match result {
+                        Ok((_, outcome)) => {
+                            // Mark only copies this pull sealed: a copy
+                            // that already existed (raced with a real
+                            // consumer) stays first-class.
+                            if outcome.inserted {
+                                if let Some(store) = pull_services.store(target) {
+                                    store.mark_replica(object);
+                                }
+                            }
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                }),
+            };
+            Some(ReplicationAgent::spawn(
+                node,
+                tuning.replication.clone(),
+                transfer.stats().clone(),
+                hooks,
+            ))
+        } else {
+            None
+        };
 
         // Worker channels first: the scheduler needs the handles.
         let mut worker_channels = Vec::new();
@@ -156,6 +233,24 @@ impl NodeRuntime {
         let request_worker = Arc::new(move || {
             let _ = pool_tx.send(());
         });
+        // Prefetch-time demand hint: route the fan-in a coalesced
+        // request hides to the *holder's* demand counters, where its
+        // replication agent will see it. No-op when the plane is off,
+        // so wire traffic and counters match PR 3 exactly.
+        let replicate_hint: Arc<
+            dyn Fn(rtml_common::ids::NodeId, &[(ObjectId, u64)]) + Send + Sync,
+        > = if tuning.replication.enabled {
+            let hint_services = services.clone();
+            Arc::new(move |holder, entries: &[(ObjectId, u64)]| {
+                if let Some(stats) = hint_services.transfer_stats(holder) {
+                    for (object, weight) in entries {
+                        stats.record_demand(*object, *weight);
+                    }
+                }
+            })
+        } else {
+            Arc::new(|_, _| {})
+        };
         let sched_services = SchedServices {
             kv: services.kv.clone(),
             objects: services.objects.clone(),
@@ -168,6 +263,7 @@ impl NodeRuntime {
             global_address,
             reconstruct: recon_hook,
             request_worker,
+            replicate_hint,
         };
         let sched = LocalScheduler::spawn(
             LocalSchedulerConfig {
@@ -250,6 +346,7 @@ impl NodeRuntime {
             config,
             transfer,
             agent,
+            replication,
             sched,
             workers,
         }
@@ -268,6 +365,16 @@ impl NodeRuntime {
     /// The node's fetch-agent (client-side) counters.
     pub fn fetch_stats(&self) -> &rtml_store::FetchStats {
         self.agent.stats()
+    }
+
+    /// The node's replication-agent counters, if the plane is on.
+    pub fn replication_stats(&self) -> Option<&Arc<rtml_store::ReplicationStats>> {
+        self.replication.as_ref().map(|agent| agent.stats())
+    }
+
+    /// The node's local-scheduler counters.
+    pub fn sched_stats(&self) -> &Arc<rtml_sched::LocalSchedulerStats> {
+        self.sched.stats()
     }
 
     /// Kills one worker: crash semantics (in-flight task effects
@@ -291,8 +398,13 @@ impl NodeRuntime {
     /// withdrawn. The caller (cluster) handles task-table repair and
     /// notifying the global scheduler.
     pub fn kill(self, services: &Arc<Services>) {
-        // Stop routing new work here first.
+        // Stop routing new work here first; the replication agent dies
+        // with the node (replica copies it created live on in other
+        // stores and remain in the object table).
         services.detach_node(self.node);
+        if let Some(replication) = &self.replication {
+            replication.shutdown();
+        }
         for (runtime, tx) in self.workers.lock().iter_mut() {
             runtime.kill();
             runtime.detach();
@@ -319,6 +431,9 @@ impl NodeRuntime {
     /// Graceful shutdown: drains schedulers and joins workers.
     pub fn shutdown(mut self, services: &Arc<Services>) {
         services.detach_node(self.node);
+        if let Some(replication) = &self.replication {
+            replication.shutdown();
+        }
         // The scheduler's shutdown sends Stop to its registered workers.
         self.sched.shutdown();
         for (runtime, tx) in self.workers.lock().iter_mut() {

@@ -87,6 +87,22 @@ pub struct TransferPlaneStats {
     pub fetch_timeouts: u64,
 }
 
+/// Aggregated live replication-plane counters (per-node
+/// [`rtml_store::ReplicationAgent`]s), attached by
+/// [`crate::Cluster::profile`]. Zero when the plane is off or a report
+/// is built from raw events alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationPlaneStats {
+    /// Demand sweeps executed across all agents.
+    pub sweeps: u64,
+    /// Objects whose remote-read demand crossed the threshold.
+    pub hot_objects: u64,
+    /// Replica copies successfully placed on additional holders.
+    pub replicas_created: u64,
+    /// Replica pulls that failed (target died, store pressure, ...).
+    pub failures: u64,
+}
+
 /// A digest of one run's event log.
 #[derive(Debug, Default)]
 pub struct ProfileReport {
@@ -110,6 +126,12 @@ pub struct ProfileReport {
     /// Live data-plane counters (populated by
     /// [`crate::Cluster::profile`]; zero for raw event folds).
     pub transfer: TransferPlaneStats,
+    /// Live replication-plane counters (populated by
+    /// [`crate::Cluster::profile`]; zero for raw event folds).
+    pub replication: ReplicationPlaneStats,
+    /// Dispatch-time prefetches skipped by the capacity admission guard
+    /// (live scheduler counters; zero for raw event folds).
+    pub prefetch_skipped_capacity: u64,
 }
 
 impl ProfileReport {
@@ -223,7 +245,8 @@ impl ProfileReport {
             "tasks: {} ({} spilled, {} failed)\n\
              scheduling latency: p50 {} / p99 {} / max {}\n\
              objects sealed: {}, transfers: {}, evictions: {}\n\
-             prefetch: {} issued, {} hits; duplicates suppressed: {}\n\
+             prefetch: {} issued, {} hits, {} skipped (capacity); duplicates suppressed: {}\n\
+             replication: {} hot objects, {} replicas created, {} failures\n\
              failures injected: {} workers, {} nodes",
             self.tasks.len(),
             self.spilled_count(),
@@ -236,7 +259,11 @@ impl ProfileReport {
             self.evictions,
             self.prefetches_issued,
             self.prefetch_hits,
+            self.prefetch_skipped_capacity,
             self.transfer.duplicate_fetches_suppressed,
+            self.replication.hot_objects,
+            self.replication.replicas_created,
+            self.replication.failures,
             self.workers_lost,
             self.nodes_lost,
         )

@@ -14,7 +14,7 @@ use rtml_common::task::TaskSpec;
 use rtml_kv::{EventLog, FunctionTable, KvStore, ObjectTable, TaskTable};
 use rtml_net::{Fabric, FabricConfig};
 use rtml_sched::LocalMsg;
-use rtml_store::{FetchAgent, ObjectStore, TransferDirectory};
+use rtml_store::{FetchAgent, ObjectStore, TransferDirectory, TransferStats};
 
 use crate::registry::FunctionRegistry;
 
@@ -69,6 +69,7 @@ pub struct Services {
     router: RwLock<HashMap<NodeId, Sender<LocalMsg>>>,
     stores: RwLock<HashMap<NodeId, Arc<ObjectStore>>>,
     agents: RwLock<HashMap<NodeId, Arc<FetchAgent>>>,
+    transfer_stats: RwLock<HashMap<NodeId, Arc<TransferStats>>>,
     node_totals: RwLock<HashMap<NodeId, Resources>>,
 }
 
@@ -98,9 +99,22 @@ impl Services {
             router: RwLock::new(HashMap::new()),
             stores: RwLock::new(HashMap::new()),
             agents: RwLock::new(HashMap::new()),
+            transfer_stats: RwLock::new(HashMap::new()),
             node_totals: RwLock::new(HashMap::new()),
             kv,
         })
+    }
+
+    /// Registers a node's transfer-service counters so other components
+    /// (the scheduler's replication hint) can route per-object demand to
+    /// the holder that will act on it.
+    pub fn attach_transfer_stats(&self, node: NodeId, stats: Arc<TransferStats>) {
+        self.transfer_stats.write().insert(node, stats);
+    }
+
+    /// The node's transfer-service counters, if the node is alive.
+    pub fn transfer_stats(&self, node: NodeId) -> Option<Arc<TransferStats>> {
+        self.transfer_stats.read().get(&node).cloned()
     }
 
     /// Registers a live node's store, fetch agent, scheduler channel,
@@ -123,6 +137,7 @@ impl Services {
     pub fn detach_node(&self, node: NodeId) {
         self.stores.write().remove(&node);
         self.agents.write().remove(&node);
+        self.transfer_stats.write().remove(&node);
         self.router.write().remove(&node);
         self.node_totals.write().remove(&node);
     }

@@ -35,7 +35,8 @@ pub mod wire;
 
 pub use global::{GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle};
 pub use local::{
-    fetch_group_commit, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices,
+    fetch_group_commit, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle,
+    LocalSchedulerStats, SchedServices,
 };
 pub use msg::{LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
 pub use policy::PlacementPolicy;

@@ -107,6 +107,25 @@ pub struct SchedServices {
     /// worker is blocked inside `get`/`wait` (nested-task deadlock
     /// avoidance).
     pub request_worker: Arc<dyn Fn() + Send + Sync>,
+    /// Replication-plane hint, invoked at dispatch/prefetch time with
+    /// `(holder, [(object, extra fan-in)])`: a coalesced prefetch issues
+    /// **one** request frame on behalf of many waiting tasks, so the
+    /// holder's per-object demand counters would undercount exactly the
+    /// broadcast objects replication exists for. The runtime wires this
+    /// to the holder's transfer-service demand counters; defaults to a
+    /// no-op when the replication plane is off.
+    pub replicate_hint: Arc<dyn Fn(NodeId, &[(ObjectId, u64)]) + Send + Sync>,
+}
+
+/// Live counters for one local scheduler (beyond the event log).
+#[derive(Debug, Default)]
+pub struct LocalSchedulerStats {
+    /// Dispatch-time prefetches skipped because the object would not
+    /// fit in the store's unpinned capacity headroom (`capacity -
+    /// pinned`): moving bytes early is pointless if they cannot become
+    /// resident, and evicting pinned-adjacent working state to make
+    /// room would be worse. Skipped objects resolve reactively.
+    pub prefetch_skipped_capacity: rtml_common::metrics::Counter,
 }
 
 /// Running handle for a local scheduler.
@@ -114,6 +133,7 @@ pub struct LocalSchedulerHandle {
     tx: Sender<LocalMsg>,
     address: NetAddress,
     node: NodeId,
+    stats: Arc<LocalSchedulerStats>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -132,6 +152,11 @@ impl LocalSchedulerHandle {
     /// The node this scheduler manages.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The scheduler's live counters (shared with its thread).
+    pub fn stats(&self) -> &Arc<LocalSchedulerStats> {
+        &self.stats
     }
 
     /// Submits a task from this node (driver/worker path).
@@ -185,6 +210,8 @@ impl LocalScheduler {
         let endpoint = services.fabric.register(config.node, "local-sched");
         let address = endpoint.address();
         let node = config.node;
+        let stats = Arc::new(LocalSchedulerStats::default());
+        let stats2 = stats.clone();
 
         let (seal_tx, seal_rx) = unbounded();
         services.store.add_seal_listener(seal_tx);
@@ -196,6 +223,7 @@ impl LocalScheduler {
                     config,
                     services,
                     address,
+                    stats: stats2,
                     workers: HashMap::new(),
                     idle: VecDeque::new(),
                     in_use: Resources::none(),
@@ -222,6 +250,7 @@ impl LocalScheduler {
             tx,
             address,
             node,
+            stats,
             join: Some(join),
         }
     }
@@ -239,6 +268,7 @@ struct Core {
     config: LocalSchedulerConfig,
     services: SchedServices,
     address: NetAddress,
+    stats: Arc<LocalSchedulerStats>,
     workers: HashMap<WorkerId, Sender<WorkerCommand>>,
     idle: VecDeque<WorkerId>,
     /// Resources granted to running (non-blocked) tasks. May transiently
@@ -511,13 +541,18 @@ impl Core {
     /// Starts resolution for a batch's distinct missing dependencies.
     ///
     /// With prefetch on, objects the table already locates are grouped
-    /// by holder and requested **now**, while their tasks are still
-    /// queued — one coalesced `FetchMany` per holder, transfer
-    /// overlapped with queueing, dispatch still gated on arrival.
-    /// Objects with no live copy (producer still running, or lost) get
-    /// the patient per-object watcher, which also triggers lineage
-    /// reconstruction. With prefetch off, everything takes the watcher
-    /// path — the reactive, per-object baseline.
+    /// by holder (rendezvous-ranked, so different objects of a
+    /// replicated set pull from different holders) and requested
+    /// **now**, while their tasks are still queued — one coalesced
+    /// `FetchMany` per holder, transfer overlapped with queueing,
+    /// dispatch still gated on arrival. Admission is budgeted: objects
+    /// that would not fit in the store's unpinned capacity headroom are
+    /// not prefetched (counted in
+    /// [`LocalSchedulerStats::prefetch_skipped_capacity`]) and resolve
+    /// reactively instead. Objects with no live copy (producer still
+    /// running, or lost) get the patient per-object watcher, which also
+    /// triggers lineage reconstruction. With prefetch off, everything
+    /// takes the watcher path — the reactive, per-object baseline.
     fn resolve_missing(&mut self, objects: Vec<ObjectId>) {
         for object in &objects {
             self.resolving.insert(*object);
@@ -530,13 +565,43 @@ impl Core {
         }
         let me = self.config.node;
         let infos = self.services.objects.get_many(&objects);
+        // Prefetch admission budget: what could become resident by
+        // evicting everything evictable. Pinned bytes are running
+        // tasks' arguments — prefetch must not thrash against them.
+        let budget = self
+            .services
+            .store
+            .capacity_bytes()
+            .saturating_sub(self.services.store.pinned_bytes());
+        let mut admitted_bytes = 0u64;
         let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+        let mut hints: BTreeMap<NodeId, Vec<(ObjectId, u64)>> = BTreeMap::new();
         let mut unlocated: Vec<ObjectId> = Vec::new();
         for (object, info) in objects.into_iter().zip(infos) {
-            match info.and_then(|i| i.fetch_holder(me)) {
-                Some(holder) => groups.entry(holder).or_default().push(object),
-                None => unlocated.push(object),
+            let located = info
+                .as_ref()
+                .and_then(|i| i.fetch_holder(object, me).map(|h| (h, i.size)));
+            let Some((holder, size)) = located else {
+                unlocated.push(object);
+                continue;
+            };
+            // Demand travels whether or not we prefetch: the fan-in
+            // beyond the single coalesced request frame (`waiters - 1`)
+            // is what the holder's counters cannot see from the wire.
+            let fan_in = self.watchers.get(&object).map_or(0, |w| w.len() as u64);
+            if fan_in > 1 {
+                hints.entry(holder).or_default().push((object, fan_in - 1));
             }
+            if admitted_bytes + size > budget {
+                self.stats.prefetch_skipped_capacity.inc();
+                unlocated.push(object);
+            } else {
+                admitted_bytes += size;
+                groups.entry(holder).or_default().push(object);
+            }
+        }
+        for (holder, entries) in &hints {
+            (self.services.replicate_hint)(*holder, entries);
         }
         if !groups.is_empty() {
             let at_nanos = rtml_common::time::now_nanos();
@@ -877,8 +942,22 @@ fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_t
         }
         let info = pending_info.take().or_else(|| services.objects.get(object));
         if let Some(info) = info {
-            if info.is_available() {
-                if let Some(holder) = info.fetch_holder(me) {
+            // Same capacity headroom check as the prefetch admission
+            // guard: while the object provably cannot become resident
+            // (store capacity minus pinned bytes), fetching it would
+            // move the full payload over the fabric only to fail the
+            // put and retry — wait for the headroom instead of
+            // hammering the holder's egress link every poll slice.
+            let fits = info.size
+                <= services
+                    .store
+                    .capacity_bytes()
+                    .saturating_sub(services.store.pinned_bytes());
+            if info.is_available() && !fits {
+                // Copies exist; only residency is blocked. Fall through
+                // to the timed wait below — never to reconstruction.
+            } else if info.is_available() {
+                if let Some(holder) = info.fetch_holder(object, me) {
                     let started = Instant::now();
                     let (_, result) = fetch_group_commit(
                         &services.objects,
@@ -1009,6 +1088,7 @@ mod tests {
             global_address: global_endpoint.address(),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
+            replicate_hint: Arc::new(|_, _| {}),
         };
         let (worker_tx, worker_rx) = unbounded();
         let worker_id = WorkerId::new(config.node, 0);
@@ -1420,6 +1500,7 @@ mod tests {
             global_address: global.address(),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
+            replicate_hint: Arc::new(|_, _| {}),
         };
         let (worker_tx, worker_rx) = unbounded();
         let mut handle = LocalScheduler::spawn(
@@ -1497,6 +1578,7 @@ mod tests {
             global_address: global.address(),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
+            replicate_hint: Arc::new(|_, _| {}),
         };
         let (worker_tx, worker_rx) = unbounded();
         let worker_id = WorkerId::new(NodeId(0), 0);
@@ -1575,6 +1657,58 @@ mod tests {
         assert_eq!(got.task_id, spec.task_id);
         // The reactive baseline pays one request frame per object.
         assert_eq!(r.remote_service.stats().requests.get(), 4);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn prefetch_admission_guard_skips_objects_beyond_unpinned_capacity() {
+        // Store: 256 bytes, 200 of them pinned (a running task's
+        // argument). A 64-byte remote dependency does not fit in the
+        // 56-byte unpinned headroom: prefetch must skip it (counted),
+        // and the reactive watcher must still deliver the task once the
+        // pin releases — the guard defers bytes, never work.
+        let mut r = remote_dep_rig(true, 256);
+        let resident = TaskId::driver_root(DriverId::from_index(0))
+            .child(400)
+            .return_object(0);
+        r.store_local
+            .put(resident, Bytes::from(vec![1u8; 200]))
+            .unwrap();
+        assert!(r.store_local.pin(resident));
+
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(401)
+            .return_object(0);
+        r.store_remote.put(dep, Bytes::from(vec![9u8; 64])).unwrap();
+        r.services.objects.add_location(dep, NodeId(7), 64);
+        let spec = spec_with(vec![ArgSpec::ObjectRef(dep)], 0);
+        r.handle.submit(spec.clone());
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.handle.stats().prefetch_skipped_capacity.get() == 0 {
+            assert!(Instant::now() < deadline, "skip never counted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // No PrefetchIssued event for the skipped object.
+        let issued = r
+            .services
+            .events
+            .read_all()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PrefetchIssued { .. }))
+            .count();
+        assert_eq!(issued, 0);
+        // While the headroom is missing, no bytes move at all: the
+        // watcher waits instead of fetch-and-fail-the-put hammering.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(r.remote_service.stats().requests.get(), 0);
+        // Free the headroom: the watcher path resolves and the task runs.
+        r.store_local.unpin(resident);
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        assert!(r.store_local.contains(dep));
+        // Exactly one transfer crossed the wire for the dependency.
+        assert_eq!(r.remote_service.stats().requests.get(), 1);
         r.handle.shutdown();
     }
 
@@ -1662,6 +1796,7 @@ mod tests {
                 let _ = hook_tx.send(obj);
             }),
             request_worker: Arc::new(|| {}),
+            replicate_hint: Arc::new(|_, _| {}),
         };
         let (worker_tx, _worker_rx) = unbounded();
         let mut handle = LocalScheduler::spawn(

@@ -94,12 +94,16 @@ impl PlacementPolicy {
                 const QUEUE_PENALTY_BYTES: u128 = 64 * 1024;
                 let mut local_bytes: HashMap<NodeId, u64> = HashMap::new();
                 let mut total_bytes: u64 = 0;
-                for dep in spec.dependencies() {
-                    if let Some(info) = objects.get(dep) {
-                        total_bytes += info.size;
-                        for node in &info.locations {
-                            *local_bytes.entry(*node).or_insert(0) += info.size;
-                        }
+                // One group-committed table sweep for the whole argument
+                // list instead of a point read per dependency. Every
+                // holder of a dependency is credited its size, so a
+                // replicated hot input widens the set of nodes that look
+                // local — replication improves placement for free.
+                let deps: Vec<_> = spec.dependencies().collect();
+                for info in objects.get_many(&deps).into_iter().flatten() {
+                    total_bytes += info.size;
+                    for node in &info.locations {
+                        *local_bytes.entry(*node).or_insert(0) += info.size;
                     }
                 }
                 fitting
@@ -220,6 +224,36 @@ mod tests {
         // Without the dependency, the same policy prefers the idle node.
         assert_eq!(
             PlacementPolicy::LocalityAware.place(&cpu_task(vec![]), &loads, &objects, &mut state),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn replicated_input_lets_locality_pick_the_idle_holder() {
+        // A large input resident only on busy node 0 glues the task
+        // there (moving the bytes would cost more than the queue).
+        // Once a replica exists on idle node 1, both nodes look local
+        // and the shallower queue wins — replication widens placement.
+        let kv = KvStore::new(1);
+        let objects = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let dep = root.child(9).return_object(0);
+        objects.add_location(dep, NodeId(0), 1_000_000);
+        let loads: BTreeMap<_, _> = [
+            load(0, 10, Resources::cpu(4.0)),
+            load(1, 0, Resources::cpu(4.0)),
+        ]
+        .into_iter()
+        .collect();
+        let spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            Some(NodeId(0))
+        );
+        objects.add_location(dep, NodeId(1), 1_000_000);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
             Some(NodeId(1))
         );
     }

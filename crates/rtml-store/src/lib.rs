@@ -27,11 +27,26 @@
 //! issues requests from one persistent endpoint, reassembles chunks,
 //! and single-flights concurrent fetches of the same object. The
 //! standalone [`transfer::fetch_object`] remains for one-shot use.
+//!
+//! Hot objects are handled by [`replicate`], the replication plane: the
+//! transfer service counts per-object remote-read demand, and a
+//! per-node [`replicate::ReplicationAgent`] pulls objects past a
+//! configurable threshold onto additional holders so reads spread
+//! instead of funnelling to the producer. Replica copies are
+//! second-class for eviction ([`ObjectStore::mark_replica`]): dropped
+//! before sole copies, never preferentially dropped when they are the
+//! last sealed copy ([`ObjectStore::set_replica_probe`]).
 
+pub mod replicate;
 pub mod store;
 pub mod transfer;
 
-pub use store::{ObjectStore, PutOutcome, StoreConfig, StoreStats, DEFAULT_CHUNK_BYTES};
+pub use replicate::{
+    ReplicaView, ReplicationAgent, ReplicationHooks, ReplicationPolicy, ReplicationStats,
+};
+pub use store::{
+    ObjectStore, PutOutcome, ReplicaProbe, StoreConfig, StoreStats, DEFAULT_CHUNK_BYTES,
+};
 pub use transfer::{
     fetch_object, FetchAgent, FetchStats, TransferDirectory, TransferService, TransferStats,
 };

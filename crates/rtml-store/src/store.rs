@@ -1,10 +1,11 @@
 //! The object store proper: entries, waiters, pinning, LRU eviction.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use rtml_common::error::{Error, Result};
 use rtml_common::ids::{NodeId, ObjectId};
@@ -41,16 +42,32 @@ struct Entry {
     data: Bytes,
     pin_count: u32,
     last_access: u64,
+    /// Marked by the replication plane: this copy exists to spread read
+    /// load, not because anything local asked for it. Replica entries
+    /// are second-class for eviction — dropped before sole copies.
+    replica: bool,
 }
 
 #[derive(Default)]
 struct StoreState {
     objects: HashMap<ObjectId, Entry>,
     used_bytes: u64,
+    /// Bytes held by entries with at least one pin (maintained
+    /// incrementally on pin/unpin transitions). The store's admission
+    /// headroom is `capacity - pinned_bytes`: everything unpinned is
+    /// evictable on demand.
+    pinned_bytes: u64,
     access_clock: u64,
     waiters: HashMap<ObjectId, Vec<Sender<()>>>,
     seal_listeners: Vec<Sender<ObjectId>>,
 }
+
+/// Asks the control plane whether `object` has a sealed copy on some
+/// *other* node, i.e. whether this store's copy is safe to drop early.
+/// Installed by the runtime ([`ObjectStore::set_replica_probe`]); called
+/// with the store lock held, so implementations must not call back into
+/// this store.
+pub type ReplicaProbe = Arc<dyn Fn(ObjectId) -> bool + Send + Sync>;
 
 /// Operation counters for one store.
 #[derive(Debug, Default)]
@@ -81,6 +98,7 @@ pub struct ObjectStore {
     config: StoreConfig,
     state: Mutex<StoreState>,
     sealed_cv: Condvar,
+    replica_probe: RwLock<Option<ReplicaProbe>>,
     /// Operation counters.
     pub stats: StoreStats,
 }
@@ -92,8 +110,20 @@ impl ObjectStore {
             config,
             state: Mutex::new(StoreState::default()),
             sealed_cv: Condvar::new(),
+            replica_probe: RwLock::new(None),
             stats: StoreStats::default(),
         }
+    }
+
+    /// Installs the never-evict-the-last-sealed-copy guard: before a
+    /// replica-marked entry is evicted preferentially, the probe is
+    /// asked whether another sealed holder exists. If not, the entry is
+    /// demoted to first-class and competes under plain LRU instead —
+    /// capacity still wins eventually (lineage replay is the backstop),
+    /// but the last copy is never dropped *because* it was once a
+    /// replica. Without a probe installed, the replica mark is trusted.
+    pub fn set_replica_probe(&self, probe: ReplicaProbe) {
+        *self.replica_probe.write() = Some(probe);
     }
 
     /// The node this store serves.
@@ -161,15 +191,36 @@ impl ObjectStore {
             });
         }
 
-        // Evict LRU unpinned entries until the new object fits.
+        // Evict until the new object fits. Replica-marked entries are
+        // second-class: they go first (LRU among themselves), because
+        // their bytes exist to spread read load and — per the probe —
+        // live elsewhere too. Only when no safe replica remains does
+        // plain LRU over first-class entries run.
+        let probe = self.replica_probe.read().clone();
         let mut evicted = Vec::new();
         while st.used_bytes + size > self.config.capacity_bytes {
-            let victim = st
-                .objects
-                .iter()
-                .filter(|(_, e)| e.pin_count == 0)
-                .min_by_key(|(_, e)| e.last_access)
-                .map(|(id, _)| *id);
+            let victim = loop {
+                let replica = st
+                    .objects
+                    .iter()
+                    .filter(|(_, e)| e.pin_count == 0 && e.replica)
+                    .min_by_key(|(_, e)| e.last_access)
+                    .map(|(id, _)| *id);
+                let Some(id) = replica else { break None };
+                if probe.as_ref().map_or(true, |p| p(id)) {
+                    break Some(id);
+                }
+                // Last sealed copy: never evicted *as a replica*. Demote
+                // to first-class so it competes under plain LRU below.
+                st.objects.get_mut(&id).expect("candidate exists").replica = false;
+            }
+            .or_else(|| {
+                st.objects
+                    .iter()
+                    .filter(|(_, e)| e.pin_count == 0)
+                    .min_by_key(|(_, e)| e.last_access)
+                    .map(|(id, _)| *id)
+            });
             match victim {
                 Some(id) => {
                     let entry = st.objects.remove(&id).expect("victim exists");
@@ -195,6 +246,7 @@ impl ObjectStore {
                 data,
                 pin_count: 0,
                 last_access: clock,
+                replica: false,
             },
         );
         st.used_bytes += size;
@@ -279,21 +331,62 @@ impl ObjectStore {
     /// whether the object was present.
     pub fn pin(&self, object: ObjectId) -> bool {
         let mut st = self.state.lock();
-        match st.objects.get_mut(&object) {
+        let mut newly_pinned = 0u64;
+        let present = match st.objects.get_mut(&object) {
             Some(entry) => {
                 entry.pin_count += 1;
+                if entry.pin_count == 1 {
+                    newly_pinned = entry.data.len() as u64;
+                }
+                true
+            }
+            None => false,
+        };
+        st.pinned_bytes += newly_pinned;
+        present
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&self, object: ObjectId) {
+        let mut st = self.state.lock();
+        let mut released = 0u64;
+        if let Some(entry) = st.objects.get_mut(&object) {
+            if entry.pin_count == 1 {
+                released = entry.data.len() as u64;
+            }
+            entry.pin_count = entry.pin_count.saturating_sub(1);
+        }
+        st.pinned_bytes -= released;
+    }
+
+    /// Bytes currently held by pinned entries. `capacity - pinned` is
+    /// the store's admission headroom: how much could be made resident
+    /// by evicting everything evictable — the budget the scheduler's
+    /// prefetch admission guard checks against.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.state.lock().pinned_bytes
+    }
+
+    /// Marks an existing entry as a replication-plane copy (second-class
+    /// for eviction). Returns whether the object was present.
+    pub fn mark_replica(&self, object: ObjectId) -> bool {
+        let mut st = self.state.lock();
+        match st.objects.get_mut(&object) {
+            Some(entry) => {
+                entry.replica = true;
                 true
             }
             None => false,
         }
     }
 
-    /// Releases one pin.
-    pub fn unpin(&self, object: ObjectId) {
-        let mut st = self.state.lock();
-        if let Some(entry) = st.objects.get_mut(&object) {
-            entry.pin_count = entry.pin_count.saturating_sub(1);
-        }
+    /// Whether the entry is currently marked as a replica copy.
+    pub fn is_replica(&self, object: ObjectId) -> bool {
+        self.state
+            .lock()
+            .objects
+            .get(&object)
+            .is_some_and(|e| e.replica)
     }
 
     /// Deletes an object regardless of pins (used by failure injection).
@@ -302,6 +395,9 @@ impl ObjectStore {
         let mut st = self.state.lock();
         if let Some(entry) = st.objects.remove(&object) {
             st.used_bytes -= entry.data.len() as u64;
+            if entry.pin_count > 0 {
+                st.pinned_bytes -= entry.data.len() as u64;
+            }
             true
         } else {
             false
@@ -315,6 +411,7 @@ impl ObjectStore {
         let ids: Vec<ObjectId> = st.objects.keys().copied().collect();
         st.objects.clear();
         st.used_bytes = 0;
+        st.pinned_bytes = 0;
         st.waiters.clear();
         ids
     }
@@ -394,6 +491,66 @@ mod tests {
         s.unpin(obj(1));
         let outcome = s.put(obj(2), Bytes::from(vec![2u8; 60])).unwrap();
         assert_eq!(outcome.evicted, vec![obj(1)]);
+    }
+
+    #[test]
+    fn replicas_are_evicted_before_sole_copies() {
+        let s = store(100);
+        s.put(obj(1), Bytes::from(vec![1u8; 40])).unwrap();
+        s.put(obj(2), Bytes::from(vec![2u8; 40])).unwrap();
+        // obj(1) is LRU, but obj(2) is a second-class replica: it goes
+        // first even though it was touched more recently.
+        assert!(s.mark_replica(obj(2)));
+        assert!(s.is_replica(obj(2)));
+        let outcome = s.put(obj(3), Bytes::from(vec![3u8; 40])).unwrap();
+        assert_eq!(outcome.evicted, vec![obj(2)]);
+        assert!(s.contains(obj(1)));
+    }
+
+    #[test]
+    fn last_copy_replica_is_demoted_not_preferentially_evicted() {
+        let s = store(100);
+        // The probe says no other sealed holder exists: the replica is
+        // the last copy, so it must not be evicted *as* a replica.
+        s.set_replica_probe(Arc::new(|_| false));
+        s.put(obj(1), Bytes::from(vec![1u8; 40])).unwrap();
+        s.put(obj(2), Bytes::from(vec![2u8; 40])).unwrap();
+        s.mark_replica(obj(2));
+        let outcome = s.put(obj(3), Bytes::from(vec![3u8; 40])).unwrap();
+        // Plain LRU ran instead: the older first-class entry went.
+        assert_eq!(outcome.evicted, vec![obj(1)]);
+        assert!(s.contains(obj(2)));
+        assert!(!s.is_replica(obj(2)), "last copy demoted to first-class");
+    }
+
+    #[test]
+    fn probe_allows_eviction_of_safe_replicas() {
+        let s = store(100);
+        s.set_replica_probe(Arc::new(|_| true));
+        s.put(obj(1), Bytes::from(vec![1u8; 40])).unwrap();
+        s.put(obj(2), Bytes::from(vec![2u8; 40])).unwrap();
+        s.mark_replica(obj(2));
+        let outcome = s.put(obj(3), Bytes::from(vec![3u8; 40])).unwrap();
+        assert_eq!(outcome.evicted, vec![obj(2)]);
+    }
+
+    #[test]
+    fn pinned_bytes_track_pin_transitions() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from(vec![0u8; 100])).unwrap();
+        s.put(obj(2), Bytes::from(vec![0u8; 50])).unwrap();
+        assert_eq!(s.pinned_bytes(), 0);
+        s.pin(obj(1));
+        s.pin(obj(1)); // second pin of the same entry adds nothing
+        assert_eq!(s.pinned_bytes(), 100);
+        s.pin(obj(2));
+        assert_eq!(s.pinned_bytes(), 150);
+        s.unpin(obj(1));
+        assert_eq!(s.pinned_bytes(), 150, "still one pin outstanding");
+        s.unpin(obj(1));
+        assert_eq!(s.pinned_bytes(), 50);
+        s.delete(obj(2));
+        assert_eq!(s.pinned_bytes(), 0, "deleting a pinned entry releases it");
     }
 
     #[test]

@@ -174,6 +174,59 @@ pub struct TransferStats {
     pub send_failures: Counter,
     /// Chunk frames emitted.
     pub chunks_sent: Counter,
+    /// Whether per-object demand tracking is on. Enabled by the
+    /// replication plane; off by default so nodes without a
+    /// [`crate::replicate::ReplicationAgent`] never grow the map.
+    demand_enabled: std::sync::atomic::AtomicBool,
+    /// Per-object remote-read demand accumulated since the last
+    /// [`TransferStats::drain_demand`]. Fed by the serve loop (one unit
+    /// per object served) and by scheduler hints that restore the
+    /// fan-in a coalesced/single-flighted request hides.
+    demand: Mutex<HashMap<ObjectId, u64>>,
+}
+
+impl TransferStats {
+    /// Turns on per-object demand tracking (idempotent).
+    pub fn enable_demand_tracking(&self) {
+        self.demand_enabled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether demand tracking is currently on.
+    pub fn demand_tracking_enabled(&self) -> bool {
+        self.demand_enabled
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Records one remote read of `object` (serve-loop path).
+    fn record_read(&self, object: ObjectId) {
+        self.record_demand(object, 1);
+    }
+
+    /// Adds `weight` units of remote-read demand for `object`. Weights
+    /// above one come from the scheduler: a coalesced prefetch issues
+    /// one request frame on behalf of many waiting tasks, so the hint
+    /// restores the fan-in the wire no longer shows.
+    pub fn record_demand(&self, object: ObjectId, weight: u64) {
+        if weight == 0 || !self.demand_tracking_enabled() {
+            return;
+        }
+        *self.demand.lock().entry(object).or_insert(0) += weight;
+    }
+
+    /// Takes and clears the accumulated per-object demand, sorted by
+    /// object id for deterministic sweep order.
+    pub fn drain_demand(&self) -> Vec<(ObjectId, u64)> {
+        let drained: HashMap<ObjectId, u64> = std::mem::take(&mut *self.demand.lock());
+        let mut out: Vec<(ObjectId, u64)> = drained.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Current (undrained) demand for one object; test and tooling aid.
+    pub fn demand_of(&self, object: ObjectId) -> u64 {
+        self.demand.lock().get(&object).copied().unwrap_or(0)
+    }
 }
 
 /// Per-node server answering transfer requests from the local store.
@@ -231,6 +284,7 @@ impl TransferService {
                         match store.get(object) {
                             Some(data) => {
                                 stats2.objects_served.inc();
+                                stats2.record_read(object);
                                 let data = data.as_slice();
                                 let total = (data.len().div_ceil(chunk_bytes)).max(1) as u32;
                                 for index in 0..total {
@@ -628,7 +682,8 @@ fn agent_loop(inner: Arc<AgentInner>, endpoint: rtml_net::Endpoint) {
     }
 }
 
-/// Pulls `object` from `holder` into `local`, blocking up to `timeout`.
+/// Pulls `object` from one of `holders` into `local`, blocking up to
+/// `timeout` per attempted holder.
 ///
 /// The standalone one-shot form of the protocol (tests, benches): it
 /// registers an **ephemeral** reply endpoint scoped to an RAII guard —
@@ -637,11 +692,43 @@ fn agent_loop(inner: Arc<AgentInner>, endpoint: rtml_net::Endpoint) {
 /// Runtime components use the per-node [`FetchAgent`] instead, which
 /// keeps one persistent endpoint and single-flights duplicates.
 ///
+/// Holder choice uses the same deterministic rendezvous ranking of
+/// `(object, reader)` as the agent paths — not simply the first listed
+/// location — so one-shot readers of a replicated object spread across
+/// holders too, and remaining holders are retried in rank order when
+/// one is unreachable.
+///
 /// On success the object is sealed into `local`; the outcome reports any
-/// evictions the insertion caused. Fails with [`Error::ObjectNotFound`] if
-/// the holder no longer has the object and [`Error::Timeout`] if the
-/// request or response is lost (e.g. a partition) or too slow.
+/// evictions the insertion caused. Fails with the **last** holder's
+/// error: [`Error::ObjectNotFound`] if no holder had the object and
+/// [`Error::Timeout`] if the request or response was lost (e.g. a
+/// partition) or too slow.
 pub fn fetch_object(
+    fabric: &Arc<Fabric>,
+    directory: &TransferDirectory,
+    local: &ObjectStore,
+    object: ObjectId,
+    holders: &[NodeId],
+    timeout: Duration,
+) -> Result<(Bytes, PutOutcome)> {
+    let me = local.node();
+    let ranked = rtml_common::ids::rendezvous_rank(
+        object,
+        me.0 as u64,
+        holders.iter().copied().filter(|n| *n != me),
+    );
+    let mut last_err = Error::ObjectNotFound(object);
+    for holder in ranked {
+        match fetch_object_from(fabric, directory, local, object, holder, timeout) {
+            Ok(done) => return Ok(done),
+            Err(err) => last_err = err,
+        }
+    }
+    Err(last_err)
+}
+
+/// One attempt of [`fetch_object`] against a specific holder.
+fn fetch_object_from(
     fabric: &Arc<Fabric>,
     directory: &TransferDirectory,
     local: &ObjectStore,
@@ -799,7 +886,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_secs(5),
         )
         .unwrap();
@@ -818,7 +905,7 @@ mod tests {
             &directory,
             &store1,
             obj(9),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_secs(5),
         )
         .unwrap_err();
@@ -834,7 +921,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(7),
+            &[NodeId(7)],
             Duration::from_secs(1),
         )
         .unwrap_err();
@@ -851,7 +938,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_millis(50),
         )
         .unwrap_err();
@@ -868,7 +955,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_secs(5),
         )
         .unwrap();
@@ -889,7 +976,7 @@ mod tests {
                 &directory,
                 &store1,
                 obj(1),
-                NodeId(0),
+                &[NodeId(0)],
                 Duration::from_secs(5),
             )
             .unwrap();
@@ -899,7 +986,7 @@ mod tests {
                 &directory,
                 &store1,
                 obj(9),
-                NodeId(0),
+                &[NodeId(0)],
                 Duration::from_secs(5),
             )
             .unwrap_err();
@@ -910,7 +997,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_millis(20),
         )
         .unwrap_err();
@@ -1102,7 +1189,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_secs(5),
         )
         .unwrap();
@@ -1123,7 +1210,7 @@ mod tests {
             &directory,
             &store1,
             obj(1),
-            NodeId(0),
+            &[NodeId(0)],
             Duration::from_secs(5),
         )
         .unwrap();

@@ -51,4 +51,5 @@ pub mod prelude {
         Cluster, ClusterConfig, Driver, IntoArg, NodeConfig, ObjectRef, TaskContext, TaskOptions,
     };
     pub use rtml_sched::{PlacementPolicy, SpillMode};
+    pub use rtml_store::ReplicationPolicy;
 }

@@ -60,6 +60,46 @@ fn prefetch_changes_when_bytes_move_never_what_runs() {
 }
 
 #[test]
+fn replication_changes_where_copies_live_never_what_runs() {
+    // The same workload with the replication plane fully off vs
+    // aggressively on (every remote read makes an object hot) must
+    // produce bit-identical checksums: replication adds holders and
+    // spreads reads, it never changes ids, values, or results.
+    let config = RlConfig {
+        rollouts: 6,
+        frames_per_task: 4,
+        frame_cost: Duration::ZERO,
+        iterations: 3,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = |replication: ReplicationPolicy| {
+        let cluster = Cluster::start(
+            ClusterConfig::local(3, 2)
+                .with_latency(LatencyModel::Constant(Duration::from_micros(200)))
+                .with_replication(replication),
+        )
+        .unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        let replicas = cluster.profile().replication.replicas_created;
+        cluster.shutdown();
+        (result.checksum, result.total_reward_bits, replicas)
+    };
+    let aggressive = ReplicationPolicy {
+        enabled: true,
+        read_threshold: 1,
+        max_replicas: 2,
+        sweep_interval: Duration::from_millis(1),
+    };
+    let (on_sum, on_bits, _) = run(aggressive);
+    let (off_sum, off_bits, off_replicas) = run(ReplicationPolicy::disabled());
+    assert_eq!((on_sum, on_bits), (off_sum, off_bits));
+    assert_eq!(off_replicas, 0, "disabled plane must not replicate");
+}
+
+#[test]
 fn resubmitting_the_same_structure_reuses_results() {
     // Deterministic task IDs mean a re-executed parent's submissions
     // are recognized: the children do not run twice.

@@ -70,6 +70,132 @@ fn kill_all_but_one_node_still_completes() {
 }
 
 #[test]
+fn killing_replica_holders_leaves_reads_and_lineage_correct() {
+    // A hot task output is replicated onto extra holders; killing a
+    // replica holder must leave reads correct (remaining holders serve)
+    // and killing every holder must still recover the value through
+    // lineage replay — replicas are an optimization, never load-bearing
+    // for correctness.
+    let config = ClusterConfig {
+        nodes: (0..4).map(|_| NodeConfig::cpu_only(2)).collect(),
+        spill: SpillMode::NeverSpill, // keep the producer on node 0
+        ..ClusterConfig::default()
+    }
+    .with_replication(ReplicationPolicy {
+        enabled: true,
+        read_threshold: 4,
+        max_replicas: 2,
+        sweep_interval: Duration::from_millis(1),
+    });
+    let cluster = Cluster::start(config).unwrap();
+    let make = cluster.register_fn1("make_hot_fi", |i: u64| Ok(vec![i as u8; 32 * 1024]));
+    let driver = cluster.driver();
+    let fut = driver.submit1(&make, 7u64).unwrap();
+    let expect = vec![7u8; 32 * 1024];
+    assert_eq!(driver.get(&fut).unwrap(), expect);
+
+    // Drive remote demand with one-shot reads into a scratch store
+    // outside the cluster (a streaming consumer that keeps nothing), so
+    // no cluster node becomes a holder before the plane acts and every
+    // replica pull seals fresh bytes.
+    let services = cluster.services().clone();
+    let hot = fut.id();
+    let scratch = rtml::store::ObjectStore::new(rtml::store::StoreConfig {
+        node: NodeId(99),
+        ..rtml::store::StoreConfig::default()
+    });
+    for _ in 0..2 {
+        rtml::store::fetch_object(
+            &services.fabric,
+            &services.directory,
+            &scratch,
+            hot,
+            &[NodeId(0)],
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    }
+    // Cross the threshold atomically with a scheduler-style fan-in hint
+    // (trickled reads decay per sweep by design; a handful of post-kill
+    // reads later in this test must NOT re-trigger the plane and race
+    // the teardown).
+    cluster
+        .node_transfer_stats(NodeId(0))
+        .unwrap()
+        .record_demand(hot, 4);
+
+    // The plane must place its replicas (marked second-class in the
+    // target stores) and commit them to the object table.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let replica_holder = loop {
+        let locations = services.objects.get(hot).unwrap().locations;
+        let marked = locations.iter().copied().find(|n| {
+            *n != NodeId(0)
+                && services
+                    .store(*n)
+                    .is_some_and(|store| store.is_replica(hot))
+        });
+        if locations.len() >= 3 {
+            if let Some(holder) = marked {
+                break holder;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication never happened: {locations:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    // Kill one replica holder: reads keep working off the remaining
+    // holder set (retry-across-holders is rank order).
+    cluster.kill_node(replica_holder).unwrap();
+    let survivors = services.objects.get(hot).unwrap().locations;
+    assert!(!survivors.contains(&replica_holder), "kill must deregister");
+    if let Some(fresh) = services
+        .alive_nodes()
+        .into_iter()
+        .find(|n| !survivors.contains(n))
+    {
+        let src = services
+            .objects
+            .get(hot)
+            .unwrap()
+            .holders_ranked(hot, fresh)[0];
+        let agent = services.fetch_agent(fresh).unwrap();
+        let (bytes, _) = agent
+            .fetch_many(&[hot], src, Duration::from_secs(5))
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            bytes,
+            driver.get_raw(hot, Duration::from_secs(5)).unwrap(),
+            "post-kill read served wrong bytes"
+        );
+    }
+
+    // Lose every holder: node 0's copy is dropped from store and table,
+    // the remaining replica nodes die. The value must come back through
+    // lineage replay, not any surviving copy.
+    for node in services.objects.get(hot).unwrap().locations {
+        if node == NodeId(0) {
+            services.store(NodeId(0)).unwrap().delete(hot);
+            services.objects.remove_location(hot, NodeId(0));
+        } else if services.store(node).is_some() {
+            cluster.kill_node(node).unwrap();
+        }
+    }
+    let before = cluster.reconstructions();
+    assert_eq!(driver.get(&fut).unwrap(), expect);
+    assert!(
+        cluster.reconstructions() > before,
+        "value must have come from lineage replay"
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn restarted_node_accepts_new_work() {
     let cluster = Cluster::start(ClusterConfig::local(2, 2)).unwrap();
     let f = cluster.register_fn1("echo_fi", |x: i64| Ok(x));

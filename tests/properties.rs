@@ -346,6 +346,77 @@ proptest! {
         prop_assert_eq!(store.len(), 0);
     }
 
+    // ---- rendezvous holder choice ------------------------------------
+
+    #[test]
+    fn rendezvous_rank_is_a_stable_permutation(
+        raw_holders in proptest::collection::vec(0u32..32, 1..8),
+        reader in 32u64..64,
+    ) {
+        use rtml::common::ids::rendezvous_rank;
+        let set: std::collections::BTreeSet<u32> = raw_holders.into_iter().collect();
+        let holders: Vec<NodeId> = set.into_iter().map(NodeId).collect();
+        let ranked = rendezvous_rank(obj(1), reader, holders.iter().copied());
+        // Stable: a pure function of (object, salt, set).
+        prop_assert_eq!(
+            ranked.clone(),
+            rendezvous_rank(obj(1), reader, holders.iter().copied())
+        );
+        // Input order must not matter.
+        prop_assert_eq!(
+            ranked.clone(),
+            rendezvous_rank(obj(1), reader, holders.iter().rev().copied())
+        );
+        // It is a permutation of the input set.
+        let mut sorted_rank = ranked.clone();
+        sorted_rank.sort();
+        prop_assert_eq!(sorted_rank, holders);
+    }
+
+    #[test]
+    fn rendezvous_rank_is_consistent_under_holder_loss(
+        raw_holders in proptest::collection::vec(0u32..32, 2..8),
+        reader in 32u64..64,
+        victim_idx in 0usize..8,
+    ) {
+        // The rendezvous property: removing one holder (eviction, node
+        // kill) leaves the relative order of the survivors unchanged —
+        // readers fail over without reshuffling the whole ranking.
+        use rtml::common::ids::rendezvous_rank;
+        let set: std::collections::BTreeSet<u32> = raw_holders.into_iter().collect();
+        let holders: Vec<NodeId> = set.into_iter().map(NodeId).collect();
+        let victim = holders[victim_idx % holders.len()];
+        let full = rendezvous_rank(obj(2), reader, holders.iter().copied());
+        let without = rendezvous_rank(
+            obj(2),
+            reader,
+            holders.iter().copied().filter(|n| *n != victim),
+        );
+        let full_minus: Vec<NodeId> =
+            full.into_iter().filter(|n| *n != victim).collect();
+        prop_assert_eq!(full_minus, without);
+    }
+
+    #[test]
+    fn rendezvous_choice_is_uniformish_across_readers(holder_count in 2u32..8) {
+        // 256 distinct readers over a fixed holder set: every holder is
+        // picked by someone, and no holder dominates — the load-spread
+        // property K readers of one hot object rely on.
+        use rtml::common::ids::rendezvous_rank;
+        let holders: Vec<NodeId> = (0..holder_count).map(NodeId).collect();
+        let mut counts = std::collections::HashMap::new();
+        for reader in 100u64..356 {
+            let top = rendezvous_rank(obj(3), reader, holders.iter().copied())[0];
+            *counts.entry(top).or_insert(0u32) += 1;
+        }
+        prop_assert!(counts.len() as u32 == holder_count, "every holder chosen");
+        let max = counts.values().copied().max().unwrap();
+        prop_assert!(
+            max <= 256 * 3 / 4,
+            "one holder took {max}/256 readers across {holder_count} holders"
+        );
+    }
+
     // ---- transfer plane ----------------------------------------------
 
     #[test]
