@@ -96,6 +96,7 @@ fn run(replication_on: bool, rounds: usize) -> RunResult {
             read_threshold: (READERS / 2) as u64,
             max_replicas: 2,
             sweep_interval: Duration::from_millis(25),
+            ..ReplicationPolicy::default()
         }
     } else {
         ReplicationPolicy::disabled()

@@ -99,6 +99,14 @@ pub enum EventKind {
         to: NodeId,
         micros: u64,
     },
+    /// A ready task was pulled from a loaded node by an idle peer (the
+    /// steal plane): ownership moved from `from` to `to` before the
+    /// grant left the victim.
+    TaskStolen {
+        task: TaskId,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A worker was killed (failure injection or crash).
     WorkerLost { worker: WorkerId },
     /// A node was killed.
@@ -119,7 +127,8 @@ impl EventKind {
             | EventKind::TaskStarted { task, .. }
             | EventKind::TaskFinished { task, .. }
             | EventKind::TaskFailed { task, .. }
-            | EventKind::TaskReconstructed { task, .. } => Some(*task),
+            | EventKind::TaskReconstructed { task, .. }
+            | EventKind::TaskStolen { task, .. } => Some(*task),
             _ => None,
         }
     }
@@ -135,6 +144,7 @@ impl EventKind {
             EventKind::TaskFinished { .. } => "task_finished",
             EventKind::TaskFailed { .. } => "task_failed",
             EventKind::TaskReconstructed { .. } => "task_reconstructed",
+            EventKind::TaskStolen { .. } => "task_stolen",
             EventKind::ObjectSealed { .. } => "object_sealed",
             EventKind::ObjectEvicted { .. } => "object_evicted",
             EventKind::TransferStarted { .. } => "transfer_started",
@@ -234,6 +244,12 @@ impl Codec for EventKind {
                 object.encode(w);
                 node.encode(w);
             }
+            EventKind::TaskStolen { task, from, to } => {
+                w.put_u8(16);
+                task.encode(w);
+                from.encode(w);
+                to.encode(w);
+            }
         }
     }
 
@@ -302,6 +318,11 @@ impl Codec for EventKind {
             15 => EventKind::PrefetchIssued {
                 object: ObjectId::decode(r)?,
                 node: NodeId::decode(r)?,
+            },
+            16 => EventKind::TaskStolen {
+                task: TaskId::decode(r)?,
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
             },
             other => return Err(Error::Codec(format!("invalid EventKind tag {other}"))),
         })
@@ -401,6 +422,11 @@ mod tests {
             EventKind::NodeLost { node: n },
             EventKind::NodeRestarted { node: n },
             EventKind::PrefetchIssued { object: o, node: n },
+            EventKind::TaskStolen {
+                task: t,
+                from: n,
+                to: NodeId(2),
+            },
         ];
         for kind in kinds {
             let ev = Event {

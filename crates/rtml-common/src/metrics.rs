@@ -101,6 +101,20 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Adds every sample of `snap` into this histogram, bucket-wise —
+    /// how per-node latency histograms fold into one cluster-wide
+    /// distribution (bucket layouts are identical by construction).
+    pub fn merge_snapshot(&self, snap: &Snapshot) {
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i.min(BUCKETS - 1)].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> Snapshot {
         let buckets: Vec<u64> = self
@@ -273,6 +287,25 @@ mod tests {
             assert!(idx >= prev);
             prev = idx;
         }
+    }
+
+    #[test]
+    fn merge_snapshot_folds_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+            b.record(v * 1_000_000);
+        }
+        a.merge_snapshot(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.count(), 200);
+        assert_eq!(s.max(), 100_000_000);
+        // The merged p99 lives in b's range, the p50 straddles both.
+        assert!(s.p99() >= 1_000_000);
+        let empty = Histogram::new();
+        empty.merge_snapshot(&Histogram::new().snapshot());
+        assert_eq!(empty.snapshot().count(), 0);
     }
 
     #[test]

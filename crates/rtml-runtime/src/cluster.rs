@@ -78,6 +78,14 @@ pub struct ClusterConfig {
     /// Like prefetch, replication changes only *where copies live*,
     /// never values: checksums are identical with it on or off.
     pub replication: rtml_store::ReplicationPolicy,
+    /// Pull-based work stealing: an idle local scheduler (empty ready
+    /// queue, spare resources) pulls a batch of ready tasks from a
+    /// peer whose kv-published backlog is deep, preferring tasks whose
+    /// dependencies are already local to the thief. The inverse of
+    /// spillover — push balancing decides once at ingest, stealing
+    /// keeps correcting as queues skew. Changes only *where tasks
+    /// run*, never values: checksums are identical with it on or off.
+    pub stealing: rtml_sched::StealConfig,
     /// Load-report publication interval.
     pub load_interval: Duration,
     /// Seed for randomized placement policies.
@@ -103,6 +111,7 @@ impl Default for ClusterConfig {
             transfer_chunk_bytes: rtml_store::DEFAULT_CHUNK_BYTES,
             prefetch: true,
             replication: rtml_store::ReplicationPolicy::default(),
+            stealing: rtml_sched::StealConfig::default(),
             load_interval: Duration::from_millis(1),
             seed: 0x5eed,
             global_host: 0,
@@ -170,6 +179,12 @@ impl ClusterConfig {
         self.replication = replication;
         self
     }
+
+    /// Replaces the work-stealing policy builder-style.
+    pub fn with_stealing(mut self, stealing: rtml_sched::StealConfig) -> Self {
+        self.stealing = stealing;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -225,6 +240,7 @@ impl Cluster {
             transfer_chunk_bytes: config.transfer_chunk_bytes,
             prefetch: config.prefetch,
             replication: config.replication.clone(),
+            stealing: config.stealing.clone(),
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {
@@ -429,12 +445,27 @@ impl Cluster {
                 report.replication.sweeps += r.sweeps.get();
                 report.replication.hot_objects += r.hot_objects.get();
                 report.replication.replicas_created += r.replicas_created.get();
+                report.replication.replicas_released += r.replicas_released.get();
                 report.replication.failures += r.failures.get();
             }
-            report.prefetch_skipped_capacity +=
-                runtime.sched_stats().prefetch_skipped_capacity.get();
+            let s = runtime.sched_stats();
+            report.prefetch_skipped_capacity += s.prefetch_skipped_capacity.get();
+            report.prefetch_deferred_priority += s.prefetch_deferred_priority.get();
+            report.steal.absorb(&s.steal);
+            report
+                .steal_to_run
+                .merge_snapshot(&s.steal.steal_to_run.snapshot());
         }
         report
+    }
+
+    /// One node's live local-scheduler counters (prefetch admission and
+    /// steal-plane numbers). `None` if the node is not alive.
+    pub fn node_sched_stats(&self, node: NodeId) -> Option<Arc<rtml_sched::LocalSchedulerStats>> {
+        self.nodes
+            .lock()
+            .get(&node)
+            .map(|runtime| runtime.sched_stats().clone())
     }
 
     /// One node's live transfer-service counters (per-holder serve and

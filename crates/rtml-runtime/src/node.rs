@@ -104,6 +104,8 @@ pub struct NodeTuning {
     /// Hot-object replication plane policy (see
     /// [`rtml_store::replicate`]).
     pub replication: ReplicationPolicy,
+    /// Pull-based work-stealing policy (see [`rtml_sched::steal`]).
+    pub stealing: rtml_sched::StealConfig,
 }
 
 /// A live node: all per-node components plus their control handles.
@@ -166,6 +168,9 @@ impl NodeRuntime {
             let lookup_objects = services.objects.clone();
             let alive_services = services.clone();
             let pull_services = services.clone();
+            let replica_store = store.clone();
+            let release_store = store.clone();
+            let release_objects = services.objects.clone();
             let fetch_timeout = tuning.fetch_timeout;
             let hooks = ReplicationHooks {
                 lookup: Arc::new(move |object| {
@@ -203,6 +208,43 @@ impl NodeRuntime {
                         }
                         Err(_) => false,
                     }
+                }),
+                list_replicas: Arc::new(move || replica_store.list_replicas()),
+                // Reclamation: drop cold replica copies, but only while
+                // the copy is still replica-marked, unpinned (checked
+                // atomically with the removal by `release_replica`),
+                // AND another sealed holder exists — a demoted last
+                // copy is never eaten. The cross-node check is not
+                // atomic, so the rendezvous *anchor* holder of an
+                // object never reclaims: two simultaneously-cold
+                // replica holders cannot both drop the last copies. A
+                // pressure eviction on the other holder can still
+                // overlap this window — that is the same
+                // capacity-wins-eventually race plain LRU already has,
+                // and lineage replay is the designed backstop.
+                // Evictions commit as one remove_location_many.
+                release: Arc::new(move |objects: &[ObjectId]| {
+                    let mut dropped: Vec<ObjectId> = Vec::new();
+                    for &object in objects {
+                        let safe = release_objects.get(object).is_some_and(|info| {
+                            info.sealed
+                                && info.locations.iter().any(|n| *n != node)
+                                && rtml_common::ids::rendezvous_rank(
+                                    object,
+                                    rtml_common::ids::REPLICA_PLACEMENT_SALT,
+                                    info.locations.iter().copied(),
+                                )
+                                .first()
+                                .is_some_and(|anchor| *anchor != node)
+                        });
+                        if safe && release_store.release_replica(object) {
+                            dropped.push(object);
+                        }
+                    }
+                    if !dropped.is_empty() {
+                        release_objects.remove_location_many(&dropped, node);
+                    }
+                    dropped.len()
                 }),
             };
             Some(ReplicationAgent::spawn(
@@ -273,6 +315,7 @@ impl NodeRuntime {
                 fetch_timeout: tuning.fetch_timeout,
                 load_interval: tuning.load_interval,
                 prefetch: tuning.prefetch,
+                stealing: tuning.stealing.clone(),
             },
             sched_services,
             handles,
@@ -412,6 +455,10 @@ impl NodeRuntime {
         }
         let mut this = self;
         this.sched.shutdown();
+        // Retract the kv-mirrored load report: a dead node must stop
+        // attracting steal requests (stale victims are handled, but a
+        // ghost with a deep frozen backlog would waste thief attempts).
+        services.kv.delete(&rtml_sched::load_key(this.node));
         // Drop the store contents and erase their locations from the
         // table as one group commit.
         let dropped = this.store.clear();
@@ -436,6 +483,7 @@ impl NodeRuntime {
         }
         // The scheduler's shutdown sends Stop to its registered workers.
         self.sched.shutdown();
+        services.kv.delete(&rtml_sched::load_key(self.node));
         for (runtime, tx) in self.workers.lock().iter_mut() {
             // Belt and braces for workers the scheduler no longer knows.
             let _ = tx.send(WorkerCommand::Stop);

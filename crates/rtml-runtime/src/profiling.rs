@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use rtml_common::event::{Event, EventKind};
 use rtml_common::ids::{TaskId, WorkerId};
 use rtml_common::metrics::{fmt_nanos, Histogram};
+use rtml_sched::StealStats;
 
 /// Per-task timeline assembled from the event log.
 #[derive(Clone, Debug, Default)]
@@ -99,8 +100,56 @@ pub struct ReplicationPlaneStats {
     pub hot_objects: u64,
     /// Replica copies successfully placed on additional holders.
     pub replicas_created: u64,
+    /// Replica copies proactively dropped by the demand-decay
+    /// reclamation sweep.
+    pub replicas_released: u64,
     /// Replica pulls that failed (target died, store pressure, ...).
     pub failures: u64,
+}
+
+/// Aggregated live steal-plane counters (per-node local schedulers),
+/// attached by [`crate::Cluster::profile`]. Zero when the plane is off
+/// or a report is built from raw events alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StealPlaneStats {
+    /// Steal requests sent by idle schedulers.
+    pub attempts: u64,
+    /// Non-empty grants received.
+    pub grants: u64,
+    /// Empty grants received (stale victims whose queues drained).
+    pub empty_grants: u64,
+    /// Requests that timed out without any grant (victim died).
+    pub timeouts: u64,
+    /// Tasks received via grants.
+    pub tasks_stolen: u64,
+    /// Stolen tasks arriving with at least one dependency already
+    /// resident on the thief — the locality scoring landing.
+    pub locality_hits: u64,
+    /// Tasks handed out by victims.
+    pub tasks_granted: u64,
+}
+
+impl StealPlaneStats {
+    /// Fraction of stolen tasks that found a dependency already local
+    /// (1.0 when every steal was locality-guided; 0.0 when none were,
+    /// or nothing was stolen).
+    pub fn locality_hit_rate(&self) -> f64 {
+        if self.tasks_stolen == 0 {
+            return 0.0;
+        }
+        self.locality_hits as f64 / self.tasks_stolen as f64
+    }
+
+    /// Folds one scheduler's live counters in.
+    pub fn absorb(&mut self, stats: &StealStats) {
+        self.attempts += stats.attempts.get();
+        self.grants += stats.grants.get();
+        self.empty_grants += stats.empty_grants.get();
+        self.timeouts += stats.timeouts.get();
+        self.tasks_stolen += stats.tasks_stolen.get();
+        self.locality_hits += stats.locality_hits.get();
+        self.tasks_granted += stats.tasks_granted.get();
+    }
 }
 
 /// A digest of one run's event log.
@@ -132,6 +181,18 @@ pub struct ProfileReport {
     /// Dispatch-time prefetches skipped by the capacity admission guard
     /// (live scheduler counters; zero for raw event folds).
     pub prefetch_skipped_capacity: u64,
+    /// Dispatch-time prefetches deferred by head-of-queue
+    /// prioritization under a tight budget (live scheduler counters).
+    pub prefetch_deferred_priority: u64,
+    /// Live steal-plane counters (populated by
+    /// [`crate::Cluster::profile`]; zero for raw event folds).
+    pub steal: StealPlaneStats,
+    /// Grant-arrival → worker-dispatch latency across every stolen
+    /// task, folded from the per-node histograms.
+    pub steal_to_run: Histogram,
+    /// Steal grants recorded in the event log (`TaskStolen` records —
+    /// the events-based mirror of `steal.tasks_granted`).
+    pub steal_events: usize,
 }
 
 impl ProfileReport {
@@ -159,6 +220,7 @@ impl ProfileReport {
                 }
                 EventKind::WorkerLost { .. } => report.workers_lost += 1,
                 EventKind::NodeLost { .. } => report.nodes_lost += 1,
+                EventKind::TaskStolen { .. } => report.steal_events += 1,
                 _ => {}
             }
             let Some(task) = event.kind.task() else {
@@ -241,12 +303,14 @@ impl ProfileReport {
     /// Human-readable multi-line summary.
     pub fn summary(&self) -> String {
         let latency = self.scheduling_latency().snapshot();
+        let steal_latency = self.steal_to_run.snapshot();
         format!(
             "tasks: {} ({} spilled, {} failed)\n\
              scheduling latency: p50 {} / p99 {} / max {}\n\
              objects sealed: {}, transfers: {}, evictions: {}\n\
-             prefetch: {} issued, {} hits, {} skipped (capacity); duplicates suppressed: {}\n\
-             replication: {} hot objects, {} replicas created, {} failures\n\
+             prefetch: {} issued, {} hits, {} skipped (capacity), {} deferred (priority); duplicates suppressed: {}\n\
+             replication: {} hot objects, {} replicas created, {} released, {} failures\n\
+             steal: {} attempts, {} grants, {} tasks stolen ({:.2} locality), steal-to-run p50 {}\n\
              failures injected: {} workers, {} nodes",
             self.tasks.len(),
             self.spilled_count(),
@@ -260,10 +324,17 @@ impl ProfileReport {
             self.prefetches_issued,
             self.prefetch_hits,
             self.prefetch_skipped_capacity,
+            self.prefetch_deferred_priority,
             self.transfer.duplicate_fetches_suppressed,
             self.replication.hot_objects,
             self.replication.replicas_created,
+            self.replication.replicas_released,
             self.replication.failures,
+            self.steal.attempts,
+            self.steal.grants,
+            self.steal.tasks_stolen,
+            self.steal.locality_hit_rate(),
+            fmt_nanos(steal_latency.p50()),
             self.workers_lost,
             self.nodes_lost,
         )

@@ -219,6 +219,9 @@ impl GlobalCore {
                 self.scheds.remove(&node);
                 self.update_known();
             }
+            // Steal traffic flows local → local by design; a misrouted
+            // frame carries nothing the global scheduler can act on.
+            Ok(SchedWire::StealRequest { .. }) | Ok(SchedWire::StealGrant { .. }) => {}
             Err(_) => {}
         }
     }
@@ -395,6 +398,7 @@ mod tests {
             .unwrap();
         let load = SchedWire::Load(LoadReport {
             node,
+            sched_address: endpoint.address().as_u64(),
             ready: queue,
             waiting: 0,
             running: 0,

@@ -31,6 +31,7 @@ pub mod local;
 pub mod msg;
 pub mod policy;
 pub mod spill;
+pub mod steal;
 pub mod wire;
 
 pub use global::{GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle};
@@ -38,7 +39,8 @@ pub use local::{
     fetch_group_commit, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle,
     LocalSchedulerStats, SchedServices,
 };
-pub use msg::{LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
-pub use policy::PlacementPolicy;
+pub use msg::{load_key, LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
+pub use policy::{choose_victim, PlacementPolicy};
 pub use spill::SpillMode;
+pub use steal::{plan_steal_grant, StealConfig, StealStats};
 pub use wire::SchedWire;

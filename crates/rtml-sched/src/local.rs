@@ -36,7 +36,9 @@ use rtml_net::{Fabric, NetAddress};
 use rtml_store::{FetchAgent, ObjectStore, TransferDirectory};
 
 use crate::msg::{load_key, LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
+use crate::policy::{choose_victim, PolicyState};
 use crate::spill::SpillMode;
+use crate::steal::{plan_steal_grant, StealConfig, StealStats};
 use crate::wire::SchedWire;
 
 /// Static configuration for one local scheduler.
@@ -60,6 +62,13 @@ pub struct LocalSchedulerConfig {
     /// Prefetch changes *when bytes move*, never what runs: dispatch is
     /// gated on arrival either way, and ids/placements are identical.
     pub prefetch: bool,
+    /// Pull-based work stealing: when this scheduler's ready queue
+    /// drains while a peer's kv-published backlog is deep, pull a batch
+    /// of the peer's ready tasks over the fabric (see
+    /// [`crate::steal`]). Like prefetch and replication, stealing moves
+    /// *where tasks run*, never values — checksums are identical with
+    /// it on or off.
+    pub stealing: StealConfig,
 }
 
 impl Default for LocalSchedulerConfig {
@@ -71,6 +80,7 @@ impl Default for LocalSchedulerConfig {
             fetch_timeout: Duration::from_secs(2),
             load_interval: Duration::from_millis(1),
             prefetch: true,
+            stealing: StealConfig::default(),
         }
     }
 }
@@ -126,6 +136,14 @@ pub struct LocalSchedulerStats {
     /// resident, and evicting pinned-adjacent working state to make
     /// room would be worse. Skipped objects resolve reactively.
     pub prefetch_skipped_capacity: rtml_common::metrics::Counter,
+    /// Dispatch-time prefetches deferred by *prioritization*: the
+    /// object fits the headroom on its own, but dependencies of tasks
+    /// nearer the head of the ready queue consumed the budget first.
+    /// Deferred objects resolve reactively (and retry when the head of
+    /// the queue drains the budget back).
+    pub prefetch_deferred_priority: rtml_common::metrics::Counter,
+    /// Steal-plane counters (thief and victim sides).
+    pub steal: StealStats,
 }
 
 /// Running handle for a local scheduler.
@@ -237,6 +255,12 @@ impl LocalScheduler {
                     spawn_pending: false,
                     load_dirty: true,
                     last_load: Instant::now() - Duration::from_secs(1),
+                    steal_inflight: None,
+                    last_steal: Instant::now() - Duration::from_secs(1),
+                    steal_hint: Vec::new(),
+                    steal_hint_at: Instant::now() - Duration::from_secs(1),
+                    steal_rng: PolicyState::new(0x57ea1 ^ ((node.0 as u64) << 32)),
+                    stolen_pending: HashMap::new(),
                 };
                 for w in workers {
                     core.add_worker(w);
@@ -298,6 +322,24 @@ struct Core {
     spawn_pending: bool,
     load_dirty: bool,
     last_load: Instant,
+    /// The outstanding steal request, if any: `(victim, deadline)`.
+    /// One request in flight at a time; a grant from *that* victim
+    /// (even empty) or the deadline re-arms the loop, so a dead victim
+    /// can never wedge it — and a late grant from a previously
+    /// timed-out victim cannot cancel a newer request's deadline.
+    steal_inflight: Option<(NodeId, Instant)>,
+    last_steal: Instant,
+    /// Cached residency hint (bounded sample of locally-resident
+    /// objects) with its build time: enumerating the store is O(n), so
+    /// the hint is refreshed on a TTL instead of per attempt — it is a
+    /// hint, staleness only softens locality scoring.
+    steal_hint: Vec<ObjectId>,
+    steal_hint_at: Instant,
+    /// Deterministic sampling state for power-of-two victim selection.
+    steal_rng: PolicyState,
+    /// Stolen tasks not yet dispatched: grant-arrival instants for the
+    /// steal-to-run latency histogram.
+    stolen_pending: HashMap<TaskId, Instant>,
 }
 
 impl Core {
@@ -326,6 +368,7 @@ impl Core {
                 Incoming::Tick => {}
             }
             self.dispatch();
+            self.maybe_steal();
             self.maybe_publish_load();
         }
         // Drain: stop workers, deregister from the fabric.
@@ -384,8 +427,280 @@ impl Core {
                 self.on_submit(spec, false)
             }
             Ok(SchedWire::SpillBatch(specs)) => self.on_submit_batch(specs, false),
+            Ok(SchedWire::StealRequest {
+                thief,
+                reply_address,
+                capacity,
+                max_tasks,
+                local_objects_hint,
+            }) => self.on_steal_request(
+                thief,
+                reply_address,
+                capacity,
+                max_tasks as usize,
+                local_objects_hint,
+            ),
+            Ok(SchedWire::StealGrant { victim, tasks }) => self.on_steal_grant(victim, tasks),
             Ok(_) | Err(_) => {}
         }
+    }
+
+    /// Thief side of the steal plane, run once per scheduler-loop turn:
+    /// when the ready queue has drained while workers sit idle, sample
+    /// a victim from the kv-published load reports and ask it for a
+    /// batch. At most one request is in flight; [`StealConfig::timeout`]
+    /// re-arms the loop when a victim dies mid-request.
+    fn maybe_steal(&mut self) {
+        let cfg = &self.config.stealing;
+        if !cfg.enabled || !self.ready.is_empty() || self.idle.is_empty() || self.workers.is_empty()
+        {
+            return;
+        }
+        if let Some((_, deadline)) = self.steal_inflight {
+            if Instant::now() < deadline {
+                return;
+            }
+            // Victim never answered (died, or the request was lost):
+            // declare the request dead and try someone else.
+            self.steal_inflight = None;
+            self.stats.steal.timeouts.inc();
+        }
+        if self.last_steal.elapsed() < cfg.interval {
+            return;
+        }
+        self.last_steal = Instant::now();
+        let me = self.config.node;
+        // The load reports every scheduler already mirrors into the kv
+        // store (ROADMAP item: "using the load reports already
+        // published") — one prefix scan, no extra protocol.
+        let candidates: Vec<LoadReport> = self
+            .services
+            .kv
+            .scan_prefix(b"load:")
+            .into_iter()
+            .filter_map(|(_, bytes)| decode_from_slice::<LoadReport>(&bytes).ok())
+            .filter(|report| report.node != me && report.ready > cfg.min_backlog)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Residency hint: a bounded, deterministic sample of what is
+        // already local here, for the victim's locality scoring (and
+        // our own tiebreak below). Enumerating the store is O(n), so
+        // the hint is rebuilt on a TTL — several times the attempt
+        // interval — rather than per attempt, and partial selection
+        // keeps the rebuild at O(n + cap·log cap), not a full sort.
+        if self.steal_hint_at.elapsed() >= cfg.interval.saturating_mul(16) {
+            let mut hint = self.services.store.list();
+            let cap = cfg.hint_objects;
+            if hint.len() > cap && cap > 0 {
+                hint.select_nth_unstable(cap);
+            }
+            hint.truncate(cap);
+            hint.sort_unstable();
+            self.steal_hint = hint;
+            self.steal_hint_at = Instant::now();
+        }
+        let hint = self.steal_hint.clone();
+        let Some(victim) = choose_victim(
+            &candidates,
+            &hint,
+            &self.services.objects,
+            &mut self.steal_rng,
+        ) else {
+            return;
+        };
+        let request = SchedWire::StealRequest {
+            thief: me,
+            reply_address: self.address.as_u64(),
+            capacity: self.config.total_resources.saturating_sub(&self.in_use),
+            max_tasks: cfg.max_tasks as u32,
+            local_objects_hint: hint,
+        };
+        self.stats.steal.attempts.inc();
+        let sent = self.services.fabric.send(
+            self.address,
+            NetAddress::from_u64(victim.sched_address),
+            encode_to_bytes(&request),
+        );
+        if sent.is_ok() {
+            self.steal_inflight = Some((victim.node, Instant::now() + cfg.timeout));
+        }
+        // Send refused: the victim's endpoint is gone (stale report from
+        // a dead node). No request is in flight, so the next turn simply
+        // samples again.
+    }
+
+    /// Victim side: answer a steal request with one granted batch —
+    /// possibly empty, when the queue drained since the thief read our
+    /// load report (the stale-victim answer; the thief must never be
+    /// left waiting on silence while we are alive).
+    fn on_steal_request(
+        &mut self,
+        thief: NodeId,
+        reply_address: u64,
+        capacity: Resources,
+        max_tasks: usize,
+        hint: Vec<ObjectId>,
+    ) {
+        let me = self.config.node;
+        let granted: Vec<TaskSpec> = if !self.config.stealing.enabled || self.ready.is_empty() {
+            Vec::new()
+        } else {
+            // Score every ready candidate by the bytes of its
+            // dependencies already resident on the thief: one batched
+            // `get_many` sweep over the distinct dependencies (the same
+            // grouping discipline as dispatch-time prefetch), never a
+            // point probe per object.
+            let mut distinct: Vec<ObjectId> = Vec::new();
+            let mut seen: HashSet<ObjectId> = HashSet::new();
+            for spec in &self.ready {
+                for dep in spec.dependencies() {
+                    if seen.insert(dep) {
+                        distinct.push(dep);
+                    }
+                }
+            }
+            let hint: HashSet<ObjectId> = hint.into_iter().collect();
+            let mut thief_bytes: HashMap<ObjectId, u64> = HashMap::new();
+            if !distinct.is_empty() {
+                let infos = self.services.objects.get_many(&distinct);
+                for (dep, info) in distinct.into_iter().zip(infos) {
+                    let (size, located) = info
+                        .as_ref()
+                        .map(|i| (i.size.max(1), i.locations.contains(&thief)))
+                        .unwrap_or((1, false));
+                    if located || hint.contains(&dep) {
+                        thief_bytes.insert(dep, size);
+                    }
+                }
+            }
+            let candidates: Vec<(Resources, u64)> = self
+                .ready
+                .iter()
+                .map(|spec| {
+                    let local: u64 = spec
+                        .dependencies()
+                        .map(|dep| thief_bytes.get(&dep).copied().unwrap_or(0))
+                        .sum();
+                    (spec.resources.clone(), local)
+                })
+                .collect();
+            let picks = plan_steal_grant(&candidates, &capacity, max_tasks);
+            // Remove back-to-front so earlier indices stay valid, then
+            // restore the preference order for the grant itself.
+            let mut by_index: Vec<usize> = picks.clone();
+            by_index.sort_unstable_by(|a, b| b.cmp(a));
+            let mut extracted: HashMap<usize, TaskSpec> = HashMap::with_capacity(by_index.len());
+            for idx in by_index {
+                let spec = self.ready.remove(idx).expect("plan indices are in range");
+                extracted.insert(idx, spec);
+            }
+            picks
+                .into_iter()
+                .map(|idx| extracted.remove(&idx).expect("extracted above"))
+                .collect()
+        };
+        let granted_ids: Vec<TaskId> = granted.iter().map(|spec| spec.task_id).collect();
+        if !granted.is_empty() {
+            for spec in &granted {
+                // The task leaves this node: its dependency pins and any
+                // steal-latency bookkeeping go with it.
+                self.release_pins(spec.task_id);
+                self.stolen_pending.remove(&spec.task_id);
+            }
+            // Ownership transfer, crash-consistent: the specs and their
+            // `Queued(thief)` states are group-committed to the task
+            // table BEFORE the grant frame leaves, so a thief that dies
+            // with the batch is repaired like any other lost queue
+            // (states on the dead node become `Lost`, lineage replays).
+            self.services
+                .tasks
+                .record_many(&granted, &TaskState::Queued(thief));
+            self.load_dirty = true;
+        }
+        let grant = SchedWire::StealGrant {
+            victim: me,
+            tasks: granted,
+        };
+        let sent = self.services.fabric.send(
+            self.address,
+            NetAddress::from_u64(reply_address),
+            encode_to_bytes(&grant),
+        );
+        if sent.is_err() {
+            // The thief vanished before the grant left (its endpoint is
+            // gone) — but ownership is already committed as
+            // `Queued(thief)`, and a node killed *before* this commit
+            // landed has already run its one-shot task-table repair.
+            // Take the batch back: the same batched ingest re-records
+            // `Queued(me)` and re-gates dependencies, so the work is
+            // never stranded on a ghost. Nothing was logged or counted
+            // yet, so the event log never claims a transfer that was
+            // undone.
+            if let SchedWire::StealGrant { tasks, .. } = grant {
+                if !tasks.is_empty() {
+                    self.on_submit_batch(tasks, true);
+                }
+            }
+        } else if !granted_ids.is_empty() {
+            // Stats and the durable TaskStolen records reflect grants
+            // that actually left. (A send that succeeds but dies in
+            // flight is the thief-crash case the task-table repair and
+            // lineage replay already cover.)
+            let at_nanos = rtml_common::time::now_nanos();
+            self.services.events.append_many(
+                me,
+                granted_ids
+                    .iter()
+                    .map(|task| Event {
+                        at_nanos,
+                        component: Component::LocalScheduler,
+                        kind: EventKind::TaskStolen {
+                            task: *task,
+                            from: me,
+                            to: thief,
+                        },
+                    })
+                    .collect(),
+            );
+            self.stats.steal.tasks_granted.add(granted_ids.len() as u64);
+        }
+    }
+
+    /// Thief side: a grant arrived. Empty grants re-arm the steal loop
+    /// (stale victim); non-empty ones ingest exactly like a global
+    /// placement batch (one spill/dependency scan, no re-spill), with
+    /// per-task arrival stamps for the steal-to-run histogram.
+    fn on_steal_grant(&mut self, victim: NodeId, tasks: Vec<TaskSpec>) {
+        // Only the grant we are actually waiting on re-arms the loop: a
+        // late answer from a victim we already timed out must not
+        // cancel the deadline of the newer in-flight request.
+        if self
+            .steal_inflight
+            .is_some_and(|(expected, _)| expected == victim)
+        {
+            self.steal_inflight = None;
+        }
+        if tasks.is_empty() {
+            self.stats.steal.empty_grants.inc();
+            return;
+        }
+        self.stats.steal.grants.inc();
+        self.stats.steal.tasks_stolen.add(tasks.len() as u64);
+        let now = Instant::now();
+        for spec in &tasks {
+            // Locality scoring working end to end: the stolen task's
+            // dependencies are already here.
+            if spec
+                .dependencies()
+                .any(|dep| self.services.store.contains(dep))
+            {
+                self.stats.steal.locality_hits.inc();
+            }
+            self.stolen_pending.insert(spec.task_id, now);
+        }
+        self.on_submit_batch(tasks, true);
     }
 
     fn add_worker(&mut self, handle: WorkerHandle) {
@@ -545,11 +860,16 @@ impl Core {
     /// replicated set pull from different holders) and requested
     /// **now**, while their tasks are still queued — one coalesced
     /// `FetchMany` per holder, transfer overlapped with queueing,
-    /// dispatch still gated on arrival. Admission is budgeted: objects
-    /// that would not fit in the store's unpinned capacity headroom are
-    /// not prefetched (counted in
-    /// [`LocalSchedulerStats::prefetch_skipped_capacity`]) and resolve
-    /// reactively instead. Objects with no live copy (producer still
+    /// dispatch still gated on arrival. Admission is budgeted **and
+    /// prioritized**: the batch is scanned in submission order, so
+    /// dependencies of tasks nearest the head of the ready queue claim
+    /// the unpinned-capacity budget first. An object larger than the
+    /// whole headroom is skipped outright (counted in
+    /// [`LocalSchedulerStats::prefetch_skipped_capacity`]); one that
+    /// fits alone but lost the budget to higher-priority dependencies
+    /// is deferred (counted in
+    /// [`LocalSchedulerStats::prefetch_deferred_priority`]). Both
+    /// resolve reactively. Objects with no live copy (producer still
     /// running, or lost) get the patient per-object watcher, which also
     /// triggers lineage reconstruction. With prefetch off, everything
     /// takes the watcher path — the reactive, per-object baseline.
@@ -592,8 +912,19 @@ impl Core {
             if fan_in > 1 {
                 hints.entry(holder).or_default().push((object, fan_in - 1));
             }
-            if admitted_bytes + size > budget {
+            if size > budget {
+                // Could not become resident even with everything
+                // evictable gone: prefetching would move bytes only to
+                // fail the put.
                 self.stats.prefetch_skipped_capacity.inc();
+                unlocated.push(object);
+            } else if admitted_bytes + size > budget {
+                // Fits on its own, but dependencies of tasks nearer the
+                // head of the ready queue (the batch is scanned in
+                // submission order) consumed the budget first —
+                // prioritization under a tight budget, not a capacity
+                // verdict. Resolves reactively.
+                self.stats.prefetch_deferred_priority.inc();
                 unlocated.push(object);
             } else {
                 admitted_bytes += size;
@@ -770,6 +1101,12 @@ impl Core {
             if worker_tx.send(WorkerCommand::Run(spec.clone())).is_ok() {
                 self.in_use = self.in_use.add(&grant);
                 self.running.insert(task, (worker, grant));
+                if let Some(arrived) = self.stolen_pending.remove(&task) {
+                    self.stats
+                        .steal
+                        .steal_to_run
+                        .record_duration(arrived.elapsed());
+                }
             } else {
                 // Dead worker: drop it and put the task back.
                 self.workers.remove(&worker);
@@ -798,6 +1135,7 @@ impl Core {
     fn load_report(&self) -> LoadReport {
         LoadReport {
             node: self.config.node,
+            sched_address: self.address.as_u64(),
             ready: self.ready.len() as u32,
             waiting: self.waiting.len() as u32,
             running: self.running.len() as u32,
@@ -1760,6 +2098,419 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(!r.store_local.contains(dep));
+        r.handle.shutdown();
+    }
+
+    /// A kv-published load report for a fake loaded peer, pointing the
+    /// steal plane at `endpoint`.
+    fn publish_fake_load(r: &Rig, node: NodeId, ready: u32, endpoint: &rtml_net::Endpoint) {
+        let report = LoadReport {
+            node,
+            sched_address: endpoint.address().as_u64(),
+            ready,
+            waiting: 0,
+            running: 0,
+            idle_workers: 0,
+            available: Resources::cpu(0.0),
+            total: Resources::cpu(4.0),
+            at_nanos: rtml_common::time::now_nanos(),
+        };
+        r.services.kv.set(load_key(node), encode_to_bytes(&report));
+    }
+
+    #[test]
+    fn idle_scheduler_steals_a_granted_batch() {
+        let mut r = rig(LocalSchedulerConfig {
+            stealing: StealConfig {
+                min_backlog: 1,
+                timeout: Duration::from_millis(200),
+                ..StealConfig::default()
+            },
+            ..LocalSchedulerConfig::default()
+        });
+        let victim = r.services.fabric.register(NodeId(7), "fake-victim");
+        publish_fake_load(&r, NodeId(7), 50, &victim);
+        // The idle thief must ask the loaded peer for a batch, naming
+        // its full spare capacity.
+        let reply_address = loop {
+            let d = victim
+                .receiver()
+                .recv_timeout(Duration::from_secs(5))
+                .expect("steal request");
+            if let Ok(SchedWire::StealRequest {
+                thief,
+                reply_address,
+                capacity,
+                max_tasks,
+                ..
+            }) = decode_from_slice::<SchedWire>(&d.payload)
+            {
+                assert_eq!(thief, NodeId(0));
+                assert_eq!(capacity, Resources::cpu(4.0));
+                assert!(max_tasks >= 1);
+                break reply_address;
+            }
+        };
+        // Grant two tasks as ONE frame; the thief must run them.
+        let specs = vec![spec_with(vec![], 0), spec_with(vec![], 1)];
+        r.services
+            .fabric
+            .send(
+                victim.address(),
+                NetAddress::from_u64(reply_address),
+                encode_to_bytes(&SchedWire::StealGrant {
+                    victim: NodeId(7),
+                    tasks: specs.clone(),
+                }),
+            )
+            .unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, specs[0].task_id);
+        let stats = r.handle.stats().clone();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.steal.tasks_stolen.get() < 2 {
+            assert!(Instant::now() < deadline, "steal never counted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(stats.steal.grants.get() >= 1);
+        assert!(stats.steal.attempts.get() >= 1);
+        // The dispatched stolen task feeds the steal-to-run histogram
+        // (the scheduler thread records it just after handing the task
+        // to the worker, so poll rather than race it).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.steal.steal_to_run.count() == 0 {
+            assert!(Instant::now() < deadline, "steal-to-run never recorded");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn stale_or_dead_victims_do_not_wedge_the_steal_loop() {
+        // Satellite regression: a victim that never answers (killed
+        // mid-request), answers empty (queue drained), or whose
+        // endpoint is gone must each leave the thief's steal loop
+        // live — and local work must still dispatch.
+        let mut r = rig(LocalSchedulerConfig {
+            stealing: StealConfig {
+                min_backlog: 1,
+                timeout: Duration::from_millis(10),
+                ..StealConfig::default()
+            },
+            ..LocalSchedulerConfig::default()
+        });
+        let victim = r.services.fabric.register(NodeId(7), "fake-victim");
+        publish_fake_load(&r, NodeId(7), 50, &victim);
+        let stats = r.handle.stats().clone();
+        // 1) Silence: the thief must time out and attempt again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.steal.timeouts.get() < 1 || stats.steal.attempts.get() < 2 {
+            assert!(Instant::now() < deadline, "thief wedged on a silent victim");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // 2) Stale victim: an empty grant is a first-class answer.
+        let d = victim
+            .receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("request");
+        let Ok(SchedWire::StealRequest { reply_address, .. }) =
+            decode_from_slice::<SchedWire>(&d.payload)
+        else {
+            panic!("expected steal request");
+        };
+        r.services
+            .fabric
+            .send(
+                victim.address(),
+                NetAddress::from_u64(reply_address),
+                encode_to_bytes(&SchedWire::StealGrant {
+                    victim: NodeId(7),
+                    tasks: vec![],
+                }),
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.steal.empty_grants.get() < 1 {
+            assert!(Instant::now() < deadline, "empty grant never processed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // 3) Dead victim: unregister the endpoint; sends fail fast and
+        // the loop keeps cycling rather than waiting on a ghost.
+        r.services.fabric.unregister(victim.address());
+        let attempts_before = stats.steal.attempts.get();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.steal.attempts.get() < attempts_before + 2 {
+            assert!(Instant::now() < deadline, "thief wedged on a dead victim");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Local work still runs.
+        let spec = spec_with(vec![], 9);
+        r.handle.submit(spec.clone());
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, spec.task_id);
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn steal_request_grants_half_the_queue_and_commits_ownership() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::NeverSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        // One worker, 1 cpu: the first task runs, eight sit ready.
+        let specs: Vec<TaskSpec> = (0..9).map(|i| spec_with(vec![], i)).collect();
+        r.handle.submit_batch(specs.clone());
+        let _ = recv_run(&r.worker_rx);
+        let thief = r.services.fabric.register(NodeId(9), "fake-thief");
+        r.services
+            .fabric
+            .send(
+                thief.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::StealRequest {
+                    thief: NodeId(9),
+                    reply_address: thief.address().as_u64(),
+                    capacity: Resources::cpu(8.0),
+                    max_tasks: 16,
+                    local_objects_hint: vec![],
+                }),
+            )
+            .unwrap();
+        let d = thief
+            .receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("grant");
+        let Ok(SchedWire::StealGrant { victim, tasks }) =
+            decode_from_slice::<SchedWire>(&d.payload)
+        else {
+            panic!("expected steal grant");
+        };
+        assert_eq!(victim, NodeId(0));
+        assert_eq!(tasks.len(), 4, "half of the 8-deep ready queue");
+        // Ownership was group-committed before the grant left.
+        for task in &tasks {
+            assert_eq!(
+                r.services.tasks.get_state(task.task_id),
+                Some(TaskState::Queued(NodeId(9))),
+                "stolen task not committed to the thief"
+            );
+        }
+        // The victim counts the grant just after the frame leaves; poll
+        // rather than race its scheduler thread.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.handle.stats().steal.tasks_granted.get() != 4 {
+            assert!(Instant::now() < deadline, "tasks_granted never counted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn steal_grants_prefer_tasks_with_thief_local_dependencies() {
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::NeverSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        // A dependency resident here (so its task is ready) that the
+        // object table also locates on the thief.
+        let dep = TaskId::driver_root(DriverId::from_index(0))
+            .child(70)
+            .return_object(0);
+        r.services
+            .store
+            .put(dep, Bytes::from(vec![1u8; 64]))
+            .unwrap();
+        r.services.objects.add_location(dep, NodeId(0), 64);
+        r.services.objects.add_location(dep, NodeId(9), 64);
+        let blocker = spec_with(vec![], 0);
+        let plain_a = spec_with(vec![], 1);
+        let local_dep = spec_with(vec![ArgSpec::ObjectRef(dep)], 2);
+        let plain_b = spec_with(vec![], 3);
+        r.handle.submit_batch(vec![
+            blocker.clone(),
+            plain_a.clone(),
+            local_dep.clone(),
+            plain_b.clone(),
+        ]);
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, blocker.task_id);
+        // Three ready tasks -> a one-task grant, and the locality score
+        // must pick the task whose dependency lives on the thief.
+        let thief = r.services.fabric.register(NodeId(9), "fake-thief");
+        r.services
+            .fabric
+            .send(
+                thief.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::StealRequest {
+                    thief: NodeId(9),
+                    reply_address: thief.address().as_u64(),
+                    capacity: Resources::cpu(8.0),
+                    max_tasks: 16,
+                    local_objects_hint: vec![],
+                }),
+            )
+            .unwrap();
+        let d = thief
+            .receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("grant");
+        let Ok(SchedWire::StealGrant { tasks, .. }) = decode_from_slice::<SchedWire>(&d.payload)
+        else {
+            panic!("expected steal grant");
+        };
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(
+            tasks[0].task_id, local_dep.task_id,
+            "victim must grant the thief-local task first"
+        );
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn failed_grant_send_reclaims_the_batch() {
+        // The thief's endpoint is gone by the time the victim answers:
+        // ownership was already committed as Queued(thief), so the
+        // victim must take the batch back (re-record, re-queue) rather
+        // than strand it on a ghost.
+        let mut r = rig(LocalSchedulerConfig {
+            total_resources: Resources::cpu(1.0),
+            spill: SpillMode::NeverSpill,
+            ..LocalSchedulerConfig::default()
+        });
+        let specs: Vec<TaskSpec> = (0..5).map(|i| spec_with(vec![], i)).collect();
+        r.handle.submit_batch(specs.clone());
+        let first = recv_run(&r.worker_rx);
+        assert_eq!(first.task_id, specs[0].task_id);
+        // A request whose reply address was never registered: the grant
+        // send fails after the ownership commit.
+        let requester = r.services.fabric.register(NodeId(9), "fake-thief");
+        r.services
+            .fabric
+            .send(
+                requester.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::StealRequest {
+                    thief: NodeId(9),
+                    reply_address: 0xdead_beef,
+                    capacity: Resources::cpu(8.0),
+                    max_tasks: 16,
+                    local_objects_hint: vec![],
+                }),
+            )
+            .unwrap();
+        // Every task still runs locally and ends Queued(0).
+        r.handle
+            .sender()
+            .send(LocalMsg::WorkerDone {
+                worker: r.worker_id,
+                task: first.task_id,
+            })
+            .unwrap();
+        for _ in &specs[1..] {
+            let ran = recv_run(&r.worker_rx);
+            r.handle
+                .sender()
+                .send(LocalMsg::WorkerDone {
+                    worker: r.worker_id,
+                    task: ran.task_id,
+                })
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let all_home = specs.iter().all(|s| {
+                matches!(
+                    r.services.tasks.get_state(s.task_id),
+                    Some(TaskState::Queued(n)) if n == NodeId(0)
+                )
+            });
+            if all_home {
+                break;
+            }
+            assert!(Instant::now() < deadline, "batch not reclaimed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn stale_victim_answers_with_an_empty_grant() {
+        let mut r = rig(LocalSchedulerConfig::default());
+        // Ready queue is empty: the grant must come back empty rather
+        // than not at all (the thief's loop re-arms on any answer).
+        let thief = r.services.fabric.register(NodeId(9), "fake-thief");
+        r.services
+            .fabric
+            .send(
+                thief.address(),
+                r.handle.address(),
+                encode_to_bytes(&SchedWire::StealRequest {
+                    thief: NodeId(9),
+                    reply_address: thief.address().as_u64(),
+                    capacity: Resources::cpu(8.0),
+                    max_tasks: 16,
+                    local_objects_hint: vec![],
+                }),
+            )
+            .unwrap();
+        let d = thief
+            .receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("grant");
+        match decode_from_slice::<SchedWire>(&d.payload) {
+            Ok(SchedWire::StealGrant { tasks, .. }) => assert!(tasks.is_empty()),
+            other => panic!("expected empty grant, got {other:?}"),
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn prefetch_prioritizes_head_of_queue_under_tight_budget() {
+        // 256-byte store, two 150-byte remote dependencies: the batch
+        // head's dependency claims the prefetch budget; the second fits
+        // alone but is deferred (prioritization, not capacity) and
+        // resolves reactively once the head task completes.
+        let mut r = remote_dep_rig(true, 256);
+        let dep = |i: u64| {
+            TaskId::driver_root(DriverId::from_index(0))
+                .child(500 + i)
+                .return_object(0)
+        };
+        for i in 0..2 {
+            r.store_remote
+                .put(dep(i), Bytes::from(vec![i as u8; 150]))
+                .unwrap();
+            r.services.objects.add_location(dep(i), NodeId(7), 150);
+        }
+        let head = spec_with(vec![ArgSpec::ObjectRef(dep(0))], 0);
+        let tail = spec_with(vec![ArgSpec::ObjectRef(dep(1))], 1);
+        r.handle.submit_batch(vec![head.clone(), tail.clone()]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.handle.stats().prefetch_deferred_priority.get() == 0 {
+            assert!(Instant::now() < deadline, "deferral never counted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            r.handle.stats().prefetch_skipped_capacity.get(),
+            0,
+            "a budget loss is a deferral, not a capacity skip"
+        );
+        // The head task runs on its prefetched dependency; completing
+        // it releases the pin and the deferred dependency follows.
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, head.task_id);
+        r.handle
+            .sender()
+            .send(LocalMsg::WorkerDone {
+                worker: r.worker_id,
+                task: head.task_id,
+            })
+            .unwrap();
+        let got = recv_run(&r.worker_rx);
+        assert_eq!(got.task_id, tail.task_id);
         r.handle.shutdown();
     }
 

@@ -93,6 +93,12 @@ pub enum LocalMsg {
 pub struct LoadReport {
     /// Reporting node.
     pub node: NodeId,
+    /// Raw fabric address of the node's local scheduler
+    /// ([`rtml_net::NetAddress::as_u64`]). Carried in the report so an
+    /// idle peer reading the kv mirror can address a
+    /// [`crate::wire::SchedWire::StealRequest`] directly, without a
+    /// round trip through the global scheduler.
+    pub sched_address: u64,
     /// Tasks runnable now (dependencies satisfied) but not yet started.
     pub ready: u32,
     /// Tasks blocked on dependencies.
@@ -121,6 +127,7 @@ impl LoadReport {
 impl Codec for LoadReport {
     fn encode(&self, w: &mut Writer) {
         self.node.encode(w);
+        w.put_u64(self.sched_address);
         w.put_u32(self.ready);
         w.put_u32(self.waiting);
         w.put_u32(self.running);
@@ -133,6 +140,7 @@ impl Codec for LoadReport {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(LoadReport {
             node: NodeId::decode(r)?,
+            sched_address: r.take_u64()?,
             ready: r.take_u32()?,
             waiting: r.take_u32()?,
             running: r.take_u32()?,
@@ -159,6 +167,7 @@ mod tests {
     fn load_report_round_trips() {
         let report = LoadReport {
             node: NodeId(3),
+            sched_address: 42,
             ready: 5,
             waiting: 2,
             running: 4,

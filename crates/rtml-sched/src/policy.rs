@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rtml_common::ids::NodeId;
+use rtml_common::ids::{NodeId, ObjectId};
 use rtml_common::task::TaskSpec;
 use rtml_kv::ObjectTable;
 
@@ -141,6 +141,56 @@ impl PlacementPolicy {
     }
 }
 
+/// Picks a steal victim among `candidates` — peers whose kv-published
+/// ready backlog already passed the thief's threshold. Power-of-two
+/// choices over the candidate set (classic low-state load sampling),
+/// the deeper ready backlog wins; an exact tie falls to a **locality**
+/// tiebreak: the victim holding more bytes of the objects already
+/// resident on the thief (`thief_resident`, the store-residency hint
+/// the steal request ships) wins, because a shared working set means
+/// the victim's tasks are more likely to find their dependencies
+/// already local on the thief. The tiebreak reads the object table as
+/// one batched `get_many` sweep — never per-object probes — and only
+/// when a tie makes it necessary. Deterministic given `state`.
+pub fn choose_victim<'a>(
+    candidates: &'a [LoadReport],
+    thief_resident: &[ObjectId],
+    objects: &ObjectTable,
+    state: &mut PolicyState,
+) -> Option<&'a LoadReport> {
+    match candidates.len() {
+        0 => None,
+        1 => Some(&candidates[0]),
+        n => {
+            let a = &candidates[(state.next_rand() as usize) % n];
+            let b = &candidates[(state.next_rand() as usize) % n];
+            Some(match a.ready.cmp(&b.ready) {
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Equal if a.node == b.node => a,
+                std::cmp::Ordering::Equal => {
+                    let infos = objects.get_many(thief_resident);
+                    let shared = |node: NodeId| {
+                        infos
+                            .iter()
+                            .flatten()
+                            .filter(|info| info.locations.contains(&node))
+                            .map(|info| info.size)
+                            .sum::<u64>()
+                    };
+                    let (sa, sb) = (shared(a.node), shared(b.node));
+                    match sa.cmp(&sb) {
+                        std::cmp::Ordering::Greater => a,
+                        std::cmp::Ordering::Less => b,
+                        std::cmp::Ordering::Equal if a.node <= b.node => a,
+                        std::cmp::Ordering::Equal => b,
+                    }
+                }
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +204,7 @@ mod tests {
             NodeId(node),
             LoadReport {
                 node: NodeId(node),
+                sched_address: node as u64,
                 ready: queue,
                 waiting: 0,
                 running: 0,
@@ -334,6 +385,68 @@ mod tests {
         }
         // Picks node 1 unless both samples land on node 0 (~25%).
         assert!(node1_picks > 60, "node1_picks={node1_picks}");
+    }
+
+    #[test]
+    fn choose_victim_prefers_deeper_backlog() {
+        let objects = ObjectTable::new(KvStore::new(1));
+        let candidates: Vec<LoadReport> = vec![
+            load(0, 2, Resources::cpu(4.0)).1,
+            load(1, 50, Resources::cpu(4.0)).1,
+        ];
+        let mut state = PolicyState::new(7);
+        // Whenever the two samples differ, the 50-deep queue wins; only
+        // a double draw of node 0 (~25%) picks it. Majority check.
+        let mut deep = 0;
+        for _ in 0..32 {
+            if choose_victim(&candidates, &[], &objects, &mut state)
+                .unwrap()
+                .node
+                == NodeId(1)
+            {
+                deep += 1;
+            }
+        }
+        assert!(deep > 20, "deep victim picked only {deep}/32 times");
+        assert!(choose_victim(&[], &[], &objects, &mut state).is_none());
+        assert_eq!(
+            choose_victim(&candidates[..1], &[], &objects, &mut state)
+                .unwrap()
+                .node,
+            NodeId(0)
+        );
+    }
+
+    #[test]
+    fn choose_victim_ties_break_on_shared_resident_bytes() {
+        // Two equally-deep victims; the thief already holds an object
+        // that node 2 also holds — shared working set, so node 2 wins
+        // every tie. Only a double draw of node 1 (~25%) avoids the
+        // tiebreak, hence the majority check.
+        let kv = KvStore::new(1);
+        let objects = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let resident: ObjectId = root.child(5).return_object(0);
+        objects.add_location(resident, NodeId(2), 4096);
+        let candidates: Vec<LoadReport> = vec![
+            load(1, 10, Resources::cpu(4.0)).1,
+            load(2, 10, Resources::cpu(4.0)).1,
+        ];
+        let mut state = PolicyState::new(3);
+        let mut node2 = 0;
+        for _ in 0..32 {
+            if choose_victim(&candidates, &[resident], &objects, &mut state)
+                .unwrap()
+                .node
+                == NodeId(2)
+            {
+                node2 += 1;
+            }
+        }
+        assert!(
+            node2 > 20,
+            "locality tiebreak picked node 2 only {node2}/32"
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use rtml_common::codec::{Codec, Reader, Writer};
 use rtml_common::error::{Error, Result};
-use rtml_common::ids::NodeId;
+use rtml_common::ids::{NodeId, ObjectId};
+use rtml_common::resources::Resources;
 use rtml_common::task::TaskSpec;
 
 use crate::msg::LoadReport;
@@ -48,6 +49,37 @@ pub enum SchedWire {
         /// Number of global placements so far.
         hops: u32,
     },
+    /// Idle local → loaded local (pull path): "my ready queue drained;
+    /// grant me a batch of yours". One request frame asks for up to
+    /// `max_tasks` tasks — stealing never moves work one message at a
+    /// time.
+    StealRequest {
+        /// The requesting (idle) node.
+        thief: NodeId,
+        /// Raw fabric address the grant must be sent to
+        /// ([`rtml_net::NetAddress::as_u64`] of the thief's scheduler).
+        reply_address: u64,
+        /// The thief's spare resources; every granted task must fit.
+        capacity: Resources,
+        /// Cap on the grant batch size.
+        max_tasks: u32,
+        /// Objects already resident in the thief's store — the victim
+        /// scores candidate tasks by how many of their dependency bytes
+        /// are on this list (or table-located on the thief) and grants
+        /// the most local tasks first.
+        local_objects_hint: Vec<ObjectId>,
+    },
+    /// Loaded local → idle local: the granted batch, as one coalesced
+    /// frame. Empty when the victim's queue drained between the load
+    /// report and the request (the stale-victim answer) — the thief
+    /// re-arms instead of wedging.
+    StealGrant {
+        /// The granting node.
+        victim: NodeId,
+        /// The granted tasks, ownership already group-committed to the
+        /// task table as `Queued(thief)`.
+        tasks: Vec<TaskSpec>,
+    },
 }
 
 impl Codec for SchedWire {
@@ -87,6 +119,25 @@ impl Codec for SchedWire {
                 specs.encode(w);
                 w.put_u32(*hops);
             }
+            SchedWire::StealRequest {
+                thief,
+                reply_address,
+                capacity,
+                max_tasks,
+                local_objects_hint,
+            } => {
+                w.put_u8(7);
+                thief.encode(w);
+                w.put_u64(*reply_address);
+                capacity.encode(w);
+                w.put_u32(*max_tasks);
+                local_objects_hint.encode(w);
+            }
+            SchedWire::StealGrant { victim, tasks } => {
+                w.put_u8(8);
+                victim.encode(w);
+                tasks.encode(w);
+            }
         }
     }
 
@@ -110,6 +161,17 @@ impl Codec for SchedWire {
                 specs: Vec::<TaskSpec>::decode(r)?,
                 hops: r.take_u32()?,
             },
+            7 => SchedWire::StealRequest {
+                thief: NodeId::decode(r)?,
+                reply_address: r.take_u64()?,
+                capacity: Resources::decode(r)?,
+                max_tasks: r.take_u32()?,
+                local_objects_hint: Vec::<ObjectId>::decode(r)?,
+            },
+            8 => SchedWire::StealGrant {
+                victim: NodeId::decode(r)?,
+                tasks: Vec::<TaskSpec>::decode(r)?,
+            },
             other => return Err(Error::Codec(format!("invalid SchedWire tag {other}"))),
         })
     }
@@ -131,6 +193,7 @@ mod tests {
     fn all_variants_round_trip() {
         let report = LoadReport {
             node: NodeId(1),
+            sched_address: 9,
             ready: 1,
             waiting: 0,
             running: 2,
@@ -156,6 +219,23 @@ mod tests {
             SchedWire::PlaceBatch {
                 specs: vec![spec(), spec(), spec()],
                 hops: 3,
+            },
+            SchedWire::StealRequest {
+                thief: NodeId(2),
+                reply_address: 77,
+                capacity: Resources::new(3.0, 1.0),
+                max_tasks: 8,
+                local_objects_hint: vec![TaskId::driver_root(DriverId::from_index(0))
+                    .child(4)
+                    .return_object(0)],
+            },
+            SchedWire::StealGrant {
+                victim: NodeId(3),
+                tasks: vec![spec(), spec()],
+            },
+            SchedWire::StealGrant {
+                victim: NodeId(3),
+                tasks: vec![],
             },
         ] {
             let bytes = encode_to_bytes(&msg);

@@ -61,6 +61,16 @@ pub struct ReplicationPolicy {
     pub max_replicas: usize,
     /// How often the agent drains demand counters and acts.
     pub sweep_interval: Duration,
+    /// Reclamation: a replica copy this node holds is *cold* in a sweep
+    /// when its observed read demand sits below this. Cold replicas are
+    /// proactively dropped (store evict + group-committed
+    /// `remove_location_many`), returning capacity before eviction
+    /// pressure forces it. `0` keeps every replica warm forever.
+    pub release_threshold: u64,
+    /// How many **consecutive** cold sweeps a replica survives before
+    /// release — hysteresis, so one quiet interval does not throw away
+    /// a copy the next burst would have used.
+    pub release_after_sweeps: u32,
 }
 
 impl Default for ReplicationPolicy {
@@ -70,6 +80,8 @@ impl Default for ReplicationPolicy {
             read_threshold: 16,
             max_replicas: 2,
             sweep_interval: Duration::from_millis(10),
+            release_threshold: 1,
+            release_after_sweeps: 8,
         }
     }
 }
@@ -131,6 +143,19 @@ pub struct ReplicationHooks {
     /// group-commits the new location, and marks the copy as a replica
     /// in the target's store. Returns whether the replica now exists.
     pub pull: Arc<dyn Fn(ObjectId, NodeId, NodeId) -> bool + Send + Sync>,
+    /// Replica-marked entries currently in this node's own store — the
+    /// reclamation candidate set ([`crate::ObjectStore::list_replicas`]).
+    pub list_replicas: Arc<dyn Fn() -> Vec<ObjectId> + Send + Sync>,
+    /// Drops the listed replica copies from this node: store evict plus
+    /// one group-committed `remove_location_many`. The runtime must
+    /// re-verify per object that the copy is still replica-marked,
+    /// unpinned, and that another sealed holder exists (reclamation
+    /// never eats the last copy) — and, because that check-then-delete
+    /// is not atomic across nodes, apply a deterministic tiebreak (the
+    /// rendezvous anchor holder never releases) so two concurrently
+    /// cold holders cannot both drop the last copies. Returns how many
+    /// were actually dropped.
+    pub release: Arc<dyn Fn(&[ObjectId]) -> usize + Send + Sync>,
 }
 
 /// Counters for one node's replication agent.
@@ -142,6 +167,10 @@ pub struct ReplicationStats {
     pub hot_objects: Counter,
     /// Replica copies successfully placed.
     pub replicas_created: Counter,
+    /// Replica copies proactively dropped by the demand-decay
+    /// reclamation sweep (read demand collapsed below
+    /// [`ReplicationPolicy::release_threshold`]).
+    pub replicas_released: Counter,
     /// Pull attempts that failed (target died, store pressure, ...).
     pub failures: Counter,
 }
@@ -180,6 +209,7 @@ impl ReplicationAgent {
             .name(format!("rtml-replicate-{node}"))
             .spawn(move || {
                 let mut pending: HashMap<ObjectId, u64> = HashMap::new();
+                let mut cold_streaks: HashMap<ObjectId, u32> = HashMap::new();
                 loop {
                     match stop_rx.recv_timeout(policy.sweep_interval) {
                         Ok(()) => break,
@@ -193,6 +223,7 @@ impl ReplicationAgent {
                         &hooks,
                         &stats2,
                         &mut pending,
+                        &mut cold_streaks,
                         || stopping2.load(std::sync::atomic::Ordering::Acquire),
                     );
                 }
@@ -230,12 +261,14 @@ impl Drop for ReplicationAgent {
     }
 }
 
-/// One sweep: drain fresh demand, merge into `pending`, and replicate
-/// every object that crossed the threshold. Hot objects are processed
-/// in id order (the drain is sorted) so placement is reproducible.
-/// Entries that stay below the threshold are halved (and dropped at
-/// zero) so `pending` tracks a demand *rate* with bounded memory, not
-/// a lifetime total.
+/// One sweep: drain fresh demand, merge into `pending`, reclaim the
+/// cold replica copies this node holds, and replicate every object
+/// that crossed the threshold. Hot objects are processed in id order
+/// (the drain is sorted) so placement is reproducible. Entries that
+/// stay below the threshold are halved (and dropped at zero) so
+/// `pending` tracks a demand *rate* with bounded memory, not a
+/// lifetime total.
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     me: NodeId,
     policy: &ReplicationPolicy,
@@ -243,6 +276,7 @@ fn sweep(
     hooks: &ReplicationHooks,
     stats: &ReplicationStats,
     pending: &mut HashMap<ObjectId, u64>,
+    cold_streaks: &mut HashMap<ObjectId, u32>,
     stopping: impl Fn() -> bool,
 ) {
     stats.sweeps.inc();
@@ -256,6 +290,37 @@ fn sweep(
         .map(|(object, _)| *object)
         .collect();
     hot.sort();
+    // Reclamation (demand decay on replica *copies*): judged against
+    // the merged, pre-decay demand, so a replica serving even one read
+    // per sweep stays warm. Cold streaks accrue hysteresis; only a
+    // replica cold for `release_after_sweeps` consecutive sweeps is
+    // dropped, through the runtime's release hook (which re-verifies
+    // that another sealed holder exists — never the last copy).
+    if policy.release_after_sweeps > 0 && policy.release_threshold > 0 {
+        let mut replicas = (hooks.list_replicas)();
+        replicas.sort();
+        let replica_set: std::collections::HashSet<ObjectId> = replicas.iter().copied().collect();
+        // Entries that stopped being replicas (evicted, demoted to the
+        // last copy) forget their streak.
+        cold_streaks.retain(|object, _| replica_set.contains(object));
+        let mut release: Vec<ObjectId> = Vec::new();
+        for object in replicas {
+            if pending.get(&object).copied().unwrap_or(0) >= policy.release_threshold {
+                cold_streaks.remove(&object);
+                continue;
+            }
+            let streak = cold_streaks.entry(object).or_insert(0);
+            *streak += 1;
+            if *streak >= policy.release_after_sweeps {
+                cold_streaks.remove(&object);
+                release.push(object);
+            }
+        }
+        if !release.is_empty() {
+            let dropped = (hooks.release)(&release);
+            stats.replicas_released.add(dropped as u64);
+        }
+    }
     // Exponential decay for everything that stayed cold: a one-off
     // burst fades in a few sweeps instead of counting toward hotness
     // forever, and the map cannot grow without bound on a node that
@@ -392,12 +457,15 @@ mod tests {
                 pulls2.lock().push((object, target, from));
                 true
             }),
+            list_replicas: Arc::new(Vec::new),
+            release: Arc::new(|_| 0),
         };
         let policy = ReplicationPolicy {
             enabled: true,
             read_threshold: 4,
             max_replicas: 2,
             sweep_interval: Duration::from_millis(2),
+            ..ReplicationPolicy::default()
         };
         // Serve-loop demand recording, checked before the agent exists
         // (an agent's sweeps would drain the counter underneath us).
@@ -453,14 +521,18 @@ mod tests {
                 pulls2.lock().push(object);
                 true
             }),
+            list_replicas: Arc::new(Vec::new),
+            release: Arc::new(|_| 0),
         };
         let policy = ReplicationPolicy {
             enabled: true,
             read_threshold: 10,
             max_replicas: 2,
             sweep_interval: Duration::from_millis(1),
+            ..ReplicationPolicy::default()
         };
         let mut pending = HashMap::new();
+        let mut cold = HashMap::new();
         let agent_stats = ReplicationStats::default();
         // Below threshold: nothing happens; demand carries over with
         // decay (6 -> 3), so a cold trickle fades instead of counting
@@ -473,6 +545,7 @@ mod tests {
             &hooks,
             &agent_stats,
             &mut pending,
+            &mut cold,
             || false,
         );
         assert!(pulls.lock().is_empty());
@@ -488,6 +561,7 @@ mod tests {
             &hooks,
             &agent_stats,
             &mut pending,
+            &mut cold,
             || false,
         );
         assert!(pulls.lock().is_empty());
@@ -503,9 +577,110 @@ mod tests {
                 &hooks,
                 &agent_stats,
                 &mut pending,
+                &mut cold,
                 || false,
             );
         }
         assert!(pending.is_empty(), "cold demand must decay away");
+    }
+
+    #[test]
+    fn cold_replicas_are_released_after_the_streak() {
+        // A replica-marked copy with no read demand must be dropped
+        // after exactly `release_after_sweeps` consecutive cold sweeps
+        // — and a single warm sweep must reset the streak.
+        let stats = Arc::new(TransferStats::default());
+        stats.enable_demand_tracking();
+        let released: Arc<Mutex<Vec<ObjectId>>> = Arc::new(Mutex::new(Vec::new()));
+        let released2 = released.clone();
+        let hooks = ReplicationHooks {
+            lookup: Arc::new(|_| None),
+            alive_nodes: Arc::new(Vec::new),
+            pull: Arc::new(|_, _, _| true),
+            list_replicas: Arc::new(move || vec![obj(4)]),
+            release: Arc::new(move |objects| {
+                released2.lock().extend_from_slice(objects);
+                objects.len()
+            }),
+        };
+        let policy = ReplicationPolicy {
+            enabled: true,
+            read_threshold: 100,
+            release_threshold: 1,
+            release_after_sweeps: 3,
+            ..ReplicationPolicy::default()
+        };
+        let mut pending = HashMap::new();
+        let mut cold = HashMap::new();
+        let agent_stats = ReplicationStats::default();
+        let run = |pending: &mut HashMap<ObjectId, u64>, cold: &mut HashMap<ObjectId, u32>| {
+            sweep(
+                NodeId(1),
+                &policy,
+                &stats,
+                &hooks,
+                &agent_stats,
+                pending,
+                cold,
+                || false,
+            )
+        };
+        // Two cold sweeps: streak builds, nothing released yet.
+        run(&mut pending, &mut cold);
+        run(&mut pending, &mut cold);
+        assert!(released.lock().is_empty());
+        // A read arrives: the warm sweep resets the streak.
+        stats.record_demand(obj(4), 1);
+        run(&mut pending, &mut cold);
+        assert!(released.lock().is_empty());
+        assert!(cold.is_empty(), "warm replica must not carry a streak");
+        // Three consecutive cold sweeps: released exactly once.
+        run(&mut pending, &mut cold);
+        run(&mut pending, &mut cold);
+        run(&mut pending, &mut cold);
+        assert_eq!(released.lock().clone(), vec![obj(4)]);
+        assert_eq!(agent_stats.replicas_released.get(), 1);
+    }
+
+    #[test]
+    fn reclamation_is_off_when_thresholds_are_zero() {
+        let stats = Arc::new(TransferStats::default());
+        stats.enable_demand_tracking();
+        let released = Arc::new(Mutex::new(0usize));
+        let released2 = released.clone();
+        let hooks = ReplicationHooks {
+            lookup: Arc::new(|_| None),
+            alive_nodes: Arc::new(Vec::new),
+            pull: Arc::new(|_, _, _| true),
+            list_replicas: Arc::new(move || vec![obj(5)]),
+            release: Arc::new(move |objects| {
+                *released2.lock() += objects.len();
+                objects.len()
+            }),
+        };
+        let policy = ReplicationPolicy {
+            enabled: true,
+            read_threshold: 100,
+            release_threshold: 0,
+            release_after_sweeps: 1,
+            ..ReplicationPolicy::default()
+        };
+        let mut pending = HashMap::new();
+        let mut cold = HashMap::new();
+        let agent_stats = ReplicationStats::default();
+        for _ in 0..4 {
+            sweep(
+                NodeId(1),
+                &policy,
+                &stats,
+                &hooks,
+                &agent_stats,
+                &mut pending,
+                &mut cold,
+                || false,
+            );
+        }
+        assert_eq!(*released.lock(), 0, "threshold 0 disables reclamation");
+        assert_eq!(agent_stats.replicas_released.get(), 0);
     }
 }

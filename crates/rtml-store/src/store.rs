@@ -359,6 +359,25 @@ impl ObjectStore {
         st.pinned_bytes -= released;
     }
 
+    /// Atomically drops a replica-marked, **unpinned** entry — the
+    /// reclamation path. Unlike [`ObjectStore::delete`] (failure
+    /// injection, ignores pins), the replica/pin checks and the removal
+    /// happen under one lock, so a pin landing concurrently (a task's
+    /// argument arriving) can never lose its bytes to a sweep. Returns
+    /// whether the entry was dropped.
+    pub fn release_replica(&self, object: ObjectId) -> bool {
+        let mut st = self.state.lock();
+        let droppable = st
+            .objects
+            .get(&object)
+            .is_some_and(|e| e.replica && e.pin_count == 0);
+        if droppable {
+            let entry = st.objects.remove(&object).expect("checked above");
+            st.used_bytes -= entry.data.len() as u64;
+        }
+        droppable
+    }
+
     /// Bytes currently held by pinned entries. `capacity - pinned` is
     /// the store's admission headroom: how much could be made resident
     /// by evicting everything evictable — the budget the scheduler's
@@ -387,6 +406,18 @@ impl ObjectStore {
             .objects
             .get(&object)
             .is_some_and(|e| e.replica)
+    }
+
+    /// IDs of every entry currently marked as a replication-plane copy
+    /// — the candidate set for the demand-decay reclamation sweep.
+    pub fn list_replicas(&self) -> Vec<ObjectId> {
+        self.state
+            .lock()
+            .objects
+            .iter()
+            .filter(|(_, e)| e.replica)
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Deletes an object regardless of pins (used by failure injection).
@@ -532,6 +563,26 @@ mod tests {
         s.mark_replica(obj(2));
         let outcome = s.put(obj(3), Bytes::from(vec![3u8; 40])).unwrap();
         assert_eq!(outcome.evicted, vec![obj(2)]);
+    }
+
+    #[test]
+    fn release_replica_only_drops_unpinned_replicas() {
+        let s = store(1024);
+        s.put(obj(1), Bytes::from(vec![1u8; 40])).unwrap();
+        // Not a replica: refused.
+        assert!(!s.release_replica(obj(1)));
+        s.mark_replica(obj(1));
+        // Pinned replica: refused — a task argument is never reclaimed.
+        assert!(s.pin(obj(1)));
+        assert!(!s.release_replica(obj(1)));
+        assert!(s.contains(obj(1)));
+        // Unpinned replica: dropped, bytes accounted.
+        s.unpin(obj(1));
+        assert!(s.release_replica(obj(1)));
+        assert!(!s.contains(obj(1)));
+        assert_eq!(s.used_bytes(), 0);
+        // Missing object: refused, no panic.
+        assert!(!s.release_replica(obj(1)));
     }
 
     #[test]

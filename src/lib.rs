@@ -50,6 +50,6 @@ pub mod prelude {
     pub use rtml_runtime::{
         Cluster, ClusterConfig, Driver, IntoArg, NodeConfig, ObjectRef, TaskContext, TaskOptions,
     };
-    pub use rtml_sched::{PlacementPolicy, SpillMode};
+    pub use rtml_sched::{PlacementPolicy, SpillMode, StealConfig};
     pub use rtml_store::ReplicationPolicy;
 }

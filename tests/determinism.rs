@@ -92,11 +92,61 @@ fn replication_changes_where_copies_live_never_what_runs() {
         read_threshold: 1,
         max_replicas: 2,
         sweep_interval: Duration::from_millis(1),
+        ..ReplicationPolicy::default()
     };
     let (on_sum, on_bits, _) = run(aggressive);
     let (off_sum, off_bits, off_replicas) = run(ReplicationPolicy::disabled());
     assert_eq!((on_sum, on_bits), (off_sum, off_bits));
     assert_eq!(off_replicas, 0, "disabled plane must not replicate");
+}
+
+#[test]
+fn stealing_changes_where_tasks_run_never_what_runs() {
+    // The same workload with the steal plane fully off vs aggressively
+    // on (every one-deep backlog is stealable) must produce
+    // bit-identical checksums: stealing moves ready tasks between
+    // nodes, it never changes ids, values, or results. NeverSpill plus
+    // single-node submission forces real skew, so the "on" run
+    // actually steals.
+    let config = RlConfig {
+        rollouts: 8,
+        frames_per_task: 4,
+        frame_cost: Duration::from_millis(2),
+        iterations: 3,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = |stealing: StealConfig| {
+        let cluster = Cluster::start(
+            ClusterConfig {
+                nodes: (0..3).map(|_| NodeConfig::cpu_only(2)).collect(),
+                spill: SpillMode::NeverSpill,
+                ..ClusterConfig::default()
+            }
+            .with_latency(LatencyModel::Constant(Duration::from_micros(200)))
+            .with_stealing(stealing),
+        )
+        .unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        let stolen = cluster.profile().steal.tasks_stolen;
+        cluster.shutdown();
+        (result.checksum, result.total_reward_bits, stolen)
+    };
+    let aggressive = StealConfig {
+        enabled: true,
+        min_backlog: 1,
+        max_tasks: 8,
+        interval: Duration::from_millis(1),
+        timeout: Duration::from_millis(50),
+        hint_objects: 64,
+    };
+    let (on_sum, on_bits, on_stolen) = run(aggressive);
+    let (off_sum, off_bits, off_stolen) = run(StealConfig::disabled());
+    assert_eq!((on_sum, on_bits), (off_sum, off_bits));
+    assert_eq!(off_stolen, 0, "disabled plane must not steal");
+    assert!(on_stolen > 0, "skewed NeverSpill run must actually steal");
 }
 
 #[test]

@@ -86,6 +86,7 @@ fn killing_replica_holders_leaves_reads_and_lineage_correct() {
         read_threshold: 4,
         max_replicas: 2,
         sweep_interval: Duration::from_millis(1),
+        ..ReplicationPolicy::default()
     });
     let cluster = Cluster::start(config).unwrap();
     let make = cluster.register_fn1("make_hot_fi", |i: u64| Ok(vec![i as u8; 32 * 1024]));
@@ -192,6 +193,62 @@ fn killing_replica_holders_leaves_reads_and_lineage_correct() {
         cluster.reconstructions() > before,
         "value must have come from lineage replay"
     );
+    cluster.shutdown();
+}
+
+#[test]
+fn stolen_tasks_survive_thief_death_via_lineage() {
+    // The crash-consistency story of ownership transfer: a batch of
+    // tasks is stolen by node 1 (group-committed as Queued(node 1)
+    // before the grant leaves the victim), then node 1 dies with some
+    // of them queued, running, or holding freshly-computed results.
+    // Every future must still resolve correctly — the kill repair marks
+    // the dead node's tasks Lost, and lineage re-executes them.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::NeverSpill, // only stealing can move work
+        ..ClusterConfig::default()
+    }
+    .with_stealing(StealConfig {
+        enabled: true,
+        min_backlog: 1,
+        max_tasks: 8,
+        interval: Duration::from_millis(1),
+        timeout: Duration::from_millis(50),
+        hint_objects: 64,
+    });
+    let cluster = Cluster::start(config).unwrap();
+    let slow = cluster.register_fn1("slow_steal_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(15));
+        Ok(x * 7)
+    });
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&slow, 0..16i64).unwrap();
+    // Wait until node 1 has actually stolen part of the burst, then
+    // kill it mid-flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stolen = cluster
+            .node_sched_stats(NodeId(1))
+            .map(|s| s.steal.tasks_stolen.get())
+            .unwrap_or(0);
+        if stolen > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "burst never got stolen"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cluster.kill_node(NodeId(1)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 7,
+            "future {i}"
+        );
+    }
     cluster.shutdown();
 }
 
