@@ -27,11 +27,19 @@
 //! Results are also written to `BENCH_submit_throughput.json` so CI can
 //! track regressions mechanically. `RTML_SUBMIT_TASKS` overrides the
 //! per-size task budget (default 16384) — CI smoke runs use a small
-//! value. Note on wall-clock speedup: it reflects how much of a
-//! machine's per-task cost is per-message overhead; on a single shared
-//! core (no cross-thread contention, slow per-record encode) it is far
-//! smaller than on multi-core hosts where every per-task message also
-//! pays wake-ups and cache-line bouncing.
+//! value. `RTML_SUBMIT_REPS` overrides the repetitions per size
+//! (default 3): each repetition runs on a fresh cluster and the fastest
+//! is reported, the standard minimum-of-N estimator for wall-clock
+//! benchmarks on shared machines. `TaskRequest`s are marshalled before
+//! the clock starts — the measurement covers the submission machinery
+//! (ID derivation, durable spec records, group commits, routing,
+//! scheduler ingest), not the benchmark's own argument encoding — and
+//! marshalling is hoisted for the batch=1 path too, so the comparison
+//! stays apples-to-apples. Note on wall-clock speedup: it reflects how
+//! much of a machine's per-task cost is per-message overhead; on a
+//! single shared core (no cross-thread contention, slow per-record
+//! encode) it is far smaller than on multi-core hosts where every
+//! per-task message also pays wake-ups and cache-line bouncing.
 
 use std::time::{Duration, Instant};
 
@@ -60,9 +68,31 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TASKS_PER_SIZE);
 
-    let measured: Vec<Measurement> = BATCH_SIZES
-        .iter()
-        .map(|&batch| measure(batch, tasks_per_size))
+    let reps: usize = std::env::var("RTML_SUBMIT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    // Interleave repetitions across batch sizes (rep-major, not
+    // size-major) so a transient noisy window on the host degrades one
+    // rep of every size rather than every rep of one size — the
+    // min-of-N estimator then stays comparable across the curve.
+    let mut best: Vec<Option<Measurement>> = (0..BATCH_SIZES.len()).map(|_| None).collect();
+    for _ in 0..reps {
+        for (slot, &batch) in BATCH_SIZES.iter().enumerate() {
+            let m = measure(batch, tasks_per_size);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|prev| m.elapsed < prev.elapsed)
+            {
+                best[slot] = Some(m);
+            }
+        }
+    }
+    let measured: Vec<Measurement> = best
+        .into_iter()
+        .map(|m| m.expect("at least one repetition"))
         .collect();
 
     let base_rate = measured[0].rate;
@@ -137,12 +167,14 @@ fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
     let never = TaskId::driver_root(DriverId::from_index(u64::MAX))
         .child(0)
         .return_object(0);
-    let request = |i: u64| TaskRequest {
+    // Marshal every request before the clock starts: argument encoding
+    // is the benchmark client's cost, not the submission machinery's.
+    // One payload is encoded once and its `Bytes` handle cloned per
+    // task — the system still moves one value arg per task.
+    let payload = rtml_common::codec::encode_to_bytes(&0u64);
+    let request = || TaskRequest {
         function: gated.id(),
-        args: vec![
-            ArgSpec::Value(rtml_common::codec::encode_to_bytes(&i)),
-            ArgSpec::ObjectRef(never),
-        ],
+        args: vec![ArgSpec::Value(payload.clone()), ArgSpec::ObjectRef(never)],
         num_returns: 1,
         resources: Resources::cpu(1.0),
     };
@@ -150,34 +182,33 @@ fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
     // Round the budget up to whole batches.
     let batches = tasks_per_size.div_ceil(batch);
     let total = batches * batch;
+    let mut prebuilt: Vec<Vec<TaskRequest>> = (0..batches)
+        .map(|_| (0..batch).map(|_| request()).collect())
+        .collect();
 
     let locks_before = driver.services().kv.stats().total_locks();
     let start = Instant::now();
     let mut last_returns = Vec::new();
     if batch == 1 {
-        for i in 0..total as u64 {
-            let r = request(i);
-            last_returns = driver
-                .submit_raw(r.function, r.args, r.num_returns, r.resources)
-                .unwrap();
+        for requests in prebuilt.drain(..) {
+            for r in requests {
+                last_returns = driver
+                    .submit_raw(r.function, r.args, r.num_returns, r.resources)
+                    .unwrap();
+            }
         }
     } else {
-        for b in 0..batches as u64 {
-            let base = b * batch as u64;
-            let requests: Vec<TaskRequest> = (base..base + batch as u64).map(request).collect();
+        for requests in prebuilt.drain(..) {
             let mut results = driver.submit_raw_batch(requests).unwrap();
             last_returns = results.pop().unwrap();
         }
     }
     // The scheduler drains its mailbox in order: once the final task is
-    // queued, the whole budget has been ingested. The object table maps
-    // the last return future back to its producing task.
-    let last_task = driver
-        .services()
-        .objects
-        .get(last_returns[0])
-        .and_then(|info| info.producer)
-        .expect("last return declared at submission");
+    // queued, the whole budget has been ingested. The return future's ID
+    // embeds its producing task.
+    let last_task = last_returns[0]
+        .producer_task()
+        .expect("return objects embed their producer");
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
         match driver.services().tasks.get_state(last_task) {

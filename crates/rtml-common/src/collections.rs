@@ -1,0 +1,264 @@
+//! Hot-path collections for the scheduler and control plane.
+//!
+//! The placement hot path used to run on `BTreeMap` (ordered, pointer-heavy)
+//! and on `std::collections::HashMap` with its default SipHash hasher
+//! (keyed, DoS-resistant, and slow for the 4–16 byte identifiers this
+//! workspace uses everywhere). This module provides the purpose-built
+//! replacements:
+//!
+//! - [`FastMap`] / [`FastSet`] — `HashMap`/`HashSet` parameterised with a
+//!   deterministic 64-bit FNV-1a hasher ([`FnvHasher`]). FNV is a couple of
+//!   multiplies for a 16-byte id, and because the hasher is *unkeyed* the
+//!   table layout is a pure function of insertion history — the same run
+//!   produces the same table on every machine, which keeps the determinism
+//!   suite meaningful. Scheduler code must still never depend on iteration
+//!   order for *placement decisions* (ties are broken by explicit total
+//!   orders); the fixed hasher just removes per-process randomness.
+//! - [`FixedReverseHeap`] — a bounded top-k selector keeping the **k
+//!   smallest** items pushed into it (a size-capped max-heap, hence
+//!   "reverse"). The global scheduler uses it to pick the k least-loaded
+//!   candidate nodes per batch in `O(n log k)` instead of sorting the whole
+//!   load map.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FNV-1a offset basis.
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic (unkeyed) 64-bit FNV-1a [`Hasher`].
+///
+/// Chosen over SipHash for the control-plane hot maps: keys are short fixed
+/// identifiers ([`crate::ids::UniqueId`], [`crate::ids::NodeId`]) produced
+/// internally, so hash-flooding resistance buys nothing and the keyed
+/// random state would make table layout differ run-to-run.
+#[derive(Clone, Debug)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV64_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV64_PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FnvHasher`].
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` with the deterministic FNV-1a hasher — the drop-in
+/// replacement for `BTreeMap`/SipHash maps on scheduler hot paths.
+pub type FastMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` with the deterministic FNV-1a hasher.
+pub type FastSet<T> = HashSet<T, FnvBuildHasher>;
+
+/// A [`FastMap`] pre-sized for `capacity` entries (no rehash up to that
+/// size). `FastMap::with_capacity` is unavailable because the hasher is
+/// non-default-typed; this free function fills the gap.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, FnvBuildHasher::default())
+}
+
+/// A [`FastSet`] pre-sized for `capacity` entries.
+pub fn fast_set_with_capacity<T>(capacity: usize) -> FastSet<T> {
+    FastSet::with_capacity_and_hasher(capacity, FnvBuildHasher::default())
+}
+
+/// Hash `bytes` with 64-bit FNV-1a in one call (used for deterministic
+/// tie-breaking where a full [`Hasher`] round-trip is overkill).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// A bounded top-k heap keeping the **k smallest** items ever pushed.
+///
+/// Internally a max-heap capped at `capacity`: while under capacity every
+/// push is kept; at capacity a new item evicts the current maximum iff it
+/// is strictly smaller. `into_sorted_vec` returns the survivors in
+/// ascending order — exactly `sort(); truncate(k)` of the full input, which
+/// is what the proptest oracle checks.
+///
+/// The scheduler keys it with `(cost, NodeId)` tuples so equal costs still
+/// have a total order and the selection is deterministic.
+#[derive(Clone, Debug)]
+pub struct FixedReverseHeap<T: Ord> {
+    capacity: usize,
+    heap: BinaryHeap<T>,
+}
+
+impl<T: Ord> FixedReverseHeap<T> {
+    /// An empty heap that will retain at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        FixedReverseHeap {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity.saturating_add(1)),
+        }
+    }
+
+    /// Offer `item`; returns `true` if it was retained (possibly evicting
+    /// the current largest kept item).
+    pub fn push(&mut self, item: T) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(item);
+            return true;
+        }
+        // At capacity: replace the max iff the newcomer is smaller.
+        match self.heap.peek() {
+            Some(max) if item < *max => {
+                self.heap.pop();
+                self.heap.push(item);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of retained items (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The retention bound `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop everything retained so far, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Consume the heap, returning the retained items in ascending order.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over the retained items in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.heap.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_hasher_is_deterministic_and_spreads() {
+        let h1 = fnv1a_64(b"node-1");
+        let h2 = fnv1a_64(b"node-2");
+        assert_ne!(h1, h2);
+        // Known FNV-1a test vector: empty input hashes to the offset basis.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        // The Hasher impl agrees with the one-shot function.
+        let mut hasher = FnvHasher::default();
+        hasher.write(b"node-1");
+        assert_eq!(hasher.finish(), h1);
+    }
+
+    #[test]
+    fn fast_map_round_trips_and_presizes() {
+        let mut m: FastMap<u64, &str> = fast_map_with_capacity(8);
+        assert!(m.capacity() >= 8);
+        for i in 0..8u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.get(&3), Some(&"x"));
+        let mut s: FastSet<u64> = fast_set_with_capacity(4);
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn heap_keeps_k_smallest_in_order() {
+        let mut h = FixedReverseHeap::new(3);
+        for v in [9, 1, 8, 2, 7, 3, 6] {
+            h.push(v);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.into_sorted_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn heap_under_capacity_keeps_everything() {
+        let mut h = FixedReverseHeap::new(10);
+        for v in [5, 2, 4] {
+            assert!(h.push(v));
+        }
+        assert_eq!(h.into_sorted_vec(), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn heap_zero_capacity_rejects_all() {
+        let mut h = FixedReverseHeap::new(0);
+        assert!(!h.push(1));
+        assert!(h.is_empty());
+        assert_eq!(h.into_sorted_vec(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn heap_push_reports_retention() {
+        let mut h = FixedReverseHeap::new(2);
+        assert!(h.push(5));
+        assert!(h.push(7));
+        assert!(!h.push(9)); // larger than current max, dropped
+        assert!(h.push(1)); // evicts 7
+        assert_eq!(h.into_sorted_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn heap_clear_retains_capacity() {
+        let mut h = FixedReverseHeap::new(2);
+        h.push(1);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), 2);
+        h.push(3);
+        assert_eq!(h.into_sorted_vec(), vec![3]);
+    }
+
+    #[test]
+    fn heap_handles_duplicates_like_sort_truncate() {
+        let input = [4, 4, 4, 1, 1, 9];
+        let mut h = FixedReverseHeap::new(4);
+        for v in input {
+            h.push(v);
+        }
+        let mut oracle = input.to_vec();
+        oracle.sort_unstable();
+        oracle.truncate(4);
+        assert_eq!(h.into_sorted_vec(), oracle);
+    }
+}

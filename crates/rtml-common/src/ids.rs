@@ -153,11 +153,127 @@ typed_id!(
     TaskId,
     "T"
 );
-typed_id!(
-    /// Identifies an immutable object in the distributed object store.
-    ObjectId,
-    "O"
-);
+/// Identifies an immutable object in the distributed object store.
+///
+/// Unlike the other identifiers, an object ID carries its own lineage
+/// edge: the producing task's identifier, the derivation domain, and the
+/// derivation counter are embedded alongside the derived 128-bit value
+/// (Ray's ObjectID does exactly this). Any holder of the ID can name the
+/// producing task without a table lookup, which removes the per-object
+/// declare record from the submission hot path entirely.
+///
+/// Identity — equality, ordering, hashing, display, and the kv key — is
+/// the derived [`UniqueId`] alone; the embedded provenance is carried
+/// data, not identity.
+#[derive(Clone, Copy)]
+pub struct ObjectId {
+    unique: UniqueId,
+    origin: UniqueId,
+    tag: u8,
+    counter: u64,
+}
+
+impl ObjectId {
+    /// The all-zero identifier.
+    pub const NIL: ObjectId = ObjectId {
+        unique: UniqueId::NIL,
+        origin: UniqueId::NIL,
+        tag: 0,
+        counter: 0,
+    };
+
+    /// Wraps a raw [`UniqueId`] with no provenance (producer unknown).
+    pub const fn from_unique(id: UniqueId) -> Self {
+        ObjectId {
+            unique: id,
+            origin: UniqueId::NIL,
+            tag: 0,
+            counter: 0,
+        }
+    }
+
+    /// Returns the underlying [`UniqueId`].
+    pub const fn unique(self) -> UniqueId {
+        self.unique
+    }
+
+    /// Returns the shard bucket for this identifier.
+    pub fn bucket(self, buckets: usize) -> usize {
+        self.unique.bucket(buckets)
+    }
+
+    /// The task that produces this object, embedded at derivation time.
+    ///
+    /// `Some` only for task return objects — the reconstructible case.
+    /// `put` objects and raw IDs report `None`: their values never came
+    /// from a replayable task, which is exactly the lineage semantics
+    /// the object table used to record in its declare pass.
+    pub fn producer_task(self) -> Option<TaskId> {
+        (self.tag == TAG_RETURN_OBJECT).then(|| TaskId::from_unique(self.origin))
+    }
+
+    /// The return index (for return objects) or put counter this ID was
+    /// derived with.
+    pub const fn derivation_counter(self) -> u64 {
+        self.counter
+    }
+}
+
+impl PartialEq for ObjectId {
+    fn eq(&self, other: &Self) -> bool {
+        self.unique == other.unique
+    }
+}
+
+impl Eq for ObjectId {}
+
+impl std::hash::Hash for ObjectId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.unique.hash(state);
+    }
+}
+
+impl PartialOrd for ObjectId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ObjectId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.unique.cmp(&other.unique)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({:?})", self.unique)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.unique)
+    }
+}
+
+impl Codec for ObjectId {
+    fn encode(&self, w: &mut Writer) {
+        self.unique.encode(w);
+        self.origin.encode(w);
+        w.put_u8(self.tag);
+        w.put_varint(self.counter);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ObjectId {
+            unique: UniqueId::decode(r)?,
+            origin: UniqueId::decode(r)?,
+            tag: r.take_u8()?,
+            counter: r.take_varint()?,
+        })
+    }
+}
 typed_id!(
     /// Identifies a registered remote function (the function table key).
     FunctionId,
@@ -183,6 +299,7 @@ const TAG_PUT_OBJECT: u8 = 3;
 const TAG_DRIVER_ROOT: u8 = 4;
 const TAG_ACTOR: u8 = 5;
 const TAG_ACTOR_METHOD: u8 = 6;
+const TAG_ACTOR_RESULT: u8 = 7;
 
 impl TaskId {
     /// Root task ID for a driver: all IDs in a driver's computation descend
@@ -198,21 +315,48 @@ impl TaskId {
     }
 
     /// Deterministically derives the ID of this task's `index`-th return
-    /// object.
+    /// object. The producing task rides inside the ID (see [`ObjectId`]).
     pub fn return_object(self, index: u32) -> ObjectId {
-        ObjectId(self.0.derive(TAG_RETURN_OBJECT, index as u64))
+        ObjectId {
+            unique: self.0.derive(TAG_RETURN_OBJECT, index as u64),
+            origin: self.0,
+            tag: TAG_RETURN_OBJECT,
+            counter: index as u64,
+        }
     }
 
     /// Deterministically derives the ID for the `counter`-th `put`
-    /// performed by this task.
+    /// performed by this task. Put objects carry no replayable producer
+    /// (their values did not come from a task invocation), so
+    /// [`ObjectId::producer_task`] reports `None` for them.
     pub fn put_object(self, counter: u64) -> ObjectId {
-        ObjectId(self.0.derive(TAG_PUT_OBJECT, counter))
+        ObjectId {
+            unique: self.0.derive(TAG_PUT_OBJECT, counter),
+            origin: self.0,
+            tag: TAG_PUT_OBJECT,
+            counter,
+        }
     }
 
     /// Deterministically derives an actor ID for the `counter`-th actor
     /// created by this task.
     pub fn actor(self, counter: u64) -> ActorId {
         ActorId(self.0.derive(TAG_ACTOR, counter))
+    }
+
+    /// Deterministically derives the ID of this (actor-method) task's
+    /// `index`-th result object. Unlike [`TaskId::return_object`], the ID
+    /// reports **no** producer: actor methods close over mutable state, so
+    /// replaying one is not sound — the lineage edge is deliberately
+    /// absent, exactly as the actor runtime used to record via a
+    /// producer-less declare.
+    pub fn actor_result(self, index: u32) -> ObjectId {
+        ObjectId {
+            unique: self.0.derive(TAG_ACTOR_RESULT, index as u64),
+            origin: self.0,
+            tag: TAG_ACTOR_RESULT,
+            counter: index as u64,
+        }
     }
 }
 
@@ -435,6 +579,34 @@ mod tests {
         let shown = format!("{root}");
         assert!(shown.starts_with('T'));
         assert!(shown.len() <= 12);
+    }
+
+    #[test]
+    fn producer_rides_inside_the_object_id() {
+        let root = TaskId::driver_root(DriverId::from_index(2));
+        let task = root.child(9);
+        // Return objects name their producer without any table lookup.
+        assert_eq!(task.return_object(1).producer_task(), Some(task));
+        assert_eq!(task.return_object(1).derivation_counter(), 1);
+        // Puts, actor results, and raw IDs carry no replayable producer.
+        assert_eq!(task.put_object(3).producer_task(), None);
+        assert_eq!(task.actor_result(0).producer_task(), None);
+        let raw = ObjectId::from_unique(task.return_object(1).unique());
+        assert_eq!(raw.producer_task(), None);
+        // Identity is the derived hash alone: a raw re-wrap is the same key.
+        assert_eq!(raw, task.return_object(1));
+    }
+
+    #[test]
+    fn object_id_codec_round_trips_provenance() {
+        let task = TaskId::driver_root(DriverId::from_index(3)).child(4);
+        for object in [task.return_object(2), task.put_object(5), ObjectId::NIL] {
+            let bytes = crate::codec::encode_to_bytes(&object);
+            let back: ObjectId = crate::codec::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, object);
+            assert_eq!(back.producer_task(), object.producer_task());
+            assert_eq!(back.derivation_counter(), object.derivation_counter());
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   produces the same IDs) is what makes lineage replay possible.
 //! - [`codec`] — a compact, dependency-free binary serialization format for
 //!   values stored in the object store and the control plane.
+//! - [`collections`] — deterministic fast-hash maps and a bounded top-k
+//!   heap for the scheduler hot path.
 //! - [`resources`] — fixed-point resource vectors (CPU / GPU / custom)
 //!   used for heterogeneous task scheduling (paper requirement R4).
 //! - [`task`] — the task specification exchanged between workers,
@@ -22,6 +24,7 @@
 //! - [`error`] — the error type shared across the workspace.
 
 pub mod codec;
+pub mod collections;
 pub mod error;
 pub mod event;
 pub mod ids;

@@ -38,5 +38,6 @@ pub use replica::ReplicatedKv;
 pub use store::{KvStats, KvStore};
 pub use tables::event_log::EventLog;
 pub use tables::function_table::{FunctionInfo, FunctionTable};
+pub use tables::load_digest::{DigestEntry, LoadDigest, LoadDigestTable};
 pub use tables::object_table::{ObjectInfo, ObjectTable};
 pub use tables::task_table::TaskTable;

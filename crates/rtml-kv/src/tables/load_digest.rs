@@ -1,0 +1,177 @@
+//! Load-digest table: how sharded global schedulers keep a consistent
+//! view of node capacity without cross-shard locks.
+//!
+//! Each global-scheduler shard places its own slice of the task keyspace
+//! against node load reports that arrive on a period. Between reports a
+//! shard only sees *its own* placements; work placed by sibling shards is
+//! invisible, so every shard would over-place onto the node that was
+//! least loaded at the last report. The digest closes that gap: after
+//! every placement batch a shard group-commits its placements-since-report
+//! counters to one kv key (`gsd:<shard>`), and peers fold all digests in
+//! with a single [`crate::store::KvStore::get_many`] sweep. Entries are
+//! versioned by the load report's `at_nanos`; a digest entry only counts
+//! while its version matches the reader's current report (a fresh report
+//! already includes those placements in the queue it observed).
+//!
+//! This is deliberately *eventually* consistent — a shard may act on a
+//! digest one batch stale. Placement stays deterministic because a
+//! shard's decisions are a pure function of the load view it read, and
+//! load correctness is self-healing: the next report supersedes every
+//! digest entry for that node.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::ids::NodeId;
+use rtml_common::impl_codec_struct;
+
+use crate::store::KvStore;
+
+/// Placements one shard has made onto one node since that node's load
+/// report at `version`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The node placed onto.
+    pub node: NodeId,
+    /// `at_nanos` of the load report the placements were decided against.
+    pub version: u64,
+    /// Tasks placed onto `node` since that report.
+    pub placed: u64,
+}
+
+impl_codec_struct!(DigestEntry {
+    node,
+    version,
+    placed
+});
+
+/// One shard's full digest: its placements-since-report for every node it
+/// has recently placed onto.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadDigest {
+    /// Per-node counters; at most one entry per node.
+    pub entries: Vec<DigestEntry>,
+}
+
+impl_codec_struct!(LoadDigest { entries });
+
+/// Typed handle for publishing and sweeping shard load digests.
+#[derive(Clone)]
+pub struct LoadDigestTable {
+    kv: Arc<KvStore>,
+}
+
+impl LoadDigestTable {
+    /// Creates a handle over `kv`.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        LoadDigestTable { kv }
+    }
+
+    fn key(shard: u32) -> Bytes {
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(b"gsd:");
+        buf[4..].copy_from_slice(&shard.to_le_bytes());
+        Bytes::copy_from_slice(&buf)
+    }
+
+    /// Publishes `shard`'s digest as one group-committed write.
+    pub fn publish(&self, shard: u32, digest: &LoadDigest) {
+        self.kv.set(Self::key(shard), encode_to_bytes(digest));
+    }
+
+    /// Reads every sibling digest (all shards except `self_shard`) in one
+    /// group-committed sweep. Positions with no published digest yet are
+    /// skipped.
+    pub fn sweep(&self, self_shard: u32, num_shards: u32) -> Vec<LoadDigest> {
+        let keys: Vec<Bytes> = (0..num_shards)
+            .filter(|s| *s != self_shard)
+            .map(Self::key)
+            .collect();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        self.kv
+            .get_many(&keys)
+            .into_iter()
+            .flatten()
+            .filter_map(|b| decode_from_slice(&b).ok())
+            .collect()
+    }
+
+    /// Clears a shard's digest (on shard shutdown or report rollover).
+    pub fn clear(&self, shard: u32) {
+        self.kv.delete(&Self::key(shard));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(node: u32, version: u64, placed: u64) -> LoadDigest {
+        LoadDigest {
+            entries: vec![DigestEntry {
+                node: NodeId(node),
+                version,
+                placed,
+            }],
+        }
+    }
+
+    #[test]
+    fn publish_then_sweep_sees_siblings_only() {
+        let kv = KvStore::new(4);
+        let table = LoadDigestTable::new(kv);
+        table.publish(0, &digest(1, 100, 7));
+        table.publish(1, &digest(2, 100, 3));
+        table.publish(2, &digest(1, 90, 1));
+
+        let seen = table.sweep(0, 3);
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&digest(2, 100, 3)));
+        assert!(seen.contains(&digest(1, 90, 1)));
+        assert!(!seen.contains(&digest(1, 100, 7)));
+    }
+
+    #[test]
+    fn sweep_skips_unpublished_and_single_shard() {
+        let kv = KvStore::new(2);
+        let table = LoadDigestTable::new(kv);
+        assert!(table.sweep(0, 4).is_empty());
+        // K = 1 has no siblings: the sweep is free.
+        table.publish(0, &digest(1, 1, 1));
+        assert!(table.sweep(0, 1).is_empty());
+    }
+
+    #[test]
+    fn clear_removes_digest() {
+        let kv = KvStore::new(2);
+        let table = LoadDigestTable::new(kv);
+        table.publish(3, &digest(5, 1, 2));
+        assert_eq!(table.sweep(0, 4).len(), 1);
+        table.clear(3);
+        assert!(table.sweep(0, 4).is_empty());
+    }
+
+    #[test]
+    fn digest_codec_round_trips() {
+        let d = LoadDigest {
+            entries: vec![
+                DigestEntry {
+                    node: NodeId(0),
+                    version: u64::MAX,
+                    placed: 42,
+                },
+                DigestEntry {
+                    node: NodeId(7),
+                    version: 0,
+                    placed: 0,
+                },
+            ],
+        };
+        let bytes = encode_to_bytes(&d);
+        assert_eq!(decode_from_slice::<LoadDigest>(&bytes).unwrap(), d);
+    }
+}

@@ -4,6 +4,15 @@
 //! This is the table the paper's global scheduler consults for locality
 //! and the one `get`/`wait` subscribe to. The producer field is the
 //! lineage edge used for reconstruction: *object → task that creates it*.
+//!
+//! Since the Ray-style [`ObjectId`] change, that edge normally rides
+//! inside the object ID itself ([`ObjectId::producer_task`]) and no
+//! record is written at submission time at all — the table only gains a
+//! record when a copy is first sealed. Reads synthesize the producer from
+//! the ID when the stored record predates it or carries none, so
+//! consumers see the same `ObjectInfo` they always did. The explicit
+//! [`ObjectTable::declare`] path remains for producer-less records
+//! (driver `put`s) and for tests.
 
 use std::sync::Arc;
 
@@ -25,9 +34,12 @@ pub struct ObjectInfo {
     pub size: u64,
     /// Whether the object has been sealed (its value is final) anywhere.
     pub sealed: bool,
-    /// Task that produces this object; `None` for driver `put`s whose
-    /// value did not come from a task (such objects cannot be
-    /// reconstructed — the paper's lineage covers task outputs).
+    /// Task that produces this object; `None` for driver `put`s and
+    /// actor results, whose values did not come from a replayable task
+    /// invocation (such objects cannot be reconstructed — the paper's
+    /// lineage covers task outputs). Filled from
+    /// [`ObjectId::producer_task`] on every read, so it is accurate even
+    /// for records created by a bare seal.
     pub producer: Option<TaskId>,
     /// Nodes currently holding a sealed copy.
     pub locations: Vec<NodeId>,
@@ -101,9 +113,13 @@ impl ObjectTable {
         super::id_key(PREFIX, object.unique())
     }
 
-    /// Declares an object and its producing task. Called at task-submission
-    /// time for every return object, before the task runs — this is what
-    /// makes lineage available no matter when consumers ask.
+    /// Declares an object and (optionally) its producing task.
+    ///
+    /// Task return objects no longer need this — their IDs embed the
+    /// producer ([`ObjectId::producer_task`]) and the submission hot path
+    /// writes no object records at all. Declaring is still useful to
+    /// make a producer-less record exist before its value does (driver
+    /// `put`s) and to pin an explicit producer in tests.
     ///
     /// Keeps an existing record's locations if the object was already
     /// declared (reconstruction re-declares).
@@ -118,10 +134,28 @@ impl ObjectTable {
     /// instead of one per object. This is the object-table half of the
     /// batched-submission group commit.
     pub fn declare_many(&self, entries: &[(ObjectId, Option<TaskId>)]) {
+        if entries.is_empty() {
+            return;
+        }
+        // Pre-encode every vacant-case record in one arena allocation:
+        // in the overwhelmingly common case (fresh submission) the
+        // closure just installs the prepared bytes, and only the rare
+        // re-declare (reconstruction) pays a decode/re-encode.
+        let fresh: Vec<ObjectInfo> = entries
+            .iter()
+            .map(|(_, producer)| ObjectInfo {
+                size: 0,
+                sealed: false,
+                producer: *producer,
+                locations: Vec::new(),
+            })
+            .collect();
+        let encoded = rtml_common::codec::encode_batch_to_bytes(&fresh, 24);
         self.kv.update_many(
             entries
                 .iter()
-                .map(|(object, producer)| {
+                .zip(encoded)
+                .map(|((object, producer), fresh_bytes)| {
                     let producer = *producer;
                     let update = move |cur: Option<&Bytes>| {
                         if let Some(bytes) = cur {
@@ -132,12 +166,7 @@ impl ObjectTable {
                                 return Some(encode_to_bytes(&info));
                             }
                         }
-                        Some(encode_to_bytes(&ObjectInfo {
-                            size: 0,
-                            sealed: false,
-                            producer,
-                            locations: Vec::new(),
-                        }))
+                        Some(fresh_bytes)
                     };
                     (Self::key(*object), update)
                 })
@@ -162,13 +191,14 @@ impl ObjectTable {
                 .iter()
                 .map(|(object, size)| {
                     let size = *size;
+                    let producer = object.producer_task();
                     let update = move |cur: Option<&Bytes>| {
                         let mut info = cur
                             .and_then(|b| decode_from_slice::<ObjectInfo>(b).ok())
                             .unwrap_or(ObjectInfo {
                                 size: 0,
                                 sealed: false,
-                                producer: None,
+                                producer,
                                 locations: Vec::new(),
                             });
                         info.sealed = true;
@@ -211,21 +241,33 @@ impl ObjectTable {
         );
     }
 
-    /// Reads the record for `object`.
+    /// Reads the record for `object`, synthesizing the producer from the
+    /// ID when the stored record carries none.
     pub fn get(&self, object: ObjectId) -> Option<ObjectInfo> {
         let bytes = self.kv.get(&Self::key(object))?;
-        decode_from_slice(&bytes).ok()
+        let mut info: ObjectInfo = decode_from_slice(&bytes).ok()?;
+        if info.producer.is_none() {
+            info.producer = object.producer_task();
+        }
+        Some(info)
     }
 
     /// Batched point reads: `out[i]` is the record for `objects[i]`,
     /// with one lock acquisition per touched shard. This is the sweep
     /// `wait` and `get_many` run per readiness check.
     pub fn get_many(&self, objects: &[ObjectId]) -> Vec<Option<ObjectInfo>> {
-        let keys: Vec<Bytes> = objects.iter().map(|o| Self::key(*o)).collect();
+        let keys = super::id_keys_arena(PREFIX, objects.iter().map(|o| o.unique()));
         self.kv
             .get_many(&keys)
             .into_iter()
-            .map(|b| b.and_then(|b| decode_from_slice(&b).ok()))
+            .zip(objects)
+            .map(|(b, object)| {
+                let mut info: ObjectInfo = decode_from_slice(&b?).ok()?;
+                if info.producer.is_none() {
+                    info.producer = object.producer_task();
+                }
+                Some(info)
+            })
             .collect()
     }
 
@@ -233,7 +275,13 @@ impl ObjectTable {
     /// stream. The subscription is atomic with respect to writers.
     pub fn subscribe(&self, object: ObjectId) -> (Option<ObjectInfo>, ObjectInfoStream) {
         let (cur, rx) = self.kv.subscribe(Self::key(object));
-        let current = cur.and_then(|b| decode_from_slice(&b).ok());
+        let current = cur.and_then(|b| {
+            let mut info: ObjectInfo = decode_from_slice(&b).ok()?;
+            if info.producer.is_none() {
+                info.producer = object.producer_task();
+            }
+            Some(info)
+        });
         (current, ObjectInfoStream { rx })
     }
 
@@ -476,6 +524,28 @@ mod tests {
         });
         let info = stream.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(info.sealed);
+    }
+
+    #[test]
+    fn seal_without_declare_still_has_lineage() {
+        // The submission hot path writes no object records: the first
+        // record an object gets comes from its seal. The producer edge
+        // must still be there — it rides inside the ID.
+        let kv = KvStore::new(2);
+        let table = ObjectTable::new(kv);
+        let (obj, task) = ids();
+        table.add_location(obj, NodeId(4), 32);
+        let info = table.get(obj).unwrap();
+        assert_eq!(info.producer, Some(task));
+        assert_eq!(
+            table.get_many(&[obj])[0].as_ref().unwrap().producer,
+            Some(task)
+        );
+        let (cur, _stream) = table.subscribe(obj);
+        assert_eq!(cur.unwrap().producer, Some(task));
+        // Losing the last copy keeps the edge (it is not erasable).
+        table.remove_location(obj, NodeId(4));
+        assert_eq!(table.get(obj).unwrap().producer, Some(task));
     }
 
     #[test]

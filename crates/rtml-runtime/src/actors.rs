@@ -169,9 +169,10 @@ impl<S: Send + 'static> ActorHandle<S> {
     ) -> Result<ObjectRef<R>> {
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let task = self.id.method_task(n);
-        let object = task.return_object(0);
-        // Actor results are declared without lineage (see module docs).
-        self.services.objects.declare(object, None);
+        // Actor results carry no lineage edge: `actor_result` IDs report
+        // no producer, so reconstruction never replays a stateful method
+        // call (see module docs).
+        let object = task.actor_result(0);
         self.services.tasks.set_state(task, &TaskState::Submitted);
         let wrapped = Box::new(move |any: &mut dyn std::any::Any| -> Result<Bytes> {
             let state = any

@@ -247,7 +247,6 @@ impl Caller {
 
         let mut results: Vec<Vec<ObjectId>> = Vec::with_capacity(requests.len());
         let mut fresh: Vec<TaskSpec> = Vec::with_capacity(requests.len());
-        let mut declares: Vec<(ObjectId, Option<TaskId>)> = Vec::with_capacity(requests.len());
         let mut unschedulable: Vec<(TaskSpec, Vec<ObjectId>)> = Vec::new();
         // Admission-control cache: batches overwhelmingly share one
         // resource vector, so check the cluster once per distinct demand
@@ -291,9 +290,6 @@ impl Caller {
                 results.push(return_ids);
                 continue;
             }
-            for ret in &return_ids {
-                declares.push((*ret, Some(task_id)));
-            }
             results.push(return_ids);
             fresh.push(spec);
         }
@@ -309,8 +305,9 @@ impl Caller {
         // phase one group-committed control-plane call for the whole
         // batch. Nothing can observe these tasks until the final routing
         // send, so the inter-phase windows are private to this call.
+        // No object records are written at all: every return object's
+        // lineage edge rides inside its ID (`ObjectId::producer_task`).
         services.tasks.record_many(&fresh, &TaskState::Submitted);
-        services.objects.declare_many(&declares);
         let at_nanos = now_nanos();
         services.events.append_many(
             inner.home,
@@ -328,8 +325,8 @@ impl Caller {
     }
 
     /// Fails a permanently unschedulable task fast: durable spec +
-    /// `Failed` state, declared returns, and sealed error envelopes so
-    /// consumers see the error rather than hanging.
+    /// `Failed` state and sealed error envelopes so consumers see the
+    /// error rather than hanging.
     fn seal_unschedulable(&self, spec: TaskSpec, return_ids: &[ObjectId]) {
         let inner = &self.inner;
         let services = &inner.services;
@@ -342,9 +339,6 @@ impl Caller {
         services
             .tasks
             .set_state(task_id, &TaskState::Failed(message.clone()));
-        for ret in return_ids {
-            services.objects.declare(*ret, Some(task_id));
-        }
         if let Some(store) = services
             .store(inner.home)
             .or_else(|| services.any_alive().and_then(|n| services.store(n)))
@@ -401,13 +395,7 @@ impl Caller {
         // Fast path: no scheduler round-trip when the value is local.
         if let Some(store) = self.inner.services.store(self.inner.home) {
             if let Some(bytes) = store.get(fut.id()) {
-                let producer = self
-                    .inner
-                    .services
-                    .objects
-                    .get(fut.id())
-                    .and_then(|i| i.producer)
-                    .unwrap_or(TaskId::NIL);
+                let producer = fut.id().producer_task().unwrap_or(TaskId::NIL);
                 return envelope::open_value(&bytes, producer);
             }
         }
@@ -444,13 +432,13 @@ impl Caller {
     ) -> Result<Vec<T>> {
         let ids: Vec<ObjectId> = futs.iter().map(|f| f.id()).collect();
         let all_bytes = self.get_many_raw(&ids, timeout)?;
-        // Producer attribution for error envelopes: one batched sweep.
-        let infos = self.inner.services.objects.get_many(&ids);
+        // Producer attribution for error envelopes comes from the IDs
+        // themselves — no table sweep.
         all_bytes
             .iter()
-            .zip(infos)
-            .map(|(bytes, info)| {
-                let producer = info.and_then(|i| i.producer).unwrap_or(TaskId::NIL);
+            .zip(&ids)
+            .map(|(bytes, id)| {
+                let producer = id.producer_task().unwrap_or(TaskId::NIL);
                 envelope::open_value(bytes, producer)
             })
             .collect()

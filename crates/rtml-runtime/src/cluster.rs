@@ -93,6 +93,12 @@ pub struct ClusterConfig {
     /// Which node hosts the global scheduler (a "head node"). Components
     /// on the same node reach it without fabric latency.
     pub global_host: u32,
+    /// Number of independent global-scheduler shards. The placement
+    /// keyspace is partitioned by task id (FNV-64), so each spilled task
+    /// has exactly one owner; shards share no locks and keep their views
+    /// of node capacity consistent through kv load digests. `1` (the
+    /// default) reproduces the single global scheduler exactly.
+    pub global_shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -115,6 +121,7 @@ impl Default for ClusterConfig {
             load_interval: Duration::from_millis(1),
             seed: 0x5eed,
             global_host: 0,
+            global_shards: 1,
         }
     }
 }
@@ -185,6 +192,12 @@ impl ClusterConfig {
         self.stealing = stealing;
         self
     }
+
+    /// Sets the global-scheduler shard count builder-style.
+    pub fn with_global_shards(mut self, shards: usize) -> Self {
+        self.global_shards = shards;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -227,10 +240,12 @@ impl Cluster {
                 host_node: NodeId(config.global_host.min(config.nodes.len() as u32 - 1)),
                 policy: config.placement,
                 seed: config.seed,
+                shards: config.global_shards.max(1),
             },
             services.fabric.clone(),
             services.objects.clone(),
             services.events.clone(),
+            rtml_kv::LoadDigestTable::new(services.kv.clone()),
         );
 
         let tuning = NodeTuning {
@@ -250,24 +265,20 @@ impl Cluster {
                 node_config.clone(),
                 &services,
                 &recon,
-                global.address(),
+                global.routes(),
                 &tuning,
             );
             nodes.insert(node, runtime);
         }
 
-        // Formation barrier: do not hand out drivers until the global
-        // scheduler has heard every node's NodeUp (their announcements
-        // cross the fabric and pay its latency). Without this, an
-        // immediate submission burst would see a one-node cluster.
+        // Formation barrier: do not hand out drivers until every global
+        // scheduler shard has heard every node's NodeUp (announcements
+        // are broadcast to all shards and pay the fabric's latency).
+        // Without this, an immediate submission burst would see a
+        // one-node cluster.
         let expected = config.nodes.len();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while global
-            .stats()
-            .nodes_known
-            .load(std::sync::atomic::Ordering::Acquire)
-            < expected
-        {
+        while global.nodes_known_min() < expected {
             if std::time::Instant::now() > deadline {
                 return Err(Error::Timeout);
             }
@@ -295,19 +306,31 @@ impl Cluster {
         self.recon.reconstructions.get()
     }
 
-    /// Global-scheduler counters: `(spills received, placements issued,
-    /// tasks parked)`.
+    /// Global-scheduler counters, summed across shards: `(spills
+    /// received, placements issued, tasks parked)`.
     pub fn global_stats(&self) -> (u64, u64, u64) {
         match self.global.lock().as_ref() {
-            Some(global) => {
-                let stats = global.stats();
-                (
-                    stats.spills.get(),
-                    stats.placements.get(),
-                    stats.parked.get(),
-                )
-            }
+            Some(global) => global.totals(),
             None => (0, 0, 0),
+        }
+    }
+
+    /// Per-shard global-scheduler counters, in shard order: one
+    /// `(spills, placements, parked)` triple per shard. Experiments use
+    /// this to check the keyspace partition actually spreads work.
+    pub fn global_shard_stats(&self) -> Vec<(u64, u64, u64)> {
+        match self.global.lock().as_ref() {
+            Some(global) => (0..global.num_shards())
+                .map(|i| {
+                    let stats = global.shard_stats(i);
+                    (
+                        stats.spills.get(),
+                        stats.placements.get(),
+                        stats.parked.get(),
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
         }
     }
 
@@ -369,19 +392,23 @@ impl Cluster {
             }
         }
 
-        // Tell the global scheduler via an ephemeral, RAII-guarded
-        // endpoint (unregistered on every exit path).
+        // Tell every global-scheduler shard via an ephemeral,
+        // RAII-guarded endpoint (unregistered on every exit path): each
+        // shard holds its own replica of the node table, so each must
+        // hear the death.
         if let Some(global) = self.global.lock().as_ref() {
             let from_node = self.services.any_alive().unwrap_or(NodeId(0));
             let endpoint = self
                 .services
                 .fabric
                 .register_guarded(from_node, "node-down");
-            let _ = self.services.fabric.send(
-                endpoint.address(),
-                global.address(),
-                rtml_common::codec::encode_to_bytes(&SchedWire::NodeDown { node }),
-            );
+            let frame = rtml_common::codec::encode_to_bytes(&SchedWire::NodeDown { node });
+            for target in global.routes().all() {
+                let _ = self
+                    .services
+                    .fabric
+                    .send(endpoint.address(), *target, frame.clone());
+            }
         }
         Ok(())
     }
@@ -395,18 +422,18 @@ impl Cluster {
         if nodes.contains_key(&node) {
             return Err(Error::InvalidArgument(format!("{node} is alive")));
         }
-        let global_address = self
+        let global_routes = self
             .global
             .lock()
             .as_ref()
-            .map(|g| g.address())
+            .map(|g| g.routes())
             .ok_or(Error::ShuttingDown)?;
         let runtime = NodeRuntime::build(
             node,
             config,
             &self.services,
             &self.recon,
-            global_address,
+            global_routes,
             &self.tuning,
         );
         nodes.insert(node, runtime);

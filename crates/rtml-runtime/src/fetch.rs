@@ -111,6 +111,14 @@ pub fn ensure_local(
             } else {
                 recon.handle_missing(object);
             }
+        } else {
+            // No record at all: since the submission path stopped
+            // writing declare records, this is the normal in-flight
+            // look — but it is *also* what a producer that died before
+            // sealing looks like. Nudge reconstruction; it derives the
+            // producer from the ID and no-ops while the task is in
+            // flight.
+            recon.handle_missing(object);
         }
 
         let now = Instant::now();
@@ -314,10 +322,8 @@ pub fn ensure_local_with_producer(
     deadline: Instant,
 ) -> Result<(Bytes, rtml_common::ids::TaskId)> {
     let bytes = ensure_local(services, recon, node, object, deadline)?;
-    let producer = services
-        .objects
-        .get(object)
-        .and_then(|info| info.producer)
+    let producer = object
+        .producer_task()
         .unwrap_or(rtml_common::ids::TaskId::NIL);
     Ok((bytes, producer))
 }

@@ -50,19 +50,25 @@ impl ReconstructionManager {
     /// (node failure, eviction); seals error envelopes when the object
     /// can never be produced (failed producer, broken lineage).
     pub fn handle_missing(&self, object: ObjectId) {
-        let Some(info) = self.services.objects.get(object) else {
-            // Unknown object: nothing to go on (not declared yet).
-            return;
-        };
-        if info.is_available() {
+        let info = self.services.objects.get(object);
+        if info.as_ref().is_some_and(|i| i.is_available()) {
             return;
         }
-        let Some(producer) = info.producer else {
-            // No producing task recorded (a `put` or an actor result).
-            // If it has never been sealed it is simply not produced yet —
-            // keep waiting. If it *was* sealed and now has no copies, the
+        // The producer normally rides inside the ID itself
+        // ([`ObjectId::producer_task`]); an explicit table record (which
+        // the table synthesizes from the ID anyway) covers IDs that lost
+        // their provenance in transit. Note there may be *no* record at
+        // all: the submission path writes none, so a never-sealed return
+        // object is just an ID plus a durable task spec.
+        let producer = object
+            .producer_task()
+            .or_else(|| info.as_ref().and_then(|i| i.producer));
+        let Some(producer) = producer else {
+            // No producing task (a `put` or an actor result). If it has
+            // never been sealed it is simply not produced yet — keep
+            // waiting. If it *was* sealed and now has no copies, the
             // value is gone for good: no lineage to replay.
-            if info.sealed {
+            if info.is_some_and(|i| i.sealed) {
                 self.seal_missing_as_error(
                     &[object],
                     "lineage broken: object has no producing task and its last copy was lost",
@@ -101,11 +107,11 @@ impl ReconstructionManager {
     /// high (a full fetch timeout elapsed), so the occasional redundant
     /// replay is an acceptable price for liveness.
     pub fn force_replay(&self, object: ObjectId) {
-        let Some(info) = self.services.objects.get(object) else {
-            return;
-        };
-        let Some(producer) = info.producer else {
-            return; // A put: nothing to replay.
+        let producer = object
+            .producer_task()
+            .or_else(|| self.services.objects.get(object).and_then(|i| i.producer));
+        let Some(producer) = producer else {
+            return; // A put or actor result: nothing to replay.
         };
         match self.services.tasks.get_state(producer) {
             Some(TaskState::Finished) | Some(TaskState::Lost) => self.resubmit(producer),

@@ -9,10 +9,9 @@ use rtml_common::event::{Component, Event, EventKind};
 use rtml_common::ids::ObjectId;
 use rtml_common::ids::{NodeId, WorkerId};
 use rtml_common::resources::Resources;
-use rtml_net::NetAddress;
 use rtml_sched::{
-    LocalMsg, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle, SchedServices, SpillMode,
-    WorkerCommand, WorkerHandle,
+    GlobalRoutes, LocalMsg, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle,
+    SchedServices, SpillMode, WorkerCommand, WorkerHandle,
 };
 use rtml_store::{
     FetchAgent, ObjectStore, ReplicaView, ReplicationAgent, ReplicationHooks, ReplicationPolicy,
@@ -132,7 +131,7 @@ impl NodeRuntime {
         config: NodeConfig,
         services: &Arc<Services>,
         recon: &Arc<ReconstructionManager>,
-        global_address: NetAddress,
+        global: GlobalRoutes,
         tuning: &NodeTuning,
     ) -> NodeRuntime {
         let store = Arc::new(ObjectStore::new(StoreConfig {
@@ -302,7 +301,7 @@ impl NodeRuntime {
             directory: services.directory.clone(),
             store: store.clone(),
             agent: agent.clone(),
-            global_address,
+            global,
             reconstruct: recon_hook,
             request_worker,
             replicate_hint,

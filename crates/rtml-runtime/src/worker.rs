@@ -239,6 +239,21 @@ fn seal(
     let len = bytes.len() as u64;
     match store.put(object, bytes) {
         Ok(outcome) => {
+            // Log the seal before publishing the location: the location
+            // is what unblocks consumers' `get`s, so anything they read
+            // from the event log afterwards (profiling) must already
+            // contain this seal.
+            services.events.append(
+                node,
+                Event::now(
+                    Component::ObjectStore,
+                    EventKind::ObjectSealed {
+                        object,
+                        node,
+                        size: len,
+                    },
+                ),
+            );
             services.objects.add_location(object, node, len);
             if !outcome.evicted.is_empty() {
                 // The whole eviction sweep drops as one group commit.
@@ -262,17 +277,6 @@ fn seal(
                         .collect(),
                 );
             }
-            services.events.append(
-                node,
-                Event::now(
-                    Component::ObjectStore,
-                    EventKind::ObjectSealed {
-                        object,
-                        node,
-                        size: len,
-                    },
-                ),
-            );
         }
         Err(_) => {
             // Store full beyond eviction: the object stays unsealed;
@@ -312,18 +316,16 @@ fn resolve_args(
             }
         })?
     };
-    let producers = services.objects.get_many(&refs);
-
     let mut raw = Vec::with_capacity(spec.args.len());
     let mut next_ref = 0usize;
     for arg in &spec.args {
         match arg {
             ArgSpec::Value(bytes) => raw.push(bytes.clone()),
-            ArgSpec::ObjectRef(_) => {
+            ArgSpec::ObjectRef(object) => {
                 let bytes = &resolved[next_ref];
-                let producer = producers[next_ref]
-                    .as_ref()
-                    .and_then(|i| i.producer)
+                // Error attribution: the producer rides inside the ID.
+                let producer = object
+                    .producer_task()
                     .unwrap_or(rtml_common::ids::TaskId::NIL);
                 next_ref += 1;
                 let value = Envelope::open(bytes)?.into_value_bytes(producer)?;

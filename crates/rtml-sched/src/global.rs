@@ -1,4 +1,4 @@
-//! The global scheduler (paper §3.2.2).
+//! The global scheduler (paper §3.2.2), sharded.
 //!
 //! Receives spilled tasks from local schedulers over the fabric, and
 //! places each on a node chosen from cluster-wide information: per-node
@@ -8,24 +8,47 @@
 //! cross-node latency, which is exactly why the hybrid design keeps the
 //! common case local.
 //!
+//! # Sharding
+//!
+//! A single global scheduler serializes every placement, capping submit
+//! throughput (requirement R2). The scheduler therefore runs as `K`
+//! independent shards: the **task keyspace** is partitioned by the same
+//! FNV-64 fold that routes every other id in the system
+//! ([`rtml_common::ids::UniqueId::bucket`]), and a local scheduler sends
+//! each spilled task to the shard owning its `TaskId` (see
+//! [`GlobalRoutes`]). Node state (`NodeUp`/`NodeDown`/`Load`) is
+//! broadcast to every shard, so each shard holds a full replica of the
+//! cluster view and places without cross-shard locks.
+//!
+//! Placement under the paper policies is a pure function of the task
+//! spec and the load view ([`crate::policy`]), so partitioning a batch
+//! across shards cannot change where any task goes — determinism
+//! survives sharding by construction. What shards *cannot* see is each
+//! other's in-flight placements between load reports; the **load
+//! digest** ([`rtml_kv::LoadDigestTable`]) closes that gap: after every
+//! batch a shard group-commits its placed-since-report counters to the
+//! kv store, and every shard folds the sibling digests into its
+//! effective load view at the next batch.
+//!
 //! Tasks that currently fit no node (e.g. GPU demand while the only GPU
 //! node is down) are **parked** and retried whenever the cluster view
 //! changes (new load report, node up).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::codec::{decode_from_slice, Codec};
+use rtml_common::collections::{fast_map_with_capacity, FastMap};
 use rtml_common::event::{Component, Event, EventKind};
-use rtml_common::ids::NodeId;
+use rtml_common::ids::{NodeId, TaskId};
 use rtml_common::metrics::Counter;
 use rtml_common::task::TaskSpec;
-use rtml_kv::{EventLog, ObjectTable};
+use rtml_kv::{DigestEntry, EventLog, LoadDigest, LoadDigestTable, ObjectTable};
 use rtml_net::{Fabric, NetAddress};
 
 use crate::msg::LoadReport;
-use crate::policy::{PlacementPolicy, PolicyState};
+use crate::policy::{LoadView, PlacementPolicy, PolicyState, DEFAULT_TOP_K};
 use crate::wire::SchedWire;
 
 /// Placement attempts before a task is parked to await a cluster change
@@ -35,13 +58,16 @@ const MAX_HOPS: u32 = 8;
 /// Static configuration for the global scheduler.
 #[derive(Clone, Debug)]
 pub struct GlobalSchedulerConfig {
-    /// Node hosting the global scheduler (its fabric endpoint lives
+    /// Node hosting the global scheduler (its fabric endpoints live
     /// there; co-located components reach it without paying latency).
     pub host_node: NodeId,
     /// Placement policy.
     pub policy: PlacementPolicy,
     /// Seed for randomized policies.
     pub seed: u64,
+    /// Number of independent scheduler shards (≥ 1). The task keyspace
+    /// is FNV-partitioned across them; every shard sees every node.
+    pub shards: usize,
 }
 
 impl Default for GlobalSchedulerConfig {
@@ -50,11 +76,64 @@ impl Default for GlobalSchedulerConfig {
             host_node: NodeId(0),
             policy: PlacementPolicy::LocalityAware,
             seed: 0x5eed,
+            shards: 1,
         }
     }
 }
 
-/// Aggregate counters for experiments.
+/// Shard routing table handed to every local scheduler: which fabric
+/// address owns which slice of the task keyspace.
+///
+/// Cheap to clone (the address list is shared). Routing uses the same
+/// FNV-64 fold as every other keyspace partition in the system, so a
+/// task's owning shard is a pure function of its id.
+#[derive(Clone, Debug)]
+pub struct GlobalRoutes {
+    addresses: std::sync::Arc<Vec<NetAddress>>,
+}
+
+impl GlobalRoutes {
+    /// Builds routes over the shard addresses, in shard order.
+    pub fn new(addresses: Vec<NetAddress>) -> Self {
+        assert!(!addresses.is_empty(), "at least one global shard");
+        GlobalRoutes {
+            addresses: std::sync::Arc::new(addresses),
+        }
+    }
+
+    /// Routes for an unsharded (K = 1) global scheduler.
+    pub fn single(address: NetAddress) -> Self {
+        GlobalRoutes::new(vec![address])
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The shard owning `task`'s slice of the keyspace.
+    pub fn shard_of(&self, task: TaskId) -> usize {
+        task.bucket(self.addresses.len())
+    }
+
+    /// Fabric address of the shard owning `task`.
+    pub fn address_for(&self, task: TaskId) -> NetAddress {
+        self.addresses[self.shard_of(task)]
+    }
+
+    /// Fabric address of shard `shard`.
+    pub fn address_of(&self, shard: usize) -> NetAddress {
+        self.addresses[shard]
+    }
+
+    /// Every shard address, in shard order (broadcast targets for node
+    /// lifecycle and load messages).
+    pub fn all(&self) -> &[NetAddress] {
+        &self.addresses
+    }
+}
+
+/// Aggregate counters for experiments (one instance per shard).
 #[derive(Debug, Default)]
 pub struct GlobalStats {
     /// Tasks received via spill.
@@ -72,30 +151,80 @@ enum Control {
     Shutdown,
 }
 
-/// Running handle for the global scheduler.
-pub struct GlobalSchedulerHandle {
+struct ShardHandle {
     address: NetAddress,
     control: Sender<Control>,
     join: Option<std::thread::JoinHandle<()>>,
     stats: std::sync::Arc<GlobalStats>,
 }
 
+/// Running handle over all global-scheduler shards.
+pub struct GlobalSchedulerHandle {
+    shards: Vec<ShardHandle>,
+    routes: GlobalRoutes,
+}
+
 impl GlobalSchedulerHandle {
-    /// The fabric address local schedulers spill to.
+    /// The shard routing table local schedulers spill through.
+    pub fn routes(&self) -> GlobalRoutes {
+        self.routes.clone()
+    }
+
+    /// Fabric address of shard 0 (the primary; with K = 1 this is the
+    /// single global scheduler's address).
     pub fn address(&self) -> NetAddress {
-        self.address
+        self.shards[0].address
     }
 
-    /// Live counters.
+    /// Number of shards running.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard 0's live counters (the whole scheduler's when K = 1).
     pub fn stats(&self) -> &GlobalStats {
-        &self.stats
+        &self.shards[0].stats
     }
 
-    /// Requests shutdown and joins the scheduler thread.
+    /// Live counters of shard `shard`.
+    pub fn shard_stats(&self, shard: usize) -> &GlobalStats {
+        &self.shards[shard].stats
+    }
+
+    /// `(spills, placements, parked)` summed across shards.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.stats.spills.get(),
+                acc.1 + s.stats.placements.get(),
+                acc.2 + s.stats.parked.get(),
+            )
+        })
+    }
+
+    /// The minimum `nodes_known` across shards — the cluster formation
+    /// barrier: every shard must see every node before work is admitted.
+    pub fn nodes_known_min(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.stats
+                    .nodes_known
+                    .load(std::sync::atomic::Ordering::Acquire)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Requests shutdown and joins every shard thread.
     pub fn shutdown(&mut self) {
-        let _ = self.control.send(Control::Shutdown);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
+        for shard in &self.shards {
+            let _ = shard.control.send(Control::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
         }
     }
 }
@@ -110,57 +239,84 @@ impl Drop for GlobalSchedulerHandle {
 pub struct GlobalScheduler;
 
 impl GlobalScheduler {
-    /// Spawns the global scheduler thread.
+    /// Spawns `config.shards` independent scheduler shard threads.
     pub fn spawn(
         config: GlobalSchedulerConfig,
         fabric: std::sync::Arc<Fabric>,
         objects: ObjectTable,
         events: EventLog,
+        digests: LoadDigestTable,
     ) -> GlobalSchedulerHandle {
-        let endpoint = fabric.register(config.host_node, "global-sched");
-        let address = endpoint.address();
-        let (control_tx, control_rx) = unbounded();
-        let stats = std::sync::Arc::new(GlobalStats::default());
-        let stats2 = stats.clone();
-        let join = std::thread::Builder::new()
-            .name("rtml-gsched".into())
-            .spawn(move || {
-                let mut core = GlobalCore {
-                    config,
-                    fabric,
-                    objects,
-                    events,
-                    address,
-                    loads: BTreeMap::new(),
-                    scheds: BTreeMap::new(),
-                    parked: VecDeque::new(),
-                    policy_state: PolicyState::new(0x5eed),
-                    stats: stats2,
-                };
-                core.policy_state = PolicyState::new(core.config.seed);
-                core.run(endpoint, control_rx);
-            })
-            .expect("spawn global scheduler");
+        let num_shards = config.shards.max(1);
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut addresses = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let endpoint = fabric.register(config.host_node, &format!("global-sched-{shard}"));
+            let address = endpoint.address();
+            addresses.push(address);
+            let (control_tx, control_rx) = unbounded();
+            let stats = std::sync::Arc::new(GlobalStats::default());
+            let stats2 = stats.clone();
+            let config2 = config.clone();
+            let fabric2 = fabric.clone();
+            let objects2 = objects.clone();
+            let events2 = events.clone();
+            let digests2 = digests.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("rtml-gsched-{shard}"))
+                .spawn(move || {
+                    let seed = config2.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9);
+                    let mut core = GlobalCore {
+                        config: config2,
+                        shard: shard as u32,
+                        num_shards,
+                        fabric: fabric2,
+                        objects: objects2,
+                        events: events2,
+                        digests: digests2,
+                        address,
+                        loads: FastMap::default(),
+                        scheds: FastMap::default(),
+                        placed_since: FastMap::default(),
+                        parked: VecDeque::new(),
+                        policy_state: PolicyState::new(seed),
+                        stats: stats2,
+                    };
+                    core.run(endpoint, control_rx);
+                })
+                .expect("spawn global scheduler shard");
+            shards.push(ShardHandle {
+                address,
+                control: control_tx,
+                join: Some(join),
+                stats,
+            });
+        }
         GlobalSchedulerHandle {
-            address,
-            control: control_tx,
-            join: Some(join),
-            stats,
+            shards,
+            routes: GlobalRoutes::new(addresses),
         }
     }
 }
 
 struct GlobalCore {
     config: GlobalSchedulerConfig,
+    shard: u32,
+    num_shards: usize,
     fabric: std::sync::Arc<Fabric>,
     objects: ObjectTable,
     events: EventLog,
+    digests: LoadDigestTable,
     address: NetAddress,
-    // Ordered maps: placement iterates these, and `HashMap`'s per-process
-    // random iteration order would make tie-breaks (and therefore task
-    // placement) irreproducible across runs.
-    loads: BTreeMap<NodeId, LoadReport>,
-    scheds: BTreeMap<NodeId, NetAddress>,
+    /// Per-node load and reachability. Deterministic FNV maps: layout is
+    /// a function of insertion history, and placement never iterates
+    /// them without an explicit total order.
+    loads: FastMap<NodeId, LoadReport>,
+    scheds: FastMap<NodeId, NetAddress>,
+    /// This shard's placements since each node's current load report —
+    /// folded into its own view every batch and published as the load
+    /// digest for sibling shards.
+    placed_since: FastMap<NodeId, DigestEntry>,
     parked: VecDeque<(TaskSpec, u32)>,
     policy_state: PolicyState,
     stats: std::sync::Arc<GlobalStats>,
@@ -178,6 +334,9 @@ impl GlobalCore {
                     Ok(Control::Shutdown) | Err(_) => break,
                 },
             }
+        }
+        if self.num_shards > 1 {
+            self.digests.clear(self.shard);
         }
         self.fabric.unregister(self.address);
     }
@@ -201,6 +360,14 @@ impl GlobalCore {
                 self.place_batch(specs, hops);
             }
             Ok(SchedWire::Load(report)) => {
+                // A fresh report already observed every earlier placement
+                // in the queue it measured: retire the digest counters it
+                // supersedes.
+                if let Some(entry) = self.placed_since.get(&report.node) {
+                    if entry.version < report.at_nanos {
+                        self.placed_since.remove(&report.node);
+                    }
+                }
                 self.loads.insert(report.node, report);
                 self.update_known();
                 self.retry_parked();
@@ -217,6 +384,7 @@ impl GlobalCore {
             Ok(SchedWire::NodeDown { node }) => {
                 self.loads.remove(&node);
                 self.scheds.remove(&node);
+                self.placed_since.remove(&node);
                 self.update_known();
             }
             // Steal traffic flows local → local by design; a misrouted
@@ -230,10 +398,73 @@ impl GlobalCore {
         self.place_batch(vec![spec], hops);
     }
 
+    /// The effective load view for one batch: reachable nodes' reports
+    /// with this shard's own and every sibling's placed-since-report
+    /// counters folded in (version-matched — a newer report already
+    /// includes them).
+    fn effective_view(&self) -> LoadView {
+        let mut effective: FastMap<NodeId, LoadReport> = fast_map_with_capacity(self.loads.len());
+        for (node, report) in &self.loads {
+            if !self.scheds.contains_key(node) {
+                continue;
+            }
+            let mut report = report.clone();
+            if let Some(entry) = self.placed_since.get(node) {
+                if entry.version == report.at_nanos {
+                    report.ready = report.ready.saturating_add(entry.placed as u32);
+                }
+            }
+            effective.insert(*node, report);
+        }
+        if self.num_shards > 1 {
+            for digest in self.digests.sweep(self.shard, self.num_shards as u32) {
+                for entry in digest.entries {
+                    if let Some(report) = effective.get_mut(&entry.node) {
+                        if entry.version == report.at_nanos {
+                            report.ready = report.ready.saturating_add(entry.placed as u32);
+                        }
+                    }
+                }
+            }
+        }
+        LoadView::build(effective, DEFAULT_TOP_K)
+    }
+
+    /// Records a placement in this shard's digest, keyed to the load
+    /// report it was decided against.
+    fn note_placed(&mut self, node: NodeId) {
+        let version = self.loads.get(&node).map(|l| l.at_nanos).unwrap_or(0);
+        let entry = self.placed_since.entry(node).or_insert(DigestEntry {
+            node,
+            version,
+            placed: 0,
+        });
+        if entry.version != version {
+            entry.version = version;
+            entry.placed = 0;
+        }
+        entry.placed += 1;
+    }
+
+    /// Publishes this shard's digest as one group-committed kv write so
+    /// sibling shards can fold it into their next batch's view.
+    fn publish_digest(&self) {
+        let mut entries: Vec<DigestEntry> = self.placed_since.values().cloned().collect();
+        entries.sort_unstable_by_key(|e| e.node);
+        self.digests.publish(self.shard, &LoadDigest { entries });
+    }
+
     /// Places a batch of tasks with one cluster-view snapshot, then
     /// coalesces all placements destined for the same node into a single
     /// `PlaceBatch` frame — a spilled burst pays one fabric hop per
     /// destination instead of one per task.
+    ///
+    /// Each task's placement is a pure function of `(spec, view)`: the
+    /// snapshot is not mutated mid-batch, so splitting this batch across
+    /// shards sharing the view would place every task identically (the
+    /// sharded-equals-single determinism property). Equal candidates are
+    /// spread by the per-task hash inside the policy; batch-to-batch
+    /// spreading comes from folding `placed_since` into the next view.
     fn place_batch(&mut self, specs: Vec<TaskSpec>, hops: u32) {
         if specs.is_empty() {
             return;
@@ -244,24 +475,15 @@ impl GlobalCore {
             }
             return;
         }
-        // Only consider nodes whose scheduler we can actually reach.
-        // Optimistic queue-depth bumps go to both this snapshot (so the
-        // batch itself spreads out) and the live view (so the next burst
-        // does too, until fresh load reports land).
-        let mut candidates: BTreeMap<NodeId, LoadReport> = self
-            .loads
-            .iter()
-            .filter(|(n, _)| self.scheds.contains_key(n))
-            .map(|(n, l)| (*n, l.clone()))
-            .collect();
-        let mut groups: BTreeMap<NodeId, Vec<TaskSpec>> = BTreeMap::new();
+        let view = self.effective_view();
+        let mut groups: FastMap<NodeId, Vec<TaskSpec>> = FastMap::default();
         let at_nanos = rtml_common::time::now_nanos();
         let mut events = Vec::with_capacity(specs.len());
         for spec in specs {
             let choice =
                 self.config
                     .policy
-                    .place(&spec, &candidates, &self.objects, &mut self.policy_state);
+                    .place(&spec, &view, &self.objects, &mut self.policy_state);
             match choice {
                 Some(node) => {
                     events.push(Event {
@@ -272,18 +494,19 @@ impl GlobalCore {
                             node,
                         },
                     });
-                    if let Some(load) = candidates.get_mut(&node) {
-                        load.ready += 1;
-                    }
-                    if let Some(load) = self.loads.get_mut(&node) {
-                        load.ready += 1;
-                    }
+                    self.note_placed(node);
                     groups.entry(node).or_default().push(spec);
                 }
                 None => self.park(spec, hops),
             }
         }
         self.events.append_many(self.config.host_node, events);
+        if self.num_shards > 1 && !groups.is_empty() {
+            self.publish_digest();
+        }
+        // Deterministic send order regardless of map layout.
+        let mut groups: Vec<(NodeId, Vec<TaskSpec>)> = groups.into_iter().collect();
+        groups.sort_unstable_by_key(|(node, _)| *node);
         for (node, group) in groups {
             let Some(target) = self.scheds.get(&node).copied() else {
                 for spec in group {
@@ -303,9 +526,13 @@ impl GlobalCore {
                     hops: hops + 1,
                 }
             };
+            // Pre-size the frame encode: ~96 bytes per spec covers the
+            // common small-spec case without a doubling series.
+            let mut w = rtml_common::codec::Writer::with_capacity(32 + 96 * count as usize);
+            msg.encode(&mut w);
             if self
                 .fabric
-                .send(self.address, target, encode_to_bytes(&msg))
+                .send(self.address, target, w.into_bytes())
                 .is_ok()
             {
                 self.stats.placements.add(count);
@@ -313,6 +540,7 @@ impl GlobalCore {
                 // The node vanished mid-send; forget it and park.
                 self.scheds.remove(&node);
                 self.loads.remove(&node);
+                self.placed_since.remove(&node);
                 match msg {
                     SchedWire::Place { spec, hops } => self.park(spec, hops),
                     SchedWire::PlaceBatch { specs, hops } => {
@@ -355,6 +583,7 @@ impl GlobalCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtml_common::codec::encode_to_bytes;
     use rtml_common::ids::{DriverId, FunctionId, TaskId};
     use rtml_common::resources::Resources;
     use rtml_kv::KvStore;
@@ -367,7 +596,7 @@ mod tests {
         handle: GlobalSchedulerHandle,
     }
 
-    fn rig(policy: PlacementPolicy) -> Rig {
+    fn rig_sharded(policy: PlacementPolicy, shards: usize) -> Rig {
         let fabric = Fabric::new(FabricConfig::default());
         let kv = KvStore::new(2);
         let handle = GlobalScheduler::spawn(
@@ -375,53 +604,56 @@ mod tests {
                 host_node: NodeId(0),
                 policy,
                 seed: 7,
+                shards,
             },
             fabric.clone(),
             ObjectTable::new(kv.clone()),
             EventLog::new(kv.clone()),
+            LoadDigestTable::new(kv.clone()),
         );
         Rig { fabric, kv, handle }
     }
 
+    fn rig(policy: PlacementPolicy) -> Rig {
+        rig_sharded(policy, 1)
+    }
+
+    /// Announces a fake node to every shard (NodeUp + Load broadcast,
+    /// exactly like a real local scheduler).
     fn fake_node(rig: &Rig, node: NodeId, queue: u32, total: Resources) -> rtml_net::Endpoint {
         let endpoint = rig.fabric.register(node, "fake-local");
-        let up = SchedWire::NodeUp {
-            node,
-            sched_address: endpoint.address().as_u64(),
-        };
-        rig.fabric
-            .send(
-                endpoint.address(),
-                rig.handle.address(),
-                encode_to_bytes(&up),
-            )
-            .unwrap();
-        let load = SchedWire::Load(LoadReport {
-            node,
-            sched_address: endpoint.address().as_u64(),
-            ready: queue,
-            waiting: 0,
-            running: 0,
-            idle_workers: 1,
-            available: total.clone(),
-            total,
-            at_nanos: 0,
-        });
-        rig.fabric
-            .send(
-                endpoint.address(),
-                rig.handle.address(),
-                encode_to_bytes(&load),
-            )
-            .unwrap();
+        for target in rig.handle.routes().all() {
+            let up = SchedWire::NodeUp {
+                node,
+                sched_address: endpoint.address().as_u64(),
+            };
+            rig.fabric
+                .send(endpoint.address(), *target, encode_to_bytes(&up))
+                .unwrap();
+            let load = SchedWire::Load(LoadReport {
+                node,
+                sched_address: endpoint.address().as_u64(),
+                ready: queue,
+                waiting: 0,
+                running: 0,
+                idle_workers: 1,
+                available: total.clone(),
+                total: total.clone(),
+                at_nanos: 0,
+            });
+            rig.fabric
+                .send(endpoint.address(), *target, encode_to_bytes(&load))
+                .unwrap();
+        }
         endpoint
     }
 
     fn spill(rig: &Rig, from: &rtml_net::Endpoint, spec: TaskSpec) {
+        let target = rig.handle.routes().address_for(spec.task_id);
         rig.fabric
             .send(
                 from.address(),
-                rig.handle.address(),
+                target,
                 encode_to_bytes(&SchedWire::Spill(spec)),
             )
             .unwrap();
@@ -595,13 +827,14 @@ mod tests {
     }
 
     #[test]
-    fn burst_spreads_via_optimistic_load_bump() {
+    fn burst_spreads_via_hash_and_batch_digest() {
         let mut r = rig(PlacementPolicy::LeastLoaded);
         let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
         let n2 = fake_node(&r, NodeId(2), 0, Resources::cpu(4.0));
         std::thread::sleep(Duration::from_millis(20));
-        // Ten spills with no intervening load reports: without the bump
-        // they would all land on one node.
+        // Ten spills with no intervening load reports: the per-task
+        // spread hash plus the placed-since-report fold keep the two
+        // equal nodes within one task of each other.
         for i in 0..10 {
             spill(&r, &n1, task(i, Resources::cpu(1.0)));
         }
@@ -623,6 +856,117 @@ mod tests {
         }
         assert_eq!(count1 + count2, 10);
         assert!(count1 >= 3 && count2 >= 3, "skewed: {count1}/{count2}");
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn routes_partition_and_reach_every_shard() {
+        let mut r = rig_sharded(PlacementPolicy::LeastLoaded, 4);
+        assert_eq!(r.handle.num_shards(), 4);
+        let routes = r.handle.routes();
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let n2 = fake_node(&r, NodeId(2), 0, Resources::cpu(4.0));
+        // Formation: every shard must see both nodes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while r.handle.nodes_known_min() < 2 {
+            assert!(std::time::Instant::now() < deadline, "formation stalled");
+            std::thread::yield_now();
+        }
+        // Spill 32 tasks, each to its owning shard; every one must come
+        // back as a placement on some node.
+        let mut owners = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let spec = task(i, Resources::cpu(1.0));
+            owners.insert(routes.shard_of(spec.task_id));
+            spill(&r, &n1, spec);
+        }
+        assert!(owners.len() > 1, "expected tasks across multiple shards");
+        let mut placed = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while placed < 32 {
+            assert!(std::time::Instant::now() < deadline, "placed {placed}/32");
+            for endpoint in [&n1, &n2] {
+                while let Ok(d) = endpoint.receiver().try_recv() {
+                    match decode_from_slice::<SchedWire>(&d.payload) {
+                        Ok(SchedWire::Place { .. }) => placed += 1,
+                        Ok(SchedWire::PlaceBatch { specs, .. }) => placed += specs.len(),
+                        _ => {}
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        let (spills, placements, _parked) = r.handle.totals();
+        assert_eq!(spills, 32);
+        assert_eq!(placements, 32);
+        // Every shard that owned tasks actually placed some.
+        for shard in owners {
+            assert!(
+                r.handle.shard_stats(shard).placements.get() > 0,
+                "shard {shard} idle"
+            );
+        }
+        r.handle.shutdown();
+    }
+
+    #[test]
+    fn sibling_digest_steers_next_batch_away() {
+        // Shard 0 places a burst onto the single idle node and publishes
+        // its digest; shard 1's next batch must see that node as loaded
+        // and prefer the other one.
+        let mut r = rig_sharded(PlacementPolicy::LeastLoaded, 2);
+        let routes = r.handle.routes();
+        let n1 = fake_node(&r, NodeId(1), 0, Resources::cpu(4.0));
+        let _n2 = fake_node(&r, NodeId(2), 4, Resources::cpu(4.0));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while r.handle.nodes_known_min() < 2 {
+            assert!(std::time::Instant::now() < deadline, "formation stalled");
+            std::thread::yield_now();
+        }
+        // Find task ids owned by each shard.
+        let mut shard0 = Vec::new();
+        let mut shard1 = Vec::new();
+        for i in 0..64 {
+            let spec = task(i, Resources::cpu(1.0));
+            match routes.shard_of(spec.task_id) {
+                0 => shard0.push(spec),
+                _ => shard1.push(spec),
+            }
+        }
+        // One batch of 8 tasks through shard 0: all land somewhere and
+        // the digest records them.
+        let batch: Vec<TaskSpec> = shard0.drain(..).take(8).collect();
+        r.fabric
+            .send(
+                n1.address(),
+                routes.address_of(0),
+                encode_to_bytes(&SchedWire::SpillBatch(batch)),
+            )
+            .unwrap();
+        wait_counter(&r.handle.shard_stats(0).placements, 8);
+        // Shard 1 now places one task; its view folds shard 0's digest,
+        // so node 1's effective depth is 0 + placements(n1), node 2's is
+        // 4 + placements(n2). Whatever the split, placements happened
+        // and shard 1 still places successfully.
+        let spec = shard1.remove(0);
+        r.fabric
+            .send(
+                n1.address(),
+                routes.address_of(1),
+                encode_to_bytes(&SchedWire::Spill(spec)),
+            )
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while r.handle.shard_stats(1).placements.get() < 1 {
+            assert!(std::time::Instant::now() < deadline, "shard 1 never placed");
+            std::thread::yield_now();
+        }
+        // The digest itself is readable and versioned.
+        let digests = LoadDigestTable::new(r.kv.clone());
+        let seen = digests.sweep(1, 2);
+        assert_eq!(seen.len(), 1, "shard 0 digest missing");
+        let placed: u64 = seen[0].entries.iter().map(|e| e.placed).sum();
+        assert_eq!(placed, 8);
         r.handle.shutdown();
     }
 }

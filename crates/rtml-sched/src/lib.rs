@@ -34,13 +34,15 @@ pub mod spill;
 pub mod steal;
 pub mod wire;
 
-pub use global::{GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle};
+pub use global::{
+    GlobalRoutes, GlobalScheduler, GlobalSchedulerConfig, GlobalSchedulerHandle, GlobalStats,
+};
 pub use local::{
     fetch_group_commit, LocalScheduler, LocalSchedulerConfig, LocalSchedulerHandle,
     LocalSchedulerStats, SchedServices,
 };
 pub use msg::{load_key, LoadReport, LocalMsg, WorkerCommand, WorkerHandle};
-pub use policy::{choose_victim, PlacementPolicy};
+pub use policy::{choose_victim, LoadView, PlacementPolicy, PolicyState, DEFAULT_TOP_K};
 pub use spill::SpillMode;
 pub use steal::{plan_steal_grant, StealConfig, StealStats};
 pub use wire::SchedWire;

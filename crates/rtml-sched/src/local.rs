@@ -20,13 +20,14 @@
 //! arrive over the fabric; spill decisions follow the configured
 //! [`SpillMode`].
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use rtml_common::codec::{decode_from_slice, encode_to_bytes};
+use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec};
+use rtml_common::collections::{fast_map_with_capacity, FastMap, FastSet};
 use rtml_common::event::{Component, Event, EventKind};
 use rtml_common::ids::{NodeId, ObjectId, TaskId, WorkerId};
 use rtml_common::resources::Resources;
@@ -106,8 +107,10 @@ pub struct SchedServices {
     /// This node's fetch client: persistent endpoint, coalesced
     /// multi-object requests, single-flighted duplicates.
     pub agent: Arc<FetchAgent>,
-    /// Fabric address of the global scheduler.
-    pub global_address: NetAddress,
+    /// Shard routing for the global scheduler: spilled tasks go to the
+    /// shard owning their id; node lifecycle and load reports are
+    /// broadcast to every shard.
+    pub global: crate::global::GlobalRoutes,
     /// Runtime hook invoked when a watched object appears to be lost
     /// (has a producer but no live copies). The runtime deduplicates and
     /// resubmits producing tasks (lineage replay).
@@ -242,16 +245,16 @@ impl LocalScheduler {
                     services,
                     address,
                     stats: stats2,
-                    workers: HashMap::new(),
+                    workers: FastMap::default(),
                     idle: VecDeque::new(),
                     in_use: Resources::none(),
                     ready: VecDeque::new(),
-                    waiting: HashMap::new(),
-                    watchers: HashMap::new(),
-                    resolving: HashSet::new(),
-                    task_pins: HashMap::new(),
+                    waiting: FastMap::default(),
+                    watchers: FastMap::default(),
+                    resolving: FastSet::default(),
+                    task_pins: FastMap::default(),
                     running: BTreeMap::new(),
-                    released: HashSet::new(),
+                    released: FastSet::default(),
                     spawn_pending: false,
                     load_dirty: true,
                     last_load: Instant::now() - Duration::from_secs(1),
@@ -260,7 +263,7 @@ impl LocalScheduler {
                     steal_hint: Vec::new(),
                     steal_hint_at: Instant::now() - Duration::from_secs(1),
                     steal_rng: PolicyState::new(0x57ea1 ^ ((node.0 as u64) << 32)),
-                    stolen_pending: HashMap::new(),
+                    stolen_pending: FastMap::default(),
                 };
                 for w in workers {
                     core.add_worker(w);
@@ -293,23 +296,23 @@ struct Core {
     services: SchedServices,
     address: NetAddress,
     stats: Arc<LocalSchedulerStats>,
-    workers: HashMap<WorkerId, Sender<WorkerCommand>>,
+    workers: FastMap<WorkerId, Sender<WorkerCommand>>,
     idle: VecDeque<WorkerId>,
     /// Resources granted to running (non-blocked) tasks. May transiently
     /// exceed the node total when blocked tasks resume.
     in_use: Resources,
     ready: VecDeque<TaskSpec>,
     /// task → (spec, number of distinct objects still missing).
-    waiting: HashMap<TaskId, (TaskSpec, usize)>,
+    waiting: FastMap<TaskId, (TaskSpec, usize)>,
     /// missing object → tasks waiting on it.
-    watchers: HashMap<ObjectId, Vec<TaskId>>,
+    watchers: FastMap<ObjectId, Vec<TaskId>>,
     /// objects with an active resolver (a prefetch in flight or a
     /// watcher thread).
-    resolving: HashSet<ObjectId>,
+    resolving: FastSet<ObjectId>,
     /// Dependencies pinned on behalf of a task from the moment they
     /// arrive until the task completes, so LRU eviction cannot drop a
     /// fetched/prefetched argument between arrival and execution.
-    task_pins: HashMap<TaskId, Vec<ObjectId>>,
+    task_pins: FastMap<TaskId, Vec<ObjectId>>,
     /// Ordered by task ID so iteration (e.g. collecting the tasks lost
     /// with a dead worker) is reproducible across runs — `HashMap`
     /// iteration order is seeded per process and would make failure
@@ -317,7 +320,7 @@ struct Core {
     running: BTreeMap<TaskId, (WorkerId, Resources)>,
     /// Tasks whose grant has been released because they are blocked in
     /// `get`/`wait`.
-    released: HashSet<TaskId>,
+    released: FastSet<TaskId>,
     /// A worker-pool growth request is outstanding.
     spawn_pending: bool,
     load_dirty: bool,
@@ -339,7 +342,7 @@ struct Core {
     steal_rng: PolicyState,
     /// Stolen tasks not yet dispatched: grant-arrival instants for the
     /// steal-to-run latency histogram.
-    stolen_pending: HashMap<TaskId, Instant>,
+    stolen_pending: FastMap<TaskId, Instant>,
 }
 
 impl Core {
@@ -388,17 +391,18 @@ impl Core {
             .kv
             .set(load_key(self.config.node), encode_to_bytes(&report));
         // NodeUp and the first load report travel as one coalesced
-        // frame: the global scheduler learns reachability and capacity
-        // together (one hop), so the formation barrier never observes a
-        // node that is reachable but loadless.
-        let _ = self.services.fabric.send_batch(
-            self.address,
-            self.services.global_address,
-            vec![
-                encode_to_bytes(&up),
-                encode_to_bytes(&SchedWire::Load(report)),
-            ],
-        );
+        // frame per shard: every global shard learns reachability and
+        // capacity together (one hop), so the formation barrier never
+        // observes a node that is reachable but loadless.
+        let up = encode_to_bytes(&up);
+        let load = encode_to_bytes(&SchedWire::Load(report));
+        for target in self.services.global.all() {
+            let _ = self.services.fabric.send_batch(
+                self.address,
+                *target,
+                vec![up.clone(), load.clone()],
+            );
+        }
         self.load_dirty = false;
         self.last_load = Instant::now();
     }
@@ -553,7 +557,7 @@ impl Core {
             // grouping discipline as dispatch-time prefetch), never a
             // point probe per object.
             let mut distinct: Vec<ObjectId> = Vec::new();
-            let mut seen: HashSet<ObjectId> = HashSet::new();
+            let mut seen: FastSet<ObjectId> = FastSet::default();
             for spec in &self.ready {
                 for dep in spec.dependencies() {
                     if seen.insert(dep) {
@@ -561,8 +565,8 @@ impl Core {
                     }
                 }
             }
-            let hint: HashSet<ObjectId> = hint.into_iter().collect();
-            let mut thief_bytes: HashMap<ObjectId, u64> = HashMap::new();
+            let hint: FastSet<ObjectId> = hint.into_iter().collect();
+            let mut thief_bytes: FastMap<ObjectId, u64> = FastMap::default();
             if !distinct.is_empty() {
                 let infos = self.services.objects.get_many(&distinct);
                 for (dep, info) in distinct.into_iter().zip(infos) {
@@ -591,7 +595,7 @@ impl Core {
             // restore the preference order for the grant itself.
             let mut by_index: Vec<usize> = picks.clone();
             by_index.sort_unstable_by(|a, b| b.cmp(a));
-            let mut extracted: HashMap<usize, TaskSpec> = HashMap::with_capacity(by_index.len());
+            let mut extracted: FastMap<usize, TaskSpec> = fast_map_with_capacity(by_index.len());
             for idx in by_index {
                 let spec = self.ready.remove(idx).expect("plan indices are in range");
                 extracted.insert(idx, spec);
@@ -776,8 +780,15 @@ impl Core {
         // advances as runnable tasks are accepted, so the spill rule
         // sees exactly the queue depths a sequential loop would.
         let mut backlog = self.ready.len();
-        let mut accepted: Vec<(TaskSpec, HashSet<ObjectId>)> = Vec::with_capacity(specs.len());
+        let mut accepted: Vec<(TaskSpec, Vec<ObjectId>)> = Vec::with_capacity(specs.len());
         let mut spilled: Vec<TaskSpec> = Vec::new();
+        // Batch-local store-presence cache: `store.contains` takes the
+        // object store's lock, and batches overwhelmingly share
+        // dependencies (fan-out from one input), so one lookup per
+        // *distinct* object replaces one lock round trip per task. An
+        // object sealing mid-batch is caught downstream (the watcher
+        // path re-checks presence before resolving).
+        let mut present_cache: FastMap<ObjectId, bool> = FastMap::default();
         for spec in specs {
             let must_spill = if via_global {
                 !self.config.total_resources.fits(&spec.resources)
@@ -790,10 +801,21 @@ impl Core {
                 spilled.push(spec);
                 continue;
             }
-            let missing: HashSet<ObjectId> = spec
-                .dependencies()
-                .filter(|o| !self.services.store.contains(*o))
-                .collect();
+            // A task's distinct unmet dependencies. Arg lists are short,
+            // so a Vec with a linear dedup beats a hash set per task on
+            // the ingest hot path.
+            let mut missing: Vec<ObjectId> = Vec::new();
+            for object in spec.dependencies() {
+                if missing.contains(&object) {
+                    continue;
+                }
+                let present = *present_cache
+                    .entry(object)
+                    .or_insert_with(|| self.services.store.contains(object));
+                if !present {
+                    missing.push(object);
+                }
+            }
             if missing.is_empty() {
                 backlog += 1;
             }
@@ -825,7 +847,7 @@ impl Core {
             // one prefetch pass (one FetchMany per holder) instead of
             // one reactive watcher per object.
             let mut unresolved: Vec<ObjectId> = Vec::new();
-            let mut unresolved_seen: HashSet<ObjectId> = HashSet::new();
+            let mut unresolved_seen: FastSet<ObjectId> = FastSet::default();
             for (spec, missing) in accepted {
                 if missing.is_empty() {
                     self.ready.push_back(spec);
@@ -833,9 +855,13 @@ impl Core {
                     let count = missing.len();
                     for object in missing {
                         self.watchers.entry(object).or_default().push(spec.task_id);
+                        // Dedup before the presence re-check so each
+                        // distinct object pays at most one store lock
+                        // round trip per batch (the re-check catches
+                        // objects sealed since the gating scan above).
                         if !self.resolving.contains(&object)
-                            && !self.services.store.contains(object)
                             && unresolved_seen.insert(object)
+                            && !self.services.store.contains(object)
                         {
                             unresolved.push(object);
                         }
@@ -1001,33 +1027,47 @@ impl Core {
                 })
                 .collect(),
         );
-        let msg = if specs.len() == 1 {
-            SchedWire::Spill(specs[0].clone())
-        } else {
-            SchedWire::SpillBatch(specs.clone())
-        };
-        if self
-            .services
-            .fabric
-            .send(
-                self.address,
-                self.services.global_address,
-                encode_to_bytes(&msg),
-            )
-            .is_err()
-        {
-            // No global scheduler (shutdown race). Keep whatever work
-            // this node can possibly run rather than losing it.
-            for spec in specs {
-                if self.config.total_resources.fits(&spec.resources) {
-                    self.services
-                        .tasks
-                        .set_state(spec.task_id, &TaskState::Queued(node));
-                    self.ready.push_back(spec);
-                } else {
-                    self.services
-                        .tasks
-                        .set_state(spec.task_id, &TaskState::Lost);
+        // Partition the batch by owning global shard (the FNV-64 task
+        // keyspace split) and send one coalesced frame per shard. With
+        // one shard this degenerates to the old single-frame path.
+        let routes = self.services.global.clone();
+        let num_shards = routes.num_shards();
+        let mut groups: Vec<Vec<TaskSpec>> = vec![Vec::new(); num_shards];
+        for spec in specs {
+            groups[routes.shard_of(spec.task_id)].push(spec);
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let msg = if group.len() == 1 {
+                SchedWire::Spill(group[0].clone())
+            } else {
+                SchedWire::SpillBatch(group.clone())
+            };
+            // Pre-size the frame: ~96 bytes per spec avoids the doubling
+            // series on large spilled bursts.
+            let mut w = rtml_common::codec::Writer::with_capacity(32 + 96 * group.len());
+            msg.encode(&mut w);
+            if self
+                .services
+                .fabric
+                .send(self.address, routes.address_of(shard), w.into_bytes())
+                .is_err()
+            {
+                // No global scheduler (shutdown race). Keep whatever work
+                // this node can possibly run rather than losing it.
+                for spec in group {
+                    if self.config.total_resources.fits(&spec.resources) {
+                        self.services
+                            .tasks
+                            .set_state(spec.task_id, &TaskState::Queued(node));
+                        self.ready.push_back(spec);
+                    } else {
+                        self.services
+                            .tasks
+                            .set_state(spec.task_id, &TaskState::Lost);
+                    }
                 }
             }
         }
@@ -1151,11 +1191,13 @@ impl Core {
         self.services
             .kv
             .set(load_key(self.config.node), encode_to_bytes(&report));
-        let _ = self.services.fabric.send(
-            self.address,
-            self.services.global_address,
-            encode_to_bytes(&SchedWire::Load(report)),
-        );
+        let load = encode_to_bytes(&SchedWire::Load(report));
+        for target in self.services.global.all() {
+            let _ = self
+                .services
+                .fabric
+                .send(self.address, *target, load.clone());
+        }
         self.load_dirty = false;
         self.last_load = Instant::now();
     }
@@ -1347,11 +1389,19 @@ fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_t
                         }
                     }
                 }
-            } else if info.producer.is_some() {
-                // No live copy but we know the producer: ask the runtime
-                // to replay lineage (idempotent; the hook deduplicates).
+            } else if object.producer_task().is_some() || info.producer.is_some() {
+                // No live copy but we know the producer (embedded in the
+                // ID, or recorded in the table): ask the runtime to
+                // replay lineage (idempotent; the hook deduplicates).
                 (services.reconstruct)(object);
             }
+        } else if object.producer_task().is_some() {
+            // No record at all. Submission writes no object records, so
+            // this is the ordinary in-flight look — and also what a
+            // producer that died before sealing looks like. The replay
+            // hook derives the producer from the ID and no-ops while
+            // the task is in flight.
+            (services.reconstruct)(object);
         }
         // Block until the table changes, the object seals locally, or a
         // poll interval passes (covers lost notifications and retries).
@@ -1423,7 +1473,7 @@ mod tests {
             directory,
             store,
             agent,
-            global_address: global_endpoint.address(),
+            global: crate::global::GlobalRoutes::single(global_endpoint.address()),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
             replicate_hint: Arc::new(|_, _| {}),
@@ -1835,7 +1885,7 @@ mod tests {
             directory,
             store: store0.clone(),
             agent,
-            global_address: global.address(),
+            global: crate::global::GlobalRoutes::single(global.address()),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
             replicate_hint: Arc::new(|_, _| {}),
@@ -1913,7 +1963,7 @@ mod tests {
             directory,
             store: store_local.clone(),
             agent,
-            global_address: global.address(),
+            global: crate::global::GlobalRoutes::single(global.address()),
             reconstruct: Arc::new(|_| {}),
             request_worker: Arc::new(|| {}),
             replicate_hint: Arc::new(|_, _| {}),
@@ -2542,7 +2592,7 @@ mod tests {
             directory,
             store,
             agent,
-            global_address: global.address(),
+            global: crate::global::GlobalRoutes::single(global.address()),
             reconstruct: Arc::new(move |obj| {
                 let _ = hook_tx.send(obj);
             }),

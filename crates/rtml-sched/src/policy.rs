@@ -5,28 +5,50 @@
 //! locality and resource availability." [`PlacementPolicy::LocalityAware`]
 //! is that design; the alternatives are ablation baselines (experiment
 //! A2).
+//!
+//! Placement for the paper policies ([`PlacementPolicy::LocalityAware`],
+//! [`PlacementPolicy::LeastLoaded`]) is a **pure function** of the task
+//! spec and the [`LoadView`] snapshot: no optimistic per-task state is
+//! mutated between decisions. That purity is what lets the global
+//! scheduler shard its keyspace — splitting one batch across K shards
+//! that share a load view cannot change any task's placement. Equal-cost
+//! candidates are spread by a deterministic per-task FNV hash instead of
+//! a sequential load bump, so a burst of equal tasks still fans out
+//! across equal nodes, identically on every run.
 
-use std::collections::{BTreeMap, HashMap};
-
-use rtml_common::ids::{NodeId, ObjectId};
+use rtml_common::collections::{fast_map_with_capacity, fnv1a_64, FastMap, FixedReverseHeap};
+use rtml_common::ids::{NodeId, ObjectId, TaskId};
 use rtml_common::task::TaskSpec;
 use rtml_kv::ObjectTable;
 
 use crate::msg::LoadReport;
 
+/// Queue-depth price in transfer bytes: one queued task costs as much as
+/// moving this many argument bytes. Doubles as the cost band width within
+/// which equal-ish candidates are spread by task hash.
+pub const QUEUE_PENALTY_BYTES: u128 = 64 * 1024;
+
+/// Default bound on the per-batch candidate set: placement considers the
+/// k least-loaded nodes (plus every dependency holder) instead of
+/// scanning the full load map per task.
+pub const DEFAULT_TOP_K: usize = 16;
+
 /// How the global scheduler picks a node for a spilled task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlacementPolicy {
     /// Maximize the number of argument bytes already resident on the
-    /// chosen node; break ties by the shallowest queue. The paper's
-    /// design.
+    /// chosen node; break near-ties by a deterministic per-task hash.
+    /// The paper's design.
     LocalityAware,
-    /// Pick the fitting node with the shallowest queue.
+    /// Pick among the fitting nodes with the shallowest queues.
     LeastLoaded,
-    /// Rotate over fitting nodes, ignoring load and locality.
+    /// Rotate over fitting nodes, ignoring load and locality. Stateful:
+    /// not invariant under scheduler sharding (each shard has its own
+    /// cursor) — ablation baseline only.
     RoundRobin,
     /// Sample two fitting nodes, keep the less loaded ("power of two
-    /// choices") — a classic low-state alternative.
+    /// choices") — a classic low-state alternative. Stateful like
+    /// [`PlacementPolicy::RoundRobin`]; not shard-invariant.
     PowerOfTwo,
 }
 
@@ -36,7 +58,8 @@ impl Default for PlacementPolicy {
     }
 }
 
-/// Mutable state a policy carries across decisions.
+/// Mutable state a policy carries across decisions (only the ablation
+/// baselines use it; the paper policies are pure).
 #[derive(Debug, Default)]
 pub struct PolicyState {
     /// Round-robin cursor.
@@ -62,27 +85,107 @@ impl PolicyState {
     }
 }
 
+/// A deterministic snapshot of per-node load for one placement batch.
+///
+/// Wraps a [`FastMap`] of load reports plus a bounded top-k index of the
+/// least-loaded nodes (selected with a [`FixedReverseHeap`] in
+/// `O(n log k)`); per-task placement then touches `k + dependency
+/// holders` candidates instead of the whole cluster. The view is a pure
+/// value: building it from the same reports — in any insertion order —
+/// yields the same placements.
+pub struct LoadView {
+    reports: FastMap<NodeId, LoadReport>,
+    /// Least-loaded nodes by `(queue_depth, node)`, ascending.
+    top_k: Vec<NodeId>,
+}
+
+impl LoadView {
+    /// Builds a view over `reports`, indexing the `k` least-loaded nodes.
+    pub fn build(reports: FastMap<NodeId, LoadReport>, k: usize) -> Self {
+        let mut heap = FixedReverseHeap::new(k);
+        for l in reports.values() {
+            heap.push((l.queue_depth(), l.node));
+        }
+        let top_k = heap.into_sorted_vec().into_iter().map(|(_, n)| n).collect();
+        LoadView { reports, top_k }
+    }
+
+    /// Convenience constructor from a plain report list (tests, pure
+    /// reference placer).
+    pub fn from_reports(reports: impl IntoIterator<Item = LoadReport>, k: usize) -> Self {
+        let mut map: FastMap<NodeId, LoadReport> = FastMap::default();
+        for l in reports {
+            map.insert(l.node, l);
+        }
+        Self::build(map, k)
+    }
+
+    /// The report for `node`, if known.
+    pub fn get(&self, node: NodeId) -> Option<&LoadReport> {
+        self.reports.get(&node)
+    }
+
+    /// The top-k least-loaded nodes, ascending by `(queue_depth, node)`.
+    pub fn top_k(&self) -> impl Iterator<Item = &LoadReport> {
+        self.top_k.iter().filter_map(|n| self.reports.get(n))
+    }
+
+    /// Every known report (full-scan fallback and ablation baselines).
+    pub fn all(&self) -> impl Iterator<Item = &LoadReport> {
+        self.reports.values()
+    }
+
+    /// Number of nodes in the view.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+/// Deterministic per-task spread hash: where several candidates land in
+/// the same cost band, `(hash(task, node), node)` picks the winner, so a
+/// burst of distinct tasks fans out across equal nodes without any
+/// sequential state.
+fn spread_hash(task: TaskId, node: NodeId) -> u64 {
+    let mut buf = [0u8; 20];
+    buf[..16].copy_from_slice(&task.unique().as_u128().to_le_bytes());
+    buf[16..].copy_from_slice(&node.0.to_le_bytes());
+    fnv1a_64(&buf)
+}
+
+/// Among scored candidates, takes the minimum cost `m` and picks — by
+/// spread hash — one candidate with cost in `[m, m + band)`. The band
+/// treats near-equal costs as equal so hash spreading can act on them;
+/// outside the band, strictly cheaper always wins.
+fn pick_in_band(costs: &[(u128, NodeId)], task: TaskId, band: u128) -> Option<NodeId> {
+    let min = costs.iter().map(|(c, _)| *c).min()?;
+    let limit = min.saturating_add(band.max(1));
+    costs
+        .iter()
+        .filter(|(c, _)| *c < limit)
+        .min_by_key(|(_, n)| (spread_hash(task, *n), *n))
+        .map(|(_, n)| *n)
+}
+
 impl PlacementPolicy {
-    /// Chooses a node for `spec` among `loads`, or `None` if no node's
-    /// total capacity fits the demand (the task must be parked until the
+    /// Chooses a node for `spec` in `view`, or `None` if no node's total
+    /// capacity fits the demand (the task must be parked until the
     /// cluster changes).
+    ///
+    /// For `LocalityAware` and `LeastLoaded` the choice is a pure
+    /// function of `(spec, view)` — `state` is untouched — which is the
+    /// invariant the sharded global scheduler relies on.
     pub fn place(
         &self,
         spec: &TaskSpec,
-        loads: &BTreeMap<NodeId, LoadReport>,
+        view: &LoadView,
         objects: &ObjectTable,
         state: &mut PolicyState,
     ) -> Option<NodeId> {
-        // `BTreeMap` iterates in node order, so the candidate list — and
-        // therefore every tie-break below — is reproducible across runs.
-        let fitting: Vec<&LoadReport> = loads
-            .values()
-            .filter(|l| l.total.fits(&spec.resources))
-            .collect();
-        if fitting.is_empty() {
-            return None;
-        }
-
         match self {
             PlacementPolicy::LocalityAware => {
                 // Estimated placement cost per node: the bytes that would
@@ -91,54 +194,102 @@ impl PlacementPolicy {
                 // arguments therefore do not glue tasks to a busy node,
                 // while large ones do — "object locality and resource
                 // availability" (§3.2.2) in one scalar.
-                const QUEUE_PENALTY_BYTES: u128 = 64 * 1024;
-                let mut local_bytes: HashMap<NodeId, u64> = HashMap::new();
+                let deps: Vec<ObjectId> = spec.dependencies().collect();
+                let mut local_bytes: FastMap<NodeId, u64> = fast_map_with_capacity(deps.len());
                 let mut total_bytes: u64 = 0;
                 // One group-committed table sweep for the whole argument
                 // list instead of a point read per dependency. Every
                 // holder of a dependency is credited its size, so a
                 // replicated hot input widens the set of nodes that look
                 // local — replication improves placement for free.
-                let deps: Vec<_> = spec.dependencies().collect();
                 for info in objects.get_many(&deps).into_iter().flatten() {
                     total_bytes += info.size;
                     for node in &info.locations {
                         *local_bytes.entry(*node).or_insert(0) += info.size;
                     }
                 }
-                fitting
-                    .iter()
-                    .min_by_key(|l| {
+                // Candidates: the k least-loaded nodes plus every
+                // dependency holder (a holder outside the top-k must stay
+                // eligible or locality glue breaks for busy holders).
+                let mut costs: Vec<(u128, NodeId)> = Vec::new();
+                let push = |l: &LoadReport, costs: &mut Vec<(u128, NodeId)>| {
+                    if l.total.fits(&spec.resources) {
                         let local = local_bytes.get(&l.node).copied().unwrap_or(0);
                         let missing = total_bytes.saturating_sub(local) as u128;
-                        (
-                            missing + l.queue_depth() as u128 * QUEUE_PENALTY_BYTES,
-                            l.node,
-                        )
-                    })
-                    .map(|l| l.node)
+                        let cost = missing + l.queue_depth() as u128 * QUEUE_PENALTY_BYTES;
+                        costs.push((cost, l.node));
+                    }
+                };
+                for l in view.top_k() {
+                    push(l, &mut costs);
+                }
+                for (node, _) in &local_bytes {
+                    if !costs.iter().any(|(_, n)| n == node) {
+                        if let Some(l) = view.get(*node) {
+                            push(l, &mut costs);
+                        }
+                    }
+                }
+                if costs.is_empty() {
+                    // Nothing in the bounded candidate set fits (e.g. a
+                    // GPU task while every GPU node is busy enough to
+                    // fall out of the top-k): full scan.
+                    for l in view.all() {
+                        push(l, &mut costs);
+                    }
+                }
+                pick_in_band(&costs, spec.task_id, QUEUE_PENALTY_BYTES)
             }
-            PlacementPolicy::LeastLoaded => fitting
-                .iter()
-                .min_by_key(|l| (l.queue_depth(), l.node))
-                .map(|l| l.node),
+            PlacementPolicy::LeastLoaded => {
+                let mut costs: Vec<(u128, NodeId)> = view
+                    .top_k()
+                    .filter(|l| l.total.fits(&spec.resources))
+                    .map(|l| (l.queue_depth() as u128, l.node))
+                    .collect();
+                if costs.is_empty() {
+                    costs = view
+                        .all()
+                        .filter(|l| l.total.fits(&spec.resources))
+                        .map(|l| (l.queue_depth() as u128, l.node))
+                        .collect();
+                }
+                // Band of one queue slot: only exactly-equal depths are
+                // spread by hash.
+                pick_in_band(&costs, spec.task_id, 1)
+            }
             PlacementPolicy::RoundRobin => {
-                let pick = fitting[state.cursor % fitting.len()].node;
+                let fitting = sorted_fitting(spec, view);
+                if fitting.is_empty() {
+                    return None;
+                }
+                let pick = fitting[state.cursor % fitting.len()];
                 state.cursor = state.cursor.wrapping_add(1);
                 Some(pick)
             }
             PlacementPolicy::PowerOfTwo => {
-                let a = (state.next_rand() as usize) % fitting.len();
-                let b = (state.next_rand() as usize) % fitting.len();
-                let (la, lb) = (fitting[a], fitting[b]);
-                Some(if la.queue_depth() <= lb.queue_depth() {
-                    la.node
-                } else {
-                    lb.node
-                })
+                let fitting = sorted_fitting(spec, view);
+                if fitting.is_empty() {
+                    return None;
+                }
+                let a = fitting[(state.next_rand() as usize) % fitting.len()];
+                let b = fitting[(state.next_rand() as usize) % fitting.len()];
+                let depth = |n: NodeId| view.get(n).map_or(u32::MAX, LoadReport::queue_depth);
+                Some(if depth(a) <= depth(b) { a } else { b })
             }
         }
     }
+}
+
+/// Fitting nodes in ascending node order — the stable indexable list the
+/// stateful baselines cycle/sample over.
+fn sorted_fitting(spec: &TaskSpec, view: &LoadView) -> Vec<NodeId> {
+    let mut fitting: Vec<NodeId> = view
+        .all()
+        .filter(|l| l.total.fits(&spec.resources))
+        .map(|l| l.node)
+        .collect();
+    fitting.sort_unstable();
+    fitting
 }
 
 /// Picks a steal victim among `candidates` — peers whose kv-published
@@ -199,21 +350,22 @@ mod tests {
     use rtml_common::task::ArgSpec;
     use rtml_kv::KvStore;
 
-    fn load(node: u32, queue: u32, total: Resources) -> (NodeId, LoadReport) {
-        (
-            NodeId(node),
-            LoadReport {
-                node: NodeId(node),
-                sched_address: node as u64,
-                ready: queue,
-                waiting: 0,
-                running: 0,
-                idle_workers: 1,
-                available: total.clone(),
-                total,
-                at_nanos: 0,
-            },
-        )
+    fn load(node: u32, queue: u32, total: Resources) -> LoadReport {
+        LoadReport {
+            node: NodeId(node),
+            sched_address: node as u64,
+            ready: queue,
+            waiting: 0,
+            running: 0,
+            idle_workers: 1,
+            available: total.clone(),
+            total,
+            at_nanos: 0,
+        }
+    }
+
+    fn view(reports: impl IntoIterator<Item = LoadReport>) -> LoadView {
+        LoadView::from_reports(reports, DEFAULT_TOP_K)
     }
 
     fn cpu_task(args: Vec<ArgSpec>) -> TaskSpec {
@@ -223,30 +375,28 @@ mod tests {
 
     #[test]
     fn no_fitting_node_parks() {
-        let loads: BTreeMap<_, _> = [load(0, 0, Resources::cpu(4.0))].into_iter().collect();
+        let v = view([load(0, 0, Resources::cpu(4.0))]);
         let objects = ObjectTable::new(KvStore::new(1));
         let mut spec = cpu_task(vec![]);
         spec.resources = Resources::gpu(1.0);
         let mut state = PolicyState::new(1);
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
             None
         );
     }
 
     #[test]
     fn least_loaded_picks_shallowest() {
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 5, Resources::cpu(4.0)),
             load(1, 1, Resources::cpu(4.0)),
             load(2, 3, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let objects = ObjectTable::new(KvStore::new(1));
         let mut state = PolicyState::new(1);
         assert_eq!(
-            PlacementPolicy::LeastLoaded.place(&cpu_task(vec![]), &loads, &objects, &mut state),
+            PlacementPolicy::LeastLoaded.place(&cpu_task(vec![]), &v, &objects, &mut state),
             Some(NodeId(1))
         );
     }
@@ -260,21 +410,19 @@ mod tests {
         // A large argument lives on busy node 0.
         objects.add_location(dep, NodeId(0), 1_000_000);
 
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 10, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
         let mut state = PolicyState::new(1);
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
             Some(NodeId(0))
         );
         // Without the dependency, the same policy prefers the idle node.
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&cpu_task(vec![]), &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&cpu_task(vec![]), &v, &objects, &mut state),
             Some(NodeId(1))
         );
     }
@@ -290,21 +438,19 @@ mod tests {
         let root = TaskId::driver_root(DriverId::from_index(0));
         let dep = root.child(9).return_object(0);
         objects.add_location(dep, NodeId(0), 1_000_000);
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 10, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
         let mut state = PolicyState::new(1);
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
             Some(NodeId(0))
         );
         objects.add_location(dep, NodeId(1), 1_000_000);
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
             Some(NodeId(1))
         );
     }
@@ -317,36 +463,32 @@ mod tests {
         let dep = root.child(9).return_object(0);
         // The data is on a CPU-only node, but the task needs a GPU.
         objects.add_location(dep, NodeId(0), 1_000_000);
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 0, Resources::cpu(4.0)),
             load(1, 0, Resources::new(4.0, 1.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let mut spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
         spec.resources = Resources::gpu(1.0);
         let mut state = PolicyState::new(1);
         assert_eq!(
-            PlacementPolicy::LocalityAware.place(&spec, &loads, &objects, &mut state),
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
             Some(NodeId(1))
         );
     }
 
     #[test]
     fn round_robin_cycles() {
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 0, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
             load(2, 0, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let objects = ObjectTable::new(KvStore::new(1));
         let mut state = PolicyState::new(1);
         let picks: Vec<_> = (0..6)
             .map(|_| {
                 PlacementPolicy::RoundRobin
-                    .place(&cpu_task(vec![]), &loads, &objects, &mut state)
+                    .place(&cpu_task(vec![]), &v, &objects, &mut state)
                     .unwrap()
             })
             .collect();
@@ -365,18 +507,16 @@ mod tests {
 
     #[test]
     fn power_of_two_prefers_less_loaded_on_average() {
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 100, Resources::cpu(4.0)),
             load(1, 0, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let objects = ObjectTable::new(KvStore::new(1));
         let mut state = PolicyState::new(42);
         let mut node1_picks = 0;
         for _ in 0..100 {
             if PlacementPolicy::PowerOfTwo
-                .place(&cpu_task(vec![]), &loads, &objects, &mut state)
+                .place(&cpu_task(vec![]), &v, &objects, &mut state)
                 .unwrap()
                 == NodeId(1)
             {
@@ -391,8 +531,8 @@ mod tests {
     fn choose_victim_prefers_deeper_backlog() {
         let objects = ObjectTable::new(KvStore::new(1));
         let candidates: Vec<LoadReport> = vec![
-            load(0, 2, Resources::cpu(4.0)).1,
-            load(1, 50, Resources::cpu(4.0)).1,
+            load(0, 2, Resources::cpu(4.0)),
+            load(1, 50, Resources::cpu(4.0)),
         ];
         let mut state = PolicyState::new(7);
         // Whenever the two samples differ, the 50-deep queue wins; only
@@ -429,8 +569,8 @@ mod tests {
         let resident: ObjectId = root.child(5).return_object(0);
         objects.add_location(resident, NodeId(2), 4096);
         let candidates: Vec<LoadReport> = vec![
-            load(1, 10, Resources::cpu(4.0)).1,
-            load(2, 10, Resources::cpu(4.0)).1,
+            load(1, 10, Resources::cpu(4.0)),
+            load(2, 10, Resources::cpu(4.0)),
         ];
         let mut state = PolicyState::new(3);
         let mut node2 = 0;
@@ -451,25 +591,128 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_given_state() {
-        let loads: BTreeMap<_, _> = [
+        let v = view([
             load(0, 1, Resources::cpu(4.0)),
             load(1, 2, Resources::cpu(4.0)),
-        ]
-        .into_iter()
-        .collect();
+        ]);
         let objects = ObjectTable::new(KvStore::new(1));
         let a = PlacementPolicy::LocalityAware.place(
             &cpu_task(vec![]),
-            &loads,
+            &v,
             &objects,
             &mut PolicyState::new(7),
         );
         let b = PlacementPolicy::LocalityAware.place(
             &cpu_task(vec![]),
-            &loads,
+            &v,
             &objects,
             &mut PolicyState::new(7),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placement_is_independent_of_view_insertion_order() {
+        // The FastMap replacing BTreeMap must not leak iteration order
+        // into decisions: build the same view with reports inserted in
+        // opposite orders and demand identical placements for a burst.
+        let reports = [
+            load(0, 0, Resources::cpu(4.0)),
+            load(1, 0, Resources::cpu(4.0)),
+            load(2, 1, Resources::cpu(4.0)),
+            load(3, 2, Resources::cpu(4.0)),
+        ];
+        let forward = LoadView::from_reports(reports.clone(), DEFAULT_TOP_K);
+        let reverse = LoadView::from_reports(reports.into_iter().rev(), DEFAULT_TOP_K);
+        let objects = ObjectTable::new(KvStore::new(1));
+        let root = TaskId::driver_root(DriverId::from_index(3));
+        for policy in [PlacementPolicy::LocalityAware, PlacementPolicy::LeastLoaded] {
+            for i in 0..64 {
+                let spec = TaskSpec::simple(root.child(i), FunctionId::from_name("f"), vec![]);
+                let a = policy.place(&spec, &forward, &objects, &mut PolicyState::new(7));
+                let b = policy.place(&spec, &reverse, &objects, &mut PolicyState::new(7));
+                assert_eq!(a, b, "task {i} placed differently under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_nodes_spread_a_burst_by_task_hash() {
+        // Two idle, identical nodes and a burst of distinct tasks: the
+        // cost band makes them equal candidates and the per-task hash
+        // must fan the burst out over both — deterministically.
+        let v = view([
+            load(1, 0, Resources::cpu(4.0)),
+            load(2, 0, Resources::cpu(4.0)),
+        ]);
+        let objects = ObjectTable::new(KvStore::new(1));
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let mut counts = [0u32; 3];
+        for i in 0..32 {
+            let spec = TaskSpec::simple(root.child(i), FunctionId::from_name("f"), vec![]);
+            let node = PlacementPolicy::LeastLoaded
+                .place(&spec, &v, &objects, &mut PolicyState::new(1))
+                .unwrap();
+            counts[node.0 as usize] += 1;
+        }
+        assert_eq!(counts[1] + counts[2], 32);
+        assert!(
+            counts[1] >= 8 && counts[2] >= 8,
+            "skewed: {}/{}",
+            counts[1],
+            counts[2]
+        );
+    }
+
+    #[test]
+    fn top_k_bounds_candidates_but_fallback_finds_special_nodes() {
+        // With k = 1 only the single least-loaded node is a candidate —
+        // but a GPU task must still find the (busier) GPU node via the
+        // full-scan fallback.
+        let reports = [
+            load(0, 0, Resources::cpu(4.0)),
+            load(1, 5, Resources::new(4.0, 1.0)),
+        ];
+        let v = LoadView::from_reports(reports, 1);
+        let objects = ObjectTable::new(KvStore::new(1));
+        let mut state = PolicyState::new(1);
+        let cpu = cpu_task(vec![]);
+        assert_eq!(
+            PlacementPolicy::LeastLoaded.place(&cpu, &v, &objects, &mut state),
+            Some(NodeId(0))
+        );
+        let mut gpu = cpu_task(vec![]);
+        gpu.resources = Resources::gpu(1.0);
+        for policy in [PlacementPolicy::LeastLoaded, PlacementPolicy::LocalityAware] {
+            assert_eq!(
+                policy.place(&gpu, &v, &objects, &mut state),
+                Some(NodeId(1))
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_holder_outside_top_k_stays_eligible() {
+        // k = 1 selects idle node 1; the 1 MB input lives on node 0
+        // whose queue keeps it out of the top-k. Locality must still
+        // win: the holder is appended to the candidate set.
+        let kv = KvStore::new(1);
+        let objects = ObjectTable::new(kv);
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let dep = root.child(9).return_object(0);
+        objects.add_location(dep, NodeId(0), 1_000_000);
+        let v = LoadView::from_reports(
+            [
+                load(0, 10, Resources::cpu(4.0)),
+                load(1, 0, Resources::cpu(4.0)),
+            ],
+            1,
+        );
+        let spec = cpu_task(vec![ArgSpec::ObjectRef(dep)]);
+        let mut state = PolicyState::new(1);
+        assert_eq!(
+            PlacementPolicy::LocalityAware.place(&spec, &v, &objects, &mut state),
+            Some(NodeId(0))
+        );
     }
 }

@@ -286,3 +286,143 @@ fn event_log_timeline_is_causally_ordered() {
     assert!(checked >= 20, "only {checked} complete timelines");
     cluster.shutdown();
 }
+
+#[test]
+fn global_sharding_changes_who_places_never_what_runs() {
+    // The same spill-heavy workload with K = 1, 2, and 4 global-scheduler
+    // shards must produce bit-identical checksums: sharding partitions
+    // the placement keyspace (who decides), never values or results.
+    // Aggressive spill forces every submission through the global
+    // scheduler so the shards actually arbitrate placement.
+    let config = RlConfig {
+        rollouts: 8,
+        frames_per_task: 4,
+        frame_cost: Duration::ZERO,
+        iterations: 3,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = |shards: usize| {
+        let cluster = Cluster::start(
+            ClusterConfig {
+                nodes: (0..3).map(|_| NodeConfig::cpu_only(2)).collect(),
+                spill: SpillMode::Hybrid { queue_threshold: 0 },
+                ..ClusterConfig::default()
+            }
+            .with_global_shards(shards),
+        )
+        .unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        let (spills, placements, _) = cluster.global_stats();
+        let per_shard = cluster.global_shard_stats();
+        cluster.shutdown();
+        (
+            result.checksum,
+            result.total_reward_bits,
+            spills,
+            placements,
+            per_shard,
+        )
+    };
+    let (sum1, bits1, spills1, placements1, shards1) = run(1);
+    assert!(
+        spills1 > 0,
+        "spill-heavy run must reach the global scheduler"
+    );
+    assert!(placements1 > 0);
+    assert_eq!(shards1.len(), 1);
+    for k in [2usize, 4] {
+        let (sum_k, bits_k, spills_k, placements_k, shards_k) = run(k);
+        assert_eq!((sum_k, bits_k), (sum1, bits1), "K={k} changed results");
+        assert!(spills_k > 0);
+        assert_eq!(shards_k.len(), k);
+        // The keyspace partition spreads arbitration: with this many
+        // tasks, more than one shard must have placed work.
+        let active = shards_k.iter().filter(|(_, p, _)| *p > 0).count();
+        assert!(active > 1, "K={k}: only {active} shard(s) placed");
+        assert_eq!(
+            shards_k.iter().map(|(_, p, _)| *p).sum::<u64>(),
+            placements_k,
+            "per-shard placements must sum to the total"
+        );
+    }
+}
+
+#[test]
+fn determinism_matrix_over_planes_and_shard_counts() {
+    // The full safety matrix for the sharded scheduler: {stealing,
+    // replication, prefetch} x {on, off} x K in {1, 4} — every
+    // combination must produce the same bit-identical result. The
+    // planes may change where tasks run and where bytes live; none may
+    // change what runs.
+    let config = RlConfig {
+        rollouts: 6,
+        frames_per_task: 3,
+        frame_cost: Duration::ZERO,
+        iterations: 2,
+        policy_kernel_cost: Duration::ZERO,
+        ..RlConfig::default()
+    };
+    let run = |stealing: bool, replication: bool, prefetch: bool, shards: usize| {
+        let steal = if stealing {
+            StealConfig {
+                enabled: true,
+                min_backlog: 1,
+                max_tasks: 8,
+                interval: Duration::from_millis(1),
+                timeout: Duration::from_millis(50),
+                hint_objects: 64,
+            }
+        } else {
+            StealConfig::disabled()
+        };
+        let replicate = if replication {
+            ReplicationPolicy {
+                enabled: true,
+                read_threshold: 2,
+                sweep_interval: Duration::from_millis(5),
+                ..ReplicationPolicy::default()
+            }
+        } else {
+            ReplicationPolicy::disabled()
+        };
+        let cluster = Cluster::start(
+            ClusterConfig {
+                nodes: (0..3).map(|_| NodeConfig::cpu_only(2)).collect(),
+                spill: SpillMode::Hybrid { queue_threshold: 1 },
+                ..ClusterConfig::default()
+            }
+            .with_latency(LatencyModel::Constant(Duration::from_micros(100)))
+            .with_prefetch(prefetch)
+            .with_stealing(steal)
+            .with_replication(replicate)
+            .with_global_shards(shards),
+        )
+        .unwrap();
+        let funcs = RlFuncs::register(&cluster);
+        let driver = cluster.driver();
+        let result = rl::run_rtml(&config, &driver, &funcs, false).unwrap();
+        cluster.shutdown();
+        (result.checksum, result.total_reward_bits)
+    };
+    let reference = run(false, false, false, 1);
+    for stealing in [false, true] {
+        for replication in [false, true] {
+            for prefetch in [false, true] {
+                for shards in [1usize, 4] {
+                    if !stealing && !replication && !prefetch && shards == 1 {
+                        continue; // the reference itself
+                    }
+                    let got = run(stealing, replication, prefetch, shards);
+                    assert_eq!(
+                        got, reference,
+                        "matrix cell diverged: stealing={stealing} \
+                         replication={replication} prefetch={prefetch} K={shards}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -410,3 +410,100 @@ fn transient_partition_heals_without_losing_values() {
     healer.join().unwrap();
     cluster.shutdown();
 }
+
+#[test]
+fn sharded_spill_batch_survives_node_loss_mid_flight() {
+    // K = 4 global-scheduler shards arbitrate an aggressively spilled
+    // batch across three nodes; one placement target dies while tasks
+    // are queued and running on it. Lineage replay must recover every
+    // value — sharding the placement plane adds no new loss modes,
+    // because durable task specs (not scheduler state) are the
+    // recovery source.
+    let config = ClusterConfig {
+        nodes: (0..3).map(|_| NodeConfig::cpu_only(2)).collect(),
+        spill: SpillMode::Hybrid { queue_threshold: 0 }, // spread aggressively
+        ..ClusterConfig::default()
+    }
+    .with_global_shards(4);
+    let cluster = Cluster::start(config).unwrap();
+    let slow = cluster.register_fn1("slow_shard_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(15));
+        Ok(x * 5)
+    });
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&slow, 0..24i64).unwrap();
+    // Let the shards place part of the batch, then kill a target node
+    // mid-flight.
+    std::thread::sleep(Duration::from_millis(40));
+    let (spills_before, _, _) = cluster.global_stats();
+    assert!(spills_before > 0, "batch must actually reach the shards");
+    cluster.kill_node(NodeId(2)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 5,
+            "future {i}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn surviving_shards_keep_placing_after_node_loss() {
+    // With K = 4 shards sharing a three-node cluster, losing a node
+    // must not wedge any shard: every shard sees the NodeDown, drops
+    // the dead node from its view, and keeps placing fresh work on the
+    // survivors. A fresh wave after the kill spans the whole keyspace,
+    // so it exercises every shard's post-failure placement path.
+    let config = ClusterConfig {
+        nodes: (0..3).map(|_| NodeConfig::cpu_only(2)).collect(),
+        spill: SpillMode::Hybrid { queue_threshold: 0 },
+        ..ClusterConfig::default()
+    }
+    .with_global_shards(4);
+    let cluster = Cluster::start(config).unwrap();
+    let f = cluster.register_fn1("post_kill_fi", |x: i64| Ok(x - 9));
+    let driver = cluster.driver();
+
+    // Warm wave: all shards place onto the full cluster.
+    let warm = driver.submit_many(&f, 0..16i64).unwrap();
+    for (i, fut) in warm.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 - 9
+        );
+    }
+    cluster.kill_node(NodeId(1)).unwrap();
+
+    // Fresh wave after the loss: enough tasks that the FNV partition
+    // touches several shards, all of which must place on survivors.
+    let placements_before: Vec<u64> = cluster
+        .global_shard_stats()
+        .iter()
+        .map(|(_, p, _)| *p)
+        .collect();
+    let futs = driver.submit_many(&f, 100..132i64).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            (100 + i as i64) - 9,
+            "future {i} after node loss"
+        );
+    }
+    let placements_after: Vec<u64> = cluster
+        .global_shard_stats()
+        .iter()
+        .map(|(_, p, _)| *p)
+        .collect();
+    let advanced = placements_before
+        .iter()
+        .zip(&placements_after)
+        .filter(|(b, a)| a > b)
+        .count();
+    assert!(
+        advanced > 1,
+        "expected several shards to place after the kill, got {advanced} \
+         (before {placements_before:?}, after {placements_after:?})"
+    );
+    cluster.shutdown();
+}

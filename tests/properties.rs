@@ -539,3 +539,278 @@ fn deterministic_work_is_a_pure_function() {
         assert_eq!(deterministic_work(seed, 100), deterministic_work(seed, 100));
     }
 }
+
+// ---- hot-path collections (PR 6) -----------------------------------
+
+proptest! {
+    /// `FixedReverseHeap` is exactly `sort(); truncate(k)` of its input:
+    /// the k smallest items, ascending, for any input and any capacity.
+    #[test]
+    fn fixed_reverse_heap_matches_sort_truncate_oracle(
+        items in proptest::collection::vec(any::<u32>(), 0..64),
+        k in 0usize..12,
+    ) {
+        use rtml::common::collections::FixedReverseHeap;
+        let mut heap = FixedReverseHeap::new(k);
+        for &item in &items {
+            heap.push(item);
+        }
+        let mut oracle = items.clone();
+        oracle.sort_unstable();
+        oracle.truncate(k);
+        prop_assert_eq!(heap.len(), oracle.len());
+        prop_assert_eq!(heap.into_sorted_vec(), oracle);
+    }
+
+    /// `FastMap` is a drop-in map: after an arbitrary interleaving of
+    /// inserts and removes it holds exactly what `std::collections::HashMap`
+    /// holds, and its contents are insertion-order independent (the same
+    /// final state is reached from any permutation of distinct inserts).
+    #[test]
+    fn fast_map_is_a_drop_in_map(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<bool>()), 0..128),
+    ) {
+        use rtml::common::collections::FastMap;
+        use std::collections::HashMap;
+        let mut fast: FastMap<u8, u16> = FastMap::default();
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        for &(key, value, insert) in &ops {
+            if insert {
+                prop_assert_eq!(fast.insert(key, value), model.insert(key, value));
+            } else {
+                prop_assert_eq!(fast.remove(&key), model.remove(&key));
+            }
+            prop_assert_eq!(fast.get(&key), model.get(&key));
+        }
+        prop_assert_eq!(fast.len(), model.len());
+        let mut got: Vec<(u8, u16)> = fast.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut want: Vec<(u8, u16)> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Building a `FastMap` from any permutation of the same distinct
+    /// entries yields the same map — consumers may rely on contents,
+    /// never on iteration order.
+    #[test]
+    fn fast_map_contents_are_insertion_order_independent(
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..32),
+        seed in any::<u64>(),
+    ) {
+        use rtml::common::collections::FastMap;
+        // Dedup keys (last write wins, like map insertion) so both
+        // permutations describe the same final contents.
+        let entries: std::collections::HashMap<u32, u32> = raw.into_iter().collect();
+        let forward: Vec<(u32, u32)> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        // A deterministic shuffle of the same entries.
+        let mut shuffled = forward.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let a: FastMap<u32, u32> = forward.into_iter().collect();
+        let b: FastMap<u32, u32> = shuffled.into_iter().collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (k, v) in &a {
+            prop_assert_eq!(b.get(k), Some(v));
+        }
+    }
+
+    // ---- sharded global scheduler (PR 6) ---------------------------
+
+    /// FNV shard routing partitions the task keyspace: for every shard
+    /// count K, each task id is owned by exactly one shard, the owner is
+    /// in range, and the assignment is a pure function of the id.
+    #[test]
+    fn shard_routing_partitions_the_keyspace(
+        indices in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let root = TaskId::driver_root(DriverId::from_index(3));
+        for k in [1usize, 2, 4, 8] {
+            for &i in &indices {
+                let task = root.child(i);
+                let owner = task.bucket(k);
+                prop_assert!(owner < k, "owner {owner} out of range for K={k}");
+                // Exactly-one ownership: every other shard disowns it.
+                let owners = (0..k).filter(|&s| task.bucket(k) == s).count();
+                prop_assert_eq!(owners, 1);
+                // Purity: re-deriving the id re-derives the owner.
+                prop_assert_eq!(root.child(i).bucket(k), owner);
+            }
+        }
+    }
+}
+
+// ---- sharded-vs-single placement equivalence (PR 6) ----------------
+
+/// Spins up a K-shard global scheduler over `nodes` fake local
+/// schedulers (each announced with a fixed queue depth and identical
+/// `at_nanos`, so every run starts from the same frozen load view),
+/// spills each group in `groups` as one `SpillBatch` — barriering on
+/// total placements between groups so the cross-shard digest plane
+/// advances in lockstep with the single scheduler's placed-since
+/// counters — and returns the task → node placement map.
+fn global_placements(
+    shards: usize,
+    nodes: &[(u32, u32)],
+    groups: &[Vec<u64>],
+) -> std::collections::BTreeMap<TaskId, NodeId> {
+    use rtml::kv::{EventLog, LoadDigestTable, ObjectTable};
+    use rtml::net::{Fabric, FabricConfig};
+    use rtml::sched::{GlobalScheduler, GlobalSchedulerConfig, LoadReport, PlacementPolicy};
+    use std::time::{Duration, Instant};
+
+    let fabric = Fabric::new(FabricConfig::default());
+    let kv = KvStore::new(2);
+    let mut handle = GlobalScheduler::spawn(
+        GlobalSchedulerConfig {
+            host_node: NodeId(0),
+            policy: PlacementPolicy::LeastLoaded,
+            seed: 7,
+            shards,
+        },
+        fabric.clone(),
+        ObjectTable::new(kv.clone()),
+        EventLog::new(kv.clone()),
+        LoadDigestTable::new(kv),
+    );
+    let routes = handle.routes();
+    let endpoints: Vec<_> = nodes
+        .iter()
+        .map(|&(node, queue)| {
+            let endpoint = fabric.register(NodeId(node), "fake-local");
+            for target in routes.all() {
+                let up = SchedWire::NodeUp {
+                    node: NodeId(node),
+                    sched_address: endpoint.address().as_u64(),
+                };
+                fabric
+                    .send(endpoint.address(), *target, encode_to_bytes(&up))
+                    .unwrap();
+                let load = SchedWire::Load(LoadReport {
+                    node: NodeId(node),
+                    sched_address: endpoint.address().as_u64(),
+                    ready: queue,
+                    waiting: 0,
+                    running: 0,
+                    idle_workers: 1,
+                    available: Resources::cpu(4.0),
+                    total: Resources::cpu(4.0),
+                    at_nanos: 0,
+                });
+                fabric
+                    .send(endpoint.address(), *target, encode_to_bytes(&load))
+                    .unwrap();
+            }
+            endpoint
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.nodes_known_min() < nodes.len() {
+        assert!(Instant::now() < deadline, "shard formation stalled");
+        std::thread::yield_now();
+    }
+
+    // Each group is one SpillBatch routed to its owning shard (every
+    // task in a group shares one owner under the sharded run's K; the
+    // K=1 reference routes everything to shard 0). Placement within a
+    // batch is a pure function of (spec, view); between batches the
+    // digest plane folds exactly the placements the single scheduler's
+    // placed-since counters fold, so the two runs stay in lockstep.
+    let root = TaskId::driver_root(DriverId::from_index(0));
+    let mut placed = std::collections::BTreeMap::new();
+    let mut sent = 0u64;
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        let batch: Vec<TaskSpec> = group
+            .iter()
+            .map(|&i| TaskSpec::simple(root.child(i), FunctionId::from_name("f"), vec![]))
+            .collect();
+        let target = routes.address_for(batch[0].task_id);
+        sent += batch.len() as u64;
+        fabric
+            .send(
+                endpoints[0].address(),
+                target,
+                encode_to_bytes(&SchedWire::SpillBatch(batch)),
+            )
+            .unwrap();
+        // Barrier: this group fully placed before the next is sent.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while placed.len() < sent as usize {
+            assert!(
+                Instant::now() < deadline,
+                "placed {}/{sent} tasks (K={shards})",
+                placed.len(),
+            );
+            for (idx, endpoint) in endpoints.iter().enumerate() {
+                while let Ok(d) = endpoint.receiver().try_recv() {
+                    match decode_from_slice::<SchedWire>(&d.payload) {
+                        Ok(SchedWire::Place { spec, .. }) => {
+                            placed.insert(spec.task_id, NodeId(nodes[idx].0));
+                        }
+                        Ok(SchedWire::PlaceBatch { specs, .. }) => {
+                            for spec in specs {
+                                placed.insert(spec.task_id, NodeId(nodes[idx].0));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+    handle.shutdown();
+    placed
+}
+
+proptest! {
+    // Each case spawns 15 shard threads across four schedulers; trim
+    // with PROPTEST_CASES if the suite needs to be faster.
+
+    /// A K-shard global scheduler's placement decisions are bit-identical
+    /// to the single-scheduler reference for K ∈ {1, 2, 4, 8}: the task
+    /// keyspace partition decides *who* places each task, never *where*
+    /// it goes, and the load-digest plane keeps a sharded run's view in
+    /// lockstep with the single scheduler's placed-since fold.
+    #[test]
+    fn sharded_placement_is_bit_identical_to_single_reference(
+        queues in proptest::collection::vec(0u32..8, 2..5),
+        raw_tasks in proptest::collection::vec(0u64..512, 1..24),
+    ) {
+        let nodes: Vec<(u32, u32)> = queues
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| ((i + 1) as u32, q))
+            .collect();
+        let mut tasks: Vec<u64> = raw_tasks;
+        tasks.sort_unstable();
+        tasks.dedup();
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        for k in [2usize, 4, 8] {
+            // Group tasks by their owner under this K; both runs are fed
+            // the identical batch sequence.
+            let mut groups: Vec<Vec<u64>> = vec![Vec::new(); k];
+            for &i in &tasks {
+                groups[root.child(i).bucket(k)].push(i);
+            }
+            let reference = global_placements(1, &nodes, &groups);
+            prop_assert_eq!(reference.len(), tasks.len());
+            let sharded = global_placements(k, &nodes, &groups);
+            prop_assert!(
+                sharded == reference,
+                "K={} diverged from K=1:\n  sharded:   {:?}\n  reference: {:?}",
+                k,
+                sharded,
+                reference
+            );
+        }
+    }
+}

@@ -43,7 +43,10 @@ enum Repr {
     // `Arc<[u8]>::from` would re-copy the payload into the Arc
     // allocation. Moving the Vec keeps construction at one small
     // allocation, at the price of one extra pointer hop on reads.
-    Shared(Arc<Vec<u8>>),
+    // The `(offset, len)` window supports zero-copy sub-slicing
+    // ([`Bytes::slice`]): a record carved out of a batch-encoded arena
+    // shares the arena's buffer instead of owning a copy.
+    Shared(Arc<Vec<u8>>, usize, usize),
 }
 
 impl Bytes {
@@ -76,8 +79,39 @@ impl Bytes {
             Bytes::inline(data)
         } else {
             Bytes {
-                repr: Repr::Shared(Arc::new(data.to_vec())),
+                repr: Repr::Shared(Arc::new(data.to_vec()), 0, data.len()),
             }
+        }
+    }
+
+    /// Returns a view of `range` within the buffer **without copying**
+    /// when the payload is heap-backed: the returned `Bytes` shares the
+    /// same reference-counted buffer with a narrowed window. Ranges that
+    /// fit the inline cap are re-inlined (still no heap allocation).
+    ///
+    /// This is what makes arena encoding zero-copy: a whole batch is
+    /// encoded into one buffer, and each record is a `slice` of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or decreasing, like slice
+    /// indexing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        let len = range.end - range.start;
+        assert!(range.end <= self.len(), "slice out of bounds");
+        if len <= INLINE_CAP {
+            return Bytes::inline(&self.as_slice()[range]);
+        }
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[range]),
+            },
+            // Unreachable in practice (inline payloads are <= INLINE_CAP,
+            // so every sub-range re-inlines above), but kept total.
+            Repr::Inline(_, _) => Bytes::copy_from_slice(&self.as_slice()[range]),
+            Repr::Shared(buf, offset, _) => Bytes {
+                repr: Repr::Shared(buf.clone(), offset + range.start, len),
+            },
         }
     }
 
@@ -96,7 +130,7 @@ impl Bytes {
         match &self.repr {
             Repr::Static(s) => s,
             Repr::Inline(len, buf) => &buf[..*len as usize],
-            Repr::Shared(s) => s,
+            Repr::Shared(s, offset, len) => &s[*offset..*offset + *len],
         }
     }
 
@@ -137,8 +171,9 @@ impl From<Vec<u8>> for Bytes {
         if v.len() <= INLINE_CAP {
             Bytes::inline(&v)
         } else {
+            let len = v.len();
             Bytes {
-                repr: Repr::Shared(Arc::new(v)),
+                repr: Repr::Shared(Arc::new(v), 0, len),
             }
         }
     }
@@ -265,7 +300,44 @@ mod tests {
         assert!(matches!(exact.repr, Repr::Inline(_, _)));
         assert_eq!(exact.len(), INLINE_CAP);
         let big = Bytes::copy_from_slice(&[1u8; INLINE_CAP + 1]);
-        assert!(matches!(big.repr, Repr::Shared(_)));
+        assert!(matches!(big.repr, Repr::Shared(..)));
+    }
+
+    #[test]
+    fn slice_shares_storage_for_large_windows() {
+        let backing: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let arena = Bytes::from(backing.clone());
+        let window = arena.slice(100..1100);
+        assert_eq!(window.as_slice(), &backing[100..1100]);
+        // Zero-copy: the window points into the arena's buffer.
+        assert_eq!(window.as_slice().as_ptr(), arena.as_slice()[100..].as_ptr());
+        // A slice of a slice re-bases into the same buffer.
+        let nested = window.slice(50..950);
+        assert_eq!(nested.as_slice(), &backing[150..1050]);
+        assert_eq!(nested.as_slice().as_ptr(), arena.as_slice()[150..].as_ptr());
+        // Small windows re-inline (no refcount held on the arena).
+        let small = arena.slice(10..20);
+        assert!(matches!(small.repr, Repr::Inline(10, _)));
+        assert_eq!(small.as_slice(), &backing[10..20]);
+        // Full and empty ranges behave like slice indexing.
+        assert_eq!(arena.slice(0..4096), arena);
+        assert!(arena.slice(7..7).is_empty());
+    }
+
+    #[test]
+    fn slice_of_static_stays_static() {
+        static DATA: [u8; 64] = [7u8; 64];
+        let s = Bytes::from_static(&DATA);
+        let w = s.slice(0..40);
+        assert!(matches!(w.repr, Repr::Static(_)));
+        assert_eq!(w.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![0u8; 32]);
+        let _ = b.slice(0..33);
     }
 
     #[test]
