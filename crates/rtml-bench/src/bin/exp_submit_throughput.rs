@@ -1,45 +1,45 @@
-//! E10 — submission throughput vs batch size (R2).
+//! E10 — submission throughput vs batch size (R2), pipelined vs
+//! serialized.
 //!
 //! The paper's headline requirement is *millions of fine-grained tasks
 //! per second*; every per-task cost on the submit→ingest path (channel
 //! sends, control-plane lock round trips, event-log appends, fabric
 //! frames) caps that rate. This experiment measures, per batch size in
-//! {1, 16, 256, 4096}:
+//! {1, 16, 256, 4096} and per submission mode:
 //!
-//! - **tasks/sec**: wall-clock rate from first submit until the local
-//!   scheduler has queued the whole budget. Batch size 1 is the classic
-//!   one-message-per-task path (`submit_raw`), larger sizes the batched
-//!   path (`submit_raw_batch`) with group-committed control-plane
-//!   writes and one scheduler message per batch.
-//! - **kv locks/task**: control-plane lock acquisitions per task (from
-//!   shard counters) — the structural quantity group commit amortizes,
-//!   independent of how fast this particular machine encodes records.
-//! - **sched msgs**: scheduler mailbox messages sent for the budget.
+//! - **pipelined** (the default runtime configuration): the driver
+//!   blasts every batch; local-scheduler ingest is split into a cheap
+//!   accept stage and a deferred index stage, so the driver's
+//!   marshalling of batch N+1 overlaps the scheduler's ingest of batch
+//!   N. One drain barrier at the end.
+//! - **serialized**: pipelined ingest off, and the driver waits for
+//!   each batch to be fully indexed (state `Queued`) before submitting
+//!   the next — no overlap anywhere, the strict back-to-back baseline.
+//!
+//! Reported per (size, mode): **tasks/sec** (wall clock from first
+//! submit until the scheduler has queued the whole budget), **kv
+//! locks/task** (control-plane lock acquisitions per task, the
+//! structural quantity that group-committed spec segments amortize),
+//! and **sched msgs**. The run also records the host's **core count**:
+//! overlap cannot beat back-to-back on one core, so the pipelined ≥
+//! 1.5× serialized self-check only arms on multi-core hosts.
 //!
 //! Every task is gated on a dependency that never seals, so the
 //! measurement isolates the submission and ingest layers from task
-//! execution (identical in both paths and not what batching changes).
-//! Spillover is disabled: this is a single-node submission benchmark,
-//! not a load-balancing one.
+//! execution. Spillover is disabled: this is a single-node submission
+//! benchmark, not a load-balancing one.
 //!
 //! Run: `cargo run -p rtml-bench --bin exp_submit_throughput --release`
 //!
 //! Results are also written to `BENCH_submit_throughput.json` so CI can
-//! track regressions mechanically. `RTML_SUBMIT_TASKS` overrides the
-//! per-size task budget (default 16384) — CI smoke runs use a small
-//! value. `RTML_SUBMIT_REPS` overrides the repetitions per size
-//! (default 3): each repetition runs on a fresh cluster and the fastest
-//! is reported, the standard minimum-of-N estimator for wall-clock
-//! benchmarks on shared machines. `TaskRequest`s are marshalled before
-//! the clock starts — the measurement covers the submission machinery
-//! (ID derivation, durable spec records, group commits, routing,
-//! scheduler ingest), not the benchmark's own argument encoding — and
-//! marshalling is hoisted for the batch=1 path too, so the comparison
-//! stays apples-to-apples. Note on wall-clock speedup: it reflects how
-//! much of a machine's per-task cost is per-message overhead; on a
-//! single shared core (no cross-thread contention, slow per-record
-//! encode) it is far smaller than on multi-core hosts where every
-//! per-task message also pays wake-ups and cache-line bouncing.
+//! track regressions mechanically (`tasks_per_sec` stays the pipelined
+//! curve — the shipping configuration — for continuity with earlier
+//! runs). `RTML_SUBMIT_TASKS` overrides the per-size task budget
+//! (default 16384); `RTML_SUBMIT_REPS` the repetitions per size
+//! (default 3, fresh cluster each, fastest kept — the standard
+//! minimum-of-N estimator). `TaskRequest`s are marshalled before the
+//! clock starts for both modes, so the comparison stays
+//! apples-to-apples.
 
 use std::time::{Duration, Instant};
 
@@ -47,11 +47,17 @@ use rtml_bench::print_table;
 use rtml_common::ids::{DriverId, TaskId};
 use rtml_common::resources::Resources;
 use rtml_common::task::{ArgSpec, TaskState};
-use rtml_runtime::{Cluster, ClusterConfig, TaskRequest};
+use rtml_runtime::{Cluster, ClusterConfig, Driver, TaskRequest};
 use rtml_sched::SpillMode;
 
 const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
 const DEFAULT_TASKS_PER_SIZE: usize = 16_384;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Pipelined,
+    Serialized,
+}
 
 struct Measurement {
     batch: usize,
@@ -74,51 +80,65 @@ fn main() {
         .unwrap_or(3)
         .max(1);
 
-    // Interleave repetitions across batch sizes (rep-major, not
-    // size-major) so a transient noisy window on the host degrades one
-    // rep of every size rather than every rep of one size — the
-    // min-of-N estimator then stays comparable across the curve.
-    let mut best: Vec<Option<Measurement>> = (0..BATCH_SIZES.len()).map(|_| None).collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Interleave repetitions across batch sizes and modes (rep-major)
+    // so a transient noisy window on the host degrades one rep of every
+    // cell rather than every rep of one cell — the min-of-N estimator
+    // then stays comparable across the whole grid.
+    let mut best_pipe: Vec<Option<Measurement>> = (0..BATCH_SIZES.len()).map(|_| None).collect();
+    let mut best_serial: Vec<Option<Measurement>> = (0..BATCH_SIZES.len()).map(|_| None).collect();
     for _ in 0..reps {
         for (slot, &batch) in BATCH_SIZES.iter().enumerate() {
-            let m = measure(batch, tasks_per_size);
-            if best[slot]
-                .as_ref()
-                .is_none_or(|prev| m.elapsed < prev.elapsed)
-            {
-                best[slot] = Some(m);
+            for mode in [Mode::Pipelined, Mode::Serialized] {
+                let m = measure(batch, tasks_per_size, mode);
+                let best = match mode {
+                    Mode::Pipelined => &mut best_pipe[slot],
+                    Mode::Serialized => &mut best_serial[slot],
+                };
+                if best.as_ref().is_none_or(|prev| m.elapsed < prev.elapsed) {
+                    *best = Some(m);
+                }
             }
         }
     }
-    let measured: Vec<Measurement> = best
+    let pipelined: Vec<Measurement> = best_pipe
+        .into_iter()
+        .map(|m| m.expect("at least one repetition"))
+        .collect();
+    let serialized: Vec<Measurement> = best_serial
         .into_iter()
         .map(|m| m.expect("at least one repetition"))
         .collect();
 
-    let base_rate = measured[0].rate;
-    let base_locks = measured[0].kv_locks_per_task;
-    let rows: Vec<Vec<String>> = measured
+    let base_rate = pipelined[0].rate;
+    let rows: Vec<Vec<String>> = pipelined
         .iter()
-        .map(|m| {
+        .zip(&serialized)
+        .map(|(p, s)| {
             vec![
-                m.batch.to_string(),
-                m.total.to_string(),
-                format!("{:.2} ms", m.elapsed.as_secs_f64() * 1e3),
-                format!("{:.0}", m.rate),
-                format!("{:.1}x", m.rate / base_rate),
-                format!("{:.2}", m.kv_locks_per_task),
-                m.sched_msgs.to_string(),
+                p.batch.to_string(),
+                p.total.to_string(),
+                format!("{:.0}", p.rate),
+                format!("{:.0}", s.rate),
+                format!("{:.2}x", p.rate / s.rate),
+                format!("{:.1}x", p.rate / base_rate),
+                format!("{:.3}", p.kv_locks_per_task),
+                p.sched_msgs.to_string(),
             ]
         })
         .collect();
 
     print_table(
-        "E10: submission throughput vs batch size (R2)",
+        &format!("E10: submission throughput, pipelined vs serialized ({cores} core(s))"),
         &[
             "batch",
             "tasks",
-            "submit+ingest",
-            "tasks/sec",
+            "pipelined/s",
+            "serialized/s",
+            "overlap gain",
             "vs batch=1",
             "kv locks/task",
             "sched msgs",
@@ -126,37 +146,61 @@ fn main() {
         &rows,
     );
     println!(
-        "\n(time from first submit until the local scheduler has queued every\n task; execution is gated out so both paths do identical downstream\n work. kv locks/task counts control-plane lock round trips — the\n per-task cost group commit turns into a per-batch cost)"
+        "\n(time from first submit until the local scheduler has queued every\n task; execution is gated out. Serialized = pipelined ingest off and a\n per-batch drain barrier — no driver/ingest overlap. Overlap gain on a\n 1-core host is expected to hover near 1x: there is no second core for\n the ingest stage to run on)"
     );
 
-    let json = render_json(tasks_per_size, &measured);
+    // Self-checks. The structural claims hold everywhere; the overlap
+    // claim only where the hardware can express it.
+    let p4096 = pipelined.iter().find(|m| m.batch == 4096).unwrap();
+    let s4096 = serialized.iter().find(|m| m.batch == 4096).unwrap();
+    assert!(
+        p4096.kv_locks_per_task <= 0.01,
+        "segment commit must keep batch-4096 ingest at or under 0.01 kv locks/task (got {:.4})",
+        p4096.kv_locks_per_task
+    );
+    // Rising with batch size, with a small tolerance at the top of the
+    // curve: on a 1-core host the 256→4096 step is already deep into
+    // diminishing returns and OS scheduling noise between the driver
+    // and scheduler threads can wiggle it a few percent either way.
+    assert!(
+        pipelined.windows(2).all(|w| w[1].rate > w[0].rate * 0.9),
+        "pipelined throughput must rise with batch size"
+    );
+    if cores >= 2 {
+        let gain = p4096.rate / s4096.rate;
+        assert!(
+            gain >= 1.5,
+            "on a {cores}-core host, pipelined submission must be >=1.5x serialized at batch 4096 (got {gain:.2}x)"
+        );
+    }
+
+    let json = render_json(tasks_per_size, cores, &pipelined, &serialized);
     let path = "BENCH_submit_throughput.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 
-    if let Some(m256) = measured.iter().find(|m| m.batch == 256) {
-        println!(
-            "batch=256 vs batch=1: {:.1}x tasks/sec, {:.0}x fewer kv lock round trips, {:.0}x fewer scheduler messages",
-            m256.rate / base_rate,
-            base_locks / m256.kv_locks_per_task.max(f64::EPSILON),
-            measured[0].sched_msgs as f64 / m256.sched_msgs as f64,
-        );
-    }
+    println!(
+        "batch=4096: pipelined {:.0} tasks/s vs serialized {:.0} tasks/s ({:.2}x) on {cores} core(s)",
+        p4096.rate,
+        s4096.rate,
+        p4096.rate / s4096.rate,
+    );
 }
 
-/// Runs one batch size on a fresh cluster so queue depths start
-/// identical. Event logging stays ON (it is part of the per-task cost
-/// story); the retention cap keeps the run's control-plane memory
+/// Runs one (batch size, mode) cell on a fresh cluster so queue depths
+/// start identical. Event logging stays ON (it is part of the per-task
+/// cost story); the retention cap keeps the run's control-plane memory
 /// bounded.
-fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
+fn measure(batch: usize, tasks_per_size: usize, mode: Mode) -> Measurement {
     let cluster = Cluster::start(
         ClusterConfig {
             spill: SpillMode::NeverSpill,
             ..ClusterConfig::local(1, 2)
         }
-        .with_event_log_retention(4096),
+        .with_event_log_retention(4096)
+        .with_pipelined_submission(mode == Mode::Pipelined),
     )
     .unwrap();
     let gated = cluster.register_fn2("gated_submit", |x: u64, _gate: u64| Ok(x));
@@ -195,32 +239,28 @@ fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
                 last_returns = driver
                     .submit_raw(r.function, r.args, r.num_returns, r.resources)
                     .unwrap();
+                if mode == Mode::Serialized {
+                    wait_queued(&driver, &last_returns);
+                }
             }
         }
     } else {
         for requests in prebuilt.drain(..) {
             let mut results = driver.submit_raw_batch(requests).unwrap();
             last_returns = results.pop().unwrap();
-        }
-    }
-    // The scheduler drains its mailbox in order: once the final task is
-    // queued, the whole budget has been ingested. The return future's ID
-    // embeds its producing task.
-    let last_task = last_returns[0]
-        .producer_task()
-        .expect("return objects embed their producer");
-    let deadline = Instant::now() + Duration::from_secs(120);
-    loop {
-        match driver.services().tasks.get_state(last_task) {
-            Some(TaskState::Queued(_)) => break,
-            _ => {
-                assert!(Instant::now() < deadline, "ingest never completed");
-                // Sleep, don't spin: on small machines a hot poll loop
-                // steals the very cycles the scheduler needs to ingest.
-                std::thread::sleep(Duration::from_micros(500));
+            if mode == Mode::Serialized {
+                // The per-batch drain barrier that defines serialized
+                // mode: submission resumes only after this batch is
+                // fully indexed.
+                wait_queued(&driver, &last_returns);
             }
         }
     }
+    // Pipelined mode's single drain barrier (a second wait in
+    // serialized mode is satisfied instantly). The scheduler indexes
+    // batches FIFO, so once the final task is queued the whole budget
+    // has been ingested.
+    wait_queued(&driver, &last_returns);
     let elapsed = start.elapsed();
     let locks = driver.services().kv.stats().total_locks() - locks_before;
     cluster.shutdown();
@@ -234,34 +274,71 @@ fn measure(batch: usize, tasks_per_size: usize) -> Measurement {
     }
 }
 
+/// Blocks until the task producing `returns[0]` reaches `Queued` —
+/// event-driven (kv subscription), not a poll loop, so the barrier
+/// itself does not steal scheduler cycles on small hosts.
+fn wait_queued(driver: &Driver, returns: &[rtml_common::ids::ObjectId]) {
+    let task = returns[0]
+        .producer_task()
+        .expect("return objects embed their producer");
+    let (current, stream) = driver.services().tasks.subscribe_state(task);
+    if matches!(current, Some(TaskState::Queued(_))) {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match stream.recv_timeout(Duration::from_secs(1)) {
+            Some(TaskState::Queued(_)) => return,
+            _ => assert!(Instant::now() < deadline, "ingest never completed"),
+        }
+    }
+}
+
 /// Hand-rolled JSON: two decimal places, stable key order, no deps.
-fn render_json(tasks_per_size: usize, measured: &[Measurement]) -> String {
-    let base_rate = measured[0].rate;
-    let field = |f: &dyn Fn(&Measurement) -> String| -> String {
-        measured
-            .iter()
+fn render_json(
+    tasks_per_size: usize,
+    cores: usize,
+    pipelined: &[Measurement],
+    serialized: &[Measurement],
+) -> String {
+    let base_rate = pipelined[0].rate;
+    let field = |set: &[Measurement], f: &dyn Fn(&Measurement) -> String| -> String {
+        set.iter()
             .map(|m| format!("\"{}\": {}", m.batch, f(m)))
             .collect::<Vec<_>>()
             .join(", ")
     };
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"tasks_per_size\": {tasks_per_size},\n"));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str("  \"modes\": [\"pipelined\", \"serialized\"],\n");
     out.push_str("  \"batch_sizes\": [");
     out.push_str(
-        &measured
+        &pipelined
             .iter()
             .map(|m| m.batch.to_string())
             .collect::<Vec<_>>()
             .join(", "),
     );
     out.push_str("],\n  \"tasks_per_sec\": {");
-    out.push_str(&field(&|m| format!("{:.2}", m.rate)));
+    out.push_str(&field(pipelined, &|m| format!("{:.2}", m.rate)));
+    out.push_str("},\n  \"serialized_tasks_per_sec\": {");
+    out.push_str(&field(serialized, &|m| format!("{:.2}", m.rate)));
+    out.push_str("},\n  \"overlap_speedup\": {");
+    let overlap: Vec<String> = pipelined
+        .iter()
+        .zip(serialized)
+        .map(|(p, s)| format!("\"{}\": {:.2}", p.batch, p.rate / s.rate))
+        .collect();
+    out.push_str(&overlap.join(", "));
     out.push_str("},\n  \"speedup_vs_batch_1\": {");
-    out.push_str(&field(&|m| format!("{:.2}", m.rate / base_rate)));
+    out.push_str(&field(pipelined, &|m| format!("{:.2}", m.rate / base_rate)));
     out.push_str("},\n  \"kv_locks_per_task\": {");
-    out.push_str(&field(&|m| format!("{:.3}", m.kv_locks_per_task)));
+    out.push_str(&field(pipelined, &|m| {
+        format!("{:.3}", m.kv_locks_per_task)
+    }));
     out.push_str("},\n  \"sched_messages\": {");
-    out.push_str(&field(&|m| m.sched_msgs.to_string()));
+    out.push_str(&field(pipelined, &|m| m.sched_msgs.to_string()));
     out.push_str("}\n}\n");
     out
 }

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod replica;
+pub mod segment;
 pub mod shard;
 pub mod store;
 pub mod tables;
 
 pub use replica::ReplicatedKv;
+pub use segment::SegmentIndex;
 pub use store::{KvStats, KvStore};
 pub use tables::event_log::EventLog;
 pub use tables::function_table::{FunctionInfo, FunctionTable};

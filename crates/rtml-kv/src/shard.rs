@@ -322,6 +322,25 @@ impl Shard {
         self.state.lock().logs.get(key).map_or(0, VecDeque::len)
     }
 
+    /// Reads the suffix of the log at `key` starting at position
+    /// `start`, plus the log's total length, under one lock — the
+    /// incremental-catch-up primitive for lazily built indexes over
+    /// append-only logs. Positions are stable only for unbounded logs
+    /// (no retention); a retention cap shifts them as the front pops.
+    pub fn read_log_range(&self, key: &[u8], start: usize) -> (Vec<Bytes>, usize) {
+        self.ops.inc();
+        self.locks.inc();
+        let st = self.state.lock();
+        match st.logs.get(key) {
+            Some(log) => {
+                let total = log.len();
+                let records = log.iter().skip(start).cloned().collect();
+                (records, total)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
     /// Subscribes to a key: returns the current point value and a channel
     /// of subsequent notifications, atomically with respect to writers —
     /// a writer cannot slip between the read and the registration.

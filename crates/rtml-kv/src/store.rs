@@ -199,6 +199,13 @@ impl KvStore {
         self.shard_for(key).log_len(key)
     }
 
+    /// Reads the records of the log at `key` from position `start`
+    /// onward, plus the log's total length, under one shard lock (see
+    /// [`Shard::read_log_range`]).
+    pub fn read_log_range(&self, key: &[u8], start: usize) -> (Vec<Bytes>, usize) {
+        self.shard_for(key).read_log_range(key, start)
+    }
+
     /// Subscribes to a key: current value plus a stream of updates.
     pub fn subscribe(&self, key: Bytes) -> (Option<Bytes>, Receiver<Bytes>) {
         self.shard_for(&key).subscribe(key.clone())

@@ -11,10 +11,11 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
-use rtml_common::codec::{decode_from_slice, encode_batch_to_bytes, encode_to_bytes};
+use rtml_common::codec::{decode_from_slice, encode_to_bytes};
 use rtml_common::ids::TaskId;
 use rtml_common::task::{TaskSpec, TaskState};
 
+use crate::segment::{self, SegmentIndex};
 use crate::store::KvStore;
 
 const SPEC_PREFIX: &[u8] = b"tspec:";
@@ -24,12 +25,21 @@ const STATE_PREFIX: &[u8] = b"tstate:";
 #[derive(Clone)]
 pub struct TaskTable {
     kv: Arc<KvStore>,
+    /// Lazily built index over the append-only spec segments that
+    /// [`TaskTable::record_many`] commits. Clones share it; independent
+    /// handles over the same kv each converge to the same entries
+    /// (segments are immutable), so a fresh handle is a valid recovery
+    /// path.
+    segments: Arc<SegmentIndex>,
 }
 
 impl TaskTable {
     /// Creates a handle over `kv`.
     pub fn new(kv: Arc<KvStore>) -> Self {
-        TaskTable { kv }
+        TaskTable {
+            kv,
+            segments: Arc::new(SegmentIndex::new()),
+        }
     }
 
     fn spec_key(task: TaskId) -> Bytes {
@@ -47,35 +57,36 @@ impl TaskTable {
             .set(Self::spec_key(spec.task_id), encode_to_bytes(spec));
     }
 
-    /// Reads a task spec.
+    /// Reads a task spec. The explicit point key (a resubmission's
+    /// attempt-bumped re-put) shadows the segment-committed copy.
     pub fn get_spec(&self, task: TaskId) -> Option<TaskSpec> {
-        let bytes = self.kv.get(&Self::spec_key(task))?;
-        decode_from_slice(&bytes).ok()
+        if let Some(bytes) = self.kv.get(&Self::spec_key(task)) {
+            return decode_from_slice(&bytes).ok();
+        }
+        self.segments.lookup(&self.kv, task)
     }
 
     /// Group-commits a batch of task submissions: every spec is recorded
-    /// durably, then every task transitions to `state`. Each phase is one
-    /// [`KvStore::set_many`] (at most one lock acquisition per shard), so
-    /// a batch of N submissions is not N spec locks + N state locks. The
-    /// spec phase completes before any state becomes visible, preserving
-    /// the "durable lineage first" submission invariant.
+    /// durably as **one append-only segment** — a single shard-lock
+    /// acquisition for the whole batch, not a per-entry insert — then
+    /// every task transitions to `state`. The segment append completes
+    /// before any state becomes visible, preserving the "durable lineage
+    /// first" submission invariant, and its atomicity means concurrent
+    /// readers see the whole batch's specs or none. The per-task-id
+    /// index over segments is built lazily (first `get_spec` miss or
+    /// recovery scan), so ingest pays nothing for it.
     ///
     /// When `state` is [`TaskState::Submitted`] the state phase is
     /// skipped entirely: a task with a durable spec and no state record
     /// *is* `Submitted` by definition, and every state reader in this
-    /// table synthesizes that. Halving the submission write volume this
-    /// way is what lets the driver-side hot path clear a million records
-    /// per second.
+    /// table synthesizes that. One lock per batch instead of two writes
+    /// per task is what lets the driver-side hot path clear a million
+    /// records per second.
     pub fn record_many(&self, specs: &[TaskSpec], state: &TaskState) {
         if specs.is_empty() {
             return;
         }
-        // One arena allocation for the whole spec batch's values and one
-        // for its keys, instead of two allocations per record (the
-        // dominant cost at batch 4096).
-        let encoded = encode_batch_to_bytes(specs, 96);
-        let keys = super::id_keys_arena(SPEC_PREFIX, specs.iter().map(|s| s.task_id.unique()));
-        self.kv.set_many(keys.into_iter().zip(encoded).collect());
+        segment::commit(&self.kv, specs);
         if matches!(state, TaskState::Submitted) {
             return;
         }
@@ -126,6 +137,19 @@ impl TaskTable {
                     out[i] = Some(TaskState::Submitted);
                 }
             }
+            let unresolved: Vec<usize> =
+                missing.into_iter().filter(|&i| out[i].is_none()).collect();
+            if !unresolved.is_empty() {
+                let ids: Vec<TaskId> = unresolved.iter().map(|&i| tasks[i]).collect();
+                for (&i, hit) in unresolved
+                    .iter()
+                    .zip(self.segments.contains_many(&self.kv, &ids))
+                {
+                    if hit {
+                        out[i] = Some(TaskState::Submitted);
+                    }
+                }
+            }
         }
         out
     }
@@ -136,9 +160,10 @@ impl TaskTable {
         if let Some(bytes) = self.kv.get(&Self::state_key(task)) {
             return decode_from_slice(&bytes).ok();
         }
-        self.kv
-            .get(&Self::spec_key(task))
-            .map(|_| TaskState::Submitted)
+        if self.kv.get(&Self::spec_key(task)).is_some() || self.segments.contains(&self.kv, task) {
+            return Some(TaskState::Submitted);
+        }
+        None
     }
 
     /// Subscribes to state transitions: current state plus update stream.
@@ -147,9 +172,8 @@ impl TaskTable {
     pub fn subscribe_state(&self, task: TaskId) -> (Option<TaskState>, TaskStateStream) {
         let (cur, rx) = self.kv.subscribe(Self::state_key(task));
         let current = cur.and_then(|b| decode_from_slice(&b).ok()).or_else(|| {
-            self.kv
-                .get(&Self::spec_key(task))
-                .map(|_| TaskState::Submitted)
+            (self.kv.get(&Self::spec_key(task)).is_some() || self.segments.contains(&self.kv, task))
+                .then_some(TaskState::Submitted)
         });
         (current, TaskStateStream { rx })
     }
@@ -170,14 +194,19 @@ impl TaskTable {
                 Some((TaskId::from_unique(id), state))
             })
             .collect();
-        let explicit: std::collections::HashSet<TaskId> =
+        let mut seen: std::collections::HashSet<TaskId> =
             out.iter().map(|(task, _)| *task).collect();
         for (k, _v) in self.kv.scan_prefix(SPEC_PREFIX) {
             if let Some(id) = super::parse_id_key(SPEC_PREFIX, &k) {
                 let task = TaskId::from_unique(id);
-                if !explicit.contains(&task) {
+                if seen.insert(task) {
                     out.push((task, TaskState::Submitted));
                 }
+            }
+        }
+        for task in self.segments.task_ids(&self.kv) {
+            if seen.insert(task) {
+                out.push((task, TaskState::Submitted));
             }
         }
         out

@@ -89,6 +89,9 @@ struct CallerInner {
     worker: Option<WorkerId>,
     child_counter: AtomicU64,
     put_counter: AtomicU64,
+    /// Counts driver submission batches for round-robin striping
+    /// ([`crate::services::RuntimeTuning::submit_striping`]).
+    batch_counter: AtomicU64,
 }
 
 /// RAII guard bracketing a blocking section with WorkerBlocked /
@@ -167,6 +170,7 @@ impl Caller {
                 worker,
                 child_counter: AtomicU64::new(0),
                 put_counter: AtomicU64::new(0),
+                batch_counter: AtomicU64::new(0),
             }),
         }
     }
@@ -245,6 +249,22 @@ impl Caller {
             services.tasks.get_states_many(&task_ids)
         };
 
+        // Where this batch ingests. Driver batches stripe round-robin
+        // across `submit_striping` nodes so one local scheduler is not
+        // the funnel; worker (nested) submissions always ingest at home,
+        // where their argument objects already live. The spec's
+        // `submitter_node` records the ingest target so the kill-node
+        // repair scan covers a batch lost in the target's mailbox or
+        // staging ring. Ids are producer-embedded and placement ignores
+        // the submitter, so striping never moves *what runs where* —
+        // only which scheduler does the ingest bookkeeping.
+        let ingest = if inner.component == Component::Driver {
+            let index = inner.batch_counter.fetch_add(1, Ordering::Relaxed);
+            services.stripe_target(inner.home, index)
+        } else {
+            inner.home
+        };
+
         let mut results: Vec<Vec<ObjectId>> = Vec::with_capacity(requests.len());
         let mut fresh: Vec<TaskSpec> = Vec::with_capacity(requests.len());
         let mut unschedulable: Vec<(TaskSpec, Vec<ObjectId>)> = Vec::new();
@@ -270,7 +290,7 @@ impl Caller {
                 args: request.args,
                 num_returns: request.num_returns,
                 resources: request.resources,
-                submitter_node: inner.home,
+                submitter_node: ingest,
                 attempt: 0,
                 actor: None,
             };
@@ -320,7 +340,7 @@ impl Caller {
                 })
                 .collect(),
         );
-        services.submit_batch_to(inner.home, fresh)?;
+        services.submit_batch_to(ingest, fresh)?;
         Ok(results)
     }
 

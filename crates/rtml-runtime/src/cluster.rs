@@ -99,6 +99,22 @@ pub struct ClusterConfig {
     /// of node capacity consistent through kv load digests. `1` (the
     /// default) reproduces the single global scheduler exactly.
     pub global_shards: usize,
+    /// Driver-side submission striping: consecutive driver batches go
+    /// round-robin to this many nodes' local schedulers, so a single
+    /// local scheduler is not the ingest funnel. `1` (the default)
+    /// keeps every batch on the driver's home node. Placement-neutral:
+    /// ids are producer-embedded and the placement policies ignore the
+    /// submitting node, so results and placements are identical with
+    /// striping on or off.
+    pub submit_striping: usize,
+    /// Pipelined submission ingest in the local schedulers: batches are
+    /// accepted synchronously and indexed while the driver marshals the
+    /// next batch. Changes only *when* ingest work happens, never
+    /// values or placements.
+    pub pipelined_submission: bool,
+    /// Staging-ring depth for pipelined ingest: how many accepted
+    /// batches may wait unindexed before an accept forces a flush.
+    pub submit_staging_depth: usize,
 }
 
 impl Default for ClusterConfig {
@@ -122,6 +138,9 @@ impl Default for ClusterConfig {
             seed: 0x5eed,
             global_host: 0,
             global_shards: 1,
+            submit_striping: 1,
+            pipelined_submission: true,
+            submit_staging_depth: 4,
         }
     }
 }
@@ -198,6 +217,24 @@ impl ClusterConfig {
         self.global_shards = shards;
         self
     }
+
+    /// Sets the driver-side submission stripe width builder-style.
+    pub fn with_submit_striping(mut self, nodes: usize) -> Self {
+        self.submit_striping = nodes;
+        self
+    }
+
+    /// Enables or disables pipelined submission ingest builder-style.
+    pub fn with_pipelined_submission(mut self, pipelined: bool) -> Self {
+        self.pipelined_submission = pipelined;
+        self
+    }
+
+    /// Sets the ingest staging-ring depth builder-style.
+    pub fn with_submit_staging_depth(mut self, depth: usize) -> Self {
+        self.submit_staging_depth = depth;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -231,6 +268,7 @@ impl Cluster {
                 fetch_timeout: config.fetch_timeout,
                 default_get_timeout: config.default_get_timeout,
                 event_log_retention: config.event_log_retention,
+                submit_striping: config.submit_striping,
             },
         );
         let recon = ReconstructionManager::new(services.clone());
@@ -256,6 +294,8 @@ impl Cluster {
             prefetch: config.prefetch,
             replication: config.replication.clone(),
             stealing: config.stealing.clone(),
+            pipelined_ingest: config.pipelined_submission,
+            staging_depth: config.submit_staging_depth,
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {

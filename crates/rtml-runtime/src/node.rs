@@ -105,6 +105,13 @@ pub struct NodeTuning {
     pub replication: ReplicationPolicy,
     /// Pull-based work-stealing policy (see [`rtml_sched::steal`]).
     pub stealing: rtml_sched::StealConfig,
+    /// Pipelined batch ingest in local schedulers: accept batches
+    /// synchronously, index them while the submitter marshals its next
+    /// batch (see [`rtml_sched::LocalSchedulerConfig`]).
+    pub pipelined_ingest: bool,
+    /// Staging-ring depth for pipelined ingest (accepted-but-unindexed
+    /// batches before an accept forces a flush).
+    pub staging_depth: usize,
 }
 
 /// A live node: all per-node components plus their control handles.
@@ -315,6 +322,8 @@ impl NodeRuntime {
                 load_interval: tuning.load_interval,
                 prefetch: tuning.prefetch,
                 stealing: tuning.stealing.clone(),
+                pipelined_ingest: tuning.pipelined_ingest,
+                staging_depth: tuning.staging_depth,
             },
             sched_services,
             handles,

@@ -29,6 +29,14 @@ pub struct RuntimeTuning {
     /// control-plane memory on sustained throughput runs; dropped
     /// records are counted on the [`EventLog`].
     pub event_log_retention: Option<usize>,
+    /// Driver-side submission striping: consecutive driver batches are
+    /// routed round-robin across this many nodes' local schedulers so
+    /// one scheduler is not the ingest funnel. `1` (the default) keeps
+    /// every batch on the driver's home node. Striping is
+    /// placement-neutral — task ids stay producer-embedded and the
+    /// placement policies ignore the submitting node — so results and
+    /// placements are identical with it on or off.
+    pub submit_striping: usize,
 }
 
 impl Default for RuntimeTuning {
@@ -37,6 +45,7 @@ impl Default for RuntimeTuning {
             fetch_timeout: Duration::from_secs(2),
             default_get_timeout: Duration::from_secs(30),
             event_log_retention: None,
+            submit_striping: 1,
         }
     }
 }
@@ -198,6 +207,29 @@ impl Services {
     /// The lowest-numbered alive node (the driver's preferred home).
     pub fn any_alive(&self) -> Option<NodeId> {
         self.router.read().keys().min().copied()
+    }
+
+    /// The ingest target for the driver's `index`-th submission batch
+    /// under [`RuntimeTuning::submit_striping`]: round-robin over the
+    /// `min(K, alive)` lowest alive nodes, starting at `home`'s position
+    /// so stripe width 1 degenerates to the home node exactly. Falls
+    /// back to `home` when the router is empty (shutdown race — the
+    /// send itself will fail cleanly downstream).
+    pub fn stripe_target(&self, home: NodeId, index: u64) -> NodeId {
+        let width = self.tuning.submit_striping.max(1);
+        if width == 1 {
+            return home;
+        }
+        let router = self.router.read();
+        let mut nodes: Vec<NodeId> = router.keys().copied().collect();
+        drop(router);
+        if nodes.is_empty() {
+            return home;
+        }
+        nodes.sort();
+        nodes.truncate(width);
+        let start = nodes.iter().position(|n| *n == home).unwrap_or(0);
+        nodes[(start + index as usize) % nodes.len()]
     }
 
     /// Direct channel to `node`'s local scheduler (used by worker

@@ -70,6 +70,20 @@ pub struct LocalSchedulerConfig {
     /// *where tasks run*, never values — checksums are identical with
     /// it on or off.
     pub stealing: StealConfig,
+    /// Pipelined ingest: batch submissions are *accepted* synchronously
+    /// (one mailbox pop, one push onto a staging ring) and *indexed*
+    /// (spill decisions, dependency gating, group-committed state
+    /// writes) on subsequent loop turns, so the driver's marshalling of
+    /// the next batch overlaps this node's ingest of the previous one.
+    /// Staged work drains before the mailbox goes idle and before
+    /// shutdown, and every batch is indexed in arrival order, so
+    /// values, placements, and `wait` semantics are unchanged — only
+    /// *when* ingest work happens moves.
+    pub pipelined_ingest: bool,
+    /// How many accepted-but-unindexed batches may accumulate before an
+    /// accept forces a flush of the oldest (bounds staged memory and
+    /// ingest latency under sustained submission pressure).
+    pub staging_depth: usize,
 }
 
 impl Default for LocalSchedulerConfig {
@@ -82,6 +96,8 @@ impl Default for LocalSchedulerConfig {
             load_interval: Duration::from_millis(1),
             prefetch: true,
             stealing: StealConfig::default(),
+            pipelined_ingest: true,
+            staging_depth: 4,
         }
     }
 }
@@ -264,6 +280,8 @@ impl LocalScheduler {
                     steal_hint_at: Instant::now() - Duration::from_secs(1),
                     steal_rng: PolicyState::new(0x57ea1 ^ ((node.0 as u64) << 32)),
                     stolen_pending: FastMap::default(),
+                    staging: VecDeque::new(),
+                    staged_tasks: 0,
                 };
                 for w in workers {
                     core.add_worker(w);
@@ -288,6 +306,9 @@ enum Incoming {
     Net(bytes::Bytes),
     Seal(ObjectId),
     Tick,
+    /// The mailbox is momentarily idle and staged batches exist: index
+    /// one (the deferred half of pipelined ingest).
+    Drain,
     Closed,
 }
 
@@ -343,6 +364,13 @@ struct Core {
     /// Stolen tasks not yet dispatched: grant-arrival instants for the
     /// steal-to-run latency histogram.
     stolen_pending: FastMap<TaskId, Instant>,
+    /// Accepted-but-unindexed batches (pipelined ingest): each entry is
+    /// `(specs, via_global)`, flushed FIFO so indexing order equals
+    /// arrival order.
+    staging: VecDeque<(Vec<TaskSpec>, bool)>,
+    /// Total tasks across `staging`, reported as `waiting` load so
+    /// peers see accepted-but-unindexed backlog.
+    staged_tasks: usize,
 }
 
 impl Core {
@@ -353,7 +381,10 @@ impl Core {
         seal_rx: Receiver<ObjectId>,
     ) {
         loop {
-            let incoming = {
+            // With staged batches pending, never sleep: take whatever
+            // message is already here, else index one staged batch
+            // immediately. With none, the usual timed idle tick.
+            let incoming = if self.staging.is_empty() {
                 crossbeam::channel::select! {
                     recv(rx) -> m => m.map(Incoming::Local).unwrap_or(Incoming::Closed),
                     recv(endpoint.receiver()) -> d => d
@@ -362,6 +393,15 @@ impl Core {
                     recv(seal_rx) -> o => o.map(Incoming::Seal).unwrap_or(Incoming::Closed),
                     default(self.config.load_interval) => Incoming::Tick,
                 }
+            } else {
+                crossbeam::channel::select! {
+                    recv(rx) -> m => m.map(Incoming::Local).unwrap_or(Incoming::Closed),
+                    recv(endpoint.receiver()) -> d => d
+                        .map(|d| Incoming::Net(d.payload))
+                        .unwrap_or(Incoming::Closed),
+                    recv(seal_rx) -> o => o.map(Incoming::Seal).unwrap_or(Incoming::Closed),
+                    default(Duration::ZERO) => Incoming::Drain,
+                }
             };
             match incoming {
                 Incoming::Local(LocalMsg::Shutdown) | Incoming::Closed => break,
@@ -369,11 +409,16 @@ impl Core {
                 Incoming::Net(payload) => self.on_net(payload),
                 Incoming::Seal(object) => self.on_sealed(object),
                 Incoming::Tick => {}
+                Incoming::Drain => self.flush_one_staged(),
             }
             self.dispatch();
             self.maybe_steal();
             self.maybe_publish_load();
         }
+        // Staged submissions must not die with the loop: index them so
+        // their specs' states (and any spill decisions) are durable
+        // before the drain barrier below.
+        self.flush_staging();
         // Drain: stop workers, deregister from the fabric.
         for (_, tx) in self.workers.drain() {
             let _ = tx.send(WorkerCommand::Stop);
@@ -458,6 +503,11 @@ impl Core {
         let cfg = &self.config.stealing;
         if !cfg.enabled || !self.ready.is_empty() || self.idle.is_empty() || self.workers.is_empty()
         {
+            return;
+        }
+        // Accepted-but-unindexed local work exists: index it before
+        // pulling remote work.
+        if !self.staging.is_empty() {
             return;
         }
         if let Some((_, deadline)) = self.steal_inflight {
@@ -774,7 +824,48 @@ impl Core {
     /// `via_global` marks placements made by the global scheduler,
     /// which must not spill again (except when the node genuinely can
     /// never satisfy the demand — stale capacity information).
+    ///
+    /// With pipelined ingest on, this is only the cheap *accept* stage:
+    /// the batch lands on the staging ring and the expensive *index*
+    /// stage ([`Core::ingest_batch`]) runs on a later loop turn — while
+    /// the submitter is already marshalling its next batch. Batches
+    /// flush FIFO, so indexing order (and thus every spill decision and
+    /// state write) is identical to the serialized path.
     fn on_submit_batch(&mut self, specs: Vec<TaskSpec>, via_global: bool) {
+        if !self.config.pipelined_ingest {
+            self.ingest_batch(specs, via_global);
+            return;
+        }
+        self.staged_tasks += specs.len();
+        self.staging.push_back((specs, via_global));
+        self.load_dirty = true;
+        if self.staging.len() > self.config.staging_depth.max(1) {
+            self.flush_one_staged();
+        }
+    }
+
+    /// Indexes the oldest staged batch (the deferred half of pipelined
+    /// ingest). One batch per call keeps mailbox latency bounded: a
+    /// worker-done or seal message never waits behind the whole ring.
+    fn flush_one_staged(&mut self) {
+        if let Some((specs, via_global)) = self.staging.pop_front() {
+            self.staged_tasks = self.staged_tasks.saturating_sub(specs.len());
+            self.ingest_batch(specs, via_global);
+        }
+    }
+
+    /// Indexes every staged batch, FIFO — the drain barrier used before
+    /// shutdown.
+    fn flush_staging(&mut self) {
+        while !self.staging.is_empty() {
+            self.flush_one_staged();
+        }
+    }
+
+    /// The index stage of batch ingest: spill decisions, dependency
+    /// gating, group-committed state writes, event appends, and missing
+    /// dependency resolution for one batch.
+    fn ingest_batch(&mut self, specs: Vec<TaskSpec>, via_global: bool) {
         let node = self.config.node;
         // Single pass: spill decision plus dependency gating. `backlog`
         // advances as runnable tasks are accepted, so the spill rule
@@ -1177,7 +1268,7 @@ impl Core {
             node: self.config.node,
             sched_address: self.address.as_u64(),
             ready: self.ready.len() as u32,
-            waiting: self.waiting.len() as u32,
+            waiting: (self.waiting.len() + self.staged_tasks) as u32,
             running: self.running.len() as u32,
             idle_workers: self.idle.len() as u32,
             available: self.config.total_resources.saturating_sub(&self.in_use),

@@ -8,7 +8,7 @@ use rtml::common::ids::FunctionId;
 use rtml::common::ids::{DriverId, NodeId, ObjectId, TaskId, UniqueId};
 use rtml::common::resources::Resources;
 use rtml::common::task::{ArgSpec, TaskSpec, TaskState};
-use rtml::kv::KvStore;
+use rtml::kv::{KvStore, TaskTable};
 use rtml::sched::SchedWire;
 use rtml::store::{ObjectStore, StoreConfig};
 
@@ -617,6 +617,68 @@ proptest! {
         prop_assert_eq!(a.len(), b.len());
         for (k, v) in &a {
             prop_assert_eq!(b.get(k), Some(v));
+        }
+    }
+
+    // ---- spec segments (PR 7) --------------------------------------
+
+    /// Segment-committed specs (lazy per-id index over the append-only
+    /// log) are indistinguishable from eagerly point-written specs: for
+    /// any batching of any spec population, `get_spec` through the lazy
+    /// path returns bit-identical encodings to the eager path — from
+    /// the writing handle *and* from a fresh handle that must rebuild
+    /// its index from the log (the recovery scan).
+    #[test]
+    fn segment_lazy_index_is_bit_identical_to_eager_writes(
+        batch_sizes in proptest::collection::vec(1usize..12, 1..6),
+        payload in proptest::collection::vec(any::<u8>(), 0..24),
+        num_returns in 1u32..4,
+    ) {
+        use rtml::common::task::TaskState;
+        let kv_lazy = KvStore::new(4);
+        let kv_eager = KvStore::new(4);
+        let lazy = TaskTable::new(kv_lazy.clone());
+        let eager = TaskTable::new(kv_eager);
+        let root = TaskId::driver_root(DriverId::from_index(41));
+        let mut counter = 0u64;
+        let mut all: Vec<TaskSpec> = Vec::new();
+        for n in batch_sizes {
+            let specs: Vec<TaskSpec> = (0..n)
+                .map(|_| {
+                    counter += 1;
+                    let mut spec = TaskSpec::simple(
+                        root.child(counter),
+                        FunctionId::from_name("seg_prop"),
+                        vec![
+                            ArgSpec::Value(Bytes::from(payload.clone())),
+                            ArgSpec::ObjectRef(root.child(counter).return_object(0)),
+                        ],
+                    );
+                    spec.num_returns = num_returns;
+                    spec
+                })
+                .collect();
+            // Lazy: one segment per batch. Eager: one point key per spec.
+            lazy.record_many(&specs, &TaskState::Submitted);
+            for spec in &specs {
+                eager.put_spec(spec);
+            }
+            all.extend(specs);
+        }
+        for spec in &all {
+            let a = lazy.get_spec(spec.task_id).unwrap();
+            let b = eager.get_spec(spec.task_id).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(encode_to_bytes(&a), encode_to_bytes(spec));
+        }
+        // A fresh handle over the same kv sees the same bytes: the index
+        // is derived state, the log is the truth.
+        let fresh = TaskTable::new(kv_lazy);
+        for spec in &all {
+            prop_assert_eq!(
+                encode_to_bytes(&fresh.get_spec(spec.task_id).unwrap()),
+                encode_to_bytes(spec)
+            );
         }
     }
 
