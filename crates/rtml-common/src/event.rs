@@ -24,6 +24,10 @@ pub enum Component {
     ObjectStore,
     /// The cluster supervisor (failure detection, recovery).
     Supervisor,
+    /// A per-node fetch agent (client side of the transfer plane).
+    FetchAgent,
+    /// A per-node replication agent (the hot-object replication plane).
+    ReplicationAgent,
 }
 
 impl Codec for Component {
@@ -35,6 +39,10 @@ impl Codec for Component {
             Component::GlobalScheduler => 3,
             Component::ObjectStore => 4,
             Component::Supervisor => 5,
+            // Wire tags are append-only: new components take the next
+            // free tag so logged streams stay decodable across versions.
+            Component::FetchAgent => 6,
+            Component::ReplicationAgent => 7,
         });
     }
 
@@ -46,6 +54,8 @@ impl Codec for Component {
             3 => Component::GlobalScheduler,
             4 => Component::ObjectStore,
             5 => Component::Supervisor,
+            6 => Component::FetchAgent,
+            7 => Component::ReplicationAgent,
             other => return Err(Error::Codec(format!("invalid Component tag {other}"))),
         })
     }
@@ -113,6 +123,74 @@ pub enum EventKind {
     NodeLost { node: NodeId },
     /// A node's components were restarted after failure.
     NodeRestarted { node: NodeId },
+    /// One submission batch's specs were group-committed as an
+    /// append-only segment (the control-plane commit point of
+    /// pipelined submission). `seq` is the submitter's batch counter;
+    /// `micros` covers the segment commit call, so the span runs
+    /// backwards from this event's timestamp.
+    SpecSegmentCommitted {
+        node: NodeId,
+        seq: u64,
+        tasks: u32,
+        micros: u64,
+    },
+    /// One global-scheduler shard placed a batch of spilled tasks
+    /// against a single cluster-view snapshot. `micros` covers the
+    /// whole view-build + place loop.
+    PlacementBatch {
+        node: NodeId,
+        shard: u32,
+        tasks: u32,
+        micros: u64,
+    },
+    /// An idle scheduler sent a steal request to a loaded victim.
+    /// `seq` correlates with the matching [`EventKind::StealRoundTrip`]
+    /// (thieves keep at most one request in flight, so the pair is
+    /// unambiguous per thief).
+    StealRequested {
+        thief: NodeId,
+        victim: NodeId,
+        seq: u64,
+    },
+    /// The grant for steal request `seq` arrived back at the thief:
+    /// the full request→grant round trip took `micros` (tasks may be
+    /// zero — a stale victim whose queue drained answers empty).
+    StealRoundTrip {
+        thief: NodeId,
+        victim: NodeId,
+        seq: u64,
+        tasks: u32,
+        micros: u64,
+    },
+    /// One replication-agent demand sweep: `hot` objects crossed the
+    /// read threshold, `placed` replica copies were created, `released`
+    /// cold copies were reclaimed, in `micros`.
+    ReplicationSweep {
+        node: NodeId,
+        hot: u32,
+        placed: u32,
+        released: u32,
+        micros: u64,
+    },
+    /// A submission batch landed on the staging ring (the accept stage
+    /// of pipelined ingest). `depth` is the ring occupancy after the
+    /// push; `seq` correlates with the matching
+    /// [`EventKind::BatchIndexed`].
+    BatchStaged {
+        node: NodeId,
+        seq: u64,
+        tasks: u32,
+        depth: u32,
+    },
+    /// Staged batch `seq` was indexed (spill scan, group-committed
+    /// states, dependency gating); `micros` covers the index work. The
+    /// staged→indexed gap is the staging-ring residency span.
+    BatchIndexed {
+        node: NodeId,
+        seq: u64,
+        tasks: u32,
+        micros: u64,
+    },
 }
 
 impl EventKind {
@@ -153,6 +231,13 @@ impl EventKind {
             EventKind::WorkerLost { .. } => "worker_lost",
             EventKind::NodeLost { .. } => "node_lost",
             EventKind::NodeRestarted { .. } => "node_restarted",
+            EventKind::SpecSegmentCommitted { .. } => "spec_segment_committed",
+            EventKind::PlacementBatch { .. } => "placement_batch",
+            EventKind::StealRequested { .. } => "steal_requested",
+            EventKind::StealRoundTrip { .. } => "steal_round_trip",
+            EventKind::ReplicationSweep { .. } => "replication_sweep",
+            EventKind::BatchStaged { .. } => "batch_staged",
+            EventKind::BatchIndexed { .. } => "batch_indexed",
         }
     }
 }
@@ -250,6 +335,88 @@ impl Codec for EventKind {
                 from.encode(w);
                 to.encode(w);
             }
+            EventKind::SpecSegmentCommitted {
+                node,
+                seq,
+                tasks,
+                micros,
+            } => {
+                w.put_u8(17);
+                node.encode(w);
+                w.put_varint(*seq);
+                w.put_u32(*tasks);
+                w.put_varint(*micros);
+            }
+            EventKind::PlacementBatch {
+                node,
+                shard,
+                tasks,
+                micros,
+            } => {
+                w.put_u8(18);
+                node.encode(w);
+                w.put_u32(*shard);
+                w.put_u32(*tasks);
+                w.put_varint(*micros);
+            }
+            EventKind::StealRequested { thief, victim, seq } => {
+                w.put_u8(19);
+                thief.encode(w);
+                victim.encode(w);
+                w.put_varint(*seq);
+            }
+            EventKind::StealRoundTrip {
+                thief,
+                victim,
+                seq,
+                tasks,
+                micros,
+            } => {
+                w.put_u8(20);
+                thief.encode(w);
+                victim.encode(w);
+                w.put_varint(*seq);
+                w.put_u32(*tasks);
+                w.put_varint(*micros);
+            }
+            EventKind::ReplicationSweep {
+                node,
+                hot,
+                placed,
+                released,
+                micros,
+            } => {
+                w.put_u8(21);
+                node.encode(w);
+                w.put_u32(*hot);
+                w.put_u32(*placed);
+                w.put_u32(*released);
+                w.put_varint(*micros);
+            }
+            EventKind::BatchStaged {
+                node,
+                seq,
+                tasks,
+                depth,
+            } => {
+                w.put_u8(22);
+                node.encode(w);
+                w.put_varint(*seq);
+                w.put_u32(*tasks);
+                w.put_u32(*depth);
+            }
+            EventKind::BatchIndexed {
+                node,
+                seq,
+                tasks,
+                micros,
+            } => {
+                w.put_u8(23);
+                node.encode(w);
+                w.put_varint(*seq);
+                w.put_u32(*tasks);
+                w.put_varint(*micros);
+            }
         }
     }
 
@@ -323,6 +490,49 @@ impl Codec for EventKind {
                 task: TaskId::decode(r)?,
                 from: NodeId::decode(r)?,
                 to: NodeId::decode(r)?,
+            },
+            17 => EventKind::SpecSegmentCommitted {
+                node: NodeId::decode(r)?,
+                seq: r.take_varint()?,
+                tasks: r.take_u32()?,
+                micros: r.take_varint()?,
+            },
+            18 => EventKind::PlacementBatch {
+                node: NodeId::decode(r)?,
+                shard: r.take_u32()?,
+                tasks: r.take_u32()?,
+                micros: r.take_varint()?,
+            },
+            19 => EventKind::StealRequested {
+                thief: NodeId::decode(r)?,
+                victim: NodeId::decode(r)?,
+                seq: r.take_varint()?,
+            },
+            20 => EventKind::StealRoundTrip {
+                thief: NodeId::decode(r)?,
+                victim: NodeId::decode(r)?,
+                seq: r.take_varint()?,
+                tasks: r.take_u32()?,
+                micros: r.take_varint()?,
+            },
+            21 => EventKind::ReplicationSweep {
+                node: NodeId::decode(r)?,
+                hot: r.take_u32()?,
+                placed: r.take_u32()?,
+                released: r.take_u32()?,
+                micros: r.take_varint()?,
+            },
+            22 => EventKind::BatchStaged {
+                node: NodeId::decode(r)?,
+                seq: r.take_varint()?,
+                tasks: r.take_u32()?,
+                depth: r.take_u32()?,
+            },
+            23 => EventKind::BatchIndexed {
+                node: NodeId::decode(r)?,
+                seq: r.take_varint()?,
+                tasks: r.take_u32()?,
+                micros: r.take_varint()?,
             },
             other => return Err(Error::Codec(format!("invalid EventKind tag {other}"))),
         })
@@ -427,17 +637,86 @@ mod tests {
                 from: n,
                 to: NodeId(2),
             },
+            EventKind::SpecSegmentCommitted {
+                node: n,
+                seq: 7,
+                tasks: 4096,
+                micros: 88,
+            },
+            EventKind::PlacementBatch {
+                node: n,
+                shard: 3,
+                tasks: 17,
+                micros: 9,
+            },
+            EventKind::StealRequested {
+                thief: n,
+                victim: NodeId(2),
+                seq: 11,
+            },
+            EventKind::StealRoundTrip {
+                thief: n,
+                victim: NodeId(2),
+                seq: 11,
+                tasks: 0,
+                micros: 450,
+            },
+            EventKind::ReplicationSweep {
+                node: n,
+                hot: 1,
+                placed: 2,
+                released: 0,
+                micros: 300,
+            },
+            EventKind::BatchStaged {
+                node: n,
+                seq: 5,
+                tasks: 256,
+                depth: 3,
+            },
+            EventKind::BatchIndexed {
+                node: n,
+                seq: 5,
+                tasks: 256,
+                micros: 42,
+            },
         ];
-        for kind in kinds {
+        let components = [
+            Component::Driver,
+            Component::Worker,
+            Component::LocalScheduler,
+            Component::GlobalScheduler,
+            Component::ObjectStore,
+            Component::Supervisor,
+            Component::FetchAgent,
+            Component::ReplicationAgent,
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
             let ev = Event {
                 at_nanos: 42,
-                component: Component::Worker,
+                component: components[i % components.len()],
                 kind: kind.clone(),
             };
             let bytes = encode_to_bytes(&ev);
             let back: Event = decode_from_slice(&bytes).unwrap();
             assert_eq!(ev, back, "kind {}", kind.label());
         }
+    }
+
+    #[test]
+    fn all_components_round_trip() {
+        for tag in 0..=7u8 {
+            let mut w = crate::codec::Writer::with_capacity(1);
+            w.put_u8(tag);
+            let bytes = w.into_bytes();
+            let component: Component =
+                decode_from_slice(&bytes).expect("every tag through 7 decodes");
+            let back = encode_to_bytes(&component);
+            assert_eq!(&back[..], &bytes[..], "component tag {tag}");
+        }
+        let mut w = crate::codec::Writer::with_capacity(1);
+        w.put_u8(8);
+        assert!(decode_from_slice::<Component>(&w.into_bytes()).is_err());
     }
 
     #[test]

@@ -1,12 +1,22 @@
-//! Lightweight concurrent metrics: counters and log-bucketed histograms.
+//! Lightweight concurrent metrics: counters, log-bucketed histograms,
+//! and a registry that unifies them behind one sampling surface.
 //!
 //! The benchmark harness and the schedulers use these to report latency
 //! distributions (p50/p90/p99) without external dependencies. Histograms
 //! use power-of-two buckets from 1 ns to ~2.3 hours, giving ≤ 2x relative
 //! error on percentile estimates — plenty for systems benchmarking.
+//!
+//! [`MetricsRegistry`] is the sensing half of the observability plane:
+//! each per-plane counter struct registers its values once (by closure,
+//! so existing `Arc`'d stats structs need no restructuring), and a
+//! periodic sampler reads [`MetricsRegistry::sample`] — a deterministic,
+//! name-sorted flat list of `u64`s — into the telemetry time-series
+//! table.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Number of power-of-two histogram buckets (covers 1ns..2^43ns ≈ 2.4h).
 const BUCKETS: usize = 44;
@@ -138,7 +148,7 @@ impl fmt::Debug for Histogram {
 }
 
 /// An immutable view of a [`Histogram`] at one point in time.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Snapshot {
     count: u64,
     sum: u64,
@@ -164,6 +174,11 @@ impl Snapshot {
     /// Largest sample observed.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Estimates the `q`-quantile (0.0..=1.0). Returns the geometric
@@ -214,6 +229,123 @@ impl fmt::Debug for Snapshot {
             self.p99(),
             self.max
         )
+    }
+}
+
+/// One registered metric source: either a single value read on demand,
+/// or a histogram whose snapshot is flattened into several values.
+enum Source {
+    Value(Arc<dyn Fn() -> u64 + Send + Sync>),
+    Histogram(Arc<dyn Fn() -> Snapshot + Send + Sync>),
+}
+
+/// The suffixes a histogram source flattens into, in sample order.
+const HISTOGRAM_FIELDS: [&str; 4] = ["count", "p50", "p99", "max"];
+
+/// A registry unifying the scattered per-plane counter structs behind
+/// one registration API — the sensing substrate for telemetry
+/// time-series (and, eventually, adaptive controllers).
+///
+/// Registration is closure-based: a component hands over `Fn() -> u64`
+/// (or an `Arc<Counter>` directly), so the live `Arc`'d stats structs
+/// every plane already exports plug in without restructuring. Sampling
+/// ([`MetricsRegistry::sample`]) reads every source and returns a flat,
+/// **name-sorted** `(name, value)` list: the name set and order are
+/// deterministic regardless of registration order or concurrent
+/// recording, so consecutive samples line up column-wise into a
+/// time-series. Histograms flatten into `name.count` / `name.p50` /
+/// `name.p99` / `name.max` columns.
+///
+/// Registering a name twice replaces the earlier source (restarted
+/// components re-register cleanly).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<BTreeMap<String, Source>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a shared counter under `name`.
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        self.register_value(name, move || counter.get());
+    }
+
+    /// Registers a single-value source (gauge or counter) under `name`.
+    pub fn register_value(&self, name: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.sources
+            .lock()
+            .expect("metrics registry poisoned")
+            .insert(name.to_string(), Source::Value(Arc::new(read)));
+    }
+
+    /// Registers a histogram source under `name`; it samples as the
+    /// flattened `name.count` / `name.p50` / `name.p99` / `name.max`
+    /// columns.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        snapshot: impl Fn() -> Snapshot + Send + Sync + 'static,
+    ) {
+        self.sources
+            .lock()
+            .expect("metrics registry poisoned")
+            .insert(name.to_string(), Source::Histogram(Arc::new(snapshot)));
+    }
+
+    /// Number of registered sources (histograms count once).
+    pub fn len(&self) -> usize {
+        self.sources
+            .lock()
+            .expect("metrics registry poisoned")
+            .len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every column name a [`MetricsRegistry::sample`] call will emit,
+    /// sorted — histogram sources expand to their flattened fields.
+    pub fn sample_names(&self) -> Vec<String> {
+        self.sample().into_iter().map(|(name, _)| name).collect()
+    }
+
+    /// Reads every source into one flat, name-sorted `(name, value)`
+    /// list. The shape (names and order) is a pure function of the
+    /// registered set, so samples taken while other threads record
+    /// concurrently still align column-wise.
+    pub fn sample(&self) -> Vec<(String, u64)> {
+        let sources = self.sources.lock().expect("metrics registry poisoned");
+        let mut out = Vec::with_capacity(sources.len());
+        for (name, source) in sources.iter() {
+            match source {
+                Source::Value(read) => out.push((name.clone(), read())),
+                Source::Histogram(snapshot) => {
+                    let snap = snapshot();
+                    let values = [snap.count(), snap.p50(), snap.p99(), snap.max()];
+                    for (field, value) in HISTOGRAM_FIELDS.iter().zip(values) {
+                        out.push((format!("{name}.{field}"), value));
+                    }
+                }
+            }
+        }
+        // BTreeMap iteration is name-sorted, but flattened histogram
+        // fields interleave with neighbouring names ("h.count" sorts
+        // after a sibling "h2" would) — sort the flat list so the
+        // column order is exactly lexicographic.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({} sources)", self.len())
     }
 }
 
@@ -325,6 +457,93 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn registry_sample_is_name_sorted_and_flattens_histograms() {
+        let registry = MetricsRegistry::new();
+        let c = Arc::new(Counter::new());
+        c.add(5);
+        registry.register_counter("z.steal.attempts", c);
+        registry.register_value("a.fetches", || 7);
+        let h = Arc::new(Histogram::new());
+        h.record(1000);
+        let h2 = h.clone();
+        registry.register_histogram("m.latency", move || h2.snapshot());
+        assert_eq!(registry.len(), 3);
+
+        let sample = registry.sample();
+        let names: Vec<&str> = sample.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "a.fetches",
+                "m.latency.count",
+                "m.latency.max",
+                "m.latency.p50",
+                "m.latency.p99",
+                "z.steal.attempts",
+            ]
+        );
+        assert_eq!(sample[0].1, 7);
+        assert_eq!(sample[1].1, 1); // count
+        assert_eq!(sample[2].1, 1000); // max
+        assert_eq!(sample[5].1, 5);
+        assert_eq!(registry.sample_names().len(), 6);
+    }
+
+    #[test]
+    fn registry_re_registration_replaces() {
+        let registry = MetricsRegistry::new();
+        registry.register_value("x", || 1);
+        registry.register_value("x", || 2);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.sample(), vec![("x".to_string(), 2)]);
+    }
+
+    #[test]
+    fn registry_shape_is_stable_under_concurrent_recording() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = Arc::new(Counter::new());
+        registry.register_counter("hits", c.clone());
+        let h = Arc::new(Histogram::new());
+        let h2 = h.clone();
+        registry.register_histogram("lat", move || h2.snapshot());
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for _ in 0..3 {
+            let c = c.clone();
+            let h = h.clone();
+            let stop = stop.clone();
+            writers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    h.record(42);
+                }
+            }));
+        }
+        let names = registry.sample_names();
+        let mut last_hits = 0;
+        for _ in 0..100 {
+            let sample = registry.sample();
+            let got: Vec<&String> = sample.iter().map(|(n, _)| n).collect();
+            assert!(got
+                .iter()
+                .map(|n| n.as_str())
+                .eq(names.iter().map(|n| n.as_str())));
+            let hits = sample
+                .iter()
+                .find(|(n, _)| n == "hits")
+                .expect("registered")
+                .1;
+            assert!(hits >= last_hits, "counters are monotone across samples");
+            last_hits = hits;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
     }
 
     #[test]

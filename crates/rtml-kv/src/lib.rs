@@ -43,3 +43,4 @@ pub use tables::function_table::{FunctionInfo, FunctionTable};
 pub use tables::load_digest::{DigestEntry, LoadDigest, LoadDigestTable};
 pub use tables::object_table::{ObjectInfo, ObjectTable};
 pub use tables::task_table::TaskTable;
+pub use tables::telemetry::{TelemetryRecord, TelemetryTable};

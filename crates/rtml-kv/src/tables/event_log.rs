@@ -101,6 +101,8 @@ impl EventLog {
             Component::GlobalScheduler => 3,
             Component::ObjectStore => 4,
             Component::Supervisor => 5,
+            Component::FetchAgent => 6,
+            Component::ReplicationAgent => 7,
         });
         Bytes::from(v)
     }

@@ -10,6 +10,7 @@ pub mod function_table;
 pub mod load_digest;
 pub mod object_table;
 pub mod task_table;
+pub mod telemetry;
 
 use bytes::Bytes;
 use rtml_common::ids::UniqueId;

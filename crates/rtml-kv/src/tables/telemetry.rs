@@ -1,0 +1,208 @@
+//! The telemetry table: per-node bounded rings of metric snapshots.
+//!
+//! This is the time-series half of the observability plane (paper R7:
+//! profiling tools attached to the centralized control state). Each node
+//! runs a sampler that reads its `MetricsRegistry` on a period and
+//! group-commits the whole snapshot here as **one record on one key** —
+//! one shard lock acquisition per node per sampling interval, so the
+//! sensing plane costs the control plane a few locks per second per
+//! node regardless of how many metrics are registered.
+//!
+//! Every stream is a ring bounded by the table's retention, so a
+//! long-running cluster holds a sliding window of recent samples — the
+//! substrate an adaptive controller (ROADMAP item 4) can close loops
+//! over — without unbounded control-plane memory.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use rtml_common::codec::{decode_from_slice, encode_to_bytes, Codec, Reader, Writer};
+use rtml_common::ids::NodeId;
+
+use crate::store::KvStore;
+
+const PREFIX: &[u8] = b"tel:";
+
+/// One sampler snapshot: every registered metric at one instant.
+///
+/// `samples` is name-sorted and shape-stable across records from one
+/// node (the registry guarantees it), so consecutive records line up
+/// column-wise into a time-series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// Capture time, nanoseconds since the cluster epoch.
+    pub at_nanos: u64,
+    /// Flat name-sorted `(metric, value)` pairs.
+    pub samples: Vec<(String, u64)>,
+}
+
+impl Codec for TelemetryRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.at_nanos);
+        self.samples.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> rtml_common::error::Result<Self> {
+        Ok(TelemetryRecord {
+            at_nanos: r.take_varint()?,
+            samples: Vec::<(String, u64)>::decode(r)?,
+        })
+    }
+}
+
+/// Typed handle over the per-node telemetry rings.
+#[derive(Clone)]
+pub struct TelemetryTable {
+    kv: Arc<KvStore>,
+    /// Maximum records kept per node stream (ring-buffer style).
+    retention: usize,
+}
+
+impl TelemetryTable {
+    /// Default per-node ring capacity: at the default 10ms sampling
+    /// interval this holds the trailing ~10 seconds.
+    pub const DEFAULT_RETENTION: usize = 1024;
+
+    /// Creates a table with the default retention.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        Self::with_retention(kv, Self::DEFAULT_RETENTION)
+    }
+
+    /// Creates a table bounding each node's ring to `retention` records
+    /// (minimum 1).
+    pub fn with_retention(kv: Arc<KvStore>, retention: usize) -> Self {
+        TelemetryTable {
+            kv,
+            retention: retention.max(1),
+        }
+    }
+
+    /// The per-node ring capacity.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    fn key(node: NodeId) -> Bytes {
+        let mut v = Vec::with_capacity(PREFIX.len() + 4);
+        v.extend_from_slice(PREFIX);
+        v.extend_from_slice(&node.0.to_le_bytes());
+        Bytes::from(v)
+    }
+
+    /// Group-commits one snapshot onto `node`'s ring (one shard lock);
+    /// returns how many old records the ring evicted to stay bounded.
+    pub fn append(&self, node: NodeId, record: &TelemetryRecord) -> usize {
+        self.kv
+            .append_many(
+                Self::key(node),
+                vec![encode_to_bytes(record)],
+                Some(self.retention),
+            )
+            .len()
+    }
+
+    /// Reads `node`'s ring, oldest first.
+    pub fn read(&self, node: NodeId) -> Vec<TelemetryRecord> {
+        self.kv
+            .read_log(&Self::key(node))
+            .iter()
+            .filter_map(|b| decode_from_slice::<TelemetryRecord>(b).ok())
+            .collect()
+    }
+
+    /// Reads every node's ring (tooling path), sorted by node id.
+    pub fn read_all(&self) -> Vec<(NodeId, Vec<TelemetryRecord>)> {
+        let mut out: Vec<(NodeId, Vec<TelemetryRecord>)> = self
+            .kv
+            .scan_logs_prefix(PREFIX)
+            .into_iter()
+            .filter_map(|(key, records)| {
+                let suffix = key.strip_prefix(PREFIX)?;
+                let bytes: [u8; 4] = suffix.try_into().ok()?;
+                let node = NodeId(u32::from_le_bytes(bytes));
+                let series = records
+                    .iter()
+                    .filter_map(|b| decode_from_slice::<TelemetryRecord>(b).ok())
+                    .collect();
+                Some((node, series))
+            })
+            .collect();
+        out.sort_by_key(|(node, _)| node.0);
+        out
+    }
+
+    /// Total records across all node rings.
+    pub fn len(&self) -> usize {
+        self.kv
+            .scan_logs_prefix(PREFIX)
+            .iter()
+            .map(|(_, records)| records.len())
+            .sum()
+    }
+
+    /// Whether no snapshots have been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(at: u64, v: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            at_nanos: at,
+            samples: vec![("a.count".into(), v), ("b.p50".into(), v * 2)],
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let r = record(42, 7);
+        let bytes = encode_to_bytes(&r);
+        assert_eq!(decode_from_slice::<TelemetryRecord>(&bytes).unwrap(), r);
+        let empty = TelemetryRecord {
+            at_nanos: 0,
+            samples: vec![],
+        };
+        let bytes = encode_to_bytes(&empty);
+        assert_eq!(decode_from_slice::<TelemetryRecord>(&bytes).unwrap(), empty);
+    }
+
+    #[test]
+    fn append_and_read_per_node() {
+        let kv = KvStore::new(4);
+        let table = TelemetryTable::new(kv);
+        table.append(NodeId(1), &record(10, 1));
+        table.append(NodeId(1), &record(20, 2));
+        table.append(NodeId(2), &record(15, 3));
+        let series = table.read(NodeId(1));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].at_nanos, 10);
+        assert_eq!(series[1].samples[0].1, 2);
+        assert!(table.read(NodeId(9)).is_empty());
+        let all = table.read_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, NodeId(1));
+        assert_eq!(all[1].0, NodeId(2));
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn ring_stays_bounded_and_keeps_newest() {
+        let kv = KvStore::new(4);
+        let table = TelemetryTable::with_retention(kv, 4);
+        assert_eq!(table.retention(), 4);
+        let mut evicted = 0;
+        for i in 0..10u64 {
+            evicted += table.append(NodeId(0), &record(i, i));
+        }
+        assert_eq!(evicted, 6);
+        let series = table.read(NodeId(0));
+        assert_eq!(series.len(), 4);
+        let times: Vec<u64> = series.iter().map(|r| r.at_nanos).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+}

@@ -228,6 +228,29 @@ impl Fabric {
         fabric
     }
 
+    /// Registers the fabric's traffic counters on `registry` under the
+    /// `fabric.` prefix. The fabric is cluster-wide shared state, so
+    /// per-node samplers reading these see the same totals — consumers
+    /// should treat the columns as cluster aggregates.
+    pub fn register_metrics(self: &Arc<Self>, registry: &rtml_common::metrics::MetricsRegistry) {
+        let f = self.clone();
+        registry.register_value("fabric.sent", move || f.stats.sent.get());
+        let f = self.clone();
+        registry.register_value("fabric.delivered", move || f.stats.delivered.get());
+        let f = self.clone();
+        registry.register_value("fabric.dropped", move || f.stats.dropped.get());
+        let f = self.clone();
+        registry.register_value("fabric.bytes", move || f.stats.bytes.get());
+        let f = self.clone();
+        registry.register_value("fabric.coalesced", move || f.stats.coalesced.get());
+        let f = self.clone();
+        registry.register_value("fabric.chunk_frames", move || f.stats.chunk_frames.get());
+        let f = self.clone();
+        registry.register_value("fabric.egress_wait_nanos", move || {
+            f.stats.egress_wait_nanos.get()
+        });
+    }
+
     /// Registers an endpoint on `node`. The `name` is only for debugging.
     pub fn register(&self, node: NodeId, _name: &str) -> Endpoint {
         let (tx, rx) = unbounded();

@@ -327,19 +327,32 @@ impl Caller {
         // send, so the inter-phase windows are private to this call.
         // No object records are written at all: every return object's
         // lineage edge rides inside its ID (`ObjectId::producer_task`).
+        let commit_started = Instant::now();
         services.tasks.record_many(&fresh, &TaskState::Submitted);
+        let commit_micros = commit_started.elapsed().as_micros() as u64;
         let at_nanos = now_nanos();
-        services.events.append_many(
-            inner.home,
-            fresh
-                .iter()
-                .map(|spec| Event {
-                    at_nanos,
-                    component: inner.component,
-                    kind: EventKind::TaskSubmitted { task: spec.task_id },
-                })
-                .collect(),
-        );
+        let mut events: Vec<Event> = fresh
+            .iter()
+            .map(|spec| Event {
+                at_nanos,
+                component: inner.component,
+                kind: EventKind::TaskSubmitted { task: spec.task_id },
+            })
+            .collect();
+        // The segment-commit span rides the same frame as the per-task
+        // submission events. `base` (this submitter's child counter) is
+        // monotonic per caller, so it doubles as the batch seq.
+        events.push(Event {
+            at_nanos,
+            component: inner.component,
+            kind: EventKind::SpecSegmentCommitted {
+                node: inner.home,
+                seq: base,
+                tasks: fresh.len() as u32,
+                micros: commit_micros,
+            },
+        });
+        services.events.append_many(inner.home, events);
         services.submit_batch_to(ingest, fresh)?;
         Ok(results)
     }

@@ -115,6 +115,13 @@ pub struct ClusterConfig {
     /// Staging-ring depth for pipelined ingest: how many accepted
     /// batches may wait unindexed before an accept forces a flush.
     pub submit_staging_depth: usize,
+    /// Per-node telemetry sampling: every node's plane counters are
+    /// registered on a [`rtml_common::metrics::MetricsRegistry`] and a
+    /// sampler thread group-commits periodic snapshots to the kv-backed
+    /// telemetry table as a bounded ring ([`Cluster::timeseries`]). On
+    /// by default: the cost is one kv append per node per interval,
+    /// noise against the submission hot path's lock budget.
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 impl Default for ClusterConfig {
@@ -141,6 +148,7 @@ impl Default for ClusterConfig {
             submit_striping: 1,
             pipelined_submission: true,
             submit_staging_depth: 4,
+            telemetry: crate::telemetry::TelemetryConfig::default(),
         }
     }
 }
@@ -235,6 +243,19 @@ impl ClusterConfig {
         self.submit_staging_depth = depth;
         self
     }
+
+    /// Replaces the telemetry config builder-style.
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Disables per-node telemetry sampling builder-style (for
+    /// overhead A/B measurements).
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry.enabled = false;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -296,6 +317,7 @@ impl Cluster {
             stealing: config.stealing.clone(),
             pipelined_ingest: config.pipelined_submission,
             staging_depth: config.submit_staging_depth,
+            telemetry: config.telemetry.clone(),
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {
@@ -494,6 +516,8 @@ impl Cluster {
     /// across all alive nodes).
     pub fn profile(&self) -> ProfileReport {
         let mut report = ProfileReport::from_events(&self.services.events.read_all());
+        report.dropped_records = self.services.events.dropped_count();
+        report.partial = report.dropped_records > 0;
         let nodes = self.nodes.lock();
         for runtime in nodes.values() {
             let t = runtime.transfer_stats();
@@ -524,6 +548,56 @@ impl Cluster {
                 .merge_snapshot(&s.steal.steal_to_run.snapshot());
         }
         report
+    }
+
+    /// Critical-path attribution for the task that produced `sink`
+    /// (usually `some_ref.id().producer_task()`): walks the binding
+    /// dependency chain through the event log, splitting the end-to-end
+    /// span into staging / placement / queue / transfer / execution.
+    /// Dependencies come from the durable task specs, so the walk works
+    /// for completed, failed, and reconstructed chains alike. `None`
+    /// when the log has no trace of the task (never ran, or its events
+    /// fell to retention).
+    pub fn critical_path(
+        &self,
+        sink: rtml_common::ids::TaskId,
+    ) -> Option<crate::critical_path::CriticalPath> {
+        let tasks = self.services.tasks.clone();
+        crate::critical_path::critical_path(
+            &self.services.events.read_all(),
+            move |task| {
+                tasks
+                    .get_spec(task)
+                    .map(|spec| spec.dependencies().collect())
+                    .unwrap_or_default()
+            },
+            sink,
+        )
+    }
+
+    /// Reads the telemetry time-series: every node's ring of sampled
+    /// metric snapshots, sorted by node. Rings are bounded (see
+    /// [`crate::telemetry::TelemetryConfig::retention`]) and survive
+    /// node death — a killed node's history stays readable, like its
+    /// events. Empty when the telemetry plane is disabled.
+    pub fn timeseries(&self) -> Vec<(NodeId, Vec<rtml_kv::TelemetryRecord>)> {
+        rtml_kv::TelemetryTable::with_retention(
+            self.services.kv.clone(),
+            self.tuning.telemetry.retention,
+        )
+        .read_all()
+    }
+
+    /// One node's metrics registry (the live counters its sampler
+    /// reads). `None` if the node is not alive.
+    pub fn node_registry(
+        &self,
+        node: NodeId,
+    ) -> Option<Arc<rtml_common::metrics::MetricsRegistry>> {
+        self.nodes
+            .lock()
+            .get(&node)
+            .map(|runtime| runtime.registry().clone())
     }
 
     /// One node's live local-scheduler counters (prefetch admission and

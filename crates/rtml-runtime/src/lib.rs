@@ -45,6 +45,7 @@
 pub mod actors;
 pub mod caller;
 pub mod cluster;
+pub mod critical_path;
 pub mod envelope;
 pub mod fetch;
 pub mod lineage;
@@ -53,16 +54,19 @@ pub mod object_ref;
 pub mod profiling;
 pub mod registry;
 pub mod services;
+pub mod telemetry;
 pub mod tools;
 pub mod worker;
 
 pub use actors::ActorHandle;
 pub use caller::{Caller, Driver, TaskContext, TaskOptions, TaskRequest};
 pub use cluster::{Cluster, ClusterConfig};
+pub use critical_path::{critical_path, CriticalPath};
 pub use envelope::Envelope;
 pub use lineage::ReconstructionManager;
 pub use node::NodeConfig;
 pub use object_ref::{IntoArg, ObjectRef};
-pub use profiling::{ProfileReport, TaskProfile, TransferPlaneStats};
+pub use profiling::{Incident, PlaneSpan, ProfileReport, TaskProfile, TransferPlaneStats};
 pub use registry::{Func0, Func1, Func2, Func3, Func4, FunctionRegistry};
 pub use services::Services;
+pub use telemetry::{TelemetryConfig, TelemetrySampler};

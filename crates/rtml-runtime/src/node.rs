@@ -112,6 +112,8 @@ pub struct NodeTuning {
     /// Staging-ring depth for pipelined ingest (accepted-but-unindexed
     /// batches before an accept forces a flush).
     pub staging_depth: usize,
+    /// Per-node telemetry sampling (see [`crate::telemetry`]).
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 /// A live node: all per-node components plus their control handles.
@@ -128,6 +130,10 @@ pub struct NodeRuntime {
     /// Shared with the pool-manager thread, which appends on-demand
     /// workers (nested-task deadlock avoidance).
     workers: Arc<parking_lot::Mutex<Vec<(WorkerRuntime, Sender<WorkerCommand>)>>>,
+    /// Every plane's live counters, registered once at build time.
+    registry: Arc<rtml_common::metrics::MetricsRegistry>,
+    /// The telemetry sampler, when the plane is on.
+    sampler: Option<crate::telemetry::TelemetrySampler>,
 }
 
 impl NodeRuntime {
@@ -252,6 +258,24 @@ impl NodeRuntime {
                     }
                     dropped.len()
                 }),
+                observe_sweep: {
+                    let events = services.events.clone();
+                    Some(Arc::new(move |report: rtml_store::SweepReport| {
+                        events.append(
+                            node,
+                            rtml_common::event::Event::now(
+                                rtml_common::event::Component::ReplicationAgent,
+                                rtml_common::event::EventKind::ReplicationSweep {
+                                    node,
+                                    hot: report.hot,
+                                    placed: report.placed,
+                                    released: report.released,
+                                    micros: report.micros,
+                                },
+                            ),
+                        );
+                    }))
+                },
             };
             Some(ReplicationAgent::spawn(
                 node,
@@ -391,6 +415,34 @@ impl NodeRuntime {
             config.total_resources(),
         );
 
+        // The sensing plane: register every component's live counters
+        // once, then (if enabled) sample them all into the kv-backed
+        // telemetry ring on a period — one group-committed record per
+        // node per interval.
+        let registry = Arc::new(rtml_common::metrics::MetricsRegistry::new());
+        Self::register_metrics(
+            &registry,
+            services,
+            &transfer,
+            &agent,
+            replication.as_ref(),
+            &sched,
+            &store,
+        );
+        let sampler = if tuning.telemetry.enabled {
+            Some(crate::telemetry::TelemetrySampler::spawn(
+                node,
+                registry.clone(),
+                rtml_kv::TelemetryTable::with_retention(
+                    services.kv.clone(),
+                    tuning.telemetry.retention,
+                ),
+                tuning.telemetry.interval,
+            ))
+        } else {
+            None
+        };
+
         NodeRuntime {
             node,
             store,
@@ -400,7 +452,108 @@ impl NodeRuntime {
             replication,
             sched,
             workers,
+            registry,
+            sampler,
         }
+    }
+
+    /// Registers every plane's counters under stable dotted names.
+    /// Names are per-node streams except `fabric.*` and `kv.*`, which
+    /// read cluster-wide shared state (documented as aggregates).
+    fn register_metrics(
+        registry: &Arc<rtml_common::metrics::MetricsRegistry>,
+        services: &Arc<Services>,
+        transfer: &TransferService,
+        agent: &Arc<FetchAgent>,
+        replication: Option<&ReplicationAgent>,
+        sched: &LocalSchedulerHandle,
+        store: &Arc<ObjectStore>,
+    ) {
+        // Transfer service (server side of the data plane).
+        let stats = transfer.stats().clone();
+        registry.register_value("transfer.requests", move || stats.requests.get());
+        let stats = transfer.stats().clone();
+        registry.register_value("transfer.objects_served", move || {
+            stats.objects_served.get()
+        });
+        let stats = transfer.stats().clone();
+        registry.register_value("transfer.misses", move || stats.misses.get());
+        let stats = transfer.stats().clone();
+        registry.register_value("transfer.chunks_sent", move || stats.chunks_sent.get());
+
+        // Fetch agent (client side of the data plane).
+        let a = agent.clone();
+        registry.register_value("fetch.transfers", move || a.stats().transfers.get());
+        let a = agent.clone();
+        registry.register_value("fetch.requests_sent", move || a.stats().requests_sent.get());
+        let a = agent.clone();
+        registry.register_value("fetch.duplicates_suppressed", move || {
+            a.stats().duplicates_suppressed.get()
+        });
+        let a = agent.clone();
+        registry.register_value("fetch.objects_fetched", move || {
+            a.stats().objects_fetched.get()
+        });
+        let a = agent.clone();
+        registry.register_value("fetch.timeouts", move || a.stats().timeouts.get());
+
+        // Replication plane, when on.
+        if let Some(replication) = replication {
+            let stats = replication.stats().clone();
+            registry.register_value("replication.sweeps", move || stats.sweeps.get());
+            let stats = replication.stats().clone();
+            registry.register_value("replication.hot_objects", move || stats.hot_objects.get());
+            let stats = replication.stats().clone();
+            registry.register_value("replication.replicas_created", move || {
+                stats.replicas_created.get()
+            });
+            let stats = replication.stats().clone();
+            registry.register_value("replication.replicas_released", move || {
+                stats.replicas_released.get()
+            });
+        }
+
+        // Scheduler: prefetch and steal planes.
+        let stats = sched.stats().clone();
+        registry.register_value("sched.prefetch_skipped_capacity", move || {
+            stats.prefetch_skipped_capacity.get()
+        });
+        let stats = sched.stats().clone();
+        registry.register_value("sched.prefetch_deferred_priority", move || {
+            stats.prefetch_deferred_priority.get()
+        });
+        let stats = sched.stats().clone();
+        registry.register_value("steal.attempts", move || stats.steal.attempts.get());
+        let stats = sched.stats().clone();
+        registry.register_value("steal.grants", move || stats.steal.grants.get());
+        let stats = sched.stats().clone();
+        registry.register_value("steal.empty_grants", move || stats.steal.empty_grants.get());
+        let stats = sched.stats().clone();
+        registry.register_value("steal.tasks_stolen", move || stats.steal.tasks_stolen.get());
+        let stats = sched.stats().clone();
+        registry.register_value("steal.tasks_granted", move || {
+            stats.steal.tasks_granted.get()
+        });
+        let stats = sched.stats().clone();
+        registry.register_histogram("steal.steal_to_run", move || {
+            stats.steal.steal_to_run.snapshot()
+        });
+
+        // Local store occupancy (gauge).
+        let s = store.clone();
+        registry.register_value("store.used_bytes", move || s.used_bytes());
+        let s = store.clone();
+        registry.register_value("store.objects", move || s.len() as u64);
+
+        // Cluster-wide shared state: the fabric and the control-plane
+        // store. Same totals from every node's sampler.
+        services.fabric.register_metrics(registry);
+        let kv = services.kv.clone();
+        registry.register_value("kv.ops", move || kv.stats().total_ops());
+        let kv = services.kv.clone();
+        registry.register_value("kv.locks", move || kv.stats().total_locks());
+        let events = services.events.clone();
+        registry.register_value("events.dropped", move || events.dropped_count());
     }
 
     /// The node's static configuration (used for restarts).
@@ -426,6 +579,12 @@ impl NodeRuntime {
     /// The node's local-scheduler counters.
     pub fn sched_stats(&self) -> &Arc<rtml_sched::LocalSchedulerStats> {
         self.sched.stats()
+    }
+
+    /// The node's metrics registry (every plane's counters, registered
+    /// at build time).
+    pub fn registry(&self) -> &Arc<rtml_common::metrics::MetricsRegistry> {
+        &self.registry
     }
 
     /// Kills one worker: crash semantics (in-flight task effects
@@ -455,6 +614,12 @@ impl NodeRuntime {
         services.detach_node(self.node);
         if let Some(replication) = &self.replication {
             replication.shutdown();
+        }
+        // The sampler dies with the node; its committed ring survives
+        // in the control plane (telemetry outlives the node, like the
+        // event log).
+        if let Some(sampler) = &self.sampler {
+            sampler.shutdown();
         }
         for (runtime, tx) in self.workers.lock().iter_mut() {
             runtime.kill();
@@ -488,6 +653,12 @@ impl NodeRuntime {
         services.detach_node(self.node);
         if let Some(replication) = &self.replication {
             replication.shutdown();
+        }
+        // Stop the sampler last-ish so its final snapshot sees a
+        // near-final counter state; the committed ring stays readable
+        // through `Cluster::timeseries` after shutdown.
+        if let Some(sampler) = &self.sampler {
+            sampler.shutdown();
         }
         // The scheduler's shutdown sends Stop to its registered workers.
         self.sched.shutdown();

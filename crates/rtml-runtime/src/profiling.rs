@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use rtml_common::event::{Event, EventKind};
-use rtml_common::ids::{TaskId, WorkerId};
+use rtml_common::ids::{NodeId, TaskId, WorkerId};
 use rtml_common::metrics::{fmt_nanos, Histogram};
 use rtml_sched::StealStats;
 
@@ -22,10 +22,16 @@ pub struct TaskProfile {
     pub submitted: Option<u64>,
     /// When a local scheduler queued it.
     pub queued: Option<u64>,
+    /// The node whose scheduler queued it.
+    pub queued_node: Option<NodeId>,
     /// Whether it took the spillover path.
     pub spilled: bool,
     /// When the global scheduler placed it (spilled tasks only).
     pub placed: Option<u64>,
+    /// Where the global scheduler placed it.
+    pub placed_node: Option<NodeId>,
+    /// When (and to where) a steal moved it, if one did.
+    pub stolen: Option<(u64, NodeId)>,
     /// When a worker started it.
     pub started: Option<u64>,
     /// When it finished.
@@ -152,6 +158,49 @@ impl StealPlaneStats {
     }
 }
 
+/// One plane-operation span folded from the event log. The emitting
+/// events carry a duration and are stamped at span *end*, so the span
+/// runs backwards from `end_nanos`.
+#[derive(Clone, Debug)]
+pub struct PlaneSpan {
+    /// Which plane: `"control"`, `"staging"`, `"placement"`, `"steal"`,
+    /// `"transfer"`, or `"replication"`.
+    pub plane: &'static str,
+    /// The node the span is attributed to (the thief for steal round
+    /// trips, the receiver for transfers).
+    pub node: NodeId,
+    /// When the operation completed (nanos since epoch).
+    pub end_nanos: u64,
+    /// How long it took.
+    pub micros: u64,
+    /// Short human label ("segment 4096", "steal from node-2", ...).
+    pub label: String,
+    /// Structured payload, rendered as Chrome-trace args.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl PlaneSpan {
+    /// When the operation began.
+    pub fn start_nanos(&self) -> u64 {
+        self.end_nanos
+            .saturating_sub(self.micros.saturating_mul(1_000))
+    }
+}
+
+/// A point incident worth a marker on the timeline: task failures,
+/// lineage reconstructions, node losses.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// When it happened (nanos since epoch).
+    pub at_nanos: u64,
+    /// `"task_failed"`, `"task_reconstructed"`, or `"node_lost"`.
+    pub kind: &'static str,
+    /// What it happened to (task or node).
+    pub label: String,
+    /// The node involved, when the event names one.
+    pub node: Option<NodeId>,
+}
+
 /// A digest of one run's event log.
 #[derive(Debug, Default)]
 pub struct ProfileReport {
@@ -193,6 +242,22 @@ pub struct ProfileReport {
     /// Steal grants recorded in the event log (`TaskStolen` records —
     /// the events-based mirror of `steal.tasks_granted`).
     pub steal_events: usize,
+    /// Plane-operation spans (segment commits, placement batches, steal
+    /// round trips, staged-batch indexing, transfers, replication
+    /// sweeps), in log order.
+    pub spans: Vec<PlaneSpan>,
+    /// Failures, reconstructions, and node losses, in log order.
+    pub incidents: Vec<Incident>,
+    /// Staging-ring occupancy samples `(at_nanos, node, depth)` — one
+    /// per accepted batch, rendered as a Chrome-trace counter track.
+    pub staging_occupancy: Vec<(u64, NodeId, u32)>,
+    /// Event records the bounded log dropped to stay within retention
+    /// (populated by [`crate::Cluster::profile`]; zero for raw event
+    /// folds). When nonzero the report is partial: timelines may be
+    /// missing their oldest edges.
+    pub dropped_records: u64,
+    /// Whether retention dropped anything (`dropped_records > 0`).
+    pub partial: bool,
 }
 
 impl ProfileReport {
@@ -208,19 +273,111 @@ impl ProfileReport {
             match &event.kind {
                 EventKind::ObjectSealed { .. } => report.seals += 1,
                 EventKind::ObjectEvicted { .. } => report.evictions += 1,
-                EventKind::TransferFinished { object, to, .. } => {
+                EventKind::TransferFinished { object, to, micros } => {
                     report.transfers += 1;
                     if prefetched.remove(&(*object, *to)) {
                         report.prefetch_hits += 1;
                     }
+                    report.spans.push(PlaneSpan {
+                        plane: "transfer",
+                        node: *to,
+                        end_nanos: event.at_nanos,
+                        micros: *micros,
+                        label: format!("{object}"),
+                        args: Vec::new(),
+                    });
                 }
                 EventKind::PrefetchIssued { object, node } => {
                     report.prefetches_issued += 1;
                     prefetched.insert((*object, *node));
                 }
                 EventKind::WorkerLost { .. } => report.workers_lost += 1,
-                EventKind::NodeLost { .. } => report.nodes_lost += 1,
+                EventKind::NodeLost { node } => {
+                    report.nodes_lost += 1;
+                    report.incidents.push(Incident {
+                        at_nanos: event.at_nanos,
+                        kind: "node_lost",
+                        label: format!("node-{}", node.0),
+                        node: Some(*node),
+                    });
+                }
                 EventKind::TaskStolen { .. } => report.steal_events += 1,
+                EventKind::SpecSegmentCommitted {
+                    node,
+                    seq,
+                    tasks,
+                    micros,
+                } => report.spans.push(PlaneSpan {
+                    plane: "control",
+                    node: *node,
+                    end_nanos: event.at_nanos,
+                    micros: *micros,
+                    label: format!("segment {seq}"),
+                    args: vec![("tasks", u64::from(*tasks)), ("seq", *seq)],
+                }),
+                EventKind::PlacementBatch {
+                    node,
+                    shard,
+                    tasks,
+                    micros,
+                } => report.spans.push(PlaneSpan {
+                    plane: "placement",
+                    node: *node,
+                    end_nanos: event.at_nanos,
+                    micros: *micros,
+                    label: format!("shard {shard}"),
+                    args: vec![("tasks", u64::from(*tasks)), ("shard", u64::from(*shard))],
+                }),
+                EventKind::StealRoundTrip {
+                    thief,
+                    victim,
+                    seq,
+                    tasks,
+                    micros,
+                } => report.spans.push(PlaneSpan {
+                    plane: "steal",
+                    node: *thief,
+                    end_nanos: event.at_nanos,
+                    micros: *micros,
+                    label: format!("steal from node-{}", victim.0),
+                    args: vec![("tasks", u64::from(*tasks)), ("seq", *seq)],
+                }),
+                EventKind::ReplicationSweep {
+                    node,
+                    hot,
+                    placed,
+                    released,
+                    micros,
+                } => report.spans.push(PlaneSpan {
+                    plane: "replication",
+                    node: *node,
+                    end_nanos: event.at_nanos,
+                    micros: *micros,
+                    label: String::from("sweep"),
+                    args: vec![
+                        ("hot", u64::from(*hot)),
+                        ("placed", u64::from(*placed)),
+                        ("released", u64::from(*released)),
+                    ],
+                }),
+                EventKind::BatchStaged { node, depth, .. } => {
+                    report
+                        .staging_occupancy
+                        .push((event.at_nanos, *node, *depth));
+                }
+                EventKind::BatchIndexed {
+                    node,
+                    seq,
+                    tasks,
+                    micros,
+                } => report.spans.push(PlaneSpan {
+                    plane: "staging",
+                    node: *node,
+                    end_nanos: event.at_nanos,
+                    micros: *micros,
+                    label: format!("index batch {seq}"),
+                    args: vec![("tasks", u64::from(*tasks)), ("seq", *seq)],
+                }),
                 _ => {}
             }
             let Some(task) = event.kind.task() else {
@@ -232,12 +389,21 @@ impl ProfileReport {
                 EventKind::TaskSubmitted { .. } => {
                     profile.submitted.get_or_insert(event.at_nanos);
                 }
-                EventKind::TaskQueuedLocal { .. } => {
-                    profile.queued.get_or_insert(event.at_nanos);
+                EventKind::TaskQueuedLocal { node, .. } => {
+                    if profile.queued.is_none() {
+                        profile.queued = Some(event.at_nanos);
+                        profile.queued_node = Some(*node);
+                    }
                 }
                 EventKind::TaskSpilled { .. } => profile.spilled = true,
-                EventKind::TaskPlaced { .. } => {
-                    profile.placed.get_or_insert(event.at_nanos);
+                EventKind::TaskPlaced { node, .. } => {
+                    if profile.placed.is_none() {
+                        profile.placed = Some(event.at_nanos);
+                        profile.placed_node = Some(*node);
+                    }
+                }
+                EventKind::TaskStolen { to, .. } => {
+                    profile.stolen.get_or_insert((event.at_nanos, *to));
                 }
                 EventKind::TaskStarted { worker, .. } => {
                     profile.started.get_or_insert(event.at_nanos);
@@ -247,8 +413,24 @@ impl ProfileReport {
                     profile.finished = Some(event.at_nanos);
                     profile.exec_micros = Some(*micros);
                 }
-                EventKind::TaskFailed { .. } => profile.failed = true,
-                EventKind::TaskReconstructed { .. } => profile.reconstructions += 1,
+                EventKind::TaskFailed { .. } => {
+                    profile.failed = true;
+                    report.incidents.push(Incident {
+                        at_nanos: event.at_nanos,
+                        kind: "task_failed",
+                        label: format!("{task}"),
+                        node: None,
+                    });
+                }
+                EventKind::TaskReconstructed { .. } => {
+                    profile.reconstructions += 1;
+                    report.incidents.push(Incident {
+                        at_nanos: event.at_nanos,
+                        kind: "task_reconstructed",
+                        label: format!("{task}"),
+                        node: None,
+                    });
+                }
                 _ => {}
             }
         }
@@ -304,6 +486,14 @@ impl ProfileReport {
     pub fn summary(&self) -> String {
         let latency = self.scheduling_latency().snapshot();
         let steal_latency = self.steal_to_run.snapshot();
+        let retention = if self.partial {
+            format!(
+                "\nevent log: PARTIAL — {} records dropped by retention; oldest timeline edges may be missing",
+                self.dropped_records
+            )
+        } else {
+            String::new()
+        };
         format!(
             "tasks: {} ({} spilled, {} failed)\n\
              scheduling latency: p50 {} / p99 {} / max {}\n\
@@ -311,7 +501,7 @@ impl ProfileReport {
              prefetch: {} issued, {} hits, {} skipped (capacity), {} deferred (priority); duplicates suppressed: {}\n\
              replication: {} hot objects, {} replicas created, {} released, {} failures\n\
              steal: {} attempts, {} grants, {} tasks stolen ({:.2} locality), steal-to-run p50 {}\n\
-             failures injected: {} workers, {} nodes",
+             failures injected: {} workers, {} nodes{retention}",
             self.tasks.len(),
             self.spilled_count(),
             self.failed_count(),
@@ -340,35 +530,168 @@ impl ProfileReport {
         )
     }
 
-    /// Chrome-trace JSON (the "trace event format"): one complete event
-    /// per executed task, with node as pid and worker as tid. Load in
-    /// `chrome://tracing` or Perfetto.
+    /// Chrome-trace JSON (the "trace event format"), loadable in
+    /// `chrome://tracing` or Perfetto:
+    ///
+    /// - one complete (`ph:"X"`) slice per executed task, node as pid
+    ///   and worker as tid — tasks whose start was never recorded (or
+    ///   whose `TaskStarted` fell to retention) are skipped rather than
+    ///   invented onto a fake worker;
+    /// - per-plane duration slices on dedicated lanes (tid 1000+, named
+    ///   via thread-name metadata): segment commits, staged-batch
+    ///   indexing, placement batches, steal round trips, transfers,
+    ///   replication sweeps;
+    /// - a counter track (`ph:"C"`) for staging-ring occupancy;
+    /// - flow arrows (`ph:"s"`/`"t"`/`"f"`) stitching each task's
+    ///   submit → queue → place/steal → start across nodes;
+    /// - instant markers (`ph:"i"`) for failures, reconstructions, and
+    ///   node losses.
     pub fn chrome_trace(&self) -> String {
-        let mut out = String::from("[");
-        let mut first = true;
-        for task in &self.tasks {
-            let (Some(id), Some(started)) = (task.task, task.started) else {
+        // Lane tids per plane, well above any real worker index.
+        const LANES: [(&str, u32); 6] = [
+            ("control", 1000),
+            ("staging", 1001),
+            ("placement", 1002),
+            ("steal", 1003),
+            ("transfer", 1004),
+            ("replication", 1005),
+        ];
+        let lane = |plane: &str| -> u32 {
+            LANES
+                .iter()
+                .find(|(name, _)| *name == plane)
+                .map(|(_, tid)| *tid)
+                .expect("every span plane has a lane")
+        };
+        let mut records: Vec<String> = Vec::new();
+
+        // Thread-name metadata for each (node, plane) lane in use.
+        let mut lanes_used: Vec<(NodeId, &'static str)> = self
+            .spans
+            .iter()
+            .map(|span| (span.node, span.plane))
+            .collect();
+        lanes_used.sort_by_key(|(node, plane)| (node.0, lane(plane)));
+        lanes_used.dedup();
+        for (node, plane) in &lanes_used {
+            records.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{plane}\"}}}}",
+                node.0,
+                lane(plane),
+            ));
+        }
+
+        // Task slices, with flow arrows stitching the journey. The flow
+        // id is the task's index in the (submission-ordered) report.
+        for (index, task) in self.tasks.iter().enumerate() {
+            let Some(id) = task.task else { continue };
+            let name = escape_json(&format!("{id}"));
+            let Some(started) = task.started else {
+                continue;
+            };
+            let Some(worker) = task.worker else {
                 continue;
             };
             let finished = task.finished.unwrap_or(started);
-            let worker = task
-                .worker
-                .unwrap_or(WorkerId::new(rtml_common::ids::NodeId(0), 0));
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                "{{\"name\":\"{id}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            records.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
                 started / 1_000,
                 (finished.saturating_sub(started)) / 1_000,
                 worker.node.0,
                 worker.index,
             ));
+            // Flow: start at submit (anchored on the queueing node's
+            // control lane — TaskSubmitted does not name one), step at
+            // queue, step at place/steal, bind (`bp:"e"`) into the
+            // task slice at start.
+            let anchor = task.queued_node.unwrap_or(worker.node);
+            let mut flow = |ph: &str, ts: u64, pid: u32, tid: u32, extra: &str| {
+                records.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{index},\"ts\":{},\"pid\":{pid},\"tid\":{tid}{extra}}}",
+                    ts / 1_000,
+                ));
+            };
+            if let Some(submitted) = task.submitted {
+                flow("s", submitted, anchor.0, lane("control"), "");
+            }
+            if let Some(queued) = task.queued {
+                flow("t", queued, anchor.0, lane("staging"), "");
+            }
+            if let (Some(placed), Some(node)) = (task.placed, task.placed_node) {
+                flow("t", placed, node.0, lane("placement"), "");
+            }
+            if let Some((at, to)) = task.stolen {
+                flow("t", at, to.0, lane("steal"), "");
+            }
+            flow("f", started, worker.node.0, worker.index, ",\"bp\":\"e\"");
         }
+
+        // Plane spans on their lanes.
+        for span in &self.spans {
+            let mut args = String::new();
+            for (key, value) in &span.args {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{key}\":{value}"));
+            }
+            records.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+                escape_json(&span.label),
+                span.plane,
+                span.start_nanos() / 1_000,
+                span.micros,
+                span.node.0,
+                lane(span.plane),
+            ));
+        }
+
+        // Staging-ring occupancy counter.
+        for (at_nanos, node, depth) in &self.staging_occupancy {
+            records.push(format!(
+                "{{\"name\":\"staging-depth\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"depth\":{depth}}}}}",
+                at_nanos / 1_000,
+                node.0,
+            ));
+        }
+
+        // Instant markers for incidents (process scope when the event
+        // names a node, global otherwise).
+        for incident in &self.incidents {
+            let (scope, pid) = match incident.node {
+                Some(node) => ("p", node.0),
+                None => ("g", 0),
+            };
+            records.push(format!(
+                "{{\"name\":\"{}: {}\",\"cat\":\"incident\",\"ph\":\"i\",\"s\":\"{scope}\",\"ts\":{},\"pid\":{pid},\"tid\":0}}",
+                incident.kind,
+                escape_json(&incident.label),
+                incident.at_nanos / 1_000,
+            ));
+        }
+
+        let mut out = String::from("[");
+        out.push_str(&records.join(","));
         out.push(']');
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -522,5 +845,182 @@ mod tests {
         assert!(report.tasks.is_empty());
         assert_eq!(report.scheduling_latency().count(), 0);
         assert_eq!(report.chrome_trace(), "[]");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_has_flows_and_no_fake_workers() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let started = root.child(0);
+        let never_started = root.child(1);
+        let w = WorkerId::new(NodeId(3), 7);
+        let events = vec![
+            Event {
+                at_nanos: 100,
+                component: Component::Driver,
+                kind: EventKind::TaskSubmitted { task: started },
+            },
+            Event {
+                at_nanos: 150,
+                component: Component::LocalScheduler,
+                kind: EventKind::TaskQueuedLocal {
+                    task: started,
+                    node: NodeId(3),
+                },
+            },
+            Event {
+                at_nanos: 200,
+                component: Component::Worker,
+                kind: EventKind::TaskStarted {
+                    task: started,
+                    worker: w,
+                },
+            },
+            Event {
+                at_nanos: 900,
+                component: Component::Worker,
+                kind: EventKind::TaskFinished {
+                    task: started,
+                    worker: w,
+                    micros: 1,
+                },
+            },
+            // Submitted but never started (or its start fell to
+            // retention): must not appear as a slice on worker (0,0).
+            Event {
+                at_nanos: 120,
+                component: Component::Driver,
+                kind: EventKind::TaskSubmitted {
+                    task: never_started,
+                },
+            },
+        ];
+        let report = ProfileReport::from_events(&events);
+        let json = report.chrome_trace();
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        assert!(json.contains("\"pid\":3,\"tid\":7"), "{json}");
+        assert!(
+            !json.contains(&format!("\"name\":\"{never_started}\",\"cat\":\"task\"")),
+            "workerless task must not be invented onto a fake worker: {json}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_renders_plane_spans_counters_and_instants() {
+        let root = TaskId::driver_root(DriverId::from_index(0));
+        let t = root.child(0);
+        let events = vec![
+            Event {
+                at_nanos: 5_000_000,
+                component: Component::Driver,
+                kind: EventKind::SpecSegmentCommitted {
+                    node: NodeId(0),
+                    seq: 1,
+                    tasks: 64,
+                    micros: 1_000,
+                },
+            },
+            Event {
+                at_nanos: 6_000_000,
+                component: Component::LocalScheduler,
+                kind: EventKind::BatchStaged {
+                    node: NodeId(0),
+                    seq: 1,
+                    tasks: 64,
+                    depth: 2,
+                },
+            },
+            Event {
+                at_nanos: 7_000_000,
+                component: Component::LocalScheduler,
+                kind: EventKind::BatchIndexed {
+                    node: NodeId(0),
+                    seq: 1,
+                    tasks: 64,
+                    micros: 500,
+                },
+            },
+            Event {
+                at_nanos: 8_000_000,
+                component: Component::GlobalScheduler,
+                kind: EventKind::PlacementBatch {
+                    node: NodeId(0),
+                    shard: 2,
+                    tasks: 32,
+                    micros: 200,
+                },
+            },
+            Event {
+                at_nanos: 9_000_000,
+                component: Component::LocalScheduler,
+                kind: EventKind::StealRoundTrip {
+                    thief: NodeId(1),
+                    victim: NodeId(0),
+                    seq: 0,
+                    tasks: 4,
+                    micros: 300,
+                },
+            },
+            Event {
+                at_nanos: 10_000_000,
+                component: Component::ReplicationAgent,
+                kind: EventKind::ReplicationSweep {
+                    node: NodeId(1),
+                    hot: 1,
+                    placed: 2,
+                    released: 0,
+                    micros: 400,
+                },
+            },
+            Event {
+                at_nanos: 11_000_000,
+                component: Component::Worker,
+                kind: EventKind::TaskFailed {
+                    task: t,
+                    message: String::from("boom"),
+                },
+            },
+            Event {
+                at_nanos: 12_000_000,
+                component: Component::Supervisor,
+                kind: EventKind::NodeLost { node: NodeId(1) },
+            },
+        ];
+        let report = ProfileReport::from_events(&events);
+        let planes: std::collections::HashSet<&str> =
+            report.spans.iter().map(|s| s.plane).collect();
+        for plane in ["control", "staging", "placement", "steal", "replication"] {
+            assert!(planes.contains(plane), "missing plane {plane}");
+        }
+        assert_eq!(report.staging_occupancy, vec![(6_000_000, NodeId(0), 2)]);
+        assert_eq!(report.incidents.len(), 2);
+        let json = report.chrome_trace();
+        assert!(json.contains("\"name\":\"thread_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"name\":\"segment 1\""), "{json}");
+        assert!(json.contains("node_lost"), "{json}");
+        // Span runs backwards from its end stamp: 5ms end, 1ms dur.
+        assert!(json.contains("\"ts\":4000,\"dur\":1000"), "{json}");
+    }
+
+    #[test]
+    fn summary_reports_retention_drops() {
+        let mut report = ProfileReport::from_events(&task_events());
+        assert!(!report.summary().contains("PARTIAL"));
+        report.dropped_records = 17;
+        report.partial = true;
+        let s = report.summary();
+        assert!(s.contains("PARTIAL"), "{s}");
+        assert!(s.contains("17 records dropped"), "{s}");
     }
 }

@@ -475,10 +475,11 @@ impl GlobalCore {
             }
             return;
         }
+        let started = std::time::Instant::now();
         let view = self.effective_view();
         let mut groups: FastMap<NodeId, Vec<TaskSpec>> = FastMap::default();
         let at_nanos = rtml_common::time::now_nanos();
-        let mut events = Vec::with_capacity(specs.len());
+        let mut events = Vec::with_capacity(specs.len() + 1);
         for spec in specs {
             let choice =
                 self.config
@@ -500,6 +501,18 @@ impl GlobalCore {
                 None => self.park(spec, hops),
             }
         }
+        let placed: u32 = groups.values().map(|g| g.len() as u32).sum();
+        // One span per batch, riding the same frame as the per-task
+        // placement events (same component → no extra kv append).
+        events.push(Event::now(
+            Component::GlobalScheduler,
+            EventKind::PlacementBatch {
+                node: self.config.host_node,
+                shard: self.shard,
+                tasks: placed,
+                micros: started.elapsed().as_micros() as u64,
+            },
+        ));
         self.events.append_many(self.config.host_node, events);
         if self.num_shards > 1 && !groups.is_empty() {
             self.publish_digest();

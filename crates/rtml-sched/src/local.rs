@@ -275,12 +275,14 @@ impl LocalScheduler {
                     load_dirty: true,
                     last_load: Instant::now() - Duration::from_secs(1),
                     steal_inflight: None,
+                    steal_seq: 0,
                     last_steal: Instant::now() - Duration::from_secs(1),
                     steal_hint: Vec::new(),
                     steal_hint_at: Instant::now() - Duration::from_secs(1),
                     steal_rng: PolicyState::new(0x57ea1 ^ ((node.0 as u64) << 32)),
                     stolen_pending: FastMap::default(),
                     staging: VecDeque::new(),
+                    staging_seq: 0,
                     staged_tasks: 0,
                 };
                 for w in workers {
@@ -346,12 +348,16 @@ struct Core {
     spawn_pending: bool,
     load_dirty: bool,
     last_load: Instant,
-    /// The outstanding steal request, if any: `(victim, deadline)`.
-    /// One request in flight at a time; a grant from *that* victim
-    /// (even empty) or the deadline re-arms the loop, so a dead victim
-    /// can never wedge it — and a late grant from a previously
-    /// timed-out victim cannot cancel a newer request's deadline.
-    steal_inflight: Option<(NodeId, Instant)>,
+    /// The outstanding steal request, if any. One request in flight at
+    /// a time; a grant from *that* victim (even empty) or the deadline
+    /// re-arms the loop, so a dead victim can never wedge it — and a
+    /// late grant from a previously timed-out victim cannot cancel a
+    /// newer request's deadline.
+    steal_inflight: Option<StealInflight>,
+    /// Correlation sequence for steal request→grant spans. Thief-local:
+    /// with at most one request in flight, `(thief, seq)` identifies a
+    /// round trip without widening the wire protocol.
+    steal_seq: u64,
     last_steal: Instant,
     /// Cached residency hint (bounded sample of locally-resident
     /// objects) with its build time: enumerating the store is O(n), so
@@ -365,12 +371,24 @@ struct Core {
     /// steal-to-run latency histogram.
     stolen_pending: FastMap<TaskId, Instant>,
     /// Accepted-but-unindexed batches (pipelined ingest): each entry is
-    /// `(specs, via_global)`, flushed FIFO so indexing order equals
-    /// arrival order.
-    staging: VecDeque<(Vec<TaskSpec>, bool)>,
+    /// `(seq, specs, via_global)`, flushed FIFO so indexing order
+    /// equals arrival order. The seq correlates each batch's
+    /// `BatchStaged`/`BatchIndexed` span events.
+    staging: VecDeque<(u64, Vec<TaskSpec>, bool)>,
+    /// Next staging-batch sequence number.
+    staging_seq: u64,
     /// Total tasks across `staging`, reported as `waiting` load so
     /// peers see accepted-but-unindexed backlog.
     staged_tasks: usize,
+}
+
+/// The thief's outstanding steal request (see `Core::steal_inflight`).
+struct StealInflight {
+    victim: NodeId,
+    deadline: Instant,
+    /// When the request frame left, for the round-trip span.
+    sent_at: Instant,
+    seq: u64,
 }
 
 impl Core {
@@ -510,8 +528,8 @@ impl Core {
         if !self.staging.is_empty() {
             return;
         }
-        if let Some((_, deadline)) = self.steal_inflight {
-            if Instant::now() < deadline {
+        if let Some(inflight) = &self.steal_inflight {
+            if Instant::now() < inflight.deadline {
                 return;
             }
             // Victim never answered (died, or the request was lost):
@@ -578,7 +596,27 @@ impl Core {
             encode_to_bytes(&request),
         );
         if sent.is_ok() {
-            self.steal_inflight = Some((victim.node, Instant::now() + cfg.timeout));
+            let seq = self.steal_seq;
+            self.steal_seq += 1;
+            self.steal_inflight = Some(StealInflight {
+                victim: victim.node,
+                deadline: Instant::now() + cfg.timeout,
+                sent_at: Instant::now(),
+                seq,
+            });
+            // Open the request→grant span (closed by StealRoundTrip
+            // when this victim's answer arrives).
+            self.services.events.append(
+                me,
+                Event::now(
+                    Component::LocalScheduler,
+                    EventKind::StealRequested {
+                        thief: me,
+                        victim: victim.node,
+                        seq,
+                    },
+                ),
+            );
         }
         // Send refused: the victim's endpoint is gone (stale report from
         // a dead node). No request is in flight, so the next turn simply
@@ -732,9 +770,26 @@ impl Core {
         // cancel the deadline of the newer in-flight request.
         if self
             .steal_inflight
-            .is_some_and(|(expected, _)| expected == victim)
+            .as_ref()
+            .is_some_and(|inflight| inflight.victim == victim)
         {
-            self.steal_inflight = None;
+            let inflight = self.steal_inflight.take().expect("checked above");
+            // Close the request→grant span. Empty grants close it too
+            // (tasks = 0): a wasted round trip is exactly what the
+            // trace should show.
+            self.services.events.append(
+                self.config.node,
+                Event::now(
+                    Component::LocalScheduler,
+                    EventKind::StealRoundTrip {
+                        thief: self.config.node,
+                        victim,
+                        seq: inflight.seq,
+                        tasks: tasks.len() as u32,
+                        micros: inflight.sent_at.elapsed().as_micros() as u64,
+                    },
+                ),
+            );
         }
         if tasks.is_empty() {
             self.stats.steal.empty_grants.inc();
@@ -836,8 +891,25 @@ impl Core {
             self.ingest_batch(specs, via_global);
             return;
         }
+        let seq = self.staging_seq;
+        self.staging_seq += 1;
         self.staged_tasks += specs.len();
-        self.staging.push_back((specs, via_global));
+        // Open the staging span: BatchIndexed with the same seq closes
+        // it when the index stage runs. `depth` is the ring occupancy
+        // including this batch — the pipelining backlog signal.
+        self.services.events.append(
+            self.config.node,
+            Event::now(
+                Component::LocalScheduler,
+                EventKind::BatchStaged {
+                    node: self.config.node,
+                    seq,
+                    tasks: specs.len() as u32,
+                    depth: (self.staging.len() + 1) as u32,
+                },
+            ),
+        );
+        self.staging.push_back((seq, specs, via_global));
         self.load_dirty = true;
         if self.staging.len() > self.config.staging_depth.max(1) {
             self.flush_one_staged();
@@ -848,9 +920,23 @@ impl Core {
     /// ingest). One batch per call keeps mailbox latency bounded: a
     /// worker-done or seal message never waits behind the whole ring.
     fn flush_one_staged(&mut self) {
-        if let Some((specs, via_global)) = self.staging.pop_front() {
+        if let Some((seq, specs, via_global)) = self.staging.pop_front() {
             self.staged_tasks = self.staged_tasks.saturating_sub(specs.len());
+            let tasks = specs.len() as u32;
+            let started = Instant::now();
             self.ingest_batch(specs, via_global);
+            self.services.events.append(
+                self.config.node,
+                Event::now(
+                    Component::LocalScheduler,
+                    EventKind::BatchIndexed {
+                        node: self.config.node,
+                        seq,
+                        tasks,
+                        micros: started.elapsed().as_micros() as u64,
+                    },
+                ),
+            );
         }
     }
 
@@ -1328,7 +1414,7 @@ fn prefetch_group(
             Ok((_, outcome)) if outcome.inserted => {
                 events.push(Event {
                     at_nanos,
-                    component: Component::ObjectStore,
+                    component: Component::FetchAgent,
                     kind: EventKind::TransferStarted {
                         object,
                         from: holder,
@@ -1337,7 +1423,7 @@ fn prefetch_group(
                 });
                 events.push(Event {
                     at_nanos,
-                    component: Component::ObjectStore,
+                    component: Component::FetchAgent,
                     kind: EventKind::TransferFinished {
                         object,
                         to: me,
@@ -1453,7 +1539,7 @@ fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_t
                                     vec![
                                         Event {
                                             at_nanos,
-                                            component: Component::ObjectStore,
+                                            component: Component::FetchAgent,
                                             kind: EventKind::TransferStarted {
                                                 object,
                                                 from: holder,
@@ -1462,7 +1548,7 @@ fn resolve_object(services: SchedServices, object: ObjectId, me: NodeId, fetch_t
                                         },
                                         Event {
                                             at_nanos,
-                                            component: Component::ObjectStore,
+                                            component: Component::FetchAgent,
                                             kind: EventKind::TransferFinished {
                                                 object,
                                                 to: me,

@@ -43,6 +43,7 @@ pub mod transfer;
 
 pub use replicate::{
     ReplicaView, ReplicationAgent, ReplicationHooks, ReplicationPolicy, ReplicationStats,
+    SweepReport,
 };
 pub use store::{
     ObjectStore, PutOutcome, ReplicaProbe, StoreConfig, StoreStats, DEFAULT_CHUNK_BYTES,

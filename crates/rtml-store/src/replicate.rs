@@ -156,6 +156,24 @@ pub struct ReplicationHooks {
     /// cold holders cannot both drop the last copies. Returns how many
     /// were actually dropped.
     pub release: Arc<dyn Fn(&[ObjectId]) -> usize + Send + Sync>,
+    /// Called at the end of every sweep with its summary — the runtime
+    /// turns this into a `ReplicationSweep` span event. `None` keeps
+    /// the agent free of any event-log dependency.
+    pub observe_sweep: Option<Arc<dyn Fn(SweepReport) + Send + Sync>>,
+}
+
+/// Summary of one demand sweep, handed to
+/// [`ReplicationHooks::observe_sweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct SweepReport {
+    /// Objects whose demand crossed the threshold this sweep.
+    pub hot: u32,
+    /// Replica copies created this sweep.
+    pub placed: u32,
+    /// Cold replica copies reclaimed this sweep.
+    pub released: u32,
+    /// Wall time of the sweep.
+    pub micros: u64,
 }
 
 /// Counters for one node's replication agent.
@@ -279,6 +297,10 @@ fn sweep(
     cold_streaks: &mut HashMap<ObjectId, u32>,
     stopping: impl Fn() -> bool,
 ) {
+    let started = std::time::Instant::now();
+    let mut hot_seen: u32 = 0;
+    let mut placed: u32 = 0;
+    let mut released: u32 = 0;
     stats.sweeps.inc();
     let drained = demand.drain_demand();
     for (object, reads) in &drained {
@@ -319,6 +341,7 @@ fn sweep(
         if !release.is_empty() {
             let dropped = (hooks.release)(&release);
             stats.replicas_released.add(dropped as u64);
+            released = dropped as u32;
         }
     }
     // Exponential decay for everything that stayed cold: a one-off
@@ -329,7 +352,7 @@ fn sweep(
         *reads /= 2;
         *reads > 0
     });
-    for object in hot {
+    'hot: for object in hot {
         // Processed (or abandoned) either way: the counter re-arms from
         // zero, so sustained demand re-triggers on later sweeps while a
         // one-off burst does not keep replicating forever.
@@ -344,6 +367,7 @@ fn sweep(
             continue;
         }
         stats.hot_objects.inc();
+        hot_seen += 1;
         let alive = (hooks.alive_nodes)();
         let needed = policy.replicas_needed(view.locations.len(), alive.len());
         if needed == 0 {
@@ -352,16 +376,26 @@ fn sweep(
         let candidates = alive.into_iter().filter(|n| !view.locations.contains(n));
         for target in policy.choose_targets(object, candidates, needed) {
             // Shutdown/kill must not wait out one fetch timeout per
-            // remaining target: abandon the sweep between pulls.
+            // remaining target: abandon the sweep between pulls (the
+            // observer still sees the partial sweep's summary).
             if stopping() {
-                return;
+                break 'hot;
             }
             if (hooks.pull)(object, target, me) {
                 stats.replicas_created.inc();
+                placed += 1;
             } else {
                 stats.failures.inc();
             }
         }
+    }
+    if let Some(observe) = &hooks.observe_sweep {
+        observe(SweepReport {
+            hot: hot_seen,
+            placed,
+            released,
+            micros: started.elapsed().as_micros() as u64,
+        });
     }
 }
 
@@ -459,6 +493,7 @@ mod tests {
             }),
             list_replicas: Arc::new(Vec::new),
             release: Arc::new(|_| 0),
+            observe_sweep: None,
         };
         let policy = ReplicationPolicy {
             enabled: true,
@@ -523,6 +558,7 @@ mod tests {
             }),
             list_replicas: Arc::new(Vec::new),
             release: Arc::new(|_| 0),
+            observe_sweep: None,
         };
         let policy = ReplicationPolicy {
             enabled: true,
@@ -602,6 +638,7 @@ mod tests {
                 released2.lock().extend_from_slice(objects);
                 objects.len()
             }),
+            observe_sweep: None,
         };
         let policy = ReplicationPolicy {
             enabled: true,
@@ -657,6 +694,7 @@ mod tests {
                 *released2.lock() += objects.len();
                 objects.len()
             }),
+            observe_sweep: None,
         };
         let policy = ReplicationPolicy {
             enabled: true,

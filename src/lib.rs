@@ -49,6 +49,7 @@ pub mod prelude {
     pub use rtml_net::LatencyModel;
     pub use rtml_runtime::{
         Cluster, ClusterConfig, Driver, IntoArg, NodeConfig, ObjectRef, TaskContext, TaskOptions,
+        TelemetryConfig,
     };
     pub use rtml_sched::{PlacementPolicy, SpillMode, StealConfig};
     pub use rtml_store::ReplicationPolicy;

@@ -222,6 +222,74 @@ fn event_log_retention_bounds_memory_and_profiling_survives() {
 }
 
 #[test]
+fn telemetry_timeseries_is_bounded_and_column_stable() {
+    use rtml::prelude::TelemetryConfig;
+    let telemetry = TelemetryConfig {
+        enabled: true,
+        interval: Duration::from_millis(2),
+        retention: 16,
+        ..TelemetryConfig::default()
+    };
+    let cluster = Cluster::start(ClusterConfig::local(2, 2).with_telemetry(telemetry)).unwrap();
+    let f = cluster.register_fn1("tel_echo", |x: i64| Ok(x));
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&f, 0..50i64).unwrap();
+    for fut in &futs {
+        driver.get(fut).unwrap();
+    }
+    // Let the samplers run well past the retention cap.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let series = cluster.timeseries();
+        if series.len() == 2 && series.iter().all(|(_, r)| r.len() >= 16) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "samplers stalled: {:?}",
+            series
+                .iter()
+                .map(|(n, r)| (*n, r.len()))
+                .collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let series = cluster.timeseries();
+    for (node, records) in &series {
+        // Bounded ring per node.
+        assert!(records.len() <= 16, "{node}: {} records", records.len());
+        // Column shape is identical across every record of a stream,
+        // timestamps rise, and every registered metric has a value in
+        // every sample (non-empty series per metric).
+        let names: Vec<&str> = records[0].samples.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"fetch.transfers"), "{names:?}");
+        assert!(names.contains(&"steal.attempts"));
+        assert!(names.contains(&"fabric.sent"));
+        assert!(names.contains(&"kv.locks"));
+        assert!(names.contains(&"steal.steal_to_run.p99"));
+        for pair in records.windows(2) {
+            assert!(pair[0].at_nanos <= pair[1].at_nanos);
+            let next: Vec<&str> = pair[1].samples.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, next, "column shape drifted on {node}");
+        }
+    }
+    // The node registries the samplers read are exposed too.
+    assert!(cluster
+        .node_registry(NodeId(0))
+        .is_some_and(|r| !r.is_empty()));
+    cluster.shutdown();
+
+    // Disabled: no sampler commits anything.
+    let quiet = Cluster::start(ClusterConfig::local(1, 1).without_telemetry()).unwrap();
+    let f = quiet.register_fn1("tel_quiet", |x: i64| Ok(x));
+    let driver = quiet.driver();
+    let fut = driver.submit1(&f, 3i64).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), 3);
+    assert!(quiet.timeseries().is_empty());
+    quiet.shutdown();
+}
+
+#[test]
 fn event_log_disabled_still_works() {
     let cluster = Cluster::start(ClusterConfig::local(1, 2).without_event_log()).unwrap();
     let f = cluster.register_fn1("noop", |x: u64| Ok(x));

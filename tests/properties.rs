@@ -682,6 +682,110 @@ proptest! {
         }
     }
 
+    // ---- metrics folding (PR 9) ------------------------------------
+
+    /// `Histogram::merge_snapshot` is order-independent and lossless:
+    /// partition any sample population into per-node shards, fold the
+    /// shard snapshots into one histogram in any order, and the result
+    /// is indistinguishable (count, sum, max, every bucket) from
+    /// recording all samples into a single histogram directly.
+    #[test]
+    fn histogram_merge_is_order_independent_and_lossless(
+        samples in proptest::collection::vec((any::<u64>(), 0usize..4), 0..256),
+    ) {
+        use rtml::common::metrics::Histogram;
+        let reference = Histogram::new();
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for &(value, shard) in &samples {
+            reference.record(value);
+            shards[shard].record(value);
+        }
+        let forward = Histogram::new();
+        for shard in &shards {
+            forward.merge_snapshot(&shard.snapshot());
+        }
+        let reverse = Histogram::new();
+        for shard in shards.iter().rev() {
+            reverse.merge_snapshot(&shard.snapshot());
+        }
+        // Snapshot equality is structural: count, sum, max, and every
+        // bucket — a pass means the fold lost nothing, anywhere.
+        prop_assert!(forward.snapshot() == reference.snapshot());
+        prop_assert!(reverse.snapshot() == reference.snapshot());
+        prop_assert_eq!(forward.snapshot().p99(), reference.snapshot().p99());
+    }
+
+    /// Registry sample shape (names and order) is a pure function of the
+    /// registered *set*: any registration order yields the same columns,
+    /// and the shape survives sampling concurrent with recording.
+    #[test]
+    fn registry_sample_shape_is_registration_order_independent(
+        raw_names in proptest::collection::vec("[a-z]{1,8}(\\.[a-z]{1,8}){0,2}", 1..12),
+        values in proptest::collection::vec(any::<u64>(), 12..13),
+        seed in any::<u64>(),
+    ) {
+        use rtml::common::metrics::{Histogram, MetricsRegistry};
+        use std::sync::Arc;
+        let names: Vec<String> = {
+            let set: std::collections::BTreeSet<String> = raw_names.into_iter().collect();
+            set.into_iter().collect()
+        };
+        // A deterministic shuffle of the same registrations.
+        let mut shuffled = names.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let register = |reg: &MetricsRegistry, order: &[String]| {
+            for name in order {
+                // Every third registration is a histogram, to exercise
+                // column flattening; values are a pure function of the
+                // name so both registries read identically.
+                let idx = names.iter().position(|n| n == name).unwrap();
+                if idx % 3 == 2 {
+                    let h = Arc::new(Histogram::new());
+                    h.record(values[idx % values.len()].max(1));
+                    reg.register_histogram(name, move || h.snapshot());
+                } else {
+                    let v = values[idx % values.len()];
+                    reg.register_value(name, move || v);
+                }
+            }
+        };
+        register(&a, &names);
+        register(&b, &shuffled);
+        prop_assert_eq!(a.sample(), b.sample());
+        prop_assert_eq!(a.sample_names(), b.sample_names());
+        // Shape is stable while a writer records concurrently.
+        let live = Arc::new(Histogram::new());
+        let reg = MetricsRegistry::new();
+        {
+            let live = live.clone();
+            reg.register_histogram("live", move || live.snapshot());
+        }
+        let expected = reg.sample_names();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let live = live.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    live.record(7);
+                }
+            })
+        };
+        for _ in 0..16 {
+            prop_assert_eq!(reg.sample_names(), expected.clone());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
     // ---- sharded global scheduler (PR 6) ---------------------------
 
     /// FNV shard routing partitions the task keyspace: for every shard
