@@ -207,6 +207,7 @@ fn run_steal_spans(tasks: usize) -> usize {
             interval: Duration::from_millis(1),
             timeout: Duration::from_millis(100),
             hint_objects: 64,
+            ..StealConfig::default()
         }),
     )
     .unwrap();

@@ -97,6 +97,7 @@ fn run(stealing_on: bool, tasks: usize) -> RunResult {
             interval: Duration::from_millis(1),
             timeout: Duration::from_millis(100),
             hint_objects: 64,
+            ..StealConfig::default()
         }
     } else {
         StealConfig::disabled()

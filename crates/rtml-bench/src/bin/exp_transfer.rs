@@ -65,6 +65,7 @@ fn plane(chunk_bytes: u64) -> Plane {
         latency: LatencyModel::Constant(Duration::from_micros(100)),
         bandwidth_bytes_per_sec: Some(2 << 30), // 2 GiB/s
         jitter_seed: 7,
+        ..FabricConfig::default()
     });
     let directory = TransferDirectory::new();
     let src = Arc::new(ObjectStore::new(StoreConfig {

@@ -21,6 +21,8 @@
 //!   busy-wait used to emulate compute kernels of known duration.
 //! - [`metrics`] — counters and log-bucketed histograms used by the
 //!   benchmark harness.
+//! - [`retry`] — the one retry/backoff discipline (bounded exponential
+//!   backoff, deterministic jitter, deadline) adopted by every plane.
 //! - [`error`] — the error type shared across the workspace.
 
 pub mod codec;
@@ -30,6 +32,7 @@ pub mod event;
 pub mod ids;
 pub mod metrics;
 pub mod resources;
+pub mod retry;
 pub mod task;
 pub mod time;
 
@@ -38,4 +41,5 @@ pub use error::{Error, Result};
 pub use event::{Event, EventKind};
 pub use ids::{ActorId, DriverId, FunctionId, NodeId, ObjectId, TaskId, UniqueId, WorkerId};
 pub use resources::Resources;
+pub use retry::RetryPolicy;
 pub use task::{ArgSpec, TaskSpec, TaskState};

@@ -13,6 +13,7 @@ use rtml_common::error::{Error, Result};
 use rtml_common::ids::NodeId;
 use rtml_common::metrics::Counter;
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::latency::LatencyModel;
 
 /// Identifies a registered endpoint on the fabric.
@@ -42,6 +43,9 @@ pub struct FabricConfig {
     pub bandwidth_bytes_per_sec: Option<u64>,
     /// Seed for the deterministic jitter stream.
     pub jitter_seed: u64,
+    /// Deterministic fault injection plan (chaos plane). The default
+    /// plan is empty: no faults, and no change to the jitter stream.
+    pub faults: FaultPlan,
 }
 
 /// A message handed to a receiving endpoint.
@@ -128,6 +132,15 @@ pub struct FabricStats {
     /// reads of one object from one holder serialize on that holder's
     /// link, and this counter is where the waiting shows up.
     pub egress_wait_nanos: Counter,
+    /// Messages silently dropped by the fault plan (injected drops and
+    /// scheduled partition windows; also counted in `dropped`).
+    pub injected_drops: Counter,
+    /// Messages the fault plan delivered twice.
+    pub injected_dups: Counter,
+    /// Messages that drew an injected delay spike.
+    pub injected_delays: Counter,
+    /// Messages slowed by a gray (degraded, not dead) link.
+    pub injected_gray: Counter,
 }
 
 /// How a group of payloads entered the fabric, for stats attribution.
@@ -177,6 +190,10 @@ struct Routing {
     next_address: u64,
     next_seq: u64,
     jitter_state: u64,
+    /// Dedicated RNG state for the fault plan, separate from
+    /// `jitter_state` so enabling faults never perturbs the latency
+    /// jitter stream (and a fault-free run stays byte-identical).
+    fault_state: u64,
     /// Per-node egress link occupancy: the instant each node's outbound
     /// link finishes serializing everything already accepted. Only
     /// maintained when a bandwidth is configured — with infinite
@@ -198,6 +215,9 @@ pub struct Fabric {
     /// Traffic counters.
     pub stats: FabricStats,
     pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Creation instant; the fault plan's schedule windows are
+    /// evaluated against time elapsed since this epoch.
+    epoch: Instant,
 }
 
 impl Fabric {
@@ -208,15 +228,18 @@ impl Fabric {
             wakeup: Condvar::new(),
             shutdown: Mutex::new(false),
         });
+        let fault_seed = config.faults.seed;
         let fabric = Arc::new(Fabric {
             config,
             routing: Mutex::new(Routing {
                 jitter_state: 0x243f6a8885a308d3,
+                fault_state: fault_seed ^ 0x9e3779b97f4a7c15,
                 ..Routing::default()
             }),
             queue,
             stats: FabricStats::default(),
             pump: Mutex::new(None),
+            epoch: Instant::now(),
         });
         let pump_fabric = Arc::downgrade(&fabric);
         let queue2 = fabric.queue.clone();
@@ -249,6 +272,18 @@ impl Fabric {
         registry.register_value("fabric.egress_wait_nanos", move || {
             f.stats.egress_wait_nanos.get()
         });
+        let f = self.clone();
+        registry.register_value("fabric.injected_drops", move || {
+            f.stats.injected_drops.get()
+        });
+        let f = self.clone();
+        registry.register_value("fabric.injected_dups", move || f.stats.injected_dups.get());
+        let f = self.clone();
+        registry.register_value("fabric.injected_delays", move || {
+            f.stats.injected_delays.get()
+        });
+        let f = self.clone();
+        registry.register_value("fabric.injected_gray", move || f.stats.injected_gray.get());
     }
 
     /// Registers an endpoint on `node`. The `name` is only for debugging.
@@ -395,6 +430,37 @@ impl Fabric {
             return Ok(());
         }
 
+        // Chaos plane: consult the fault plan before the frame touches
+        // the egress link. Injected drops and scheduled partition
+        // windows behave exactly like the static partition path above
+        // (silently dropped), but are additionally counted as injected
+        // so experiments can assert the chaos they scripted happened.
+        let mut fault = FaultDecision::default();
+        if self.config.faults.is_active() {
+            let elapsed = self.epoch.elapsed();
+            let state = &mut routing.fault_state;
+            fault = self.config.faults.decide(from_node, to_node, elapsed, || {
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *state
+            });
+            if fault.drop {
+                self.stats.dropped.add(count);
+                self.stats.injected_drops.add(count);
+                return Ok(());
+            }
+            if fault.duplicate {
+                self.stats.injected_dups.add(count);
+            }
+            if fault.spiked {
+                self.stats.injected_delays.add(count);
+            }
+            if !fault.gray.is_zero() {
+                self.stats.injected_gray.add(count);
+            }
+        }
+
         // Cross-node: one delay sample for the whole frame.
         routing.jitter_state = routing
             .jitter_state
@@ -403,6 +469,14 @@ impl Fabric {
         let entropy = routing.jitter_state;
         routing.next_seq += 1;
         let seq = routing.next_seq;
+        // A duplicated frame gets its own sequence number so the pair
+        // stays ordered behind the original in the delay queue.
+        let dup_seq = if fault.duplicate {
+            routing.next_seq += 1;
+            Some(routing.next_seq)
+        } else {
+            None
+        };
 
         // Bandwidth models a *serialized* egress link, not just a
         // size-proportional delay: a frame cannot start transmitting
@@ -430,8 +504,11 @@ impl Fabric {
         }
         drop(routing);
 
-        let due = departs + self.config.latency.sample(entropy);
+        let due = departs + self.config.latency.sample(entropy) + fault.extra_delay();
         if due <= now {
+            if dup_seq.is_some() {
+                self.deliver_frames(&tx, frames.clone());
+            }
             self.deliver_frames(&tx, frames);
             return Ok(());
         }
@@ -444,6 +521,14 @@ impl Fabric {
         };
         {
             let mut heap = self.queue.heap.lock();
+            if let Some(dup_seq) = dup_seq {
+                heap.push(Reverse(PendingDelivery {
+                    due,
+                    seq: dup_seq,
+                    to,
+                    frames: pending.frames.clone(),
+                }));
+            }
             heap.push(Reverse(pending));
         }
         self.queue.wakeup.notify_one();
@@ -617,6 +702,7 @@ mod tests {
             latency: LatencyModel::Zero,
             bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
             jitter_seed: 0,
+            ..FabricConfig::default()
         });
         let a = fabric.register(NodeId(0), "a");
         let b = fabric.register(NodeId(1), "b");
@@ -660,6 +746,7 @@ mod tests {
             latency: LatencyModel::Zero,
             bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
             jitter_seed: 0,
+            ..FabricConfig::default()
         });
         let a = fabric.register(NodeId(0), "a");
         let b = fabric.register(NodeId(1), "b");
@@ -685,6 +772,7 @@ mod tests {
             latency: LatencyModel::Zero,
             bandwidth_bytes_per_sec: Some(1_000_000),
             jitter_seed: 0,
+            ..FabricConfig::default()
         });
         let a = fabric.register(NodeId(0), "a");
         let b = fabric.register(NodeId(1), "b");
@@ -710,6 +798,7 @@ mod tests {
             latency: LatencyModel::Zero,
             bandwidth_bytes_per_sec: Some(1_000_000),
             jitter_seed: 0,
+            ..FabricConfig::default()
         });
         let a = fabric.register(NodeId(0), "a");
         let c = fabric.register(NodeId(2), "c");
@@ -896,6 +985,155 @@ mod tests {
             .unwrap();
         assert_eq!(fabric.stats.bytes.get(), 128);
         assert_eq!(fabric.stats.sent.get(), 1);
+    }
+
+    fn fabric_with_faults(faults: FaultPlan) -> Arc<Fabric> {
+        Fabric::new(FabricConfig {
+            latency: LatencyModel::Zero,
+            faults,
+            ..FabricConfig::default()
+        })
+    }
+
+    #[test]
+    fn injected_drops_are_counted_and_silent() {
+        use crate::fault::{LinkFault, LinkMatch};
+        let fabric = fabric_with_faults(FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::any(),
+                drop_ppm: 1_000_000,
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        for _ in 0..5 {
+            fabric
+                .send(a.address(), b.address(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        assert!(b
+            .receiver()
+            .recv_timeout(Duration::from_millis(50))
+            .is_err());
+        assert_eq!(fabric.stats.injected_drops.get(), 5);
+        assert_eq!(fabric.stats.dropped.get(), 5);
+        // Same-node traffic is never subject to link faults.
+        let c = fabric.register(NodeId(0), "c");
+        fabric
+            .send(a.address(), c.address(), Bytes::from_static(b"y"))
+            .unwrap();
+        assert!(c.receiver().recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn injected_duplicates_deliver_twice() {
+        use crate::fault::{LinkFault, LinkMatch};
+        let fabric = fabric_with_faults(FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::any(),
+                duplicate_ppm: 1_000_000,
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        for _ in 0..2 {
+            let msg = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(&msg.payload[..], b"x");
+        }
+        assert_eq!(fabric.stats.injected_dups.get(), 1);
+        assert_eq!(fabric.stats.delivered.get(), 2);
+    }
+
+    #[test]
+    fn gray_link_slows_but_delivers() {
+        use crate::fault::{LinkFault, LinkMatch};
+        let fabric = fabric_with_faults(FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::link(NodeId(0), NodeId(1)),
+                gray_delay: Duration::from_millis(30),
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        let start = Instant::now();
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"x"))
+            .unwrap();
+        let _ = b.receiver().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(fabric.stats.injected_gray.get(), 1);
+        assert_eq!(fabric.stats.dropped.get(), 0);
+    }
+
+    #[test]
+    fn scheduled_partition_window_drops_then_heals() {
+        use crate::fault::{FaultWindow, WindowFault};
+        let fabric = fabric_with_faults(FaultPlan {
+            schedule: vec![FaultWindow {
+                start: Duration::ZERO,
+                stop: Duration::from_millis(150),
+                fault: WindowFault::Partition(NodeId(0), NodeId(1)),
+            }],
+            ..FaultPlan::default()
+        });
+        let a = fabric.register(NodeId(0), "a");
+        let b = fabric.register(NodeId(1), "b");
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"lost"))
+            .unwrap();
+        assert!(b
+            .receiver()
+            .recv_timeout(Duration::from_millis(20))
+            .is_err());
+        assert!(fabric.stats.injected_drops.get() >= 1);
+        // After the window closes the link heals on its own.
+        std::thread::sleep(Duration::from_millis(160));
+        fabric
+            .send(a.address(), b.address(), Bytes::from_static(b"ok"))
+            .unwrap();
+        assert_eq!(
+            &b.receiver()
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .payload[..],
+            b"ok"
+        );
+    }
+
+    #[test]
+    fn same_fault_seed_injects_identically() {
+        use crate::fault::{LinkFault, LinkMatch};
+        let run = |seed: u64| {
+            let fabric = fabric_with_faults(FaultPlan {
+                seed,
+                links: vec![LinkFault {
+                    link: LinkMatch::any(),
+                    drop_ppm: 400_000,
+                    ..LinkFault::default()
+                }],
+                ..FaultPlan::default()
+            });
+            let a = fabric.register(NodeId(0), "a");
+            let b = fabric.register(NodeId(1), "b");
+            for _ in 0..200 {
+                fabric
+                    .send(a.address(), b.address(), Bytes::from_static(b"m"))
+                    .unwrap();
+            }
+            fabric.stats.injected_drops.get()
+        };
+        let first = run(0xc4a05);
+        assert_eq!(first, run(0xc4a05));
+        assert!(first > 0 && first < 200, "drop rate should be partial");
     }
 
     #[test]

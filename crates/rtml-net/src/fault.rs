@@ -1,0 +1,394 @@
+//! Deterministic fault injection: the chaos plane's wire half.
+//!
+//! A [`FaultPlan`] rides on [`FabricConfig`](crate::FabricConfig) and
+//! is consulted once per cross-node send, before the frame touches the
+//! egress link. It can drop a message, deliver it twice, add a delay
+//! spike, slow a link persistently (a *gray* link — degraded, not
+//! dead), or silently partition a pair of nodes for a scheduled
+//! window. Every decision is drawn from a dedicated LCG seeded by
+//! [`FaultPlan::seed`], separate from the fabric's latency-jitter
+//! stream, so (a) two runs with the same seed inject byte-identical
+//! fault sequences and (b) a fabric with no plan configured keeps
+//! exactly the jitter stream it had before this module existed.
+//!
+//! Two layers compose:
+//!
+//! - **Steady-state rules** ([`LinkFault`]): per-link probabilities in
+//!   parts-per-million plus a constant gray-link delay, matched by an
+//!   optional `(from, to)` pattern where `None` is a wildcard.
+//! - **A timed schedule** ([`FaultWindow`]): faults active during
+//!   `[start, stop)` measured from fabric creation — transient
+//!   partitions, windowed gray links, windowed drop storms. Setting
+//!   [`FaultPlan::period`] repeats the schedule, turning a one-shot
+//!   script into sustained churn for soak experiments.
+//!
+//! What was actually injected is counted in
+//! [`FabricStats`](crate::FabricStats) (`injected_drops`,
+//! `injected_dups`, `injected_delays`, `injected_gray`) so experiments
+//! can assert the chaos they asked for really happened.
+
+use std::time::Duration;
+
+use rtml_common::ids::NodeId;
+
+/// Which directed links a rule applies to; `None` is a wildcard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkMatch {
+    pub from: Option<NodeId>,
+    pub to: Option<NodeId>,
+}
+
+impl LinkMatch {
+    /// Matches every cross-node link.
+    pub fn any() -> Self {
+        LinkMatch::default()
+    }
+
+    /// Matches every frame leaving `node`.
+    pub fn from_node(node: NodeId) -> Self {
+        LinkMatch {
+            from: Some(node),
+            to: None,
+        }
+    }
+
+    /// Matches every frame arriving at `node`.
+    pub fn to_node(node: NodeId) -> Self {
+        LinkMatch {
+            from: None,
+            to: Some(node),
+        }
+    }
+
+    /// Matches the single directed link `from -> to`.
+    pub fn link(from: NodeId, to: NodeId) -> Self {
+        LinkMatch {
+            from: Some(from),
+            to: Some(to),
+        }
+    }
+
+    pub fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// A steady-state per-link fault rule. Probabilities are in parts per
+/// million of sends on matching links; `delay_spike` is added only
+/// when the spike roll hits, `gray_delay` is added to *every* frame on
+/// the link (a slowed-but-alive link).
+#[derive(Clone, Debug, Default)]
+pub struct LinkFault {
+    pub link: LinkMatch,
+    pub drop_ppm: u32,
+    pub duplicate_ppm: u32,
+    pub delay_spike_ppm: u32,
+    pub delay_spike: Duration,
+    pub gray_delay: Duration,
+}
+
+/// What a scheduled window does while active.
+#[derive(Clone, Debug)]
+pub enum WindowFault {
+    /// Silently drop all frames between the two nodes, both
+    /// directions — a transient partition.
+    Partition(NodeId, NodeId),
+    /// Slow matching links by a fixed delay for the window.
+    Gray { link: LinkMatch, delay: Duration },
+    /// Elevated drop probability on matching links for the window.
+    Drop { link: LinkMatch, ppm: u32 },
+}
+
+/// A fault active during `[start, stop)`, measured from fabric
+/// creation (modulo [`FaultPlan::period`] when one is set).
+#[derive(Clone, Debug)]
+pub struct FaultWindow {
+    pub start: Duration,
+    pub stop: Duration,
+    pub fault: WindowFault,
+}
+
+/// A seeded, scriptable fault schedule for the fabric. The default
+/// plan is empty and injects nothing; [`FaultPlan::is_active`] gates
+/// all per-send work so a fault-free fabric pays only one branch.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG (separate from the latency jitter
+    /// stream; same seed, same send sequence => same injections).
+    pub seed: u64,
+    /// Steady-state per-link rules, all applied cumulatively.
+    pub links: Vec<LinkFault>,
+    /// Timed windows relative to fabric creation.
+    pub schedule: Vec<FaultWindow>,
+    /// When set, the schedule repeats with this period — a one-shot
+    /// script becomes sustained churn.
+    pub period: Option<Duration>,
+}
+
+/// The outcome of consulting the plan for one send.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultDecision {
+    /// Frame silently dropped (injected drop or scheduled partition).
+    pub drop: bool,
+    /// Dropped by a scheduled partition window specifically.
+    pub partitioned: bool,
+    /// Deliver the frame twice.
+    pub duplicate: bool,
+    /// A delay-spike roll hit; `spike` holds the extra latency.
+    pub spiked: bool,
+    pub spike: Duration,
+    /// Constant gray-link slowdown to add (zero when no gray rule
+    /// matches).
+    pub gray: Duration,
+}
+
+impl FaultDecision {
+    /// Total extra latency this decision adds to the delivery time.
+    pub fn extra_delay(&self) -> Duration {
+        self.spike + self.gray
+    }
+}
+
+fn hit(roll: u64, ppm: u32) -> bool {
+    ppm > 0 && roll % 1_000_000 < ppm as u64
+}
+
+impl FaultPlan {
+    /// True when the plan can inject anything at all. Checked once per
+    /// send so an empty plan costs one branch on the hot path.
+    pub fn is_active(&self) -> bool {
+        !self.links.is_empty() || !self.schedule.is_empty()
+    }
+
+    /// Decide the fate of one frame batch on `from -> to` at time
+    /// `elapsed` since fabric creation. `roll` must return a fresh
+    /// pseudo-random draw per call; the fabric passes its dedicated
+    /// fault LCG so decisions are deterministic per seed.
+    pub fn decide(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        elapsed: Duration,
+        mut roll: impl FnMut() -> u64,
+    ) -> FaultDecision {
+        let mut decision = FaultDecision::default();
+        let t = match self.period {
+            Some(period) if !period.is_zero() => {
+                Duration::from_nanos((elapsed.as_nanos() % period.as_nanos()) as u64)
+            }
+            _ => elapsed,
+        };
+
+        let mut drop_ppm: u32 = 0;
+        let mut duplicate_ppm: u32 = 0;
+        let mut spike_ppm: u32 = 0;
+        let mut spike = Duration::ZERO;
+        for rule in &self.links {
+            if !rule.link.matches(from, to) {
+                continue;
+            }
+            drop_ppm = drop_ppm.saturating_add(rule.drop_ppm);
+            duplicate_ppm = duplicate_ppm.saturating_add(rule.duplicate_ppm);
+            spike_ppm = spike_ppm.saturating_add(rule.delay_spike_ppm);
+            spike = spike.max(rule.delay_spike);
+            decision.gray += rule.gray_delay;
+        }
+        for window in &self.schedule {
+            if t < window.start || t >= window.stop {
+                continue;
+            }
+            match &window.fault {
+                WindowFault::Partition(a, b) => {
+                    if (from == *a && to == *b) || (from == *b && to == *a) {
+                        decision.partitioned = true;
+                        decision.drop = true;
+                    }
+                }
+                WindowFault::Gray { link, delay } => {
+                    if link.matches(from, to) {
+                        decision.gray += *delay;
+                    }
+                }
+                WindowFault::Drop { link, ppm } => {
+                    if link.matches(from, to) {
+                        drop_ppm = drop_ppm.saturating_add(*ppm);
+                    }
+                }
+            }
+        }
+        if decision.partitioned {
+            return decision;
+        }
+        if hit(roll(), drop_ppm) {
+            decision.drop = true;
+            return decision;
+        }
+        decision.duplicate = hit(roll(), duplicate_ppm);
+        if hit(roll(), spike_ppm) {
+            decision.spiked = true;
+            decision.spike = spike;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut state = 1u64;
+        let d = plan.decide(NodeId(0), NodeId(1), Duration::ZERO, || lcg(&mut state));
+        assert!(!d.drop && !d.duplicate && !d.spiked);
+        assert_eq!(d.extra_delay(), Duration::ZERO);
+        // An inert decide consumes no rolls beyond the ppm checks; the
+        // fabric never calls decide at all when is_active() is false.
+    }
+
+    #[test]
+    fn certain_drop_and_duplicate() {
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::any(),
+                drop_ppm: 1_000_000,
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = 9u64;
+        let d = plan.decide(NodeId(0), NodeId(1), Duration::ZERO, || lcg(&mut state));
+        assert!(d.drop && !d.partitioned);
+
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::any(),
+                duplicate_ppm: 1_000_000,
+                delay_spike_ppm: 1_000_000,
+                delay_spike: Duration::from_millis(3),
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        };
+        let d = plan.decide(NodeId(0), NodeId(1), Duration::ZERO, || lcg(&mut state));
+        assert!(!d.drop && d.duplicate && d.spiked);
+        assert_eq!(d.extra_delay(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn link_match_scopes_rules() {
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::from_node(NodeId(2)),
+                drop_ppm: 1_000_000,
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = 3u64;
+        assert!(
+            plan.decide(NodeId(2), NodeId(0), Duration::ZERO, || lcg(&mut state))
+                .drop
+        );
+        assert!(
+            !plan
+                .decide(NodeId(0), NodeId(2), Duration::ZERO, || lcg(&mut state))
+                .drop
+        );
+    }
+
+    #[test]
+    fn scheduled_partition_is_windowed_and_bidirectional() {
+        let plan = FaultPlan {
+            schedule: vec![FaultWindow {
+                start: Duration::from_millis(10),
+                stop: Duration::from_millis(20),
+                fault: WindowFault::Partition(NodeId(0), NodeId(1)),
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = 5u64;
+        let inside = Duration::from_millis(15);
+        let outside = Duration::from_millis(25);
+        assert!(
+            plan.decide(NodeId(0), NodeId(1), inside, || lcg(&mut state))
+                .partitioned
+        );
+        assert!(
+            plan.decide(NodeId(1), NodeId(0), inside, || lcg(&mut state))
+                .partitioned
+        );
+        assert!(
+            !plan
+                .decide(NodeId(0), NodeId(1), outside, || lcg(&mut state))
+                .drop
+        );
+        assert!(
+            !plan
+                .decide(NodeId(0), NodeId(2), inside, || lcg(&mut state))
+                .drop
+        );
+    }
+
+    #[test]
+    fn period_repeats_the_schedule() {
+        let plan = FaultPlan {
+            schedule: vec![FaultWindow {
+                start: Duration::ZERO,
+                stop: Duration::from_millis(10),
+                fault: WindowFault::Gray {
+                    link: LinkMatch::any(),
+                    delay: Duration::from_millis(2),
+                },
+            }],
+            period: Some(Duration::from_millis(100)),
+            ..FaultPlan::default()
+        };
+        let mut state = 7u64;
+        // 205ms mod 100ms = 5ms: inside the repeated window.
+        let d = plan.decide(NodeId(0), NodeId(1), Duration::from_millis(205), || {
+            lcg(&mut state)
+        });
+        assert_eq!(d.gray, Duration::from_millis(2));
+        // 250ms mod 100ms = 50ms: outside.
+        let d = plan.decide(NodeId(0), NodeId(1), Duration::from_millis(250), || {
+            lcg(&mut state)
+        });
+        assert_eq!(d.gray, Duration::ZERO);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                link: LinkMatch::any(),
+                drop_ppm: 300_000,
+                duplicate_ppm: 200_000,
+                ..LinkFault::default()
+            }],
+            ..FaultPlan::default()
+        };
+        let run = |seed: u64| {
+            let mut state = seed;
+            (0..256)
+                .map(|i| {
+                    let d = plan.decide(NodeId(0), NodeId(i % 4 + 1), Duration::ZERO, || {
+                        lcg(&mut state)
+                    });
+                    (d.drop, d.duplicate)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0xc4a05), run(0xc4a05));
+        assert_ne!(run(1), run(2), "different seeds should differ somewhere");
+    }
+}

@@ -14,6 +14,10 @@
 //!   payload size.
 //! - **Partitions** drop messages between selected node pairs, providing
 //!   the failure-injection substrate for fault-tolerance experiments.
+//! - **Fault plans** ([`FaultPlan`]) script deterministic chaos on top:
+//!   seeded per-link drops, duplication, delay spikes, gray links, and
+//!   timed partition windows, with injection counters in
+//!   [`FabricStats`] so experiments can assert what was injected.
 //! - Delivery ordering is FIFO per (sender, receiver) pair under constant
 //!   latency, matching a TCP-like transport.
 //!
@@ -39,7 +43,9 @@
 //! ```
 
 pub mod fabric;
+pub mod fault;
 pub mod latency;
 
 pub use fabric::{Delivery, Endpoint, Fabric, FabricConfig, FabricStats, NetAddress};
+pub use fault::{FaultDecision, FaultPlan, FaultWindow, LinkFault, LinkMatch, WindowFault};
 pub use latency::LatencyModel;

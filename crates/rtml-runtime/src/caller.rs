@@ -258,11 +258,11 @@ impl Caller {
         // staging ring. Ids are producer-embedded and placement ignores
         // the submitter, so striping never moves *what runs where* —
         // only which scheduler does the ingest bookkeeping.
-        let ingest = if inner.component == Component::Driver {
-            let index = inner.batch_counter.fetch_add(1, Ordering::Relaxed);
-            services.stripe_target(inner.home, index)
-        } else {
-            inner.home
+        let stripe_index = (inner.component == Component::Driver)
+            .then(|| inner.batch_counter.fetch_add(1, Ordering::Relaxed));
+        let ingest = match stripe_index {
+            Some(index) => services.stripe_target(inner.home, index),
+            None => inner.home,
         };
 
         let mut results: Vec<Vec<ObjectId>> = Vec::with_capacity(requests.len());
@@ -353,7 +353,15 @@ impl Caller {
             },
         });
         services.events.append_many(inner.home, events);
-        services.submit_batch_to(ingest, fresh)?;
+        match stripe_index {
+            // Driver stripes fail over to the next stripe position when
+            // the target's scheduler died mid-send; `submitter_node`
+            // still names the first-choice target, and a batch that
+            // lands elsewhere is covered by the stuck-task backstop if
+            // *that* node dies too.
+            Some(index) => services.submit_batch_striped(inner.home, index, fresh)?,
+            None => services.submit_batch_to(ingest, fresh)?,
+        }
         Ok(results)
     }
 

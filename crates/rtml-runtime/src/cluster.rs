@@ -122,6 +122,17 @@ pub struct ClusterConfig {
     /// by default: the cost is one kv append per node per interval,
     /// noise against the submission hot path's lock budget.
     pub telemetry: crate::telemetry::TelemetryConfig,
+    /// Chaos plane: a seeded, deterministic fault-injection plan on the
+    /// fabric (per-link drops, duplication, delay spikes, gray links,
+    /// scheduled partition windows). Empty by default — a fault-free
+    /// cluster pays one branch per send and keeps a byte-identical
+    /// jitter stream.
+    pub faults: rtml_net::FaultPlan,
+    /// The one retry/backoff discipline (bounded exponential backoff,
+    /// deterministic jitter, optional deadline) adopted by the fetch
+    /// path, driver stripe failover, replication pulls, and — via
+    /// [`rtml_sched::StealConfig::retry`] — the steal re-arm.
+    pub retry: rtml_common::RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -149,6 +160,8 @@ impl Default for ClusterConfig {
             pipelined_submission: true,
             submit_staging_depth: 4,
             telemetry: crate::telemetry::TelemetryConfig::default(),
+            faults: rtml_net::FaultPlan::default(),
+            retry: rtml_common::RetryPolicy::default(),
         }
     }
 }
@@ -256,6 +269,18 @@ impl ClusterConfig {
         self.telemetry.enabled = false;
         self
     }
+
+    /// Installs a fault-injection plan builder-style.
+    pub fn with_faults(mut self, faults: rtml_net::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the retry/backoff policy builder-style.
+    pub fn with_retry(mut self, retry: rtml_common::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// A running rtml cluster.
@@ -283,6 +308,7 @@ impl Cluster {
                 latency: config.latency.clone(),
                 bandwidth_bytes_per_sec: config.bandwidth_bytes_per_sec,
                 jitter_seed: config.seed,
+                faults: config.faults.clone(),
             },
             config.event_logging,
             RuntimeTuning {
@@ -290,6 +316,16 @@ impl Cluster {
                 default_get_timeout: config.default_get_timeout,
                 event_log_retention: config.event_log_retention,
                 submit_striping: config.submit_striping,
+                retry: config.retry.clone(),
+                // A node is heartbeat-suspect when its load report is
+                // far staler than the publication cadence (idle nodes
+                // republish every 16 intervals; see the local
+                // scheduler's heartbeat branch).
+                suspect_after: config
+                    .load_interval
+                    .saturating_mul(64)
+                    .max(Duration::from_millis(100)),
+                reconstruction_cap: RuntimeTuning::default().reconstruction_cap,
             },
         );
         let recon = ReconstructionManager::new(services.clone());
@@ -318,6 +354,7 @@ impl Cluster {
             pipelined_ingest: config.pipelined_submission,
             staging_depth: config.submit_staging_depth,
             telemetry: config.telemetry.clone(),
+            retry: config.retry.clone(),
         };
         let mut nodes = HashMap::new();
         for (i, node_config) in config.nodes.iter().enumerate() {
@@ -366,6 +403,12 @@ impl Cluster {
     /// The lineage-replay coordinator (exposes reconstruction counters).
     pub fn reconstructions(&self) -> u64 {
         self.recon.reconstructions.get()
+    }
+
+    /// Replays deferred by the reconstruction cap (retried by callers'
+    /// poll loops once active replays drain).
+    pub fn reconstructions_deferred(&self) -> u64 {
+        self.recon.deferred.get()
     }
 
     /// Global-scheduler counters, summed across shards: `(spills
@@ -490,6 +533,9 @@ impl Cluster {
             .as_ref()
             .map(|g| g.routes())
             .ok_or(Error::ShuttingDown)?;
+        // A rejoining node starts with a clean health slate: suspicion
+        // earned by the dead incarnation does not outlive it.
+        self.services.health.forget(node);
         let runtime = NodeRuntime::build(
             node,
             config,
@@ -518,6 +564,12 @@ impl Cluster {
         let mut report = ProfileReport::from_events(&self.services.events.read_all());
         report.dropped_records = self.services.events.dropped_count();
         report.partial = report.dropped_records > 0;
+        let fabric = &self.services.fabric.stats;
+        report.faults.injected_drops = fabric.injected_drops.get();
+        report.faults.injected_dups = fabric.injected_dups.get();
+        report.faults.injected_delays = fabric.injected_delays.get();
+        report.faults.injected_gray = fabric.injected_gray.get();
+        report.faults.reconstructions_deferred = self.recon.deferred.get();
         let nodes = self.nodes.lock();
         for runtime in nodes.values() {
             let t = runtime.transfer_stats();

@@ -71,10 +71,15 @@ pub fn ensure_local(
                 // deterministic pick (different readers of a replicated
                 // object spread across holders), and the tail is the
                 // retry order when holders are dead or partitioned.
-                let holders = info.holders_ranked(object, node);
+                // Suspect holders sink to the back of the order, and
+                // the retry policy bounds how many are swept per pass.
+                let holders = services
+                    .health
+                    .prefer_healthy(info.holders_ranked(object, node));
                 if !holders.is_empty() {
                     let mut fetched = None;
-                    for holder in &holders {
+                    let sweep = services.tuning.retry.max_attempts.max(1) as usize;
+                    for holder in holders.iter().take(sweep) {
                         let (_, result) = rtml_sched::fetch_group_commit(
                             &services.objects,
                             &agent,
@@ -87,10 +92,14 @@ pub fn ensure_local(
                         .expect("one object in, one result out");
                         match result {
                             Ok((bytes, _)) => {
+                                services.health.record_success(*holder);
                                 fetched = Some(bytes);
                                 break;
                             }
-                            Err(_) => continue,
+                            Err(_) => {
+                                services.health.record_failure(*holder);
+                                continue;
+                            }
                         }
                     }
                     match fetched {
@@ -177,31 +186,66 @@ pub fn ensure_local_many(
     }
 
     if !missing.is_empty() {
-        // One batched table sweep locates every missing object.
-        let infos = services.objects.get_many(&missing);
-        let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
-        for (id, info) in missing.iter().zip(infos) {
-            if let Some(holder) = info.and_then(|i| i.fetch_holder(*id, node)) {
-                groups.entry(holder).or_default().push(*id);
-            }
-        }
+        // One batched table sweep locates every missing object. Each
+        // round groups the still-missing objects by their next
+        // rendezvous-ranked holder (health-steered, suspect holders
+        // last) and pulls every group as one FetchMany — so a send
+        // failure or timeout advances straight to the next-ranked
+        // holder instead of dropping the object onto the per-object
+        // watcher path. Rounds are bounded by the retry policy.
         let mut fetched: BTreeMap<ObjectId, Bytes> = BTreeMap::new();
-        for (holder, group) in groups {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let timeout = services.tuning.fetch_timeout.min(remaining);
-            if timeout.is_zero() {
+        let mut tried: BTreeMap<ObjectId, HashSet<NodeId>> = BTreeMap::new();
+        let rounds = services.tuning.retry.max_attempts.max(1) as usize;
+        for _round in 0..rounds {
+            let still: Vec<ObjectId> = missing
+                .iter()
+                .copied()
+                .filter(|id| !fetched.contains_key(id))
+                .collect();
+            if still.is_empty() {
                 break;
             }
-            for (id, result) in rtml_sched::fetch_group_commit(
-                &services.objects,
-                &agent,
-                &group,
-                holder,
-                node,
-                timeout,
-            ) {
-                if let Ok((bytes, _)) = result {
-                    fetched.insert(id, bytes);
+            let infos = services.objects.get_many(&still);
+            let mut groups: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+            for (id, info) in still.iter().zip(infos) {
+                let Some(info) = info else { continue };
+                let ranked = services
+                    .health
+                    .prefer_healthy(info.holders_ranked(*id, node));
+                let attempted = tried.entry(*id).or_default();
+                if let Some(holder) = ranked.iter().find(|h| !attempted.contains(*h)) {
+                    attempted.insert(*holder);
+                    groups.entry(*holder).or_default().push(*id);
+                }
+            }
+            if groups.is_empty() {
+                break;
+            }
+            for (holder, group) in groups {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let timeout = services.tuning.fetch_timeout.min(remaining);
+                if timeout.is_zero() {
+                    break;
+                }
+                let group_len = group.len();
+                let mut got = 0usize;
+                for (id, result) in rtml_sched::fetch_group_commit(
+                    &services.objects,
+                    &agent,
+                    &group,
+                    holder,
+                    node,
+                    timeout,
+                ) {
+                    if let Ok((bytes, _)) = result {
+                        fetched.insert(id, bytes);
+                        got += 1;
+                    }
+                }
+                if got == 0 && group_len > 0 {
+                    services.health.record_failure(holder);
+                } else if got == group_len {
+                    services.health.record_success(holder);
                 }
             }
         }

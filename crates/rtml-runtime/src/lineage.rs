@@ -10,15 +10,16 @@
 //! including recursively reconstructing the producer's own missing
 //! inputs.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use rtml_common::event::{Component, Event, EventKind};
 use rtml_common::ids::{ObjectId, TaskId};
 use rtml_common::metrics::Counter;
-use rtml_common::task::{TaskSpec, TaskState};
+use rtml_common::task::TaskState;
 
 use crate::envelope;
 use crate::services::Services;
@@ -29,17 +30,41 @@ pub struct ReconstructionManager {
     /// Tasks between the resubmission decision and the Submitted state
     /// write (a very small window, but enough for duplicate triggers).
     inflight: Mutex<HashSet<TaskId>>,
+    /// Replays resubmitted and not yet observed back in a terminal
+    /// state — the window the reconstruction cap counts, so a churn
+    /// burst cannot trigger a reconstruction storm.
+    active: Mutex<HashSet<TaskId>>,
+    /// Cap on concurrently active replays
+    /// ([`crate::services::RuntimeTuning::reconstruction_cap`]).
+    cap: usize,
+    /// Producers observed blocking a consumer, for the stuck-task
+    /// backstop: task -> (state when first seen, when first seen).
+    watch: Mutex<HashMap<TaskId, (TaskState, Instant)>>,
+    /// A watched producer wedged in the *same* pre-running state this
+    /// long (its queue message swallowed by a partition, its spill
+    /// placement dropped on the wire) is declared lost and replayed.
+    stuck_after: Duration,
     /// Total reconstructions performed (for experiments).
     pub reconstructions: Counter,
+    /// Replays deferred by the cap; the callers' poll loops re-trigger
+    /// them once active replays drain.
+    pub deferred: Counter,
 }
 
 impl ReconstructionManager {
     /// Creates a manager over `services`.
     pub fn new(services: Arc<Services>) -> Arc<Self> {
+        let cap = services.tuning.reconstruction_cap.max(1);
+        let stuck_after = services.tuning.fetch_timeout.saturating_mul(4);
         Arc::new(ReconstructionManager {
             services,
             inflight: Mutex::new(HashSet::new()),
+            active: Mutex::new(HashSet::new()),
+            cap,
+            watch: Mutex::new(HashMap::new()),
+            stuck_after,
             reconstructions: Counter::new(),
+            deferred: Counter::new(),
         })
     }
 
@@ -77,12 +102,18 @@ impl ReconstructionManager {
             return;
         };
         match self.services.tasks.get_state(producer) {
-            None
-            | Some(TaskState::Submitted)
-            | Some(TaskState::Queued(_))
-            | Some(TaskState::Spilled)
-            | Some(TaskState::Running(_)) => {
-                // In flight (or about to be): the seal will come.
+            Some(state @ (TaskState::Submitted | TaskState::Queued(_) | TaskState::Spilled)) => {
+                // In flight (or about to be): the seal will come —
+                // unless the message moving it forward was swallowed by
+                // a partition or an injected drop, which is what the
+                // stuck-task backstop below watches for.
+                self.note_inflight(producer, state);
+            }
+            None | Some(TaskState::Running(_)) => {
+                // About to be submitted, or actually executing: the
+                // seal will come. Running tasks are not backstopped —
+                // dispatch is node-local (no wire to drop it on) and a
+                // node death repairs their state explicitly.
             }
             Some(TaskState::Failed(message)) => {
                 // The producer ran and failed; its error envelopes should
@@ -119,33 +150,98 @@ impl ReconstructionManager {
         }
     }
 
+    /// A producer observed in the same pre-running state for longer
+    /// than `stuck_after` had its forward-progress message lost (a
+    /// steal grant swallowed by a partition, a spill placement dropped
+    /// by the fault plan). Declare it lost and replay; a redundant
+    /// replay racing the original is safe — task and object IDs are
+    /// deterministic, so both executions seal identical values.
+    fn note_inflight(&self, task: TaskId, state: TaskState) {
+        let wedged = {
+            let mut watch = self.watch.lock();
+            if watch.len() > 256 {
+                let services = &self.services;
+                watch.retain(|t, _| {
+                    matches!(
+                        services.tasks.get_state(*t),
+                        Some(TaskState::Submitted | TaskState::Queued(_) | TaskState::Spilled)
+                    )
+                });
+            }
+            match watch.get_mut(&task) {
+                Some((seen, since)) if *seen == state => since.elapsed() >= self.stuck_after,
+                _ => {
+                    watch.insert(task, (state.clone(), Instant::now()));
+                    false
+                }
+            }
+        };
+        if !wedged {
+            return;
+        }
+        self.watch.lock().remove(&task);
+        // Narrow the race: only declare Lost if the state is still the
+        // one we watched wedge.
+        if self.services.tasks.get_state(task) == Some(state) {
+            self.services.tasks.set_state(task, &TaskState::Lost);
+            self.resubmit(task);
+        }
+    }
+
     /// Resubmits `task` from its durable spec, bumping the attempt
-    /// counter. No-op if another trigger beat us to it.
+    /// counter. No-op if another trigger beat us to it, deferred if the
+    /// reconstruction cap is reached (callers' poll loops re-trigger).
     pub fn resubmit(&self, task: TaskId) {
+        {
+            let mut active = self.active.lock();
+            if active.len() >= self.cap {
+                // Prune replays that have since reached a terminal
+                // state before declaring the cap hit.
+                let services = &self.services;
+                active.retain(|t| {
+                    matches!(
+                        services.tasks.get_state(*t),
+                        Some(
+                            TaskState::Submitted
+                                | TaskState::Queued(_)
+                                | TaskState::Spilled
+                                | TaskState::Running(_)
+                        )
+                    )
+                });
+                if active.len() >= self.cap {
+                    self.deferred.inc();
+                    return;
+                }
+            }
+        }
         {
             let mut inflight = self.inflight.lock();
             if !inflight.insert(task) {
                 return;
             }
         }
-        let result = self.resubmit_inner(task);
-        self.inflight.lock().remove(&task);
-        if let Some(spec) = result {
-            // Routing failed entirely (cluster shutting down): nothing
-            // more to do; callers will time out.
-            drop(spec);
+        if self.resubmit_inner(task) {
+            self.active.lock().insert(task);
         }
+        self.inflight.lock().remove(&task);
     }
 
-    fn resubmit_inner(&self, task: TaskId) -> Option<TaskSpec> {
+    /// Number of replays currently counted against the cap (without
+    /// pruning; exact enough for tests and reporting).
+    pub fn active_replays(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    fn resubmit_inner(&self, task: TaskId) -> bool {
         let Some(mut spec) = self.services.tasks.get_spec(task) else {
-            return None;
+            return false;
         };
         // Re-check state under the inflight guard: another thread may
         // have already resubmitted.
         match self.services.tasks.get_state(task) {
             Some(TaskState::Finished) | Some(TaskState::Lost) | None => {}
-            _ => return None,
+            _ => return false,
         }
         spec.attempt += 1;
         self.services.tasks.put_spec(&spec);
@@ -162,14 +258,10 @@ impl ReconstructionManager {
                 },
             ),
         );
-        if self
-            .services
-            .submit_to(spec.submitter_node, spec.clone())
-            .is_err()
-        {
-            return Some(spec);
-        }
-        None
+        // Routing failure (cluster shutting down) leaves callers to
+        // time out; the resubmission itself still happened.
+        let _ = self.services.submit_to(spec.submitter_node, spec);
+        true
     }
 
     /// Seals error envelopes for objects that can never be produced, so

@@ -105,6 +105,9 @@ pub struct NodeTuning {
     pub replication: ReplicationPolicy,
     /// Pull-based work-stealing policy (see [`rtml_sched::steal`]).
     pub stealing: rtml_sched::StealConfig,
+    /// Shared retry discipline for replication pulls (see
+    /// [`rtml_common::retry`]).
+    pub retry: rtml_common::retry::RetryPolicy,
     /// Pipelined batch ingest in local schedulers: accept batches
     /// synchronously, index them while the submitter marshals its next
     /// batch (see [`rtml_sched::LocalSchedulerConfig`]).
@@ -184,6 +187,7 @@ impl NodeRuntime {
             let release_store = store.clone();
             let release_objects = services.objects.clone();
             let fetch_timeout = tuning.fetch_timeout;
+            let pull_retry = tuning.retry.clone();
             let hooks = ReplicationHooks {
                 lookup: Arc::new(move |object| {
                     lookup_objects.get(object).map(|info| ReplicaView {
@@ -191,23 +195,38 @@ impl NodeRuntime {
                         locations: info.locations,
                     })
                 }),
-                alive_nodes: Arc::new(move || alive_services.alive_nodes()),
+                // Replica placement steers around suspects: a node that
+                // just stopped heartbeating (or keeps failing pulls) is
+                // a poor home for a new copy. `filter_healthy` never
+                // empties the set, so placement still proceeds when
+                // everything looks sick.
+                alive_nodes: Arc::new(move || {
+                    alive_services
+                        .health
+                        .filter_healthy(alive_services.alive_nodes())
+                }),
                 pull: Arc::new(move |object: ObjectId, target, from| {
                     let Some(agent) = pull_services.fetch_agent(target) else {
                         return false;
                     };
-                    let (_, result) = rtml_sched::fetch_group_commit(
-                        &pull_services.objects,
-                        &agent,
-                        &[object],
-                        from,
-                        target,
-                        fetch_timeout,
-                    )
-                    .pop()
-                    .expect("one object in, one result out");
-                    match result {
-                        Ok((_, outcome)) => {
+                    // Seed from stable identity so two same-seed chaos
+                    // runs sleep the same backoff schedule.
+                    let seed = (u64::from(from.0) << 32) | u64::from(target.0);
+                    let pulled = pull_retry.run(seed, |_attempt| {
+                        let (_, result) = rtml_sched::fetch_group_commit(
+                            &pull_services.objects,
+                            &agent,
+                            &[object],
+                            from,
+                            target,
+                            fetch_timeout,
+                        )
+                        .pop()
+                        .expect("one object in, one result out");
+                        result.map(|(_, outcome)| outcome)
+                    });
+                    match pulled {
+                        Ok(outcome) => {
                             // Mark only copies this pull sealed: a copy
                             // that already existed (raced with a real
                             // consumer) stays first-class.
@@ -216,9 +235,15 @@ impl NodeRuntime {
                                     store.mark_replica(object);
                                 }
                             }
+                            pull_services.health.record_success(from);
                             true
                         }
-                        Err(_) => false,
+                        Err(_) => {
+                            // Every attempt against this holder failed:
+                            // evidence toward suspicion.
+                            pull_services.health.record_failure(from);
+                            false
+                        }
                     }
                 }),
                 list_replicas: Arc::new(move || replica_store.list_replicas()),
@@ -608,9 +633,19 @@ impl NodeRuntime {
     /// withdrawn. The caller (cluster) handles task-table repair and
     /// notifying the global scheduler.
     pub fn kill(self, services: &Arc<Services>) {
-        // Stop routing new work here first; the replication agent dies
-        // with the node (replica copies it created live on in other
-        // stores and remain in the object table).
+        // Throw the worker kill switches BEFORE detaching the node's
+        // services: a worker that observes its own store missing must
+        // already see the kill flag, so it discards its in-flight task
+        // (crash semantics) instead of publishing a Failed state the
+        // task-table repair would mistake for an application error.
+        for (runtime, tx) in self.workers.lock().iter_mut() {
+            runtime.kill();
+            runtime.detach();
+            let _ = tx.send(WorkerCommand::Stop);
+        }
+        // Stop routing new work here; the replication agent dies with
+        // the node (replica copies it created live on in other stores
+        // and remain in the object table).
         services.detach_node(self.node);
         if let Some(replication) = &self.replication {
             replication.shutdown();
@@ -620,11 +655,6 @@ impl NodeRuntime {
         // event log).
         if let Some(sampler) = &self.sampler {
             sampler.shutdown();
-        }
-        for (runtime, tx) in self.workers.lock().iter_mut() {
-            runtime.kill();
-            runtime.detach();
-            let _ = tx.send(WorkerCommand::Stop);
         }
         let mut this = self;
         this.sched.shutdown();

@@ -158,6 +158,25 @@ impl StealPlaneStats {
     }
 }
 
+/// Aggregated chaos-plane counters: what the fault plan injected on the
+/// fabric and how the graceful-degradation machinery responded.
+/// Attached by [`crate::Cluster::profile`]; zero when the fault plan is
+/// inert or a report is built from raw events alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlaneStats {
+    /// Frames silently dropped by the fault plan (drop rules and
+    /// scheduled partition windows combined).
+    pub injected_drops: u64,
+    /// Frames delivered twice by the duplication rules.
+    pub injected_dups: u64,
+    /// Frames held back by a delay-spike rule.
+    pub injected_delays: u64,
+    /// Frames slowed by a gray-link rule.
+    pub injected_gray: u64,
+    /// Lineage replays deferred by the reconstruction cap.
+    pub reconstructions_deferred: u64,
+}
+
 /// One plane-operation span folded from the event log. The emitting
 /// events carry a duration and are stamped at span *end*, so the span
 /// runs backwards from `end_nanos`.
@@ -236,6 +255,9 @@ pub struct ProfileReport {
     /// Live steal-plane counters (populated by
     /// [`crate::Cluster::profile`]; zero for raw event folds).
     pub steal: StealPlaneStats,
+    /// Live chaos-plane counters (populated by
+    /// [`crate::Cluster::profile`]; zero for raw event folds).
+    pub faults: FaultPlaneStats,
     /// Grant-arrival → worker-dispatch latency across every stolen
     /// task, folded from the per-node histograms.
     pub steal_to_run: Histogram,
@@ -501,7 +523,8 @@ impl ProfileReport {
              prefetch: {} issued, {} hits, {} skipped (capacity), {} deferred (priority); duplicates suppressed: {}\n\
              replication: {} hot objects, {} replicas created, {} released, {} failures\n\
              steal: {} attempts, {} grants, {} tasks stolen ({:.2} locality), steal-to-run p50 {}\n\
-             failures injected: {} workers, {} nodes{retention}",
+             failures injected: {} workers, {} nodes\n\
+             chaos: {} drops, {} dups, {} delay spikes, {} gray injected; {} replays deferred{retention}",
             self.tasks.len(),
             self.spilled_count(),
             self.failed_count(),
@@ -527,6 +550,11 @@ impl ProfileReport {
             fmt_nanos(steal_latency.p50()),
             self.workers_lost,
             self.nodes_lost,
+            self.faults.injected_drops,
+            self.faults.injected_dups,
+            self.faults.injected_delays,
+            self.faults.injected_gray,
+            self.faults.reconstructions_deferred,
         )
     }
 

@@ -10,12 +10,14 @@ use parking_lot::RwLock;
 use rtml_common::error::{Error, Result};
 use rtml_common::ids::NodeId;
 use rtml_common::resources::Resources;
+use rtml_common::retry::RetryPolicy;
 use rtml_common::task::TaskSpec;
 use rtml_kv::{EventLog, FunctionTable, KvStore, ObjectTable, TaskTable};
 use rtml_net::{Fabric, FabricConfig};
 use rtml_sched::LocalMsg;
 use rtml_store::{FetchAgent, ObjectStore, TransferDirectory, TransferStats};
 
+use crate::health::HealthTracker;
 use crate::registry::FunctionRegistry;
 
 /// Runtime-wide timing knobs.
@@ -37,6 +39,16 @@ pub struct RuntimeTuning {
     /// placement policies ignore the submitting node — so results and
     /// placements are identical with it on or off.
     pub submit_striping: usize,
+    /// The one retry/backoff discipline shared by the fetch path,
+    /// stripe failover, and replication pulls.
+    pub retry: RetryPolicy,
+    /// A peer whose newest load report is older than this is suspect
+    /// (see [`crate::health::HealthTracker`]).
+    pub suspect_after: Duration,
+    /// Cap on concurrently in-flight lineage reconstructions, so a
+    /// churn burst cannot trigger a reconstruction storm. Deferred
+    /// replays are retried by the callers' poll loops.
+    pub reconstruction_cap: usize,
 }
 
 impl Default for RuntimeTuning {
@@ -46,6 +58,9 @@ impl Default for RuntimeTuning {
             default_get_timeout: Duration::from_secs(30),
             event_log_retention: None,
             submit_striping: 1,
+            retry: RetryPolicy::default(),
+            suspect_after: Duration::from_millis(100),
+            reconstruction_cap: 64,
         }
     }
 }
@@ -73,6 +88,10 @@ pub struct Services {
     pub fabric: Arc<Fabric>,
     /// Node → transfer service address.
     pub directory: Arc<TransferDirectory>,
+    /// Peer health view (heartbeat staleness + failure evidence),
+    /// steering stripe targets, replication placement, and holder
+    /// rankings away from suspect nodes.
+    pub health: Arc<HealthTracker>,
     /// Timing knobs.
     pub tuning: RuntimeTuning,
     router: RwLock<HashMap<NodeId, Sender<LocalMsg>>>,
@@ -104,6 +123,7 @@ impl Services {
             registry: FunctionRegistry::new(),
             fabric: Fabric::new(fabric_config),
             directory: TransferDirectory::new(),
+            health: HealthTracker::new(kv.clone(), tuning.suspect_after),
             tuning,
             router: RwLock::new(HashMap::new()),
             stores: RwLock::new(HashMap::new()),
@@ -228,8 +248,68 @@ impl Services {
         }
         nodes.sort();
         nodes.truncate(width);
+        // Suspect nodes are steered out of the stripe set (unless the
+        // whole set is suspect) so a gray ingest target stops taking
+        // fresh batches while its suspicion lasts.
+        let nodes = self.health.filter_healthy(nodes);
         let start = nodes.iter().position(|n| *n == home).unwrap_or(0);
         nodes[(start + index as usize) % nodes.len()]
+    }
+
+    /// Routes one driver stripe batch with failover: try the computed
+    /// stripe target; if its scheduler channel is gone (killed
+    /// mid-send), re-aim at the next stripe position. Attempts are
+    /// bounded by the retry policy; specs are recovered from each
+    /// failed send, never lost.
+    pub fn submit_batch_striped(
+        &self,
+        home: NodeId,
+        index: u64,
+        specs: Vec<TaskSpec>,
+    ) -> Result<()> {
+        let attempts = self.tuning.retry.max_attempts.max(1) as u64;
+        let mut specs = specs;
+        let mut last = Error::ShuttingDown;
+        for attempt in 0..attempts {
+            let target = self.stripe_target(home, index + attempt);
+            match self.try_submit_batch_to(target, specs) {
+                Ok(()) => return Ok(()),
+                Err((returned, err)) => {
+                    specs = returned;
+                    last = err;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Like [`Services::submit_batch_to`], but hands the specs back on
+    /// failure so the caller can fail over without losing the batch.
+    fn try_submit_batch_to(
+        &self,
+        node: NodeId,
+        specs: Vec<TaskSpec>,
+    ) -> std::result::Result<(), (Vec<TaskSpec>, Error)> {
+        let router = self.router.read();
+        let Some(target) = router
+            .get(&node)
+            .or_else(|| self.lowest_alive_locked(&router))
+        else {
+            return Err((specs, Error::ShuttingDown));
+        };
+        let target = target.clone();
+        drop(router);
+        target
+            .send(LocalMsg::SubmitBatch {
+                specs,
+                via_global: false,
+            })
+            .map_err(|failed| match failed.0 {
+                LocalMsg::SubmitBatch { specs, .. } => {
+                    (specs, Error::Disconnected("local scheduler"))
+                }
+                _ => unreachable!("send returns the message it failed to send"),
+            })
     }
 
     /// Direct channel to `node`'s local scheduler (used by worker

@@ -154,8 +154,12 @@ fn execute_task(
         }
     });
 
-    if kill.load(Ordering::Acquire) {
-        // Simulated crash: discard all results and state updates.
+    if kill.load(Ordering::Acquire) || services.store(node).is_none() {
+        // Simulated crash — or the node was detached under us while we
+        // ran (kill_node racing a dispatched task). Either way: discard
+        // all results and state updates. Publishing a Failed state here
+        // would mask the node death as an application error and exempt
+        // the task from the Lost-state repair that replays it.
         return;
     }
 

@@ -277,6 +277,7 @@ impl LocalScheduler {
                     steal_inflight: None,
                     steal_seq: 0,
                     last_steal: Instant::now() - Duration::from_secs(1),
+                    steal_failures: 0,
                     steal_hint: Vec::new(),
                     steal_hint_at: Instant::now() - Duration::from_secs(1),
                     steal_rng: PolicyState::new(0x57ea1 ^ ((node.0 as u64) << 32)),
@@ -359,6 +360,11 @@ struct Core {
     /// round trip without widening the wire protocol.
     steal_seq: u64,
     last_steal: Instant,
+    /// Consecutive fruitless steal attempts (timeouts and empty
+    /// grants). Feeds [`StealConfig::retry`]'s backoff so an idle
+    /// scheduler facing a partition probes gently instead of hammering
+    /// the flat interval; any non-empty grant resets it.
+    steal_failures: u32,
     /// Cached residency hint (bounded sample of locally-resident
     /// objects) with its build time: enumerating the store is O(n), so
     /// the hint is refreshed on a TTL instead of per attempt — it is a
@@ -532,12 +538,25 @@ impl Core {
             if Instant::now() < inflight.deadline {
                 return;
             }
-            // Victim never answered (died, or the request was lost):
+            // Victim never answered (died, or the request was lost —
+            // a partition can swallow the request or the grant):
             // declare the request dead and try someone else.
             self.steal_inflight = None;
             self.stats.steal.timeouts.inc();
+            self.steal_failures = self.steal_failures.saturating_add(1);
         }
-        if self.last_steal.elapsed() < cfg.interval {
+        // Consecutive fruitless attempts back the re-arm pause off
+        // exponentially (seeded per node, so the schedule is
+        // reproducible); any non-empty grant snaps it back to the flat
+        // interval.
+        let pause = if self.steal_failures == 0 {
+            cfg.interval
+        } else {
+            let attempt = (self.steal_failures - 1).min(16);
+            cfg.interval
+                .max(cfg.retry.backoff(attempt, u64::from(self.config.node.0)))
+        };
+        if self.last_steal.elapsed() < pause {
             return;
         }
         self.last_steal = Instant::now();
@@ -545,13 +564,30 @@ impl Core {
         // The load reports every scheduler already mirrors into the kv
         // store (ROADMAP item: "using the load reports already
         // published") — one prefix scan, no extra protocol.
+        // Reports older than a few heartbeat periods are ghosts: the
+        // publisher is dead, partitioned, or wedged, and a steal
+        // request at it would only burn a timeout. Live schedulers
+        // republish at least every `load_interval * 16` (the heartbeat
+        // branch of `maybe_publish_load`), so 64 intervals of silence
+        // is decisive, not jitter.
+        let stale_nanos = self
+            .config
+            .load_interval
+            .saturating_mul(64)
+            .max(Duration::from_millis(100))
+            .as_nanos() as u64;
+        let now_nanos = rtml_common::time::now_nanos();
         let candidates: Vec<LoadReport> = self
             .services
             .kv
             .scan_prefix(b"load:")
             .into_iter()
             .filter_map(|(_, bytes)| decode_from_slice::<LoadReport>(&bytes).ok())
-            .filter(|report| report.node != me && report.ready > cfg.min_backlog)
+            .filter(|report| {
+                report.node != me
+                    && report.ready > cfg.min_backlog
+                    && now_nanos.saturating_sub(report.at_nanos) <= stale_nanos
+            })
             .collect();
         if candidates.is_empty() {
             return;
@@ -793,8 +829,10 @@ impl Core {
         }
         if tasks.is_empty() {
             self.stats.steal.empty_grants.inc();
+            self.steal_failures = self.steal_failures.saturating_add(1);
             return;
         }
+        self.steal_failures = 0;
         self.stats.steal.grants.inc();
         self.stats.steal.tasks_stolen.add(tasks.len() as u64);
         let now = Instant::now();
@@ -1344,7 +1382,15 @@ impl Core {
     }
 
     fn maybe_publish_load(&mut self) {
-        if self.load_dirty && self.last_load.elapsed() >= self.config.load_interval {
+        let elapsed = self.last_load.elapsed();
+        if self.load_dirty && elapsed >= self.config.load_interval {
+            self.publish_load();
+        } else if elapsed >= self.config.load_interval.saturating_mul(16) {
+            // Heartbeat: even with nothing new to say, republish so the
+            // report's timestamp stays fresh — peers read staleness as
+            // death evidence (steal-candidate filtering, the runtime's
+            // health tracker), and an idle-but-alive node must not look
+            // like a ghost.
             self.publish_load();
         }
     }

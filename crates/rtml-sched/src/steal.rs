@@ -54,6 +54,11 @@ pub struct StealConfig {
     /// Cap on the resident-object ids shipped in the request as the
     /// thief's locality hint.
     pub hint_objects: usize,
+    /// Retry discipline for the steal loop: consecutive fruitless
+    /// attempts (timeouts, empty grants) back the re-arm pause off
+    /// exponentially from `interval` toward `retry.cap`, instead of
+    /// hammering a flat cadence into a partition.
+    pub retry: rtml_common::retry::RetryPolicy,
 }
 
 impl Default for StealConfig {
@@ -65,6 +70,7 @@ impl Default for StealConfig {
             interval: Duration::from_millis(1),
             timeout: Duration::from_millis(25),
             hint_objects: 64,
+            retry: rtml_common::retry::RetryPolicy::default(),
         }
     }
 }

@@ -216,6 +216,7 @@ fn stolen_tasks_survive_thief_death_via_lineage() {
         interval: Duration::from_millis(1),
         timeout: Duration::from_millis(50),
         hint_objects: 64,
+        ..StealConfig::default()
     });
     let cluster = Cluster::start(config).unwrap();
     let slow = cluster.register_fn1("slow_steal_fi", |x: i64| {
@@ -505,5 +506,229 @@ fn surviving_shards_keep_placing_after_node_loss() {
         "expected several shards to place after the kill, got {advanced} \
          (before {placements_before:?}, after {placements_after:?})"
     );
+    cluster.shutdown();
+}
+
+#[test]
+fn kill_restart_cycles_do_not_leak_fabric_endpoints() {
+    // Each node owns three persistent fabric endpoints (local scheduler,
+    // transfer service, fetch agent). A kill must withdraw all of them
+    // and a restart must register exactly the same number — across
+    // repeated cycles the count returns to baseline, or the fabric's
+    // routing table grows without bound under churn.
+    let cluster = Cluster::start(ClusterConfig::local(3, 2)).unwrap();
+    let f = cluster.register_fn1("leak_fi", |x: i64| Ok(x ^ 0x5a));
+    let driver = cluster.driver();
+    let fabric = cluster.services().fabric.clone();
+    let baseline = fabric.endpoint_count();
+    for cycle in 0..3 {
+        let config = cluster.node_config(NodeId(2)).unwrap();
+        cluster.kill_node(NodeId(2)).unwrap();
+        assert!(
+            fabric.endpoint_count() < baseline,
+            "kill must unregister the node's endpoints (cycle {cycle})"
+        );
+        cluster.restart_node(NodeId(2), config).unwrap();
+        assert_eq!(
+            fabric.endpoint_count(),
+            baseline,
+            "endpoint count must return to baseline after restart (cycle {cycle})"
+        );
+        // The cycle must leave a working cluster, not just a balanced
+        // routing table.
+        let futs: Vec<_> = (0..6)
+            .map(|i| driver.submit1(&f, cycle * 10 + i).unwrap())
+            .collect();
+        for (i, fut) in futs.iter().enumerate() {
+            assert_eq!(
+                driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+                (cycle * 10 + i as i64) ^ 0x5a
+            );
+        }
+    }
+    assert_eq!(fabric.endpoint_count(), baseline);
+    cluster.shutdown();
+}
+
+#[test]
+fn steal_request_swallowed_by_partition_rearms_cleanly() {
+    // Node 1 sits idle while node 0 holds a backlog, but the 0↔1 link
+    // is partitioned: every steal request vanishes on the wire. The
+    // thief must time each request out, back off, and keep the loop
+    // armed — then finish the backlog normally once the link heals.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::NeverSpill, // only stealing can move work
+        ..ClusterConfig::default()
+    }
+    .with_stealing(StealConfig {
+        enabled: true,
+        min_backlog: 1,
+        max_tasks: 8,
+        interval: Duration::from_millis(1),
+        timeout: Duration::from_millis(20),
+        hint_objects: 64,
+        ..StealConfig::default()
+    });
+    let cluster = Cluster::start(config).unwrap();
+    let fabric = cluster.services().fabric.clone();
+    fabric.partition(NodeId(0), NodeId(1));
+
+    let slow = cluster.register_fn1("part_steal_fi", |x: i64| {
+        std::thread::sleep(Duration::from_millis(10));
+        Ok(x * 11)
+    });
+    let driver = cluster.driver();
+    let futs = driver.submit_many(&slow, 0..16i64).unwrap();
+
+    // The thief's requests must be dying to the partition, not wedging
+    // the loop: timeouts accumulate while nothing is ever granted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = cluster.node_sched_stats(NodeId(1)).unwrap();
+        if stats.steal.timeouts.get() >= 2 {
+            assert_eq!(
+                stats.steal.tasks_stolen.get(),
+                0,
+                "nothing can cross a partitioned link"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "steal requests never timed out against the partition"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    fabric.heal(NodeId(0), NodeId(1));
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 11,
+            "future {i}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_pull_across_healed_partition_completes() {
+    // The replication plane decides to copy a hot object onto node 1
+    // while the 0↔1 link is partitioned. The pull (with its retries)
+    // fails against the dead link; once the link heals, a later sweep's
+    // pull must land the replica — the plane degrades, it doesn't quit.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::NeverSpill,
+        fetch_timeout: Duration::from_millis(150),
+        ..ClusterConfig::default()
+    }
+    .with_replication(ReplicationPolicy {
+        enabled: true,
+        read_threshold: 4,
+        max_replicas: 1,
+        sweep_interval: Duration::from_millis(10),
+        ..ReplicationPolicy::default()
+    });
+    let cluster = Cluster::start(config).unwrap();
+    let make = cluster.register_fn1("part_repl_fi", |i: u64| Ok(vec![i as u8; 16 * 1024]));
+    let driver = cluster.driver();
+    let fut = driver.submit1(&make, 9u64).unwrap();
+    assert_eq!(driver.get(&fut).unwrap(), vec![9u8; 16 * 1024]);
+
+    let services = cluster.services().clone();
+    let hot = fut.id();
+    let fabric = services.fabric.clone();
+    fabric.partition(NodeId(0), NodeId(1));
+    // Cross the demand threshold: the sweep will pick node 1 as the
+    // only possible target and its pulls will die on the partition.
+    cluster
+        .node_transfer_stats(NodeId(0))
+        .unwrap()
+        .record_demand(hot, 8);
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        !services
+            .objects
+            .get(hot)
+            .unwrap()
+            .locations
+            .contains(&NodeId(1)),
+        "no replica can cross a partitioned link"
+    );
+
+    fabric.heal(NodeId(0), NodeId(1));
+    // Keep demand warm so post-heal sweeps still see a hot object
+    // (demand decays per sweep by design).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if services
+            .objects
+            .get(hot)
+            .unwrap()
+            .locations
+            .contains(&NodeId(1))
+        {
+            break;
+        }
+        cluster
+            .node_transfer_stats(NodeId(0))
+            .unwrap()
+            .record_demand(hot, 8);
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never landed after the partition healed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn partitioned_stripe_target_recovers_via_kill_repair() {
+    // Driver batches stripe across both nodes while node 1 is cut off
+    // from node 0 by a partition. Batches ingested at node 1 (submit
+    // routing is in-process) run there, but their results are
+    // unreachable; killing the partitioned stripe target must sweep its
+    // tasks into Lost and replay them on the survivor, and subsequent
+    // stripe batches must fail over to node 0 cleanly.
+    let config = ClusterConfig {
+        nodes: vec![NodeConfig::cpu_only(2), NodeConfig::cpu_only(2)],
+        spill: SpillMode::NeverSpill,
+        fetch_timeout: Duration::from_millis(150),
+        ..ClusterConfig::default()
+    }
+    .with_submit_striping(2);
+    let cluster = Cluster::start(config).unwrap();
+    let f = cluster.register_fn1("stripe_part_fi", |x: i64| Ok(x * 13));
+    let driver = cluster.driver();
+    let fabric = cluster.services().fabric.clone();
+    fabric.partition(NodeId(0), NodeId(1));
+
+    // Several waves so both stripe positions take batches.
+    let mut futs = Vec::new();
+    for wave in 0..4i64 {
+        futs.extend(driver.submit_many(&f, wave * 8..(wave + 1) * 8).unwrap());
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    // The partitioned stripe target dies; the kill-repair sweep marks
+    // its in-flight tasks Lost and lineage replays them on node 0.
+    cluster.kill_node(NodeId(1)).unwrap();
+    for (i, fut) in futs.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            i as i64 * 13,
+            "future {i}"
+        );
+    }
+    // Post-kill waves must route entirely to the survivor.
+    let more = driver.submit_many(&f, 100..116i64).unwrap();
+    for (i, fut) in more.iter().enumerate() {
+        assert_eq!(
+            driver.get_timeout(fut, Duration::from_secs(30)).unwrap(),
+            (100 + i as i64) * 13
+        );
+    }
     cluster.shutdown();
 }
